@@ -1,0 +1,72 @@
+"""Ablation benches for the design choices the paper fixes silently.
+
+The measurement logic lives in :mod:`repro.experiments.ablations` (also
+runnable via ``repro-experiments ablations``); here each study is timed,
+recorded, and its conclusion asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_ablation_adversarial,
+    run_ablation_allocation,
+    run_ablation_covers,
+    run_ablation_cube,
+    run_ablation_h_function,
+)
+
+
+def _errors(result) -> dict[str, float]:
+    return dict(zip(result.column(result.headers[0]), result.column(result.headers[1])))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_h_function(benchmark, record_table):
+    """The nonlinear h alone closes the 3-wise/4-wise estimation gap."""
+    result = benchmark.pedantic(run_ablation_h_function, rounds=1, iterations=1)
+    record_table("ablation_h_function", result.to_text())
+    errors = _errors(result)
+    assert errors["EH3"] < errors["BCH3"] / 2
+    assert errors["EH3"] < 2 * errors["BCH5"] + 0.02
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_adversarial_support(benchmark, record_table):
+    """On the pair-aligned XOR-closed support EH3 degrades to BCH3."""
+    result = benchmark.pedantic(run_ablation_adversarial, rounds=1, iterations=1)
+    record_table("ablation_adversarial", result.to_text())
+    errors = _errors(result)
+    ratio = errors["EH3 (adversarial)"] / errors["BCH3 (adversarial)"]
+    assert 1 / 3 < ratio < 3
+    assert errors["EH3 (adversarial)"] > errors["BCH5 (adversarial)"] / 2
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_cube_arithmetic(benchmark, record_table):
+    """GF vs arithmetic cubes: estimation quality indistinguishable."""
+    result = benchmark.pedantic(run_ablation_cube, rounds=1, iterations=1)
+    record_table("ablation_cube", result.to_text())
+    errors = _errors(result)
+    ratio = errors["BCH5 gf"] / errors["BCH5 arithmetic"]
+    assert 1 / 3 < ratio < 3
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_allocation(benchmark, record_table):
+    """Medians reduce error almost as effectively as averages (§6.2)."""
+    result = benchmark.pedantic(run_ablation_allocation, rounds=1, iterations=1)
+    record_table("ablation_allocation", result.to_text())
+    errors = result.column("Error")
+    # No split is an order of magnitude better or worse than another.
+    assert max(errors) < 6 * min(errors) + 0.02
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_cover_shape(benchmark, record_table):
+    """Quaternary covers cost at most 2x the binary pieces."""
+    result = benchmark.pedantic(run_ablation_covers, rounds=1, iterations=1)
+    record_table("ablation_covers", result.to_text())
+    pieces = dict(zip(result.column("Cover"), result.column("Total pieces")))
+    assert pieces["binary"] <= pieces["quaternary"] <= 2 * pieces["binary"]

@@ -1,0 +1,122 @@
+"""Library-performance benches: bulk fast paths vs scalar updates.
+
+Not a paper table -- these guard the engineering that makes the paper's
+experiments runnable in Python: the bulk updates of
+:mod:`repro.sketch.bulk` must beat the scalar channel API by a wide
+margin, and the vectorized generators must sustain millions of values
+per second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import EH3, SeedSource
+from repro.sketch.ams import SketchScheme
+from repro.sketch.atomic import GeneratorChannel
+from repro.sketch.bulk import (
+    bulk_point_update,
+    decompose_quaternary,
+    eh3_bulk_interval_update,
+)
+
+BITS = 20
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(11)
+    points = rng.integers(0, 1 << BITS, size=20_000).astype(np.uint64)
+    lows = rng.integers(0, 1 << BITS, size=2_000)
+    highs = rng.integers(0, 1 << BITS, size=2_000)
+    intervals = [(int(min(a, b)), int(max(a, b))) for a, b in zip(lows, highs)]
+    return points, intervals
+
+
+def scheme(medians=4, averages=16):
+    return SketchScheme.from_factory(
+        lambda src: GeneratorChannel(EH3.from_source(BITS, src)),
+        medians,
+        averages,
+        SeedSource(3),
+    )
+
+
+@pytest.mark.benchmark(group="bulk-throughput")
+def test_bulk_point_updates(benchmark, workload):
+    points, __ = workload
+    target = scheme()
+    benchmark(lambda: bulk_point_update(target.sketch(), points))
+
+
+@pytest.mark.benchmark(group="bulk-throughput")
+def test_scalar_point_updates(benchmark, workload):
+    points, __ = workload
+    target = scheme()
+    few = points[:500]  # the scalar path is ~2 orders slower
+
+    def run():
+        sketch = target.sketch()
+        for p in few:
+            sketch.update_point(int(p))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="bulk-throughput")
+def test_bulk_interval_updates(benchmark, workload):
+    __, intervals = workload
+    target = scheme()
+    pieces = decompose_quaternary(intervals)
+    benchmark(lambda: eh3_bulk_interval_update(target.sketch(), pieces))
+
+
+@pytest.mark.benchmark(group="bulk-throughput")
+def test_scalar_interval_updates(benchmark, workload):
+    __, intervals = workload
+    target = scheme()
+    few = intervals[:100]
+
+    def run():
+        sketch = target.sketch()
+        for bounds in few:
+            sketch.update_interval(bounds)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="bulk-throughput")
+def test_bulk_equals_scalar(benchmark, workload, record_table):
+    """Correctness + the headline speedup numbers, recorded."""
+    import time
+
+    points, intervals = workload
+    target = scheme()
+
+    def measure():
+        bulk = target.sketch()
+        start = time.perf_counter()
+        bulk_point_update(bulk, points[:2_000])
+        bulk_seconds = time.perf_counter() - start
+        scalar = target.sketch()
+        start = time.perf_counter()
+        for p in points[:2_000]:
+            scalar.update_point(int(p))
+        scalar_seconds = time.perf_counter() - start
+        assert np.allclose(bulk.values(), scalar.values())
+        return bulk_seconds, scalar_seconds
+
+    bulk_seconds, scalar_seconds = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = scalar_seconds / bulk_seconds
+    record_table(
+        "bulk_throughput",
+        "Bulk vs scalar point updates (2,000 points x 64 counters)\n"
+        "=========================================================\n"
+        f"bulk   {bulk_seconds * 1e3:10.1f} ms\n"
+        f"scalar {scalar_seconds * 1e3:10.1f} ms\n"
+        f"speedup {speedup:8.1f}x",
+    )
+    assert speedup > 3

@@ -1,0 +1,91 @@
+"""Section 5.2 timing claims: DMAP vs EH3 per-update costs.
+
+The paper reports (2^32 domain): DMAP interval 1,276 ns vs EH3 interval
+1,798 ns (DMAP slightly faster); DMAP point 416 ns vs EH3 point 7.9 ns
+(DMAP ~50x slower per point).  The architecture-independent shapes are the
+ratios, asserted below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import time_per_op
+from repro.generators import EH3, SeedSource
+from repro.rangesum import DMAP, eh3_range_sum
+
+DOMAIN_BITS = 32
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(3)
+    lows = rng.integers(0, 1 << DOMAIN_BITS, size=100)
+    highs = rng.integers(0, 1 << DOMAIN_BITS, size=100)
+    intervals = [(int(min(a, b)), int(max(a, b))) for a, b in zip(lows, highs)]
+    points = [int(p) for p in rng.integers(0, 1 << DOMAIN_BITS, size=100)]
+    return intervals, points
+
+
+@pytest.mark.benchmark(group="dmap-timing")
+def test_dmap_interval_updates(benchmark, workload):
+    intervals, __ = workload
+    dmap = DMAP.from_source(DOMAIN_BITS, SeedSource(1))
+    benchmark(
+        lambda: [dmap.interval_contribution(a, b) for a, b in intervals]
+    )
+
+
+@pytest.mark.benchmark(group="dmap-timing")
+def test_dmap_point_updates(benchmark, workload):
+    __, points = workload
+    dmap = DMAP.from_source(DOMAIN_BITS, SeedSource(1))
+    benchmark(lambda: [dmap.point_contribution(p) for p in points])
+
+
+@pytest.mark.benchmark(group="dmap-timing")
+def test_eh3_point_updates(benchmark, workload):
+    __, points = workload
+    generator = EH3.from_source(DOMAIN_BITS, SeedSource(1))
+    benchmark(lambda: [generator.value(p) for p in points])
+
+
+@pytest.mark.benchmark(group="dmap-timing")
+def test_point_cost_ratio_matches_paper_shape(benchmark, workload, record_table):
+    """DMAP points cost ~(n + 1) EH3 evaluations: assert the ratio."""
+    intervals, points = workload
+    dmap = DMAP.from_source(DOMAIN_BITS, SeedSource(1))
+    generator = EH3.from_source(DOMAIN_BITS, SeedSource(1))
+
+    def measure():
+        return {
+            "dmap_interval": time_per_op(
+                lambda: [dmap.interval_contribution(a, b) for a, b in intervals],
+                len(intervals), 0.05,
+            ),
+            "eh3_interval": time_per_op(
+                lambda: [eh3_range_sum(generator, a, b) for a, b in intervals],
+                len(intervals), 0.05,
+            ),
+            "dmap_point": time_per_op(
+                lambda: [dmap.point_contribution(p) for p in points],
+                len(points), 0.05,
+            ),
+            "eh3_point": time_per_op(
+                lambda: [generator.value(p) for p in points], len(points), 0.05,
+            ),
+        }
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Section 5.2: DMAP vs EH3 per-update cost (ns)",
+             "=" * 46]
+    paper = {"dmap_interval": 1276, "eh3_interval": 1798,
+             "dmap_point": 416, "eh3_point": 7.9}
+    for key, value in times.items():
+        lines.append(f"{key:15s} measured {value:12,.1f}   paper {paper[key]:8,.1f}")
+    record_table("section52_dmap_timing", "\n".join(lines))
+    assert times["dmap_point"] > 5 * times["eh3_point"]
+    # Interval costs are the same order of magnitude for both methods.
+    ratio = times["dmap_interval"] / times["eh3_interval"]
+    assert 0.05 < ratio < 20

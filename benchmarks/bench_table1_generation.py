@@ -1,0 +1,87 @@
+"""Table 1: generation time per random variable + seed sizes.
+
+Micro-benchmarks each scheme's vectorized bulk generation (the analog of
+the paper's 10,000 x 10,000 all-pairs loop) and regenerates the full
+Table 1 comparison -- measured ns/value next to the paper's Xeon numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.generators import (
+    BCH3,
+    BCH5,
+    EH3,
+    RM7,
+    SeedSource,
+    massdal2,
+    massdal4,
+)
+
+DOMAIN_BITS = 30
+BATCH = 100_000
+
+
+@pytest.fixture(scope="module")
+def indices():
+    rng = np.random.default_rng(42)
+    return rng.integers(0, 1 << DOMAIN_BITS, size=BATCH).astype(np.uint64)
+
+
+def _source():
+    return SeedSource(20060627)
+
+
+@pytest.mark.benchmark(group="table1-generation")
+def test_bch3_generation(benchmark, indices):
+    generator = BCH3.from_source(DOMAIN_BITS, _source())
+    benchmark(generator.values, indices)
+
+
+@pytest.mark.benchmark(group="table1-generation")
+def test_eh3_generation(benchmark, indices):
+    generator = EH3.from_source(DOMAIN_BITS, _source())
+    benchmark(generator.values, indices)
+
+
+@pytest.mark.benchmark(group="table1-generation")
+def test_bch5_generation(benchmark, indices):
+    generator = BCH5.from_source(DOMAIN_BITS, _source(), mode="arithmetic")
+    benchmark(generator.values, indices)
+
+
+@pytest.mark.benchmark(group="table1-generation")
+def test_massdal2_generation(benchmark, indices):
+    generator = massdal2(DOMAIN_BITS, _source())
+    benchmark(generator.values, indices)
+
+
+@pytest.mark.benchmark(group="table1-generation")
+def test_massdal4_generation(benchmark, indices):
+    generator = massdal4(DOMAIN_BITS, _source())
+    benchmark(generator.values, indices)
+
+
+@pytest.mark.benchmark(group="table1-generation")
+def test_rm7_generation(benchmark, indices):
+    generator = RM7.from_source(DOMAIN_BITS, _source())
+    benchmark(generator.values, indices)
+
+
+@pytest.mark.benchmark(group="table1-table")
+def test_table1_rows(benchmark, record_table):
+    """Regenerate Table 1 and record the rendered rows."""
+    result = benchmark.pedantic(
+        lambda: run_table1(domain_bits=DOMAIN_BITS, batch=BATCH),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("table1", result.to_text())
+    times = dict(zip(result.column("Scheme"),
+                     result.column("ns/value (vectorized)")))
+    # Paper shape: BCH-family fastest, Massdal slower, RM7 slowest by far.
+    assert times["RM7"] == max(times.values())
+    assert min(times, key=times.get) in ("BCH3", "EH3")

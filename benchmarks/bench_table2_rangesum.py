@@ -1,0 +1,79 @@
+"""Table 2: range-summation time per interval (BCH3, EH3, RM7).
+
+Also covers the new field-mode BCH5 2XOR-AND range-sum (a beyond-the-paper
+algorithm -- see repro.rangesum.bch5_rangesum), which slots in at RM7-like
+cost, confirming that practicality still belongs to BCH3/EH3 alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.table2 import run_table2
+from repro.generators import BCH3, BCH5, EH3, RM7, SeedSource
+from repro.rangesum import (
+    bch3_range_sum,
+    bch5_range_sum,
+    eh3_range_sum,
+    rm7_range_sum,
+)
+
+DOMAIN_BITS = 32
+
+
+@pytest.fixture(scope="module")
+def intervals():
+    rng = np.random.default_rng(7)
+    lows = rng.integers(0, 1 << DOMAIN_BITS, size=200)
+    highs = rng.integers(0, 1 << DOMAIN_BITS, size=200)
+    return [(int(min(a, b)), int(max(a, b))) for a, b in zip(lows, highs)]
+
+
+def _source():
+    return SeedSource(20060627)
+
+
+@pytest.mark.benchmark(group="table2-rangesum")
+def test_bch3_range_sum(benchmark, intervals):
+    generator = BCH3.from_source(DOMAIN_BITS, _source())
+    benchmark(lambda: [bch3_range_sum(generator, a, b) for a, b in intervals])
+
+
+@pytest.mark.benchmark(group="table2-rangesum")
+def test_eh3_range_sum(benchmark, intervals):
+    generator = EH3.from_source(DOMAIN_BITS, _source())
+    benchmark(lambda: [eh3_range_sum(generator, a, b) for a, b in intervals])
+
+
+@pytest.mark.benchmark(group="table2-rangesum")
+def test_rm7_range_sum(benchmark, intervals):
+    generator = RM7.from_source(DOMAIN_BITS, _source())
+    small = intervals[:5]
+    benchmark(lambda: [rm7_range_sum(generator, a, b) for a, b in small])
+
+
+@pytest.mark.benchmark(group="table2-rangesum")
+def test_bch5_gf_range_sum(benchmark, intervals):
+    generator = BCH5.from_source(DOMAIN_BITS, _source(), mode="gf")
+    small = intervals[:5]
+    benchmark(lambda: [bch5_range_sum(generator, a, b) for a, b in small])
+
+
+@pytest.mark.benchmark(group="table2-table")
+def test_table2_rows(benchmark, record_table):
+    """Regenerate Table 2 (plus the Section 5.2 DMAP timings)."""
+    result = benchmark.pedantic(
+        lambda: run_table2(domain_bits=DOMAIN_BITS, intervals=200),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("table2", result.to_text())
+    times = dict(zip(result.column("Scheme"), result.column("ns/op")))
+    # Paper shapes: BCH3 cheapest interval; RM7 orders of magnitude worse;
+    # EH3 point evaluations far cheaper than DMAP's (n+1)-fold updates.
+    assert times["BCH3"] == min(
+        times[k] for k in ("BCH3", "EH3", "RM7", "DMAP (interval)")
+    )
+    assert times["RM7"] > 30 * times["EH3"]
+    assert times["DMAP (point)"] > 5 * times["EH3 (point)"]

@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each bench module both (a) micro-benchmarks its core operation through
+pytest-benchmark and (b) regenerates the corresponding paper table/figure,
+recording the rendered rows through the ``record_table`` fixture.  Recorded
+tables are printed in the terminal summary (so they survive pytest's
+output capture) and written to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_RECORDED: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def record_table():
+    """Record one rendered experiment table for the terminal summary."""
+
+    def _record(name: str, text: str) -> None:
+        _RECORDED.append((name, text))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RECORDED:
+        return
+    terminalreporter.section("paper tables and figures (reproduced)")
+    for name, text in _RECORDED:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"(also written to {_RESULTS_DIR}/<name>.txt)"
+    )

@@ -1,0 +1,76 @@
+"""L1-difference of two streamed vectors (paper Application 2).
+
+Two sites each observe a traffic histogram (vector entries arrive in
+arbitrary order as ``(index, value)`` tuples).  Each site keeps only an
+AMS sketch built with EH3 fast range-sums -- one O(log max_value) update
+per tuple -- and the coordinator estimates ``sum_i |a_i - b_i|`` from the
+difference of the two sketches.
+
+DMAP cannot solve this problem at all: both virtual relations are
+interval-specified, which is why the paper's Section 6 omits it here.
+
+Run:  python examples/l1_difference_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.l1diff import (
+    estimate_l1_difference,
+    l1_domain_bits,
+    update_vector_entry,
+)
+from repro.generators import EH3, SeedSource
+from repro.sketch.ams import SketchScheme
+from repro.stream.exact import l1_difference
+
+INDEX_BITS = 8  # 256 vector coordinates
+VALUE_BITS = 10  # values up to 1024
+MEDIANS = 7
+AVERAGES = 200
+
+
+def main() -> None:
+    rng = np.random.default_rng(12)
+    size = 1 << INDEX_BITS
+    # Two similar traffic vectors: b perturbs a on a subset of indices.
+    vector_a = rng.integers(100, 900, size=size)
+    vector_b = vector_a.copy()
+    perturbed = rng.choice(size, size=40, replace=False)
+    vector_b[perturbed] += rng.integers(-90, 90, size=40)
+    vector_b = np.clip(vector_b, 0, (1 << VALUE_BITS) - 1)
+
+    truth = l1_difference(vector_a, vector_b)
+    print(f"vectors: {size} coordinates, true L1 difference = {truth:,.0f}")
+
+    bits = l1_domain_bits(INDEX_BITS, VALUE_BITS)
+    source = SeedSource(2006)
+    scheme = SketchScheme.from_generators(
+        lambda src: EH3.from_source(bits, src), MEDIANS, AVERAGES, source
+    )
+
+    # Site A and site B sketch their own streams independently.
+    sketch_a = scheme.sketch()
+    sketch_b = scheme.sketch()
+    order = rng.permutation(size)
+    for index in order:  # arbitrary arrival order -- sketches are linear
+        update_vector_entry(sketch_a, int(index), int(vector_a[index]), VALUE_BITS)
+    for index in reversed(order):
+        update_vector_entry(sketch_b, int(index), int(vector_b[index]), VALUE_BITS)
+
+    estimate = estimate_l1_difference(sketch_a, sketch_b)
+    print(f"sketch estimate           = {estimate:,.1f}")
+    print(f"relative error            = {abs(estimate - truth) / truth:.1%}")
+    print(
+        f"memory per site           = {scheme.counters} counters "
+        f"(vs {size} exact counters)"
+    )
+    print(
+        f"work per arriving tuple   = one EH3 range-sum over up to "
+        f"2^{VALUE_BITS} values (O(log) closed forms)"
+    )
+
+
+if __name__ == "__main__":
+    main()

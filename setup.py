@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that editable
+installs work on offline machines whose setuptools lacks PEP-517 wheel
+support (``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""The paper's interval-input applications (Section 5.1, Section 6)."""
+
+from repro.apps.histograms import (
+    SelectivityEstimator,
+    estimate_average_frequency,
+    estimate_region_count,
+    exact_region_count,
+    random_query_rects,
+    rect_area,
+    sketch_data_points,
+    sketch_region,
+)
+from repro.apps.l1diff import (
+    encode_entry_interval,
+    estimate_l1_difference,
+    l1_domain_bits,
+    sketch_vector,
+    update_vector_entry,
+)
+from repro.apps.spatialjoin2d import (
+    RectDataset,
+    estimate_rect_join,
+    exact_rect_join,
+    rect_join_reduction_truth,
+    sketch_rect_dataset,
+)
+from repro.apps.wavelets import (
+    HaarCoefficient,
+    estimate_coefficient,
+    estimate_top_synopsis,
+    exact_haar_transform,
+    inverse_haar_transform,
+    reconstruct_from_synopsis,
+)
+from repro.apps.spatialjoin import (
+    SegmentSketches,
+    endpoint_join_truth,
+    estimate_spatial_join,
+    exact_spatial_join,
+    sketch_segment_dataset,
+)
+
+__all__ = [
+    "SelectivityEstimator",
+    "estimate_average_frequency",
+    "estimate_region_count",
+    "exact_region_count",
+    "random_query_rects",
+    "rect_area",
+    "sketch_data_points",
+    "sketch_region",
+    "encode_entry_interval",
+    "estimate_l1_difference",
+    "l1_domain_bits",
+    "sketch_vector",
+    "update_vector_entry",
+    "RectDataset",
+    "estimate_rect_join",
+    "exact_rect_join",
+    "rect_join_reduction_truth",
+    "sketch_rect_dataset",
+    "HaarCoefficient",
+    "estimate_coefficient",
+    "estimate_top_synopsis",
+    "exact_haar_transform",
+    "inverse_haar_transform",
+    "reconstruct_from_synopsis",
+    "SegmentSketches",
+    "endpoint_join_truth",
+    "estimate_spatial_join",
+    "exact_spatial_join",
+    "sketch_segment_dataset",
+]

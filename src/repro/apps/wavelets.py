@@ -1,0 +1,201 @@
+"""Sketch-based Haar wavelet synopses (paper reference [12]).
+
+Gilbert et al.'s "one-pass wavelet decompositions of data streams" -- one
+of the applications the paper cites for range-summable random variables --
+estimates the largest Haar coefficients of a streamed frequency vector
+from an AMS sketch.  The key observation fits this library exactly: the
+(un-normalized) Haar coefficient of the dyadic interval ``[q 2^j, (q+1)
+2^j)`` is
+
+    ``d_{j,q} = sum(left half) - sum(right half)``
+
+an inner product of the frequency vector with a +/-1 step vector -- i.e.
+a *difference of two interval sums*.  Sketching that step vector costs
+two fast range-sums per counter, so any coefficient is estimable from the
+data sketch alone, and a top-k synopsis falls out by scoring candidate
+coefficients.
+
+Conventions: coefficients are the orthonormal Haar basis
+(``psi_{j,q} = (left - right) / sqrt(2^j)``), plus the overall scaling
+coefficient ``total / sqrt(N)``, so Parseval holds and "top-k by
+magnitude" minimizes L2 reconstruction error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dyadic import DyadicInterval
+from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
+
+__all__ = [
+    "HaarCoefficient",
+    "exact_haar_transform",
+    "inverse_haar_transform",
+    "exact_coefficient",
+    "estimate_coefficient",
+    "estimate_top_synopsis",
+    "reconstruct_from_synopsis",
+]
+
+
+@dataclass(frozen=True)
+class HaarCoefficient:
+    """One (estimated or exact) orthonormal Haar coefficient.
+
+    ``level = -1`` denotes the scaling (overall average) coefficient;
+    detail coefficients carry the dyadic interval they straddle:
+    ``level`` is the interval's level ``j >= 1`` and ``offset`` its ``q``.
+    """
+
+    level: int
+    offset: int
+    value: float
+
+    @property
+    def is_scaling(self) -> bool:
+        """Whether this is the overall scaling coefficient."""
+        return self.level == -1
+
+
+def exact_haar_transform(frequencies: np.ndarray) -> list[HaarCoefficient]:
+    """All orthonormal Haar coefficients of a length-2^n vector."""
+    frequencies = np.asarray(frequencies, dtype=np.float64)
+    size = len(frequencies)
+    if size & (size - 1) or size == 0:
+        raise ValueError("the vector length must be a power of two")
+    coefficients: list[HaarCoefficient] = []
+    current = frequencies.copy()
+    level = 1
+    while len(current) > 1:
+        pairs = current.reshape(-1, 2)
+        details = (pairs[:, 0] - pairs[:, 1]) / np.sqrt(2.0)
+        current = (pairs[:, 0] + pairs[:, 1]) / np.sqrt(2.0)
+        for offset, value in enumerate(details):
+            coefficients.append(HaarCoefficient(level, offset, float(value)))
+        level += 1
+    coefficients.append(HaarCoefficient(-1, 0, float(current[0])))
+    return coefficients
+
+
+def inverse_haar_transform(
+    coefficients: list[HaarCoefficient], size: int
+) -> np.ndarray:
+    """Reconstruct the vector from (a subset of) its Haar coefficients."""
+    if size & (size - 1) or size == 0:
+        raise ValueError("size must be a power of two")
+    levels = size.bit_length() - 1
+    vector = np.zeros(size, dtype=np.float64)
+    for coefficient in coefficients:
+        if coefficient.is_scaling:
+            vector += coefficient.value / np.sqrt(size)
+            continue
+        j, q = coefficient.level, coefficient.offset
+        if not 1 <= j <= levels:
+            raise ValueError(f"level {j} outside [1, {levels}]")
+        interval = DyadicInterval(j, q)
+        if interval.high > size:
+            raise ValueError(f"{interval} outside the domain")
+        half = interval.size // 2
+        scale = coefficient.value / np.sqrt(interval.size)
+        vector[interval.low : interval.low + half] += scale
+        vector[interval.low + half : interval.high] -= scale
+    return vector
+
+
+def exact_coefficient(
+    frequencies: np.ndarray, level: int, offset: int
+) -> float:
+    """One orthonormal Haar coefficient, directly."""
+    frequencies = np.asarray(frequencies, dtype=np.float64)
+    if level == -1:
+        return float(frequencies.sum() / np.sqrt(len(frequencies)))
+    interval = DyadicInterval(level, offset)
+    half = interval.size // 2
+    left = frequencies[interval.low : interval.low + half].sum()
+    right = frequencies[interval.low + half : interval.high].sum()
+    return float((left - right) / np.sqrt(interval.size))
+
+
+def _coefficient_probe(
+    scheme: SketchScheme, level: int, offset: int, domain_bits: int
+) -> SketchMatrix:
+    """Sketch of the Haar basis vector psi_{level, offset}."""
+    probe = scheme.sketch()
+    if level == -1:
+        probe.update_interval((0, (1 << domain_bits) - 1), 1.0)
+        return probe
+    interval = DyadicInterval(level, offset)
+    if interval.high > (1 << domain_bits):
+        raise ValueError(f"{interval} outside the domain")
+    half = interval.size // 2
+    probe.update_interval((interval.low, interval.low + half - 1), 1.0)
+    probe.update_interval((interval.low + half, interval.high - 1), -1.0)
+    return probe
+
+
+def estimate_coefficient(
+    data_sketch: SketchMatrix,
+    scheme: SketchScheme,
+    level: int,
+    offset: int,
+    domain_bits: int,
+) -> float:
+    """Estimate one orthonormal Haar coefficient from the data sketch.
+
+    The probe costs two fast range-sums per counter (one for the scaling
+    coefficient); the estimate is ``<f, step> / sqrt(interval size)``.
+    """
+    probe = _coefficient_probe(scheme, level, offset, domain_bits)
+    raw = estimate_product(data_sketch, probe)
+    if level == -1:
+        return raw / np.sqrt(1 << domain_bits)
+    return raw / np.sqrt(1 << level)
+
+
+def estimate_top_synopsis(
+    data_sketch: SketchMatrix,
+    scheme: SketchScheme,
+    domain_bits: int,
+    keep: int,
+    max_level: int | None = None,
+) -> list[HaarCoefficient]:
+    """Estimate coefficients down to ``max_level`` and keep the top-k.
+
+    ``max_level`` bounds how fine the synopsis looks (level ``j`` has
+    ``2^(n-j)`` coefficients; scanning everything costs O(N) probes, so
+    synopses usually stop a few levels above the leaves).  The scaling
+    coefficient is always included on top of ``keep`` detail
+    coefficients.
+    """
+    if keep < 0:
+        raise ValueError("keep must be non-negative")
+    levels = domain_bits
+    if max_level is None:
+        max_level = max(1, levels - 3)
+    if not 1 <= max_level <= levels:
+        raise ValueError(f"max_level must be in [1, {levels}]")
+    estimates: list[HaarCoefficient] = []
+    for level in range(max_level, levels + 1):
+        for offset in range(1 << (levels - level)):
+            value = estimate_coefficient(
+                data_sketch, scheme, level, offset, domain_bits
+            )
+            estimates.append(HaarCoefficient(level, offset, value))
+    estimates.sort(key=lambda c: abs(c.value), reverse=True)
+    chosen = estimates[:keep]
+    scaling = HaarCoefficient(
+        -1,
+        0,
+        estimate_coefficient(data_sketch, scheme, -1, 0, domain_bits),
+    )
+    return [scaling] + chosen
+
+
+def reconstruct_from_synopsis(
+    synopsis: list[HaarCoefficient], domain_bits: int
+) -> np.ndarray:
+    """The synopsis's approximation of the frequency vector."""
+    return inverse_haar_transform(synopsis, 1 << domain_bits)

@@ -1,0 +1,102 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    repro-experiments table1
+    repro-experiments fig2 --quick
+    repro-experiments all
+
+``--quick`` shrinks trial counts for a fast sanity pass; the defaults match
+the benchmark harness (see EXPERIMENTS.md for recorded outputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig567,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.ablations import run_ablations
+
+__all__ = ["main"]
+
+
+def _quick_overrides(name: str) -> dict:
+    return {
+        "table1": {"batch": 20_000, "scalar_samples": 500, "min_seconds": 0.02},
+        "table2": {"intervals": 100, "rm7_intervals": 3, "min_seconds": 0.02},
+        "fig2": {"averages": 20, "trials": 5, "zipf_values": (0.0, 0.5, 1.0, 2.0)},
+        "fig3": {"averages": 20, "trials": 3, "zipf_values": (0.0, 0.5, 1.0, 2.0)},
+        "fig4": {"total_points": 5_000, "trials": 1, "queries": 10,
+                 "zipf_values": (0.0, 1.0, 2.0)},
+        "fig567": {"counter_budgets": (256, 1024), "trials": 1,
+                   "max_segments": 2_000},
+        "ablations": {},
+    }[name]
+
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig567": run_fig567,
+    "ablations": run_ablations,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments and print their tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Rusu & Dobra, "
+        "SIGMOD 2006.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink trial counts for a fast sanity pass",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20060627, help="master random seed"
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write each result as JSON into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner = EXPERIMENTS[name]
+        overrides = _quick_overrides(name) if args.quick else {}
+        result = runner(seed=args.seed, **overrides)
+        print(result.to_text())
+        print()
+        if args.output_dir:
+            import os
+
+            os.makedirs(args.output_dir, exist_ok=True)
+            path = os.path.join(args.output_dir, f"{name}.json")
+            with open(path, "w") as handle:
+                handle.write(result.to_json() + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Substrate layer: bit kernels, finite fields, and dyadic intervals."""
+
+from repro.core.bits import (
+    adjacent_pair_or_fold,
+    adjacent_pair_or_fold_array,
+    parity,
+    parity_array,
+    popcount,
+    popcount_array,
+    trailing_zeros,
+)
+from repro.core.dyadic import (
+    DyadicInterval,
+    containing_intervals,
+    interval_from_id,
+    interval_id,
+    minimal_dyadic_cover,
+    minimal_quaternary_cover,
+)
+from repro.core.gf2 import GF2Field, field, is_irreducible
+from repro.core.primefield import (
+    MERSENNE_31,
+    MERSENNE_61,
+    PrimeField,
+    is_prime,
+    next_prime_at_least,
+    prime_field,
+)
+
+__all__ = [
+    "adjacent_pair_or_fold",
+    "adjacent_pair_or_fold_array",
+    "parity",
+    "parity_array",
+    "popcount",
+    "popcount_array",
+    "trailing_zeros",
+    "DyadicInterval",
+    "containing_intervals",
+    "interval_from_id",
+    "interval_id",
+    "minimal_dyadic_cover",
+    "minimal_quaternary_cover",
+    "GF2Field",
+    "field",
+    "is_irreducible",
+    "MERSENNE_31",
+    "MERSENNE_61",
+    "PrimeField",
+    "is_prime",
+    "next_prime_at_least",
+    "prime_field",
+]

@@ -1,0 +1,199 @@
+"""Dyadic intervals and minimal dyadic covers (paper Section 2.3, Figure 1).
+
+A *dyadic interval* over a domain of size ``2^n`` is an interval of the form
+``[q * 2^j, (q+1) * 2^j)`` with ``0 <= j <= n`` and ``0 <= q < 2^(n-j)``.
+Every interval ``[alpha, beta]`` has a unique minimal decomposition into at
+most ``2n - 2`` dyadic intervals, computable directly from the binary
+representations of the end-points.  This decomposition is the backbone of:
+
+* all fast range-summation algorithms (sum per dyadic piece, add up), and
+* the DMAP baseline of Das et al., which maps intervals to their covers and
+  points to their ``n + 1`` containing dyadic intervals.
+
+The EH3 range-sum theorem (Theorem 2) applies to *quaternary* dyadic
+intervals ``[q * 4^j, (q+1) * 4^j)``; :func:`minimal_quaternary_cover`
+produces such a cover by splitting odd-level pieces of the binary cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "DyadicInterval",
+    "minimal_dyadic_cover",
+    "minimal_quaternary_cover",
+    "containing_intervals",
+    "interval_id",
+    "interval_from_id",
+    "all_dyadic_intervals",
+    "render_dyadic_tree",
+]
+
+
+@dataclass(frozen=True, order=True)
+class DyadicInterval:
+    """The dyadic interval ``[offset * 2^level, (offset+1) * 2^level)``.
+
+    ``level`` is the ``j`` of the paper's ``[q 2^j, (q+1) 2^j)`` notation
+    and ``offset`` is the ``q``.
+    """
+
+    level: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ValueError(f"level must be non-negative, got {self.level}")
+        if self.offset < 0:
+            raise ValueError(f"offset must be non-negative, got {self.offset}")
+
+    @property
+    def low(self) -> int:
+        """Inclusive lower end-point ``q * 2^j``."""
+        return self.offset << self.level
+
+    @property
+    def high(self) -> int:
+        """Exclusive upper end-point ``(q+1) * 2^j``."""
+        return (self.offset + 1) << self.level
+
+    @property
+    def size(self) -> int:
+        """Number of domain points covered, ``2^level``."""
+        return 1 << self.level
+
+    def contains(self, point: int) -> bool:
+        """Whether ``point`` lies inside the interval."""
+        return self.low <= point < self.high
+
+    def split(self) -> tuple["DyadicInterval", "DyadicInterval"]:
+        """The two dyadic children one level down."""
+        if self.level == 0:
+            raise ValueError("a singleton dyadic interval cannot be split")
+        left = DyadicInterval(self.level - 1, self.offset * 2)
+        right = DyadicInterval(self.level - 1, self.offset * 2 + 1)
+        return left, right
+
+    def parent(self) -> "DyadicInterval":
+        """The enclosing dyadic interval one level up."""
+        return DyadicInterval(self.level + 1, self.offset >> 1)
+
+    def points(self) -> range:
+        """All domain points in the interval (small intervals only)."""
+        return range(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"Dyadic[{self.low}, {self.high})"
+
+
+def minimal_dyadic_cover(alpha: int, beta: int) -> list[DyadicInterval]:
+    """Minimal dyadic cover of the inclusive interval ``[alpha, beta]``.
+
+    Greedy construction: repeatedly take the largest dyadic block that is
+    aligned at the current start and fits inside the remaining range.  This
+    is exactly the unique minimal cover, with at most ``2n - 2`` pieces for
+    a domain of ``2^n`` points, and runs in time proportional to the number
+    of output pieces.
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    if beta < alpha:
+        raise ValueError(f"empty interval [{alpha}, {beta}]")
+    cover: list[DyadicInterval] = []
+    position = alpha
+    remaining = beta - alpha + 1
+    while remaining > 0:
+        if position == 0:
+            alignment = remaining.bit_length() - 1  # only size caps apply
+        else:
+            alignment = (position & -position).bit_length() - 1
+        fit = remaining.bit_length() - 1  # largest 2^l <= remaining
+        level = min(alignment, fit)
+        cover.append(DyadicInterval(level, position >> level))
+        position += 1 << level
+        remaining -= 1 << level
+    return cover
+
+
+def minimal_quaternary_cover(alpha: int, beta: int) -> list[DyadicInterval]:
+    """Cover of ``[alpha, beta]`` by intervals ``[q 4^j, (q+1) 4^j)``.
+
+    Produced from the minimal binary cover by splitting every odd-level
+    piece into its two even-level children, so the result has at most twice
+    as many pieces; every returned interval has an even ``level`` and is
+    therefore of the ``4^j``-sized shape Theorem 2 requires.
+    """
+    cover: list[DyadicInterval] = []
+    for piece in minimal_dyadic_cover(alpha, beta):
+        if piece.level % 2 == 0:
+            cover.append(piece)
+        else:
+            left, right = piece.split()
+            cover.append(left)
+            cover.append(right)
+    return cover
+
+
+def containing_intervals(point: int, n: int) -> list[DyadicInterval]:
+    """The ``n + 1`` dyadic intervals over a ``2^n`` domain containing ``point``.
+
+    This is the DMAP mapping for a point update: one interval per level,
+    from the singleton ``[point, point + 1)`` up to the whole domain.
+    """
+    if not 0 <= point < (1 << n):
+        raise ValueError(f"point {point} outside domain of size 2^{n}")
+    return [DyadicInterval(j, point >> j) for j in range(n + 1)]
+
+
+def interval_id(interval: DyadicInterval, n: int) -> int:
+    """Heap-style unique id of a dyadic interval over a ``2^n`` domain.
+
+    The whole domain gets id 1, its children 2 and 3, and so on:
+    ``id = 2^(n - level) + offset``.  Ids range over ``[1, 2^(n+1))`` --
+    this is the derived domain DMAP sketches over.
+    """
+    if interval.level > n or interval.high > (1 << n):
+        raise ValueError(f"{interval} does not fit a 2^{n} domain")
+    return (1 << (n - interval.level)) + interval.offset
+
+
+def interval_from_id(identifier: int, n: int) -> DyadicInterval:
+    """Inverse of :func:`interval_id`."""
+    if not 1 <= identifier < (1 << (n + 1)):
+        raise ValueError(f"id {identifier} outside [1, 2^{n + 1})")
+    depth = identifier.bit_length() - 1  # 0 for the root
+    level = n - depth
+    offset = identifier - (1 << depth)
+    return DyadicInterval(level, offset)
+
+
+def all_dyadic_intervals(n: int) -> Iterator[DyadicInterval]:
+    """Yield every dyadic interval of a ``2^n`` domain, largest first."""
+    for level in range(n, -1, -1):
+        for offset in range(1 << (n - level)):
+            yield DyadicInterval(level, offset)
+
+
+def render_dyadic_tree(n: int) -> str:
+    """ASCII rendering of the dyadic-interval hierarchy (paper Figure 1).
+
+    Each row is one level; each cell spans the domain points it covers.
+    Intended for domains up to ``2^5`` or so.
+    """
+    if n < 0 or n > 6:
+        raise ValueError("render_dyadic_tree is meant for small domains (n <= 6)")
+    width_per_point = max(4, len(str((1 << n) - 1)) + 3)
+    lines = []
+    for level in range(n, -1, -1):
+        cells = []
+        for offset in range(1 << (n - level)):
+            interval = DyadicInterval(level, offset)
+            label = f"[{interval.low},{interval.high})"
+            cells.append(label.center(interval.size * width_per_point - 1, "-"))
+        lines.append("|" + "|".join(cells) + "|")
+    header = "".join(
+        str(p).center(width_per_point) for p in range(1 << n)
+    )
+    return "\n".join(lines + [header])

@@ -1,0 +1,270 @@
+"""Arithmetic in the binary extension fields GF(2^k).
+
+The BCH generating schemes evaluate powers of the index ``i`` inside
+GF(2^n): BCH5 needs ``i^3`` computed in the extension field for its 5-wise
+independence guarantee (paper Section 3.1).  This module implements the
+polynomial representation described in Section 2.2 of the paper:
+
+* elements are integers whose bit ``j`` is the coefficient of ``x^j``;
+* addition is XOR;
+* multiplication is carry-less polynomial multiplication followed by
+  reduction modulo a fixed irreducible polynomial of degree ``k``.
+
+A table of irreducible polynomials (low-weight trinomials/pentanomials,
+the usual choices in coding-theory practice) covers ``k`` from 1 to 64 and
+is verified by Rabin's irreducibility test in the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from math import gcd
+
+__all__ = [
+    "GF2Field",
+    "IRREDUCIBLE_POLYS",
+    "clmul",
+    "poly_mod",
+    "poly_divmod",
+    "poly_gcd",
+    "is_irreducible",
+    "field",
+]
+
+# Irreducible polynomial for GF(2^k), encoded with the implicit leading
+# x^k term INCLUDED (so the entry for k=8 is x^8+x^4+x^3+x+1 = 0x11B).
+# Low-weight polynomials from the standard tables (Seroussi / HP-98-135,
+# also used by Crandall, NIST and the CRC literature).
+IRREDUCIBLE_POLYS: dict[int, int] = {
+    1: 0b11,                    # x + 1
+    2: 0b111,                   # x^2 + x + 1
+    3: 0b1011,                  # x^3 + x + 1
+    4: 0b10011,                 # x^4 + x + 1
+    5: 0b100101,                # x^5 + x^2 + 1
+    6: 0b1000011,               # x^6 + x + 1
+    7: 0b10000011,              # x^7 + x + 1
+    8: 0b100011011,             # x^8 + x^4 + x^3 + x + 1 (AES)
+    9: (1 << 9) | (1 << 1) | 1,
+    10: (1 << 10) | (1 << 3) | 1,
+    11: (1 << 11) | (1 << 2) | 1,
+    12: (1 << 12) | (1 << 3) | 1,
+    13: (1 << 13) | (1 << 4) | (1 << 3) | (1 << 1) | 1,
+    14: (1 << 14) | (1 << 5) | 1,
+    15: (1 << 15) | (1 << 1) | 1,
+    16: (1 << 16) | (1 << 5) | (1 << 3) | (1 << 1) | 1,
+    17: (1 << 17) | (1 << 3) | 1,
+    18: (1 << 18) | (1 << 3) | 1,
+    19: (1 << 19) | (1 << 5) | (1 << 2) | (1 << 1) | 1,
+    20: (1 << 20) | (1 << 3) | 1,
+    21: (1 << 21) | (1 << 2) | 1,
+    22: (1 << 22) | (1 << 1) | 1,
+    23: (1 << 23) | (1 << 5) | 1,
+    24: (1 << 24) | (1 << 4) | (1 << 3) | (1 << 1) | 1,
+    25: (1 << 25) | (1 << 3) | 1,
+    26: (1 << 26) | (1 << 4) | (1 << 3) | (1 << 1) | 1,
+    27: (1 << 27) | (1 << 5) | (1 << 2) | (1 << 1) | 1,
+    28: (1 << 28) | (1 << 1) | 1,
+    29: (1 << 29) | (1 << 2) | 1,
+    30: (1 << 30) | (1 << 1) | 1,
+    31: (1 << 31) | (1 << 3) | 1,
+    32: (1 << 32) | (1 << 7) | (1 << 3) | (1 << 2) | 1,
+    33: (1 << 33) | (1 << 10) | 1,
+    34: (1 << 34) | (1 << 7) | 1,
+    35: (1 << 35) | (1 << 2) | 1,
+    36: (1 << 36) | (1 << 9) | 1,
+    37: (1 << 37) | (1 << 6) | (1 << 4) | (1 << 1) | 1,
+    38: (1 << 38) | (1 << 6) | (1 << 5) | (1 << 1) | 1,
+    39: (1 << 39) | (1 << 4) | 1,
+    40: (1 << 40) | (1 << 5) | (1 << 4) | (1 << 3) | 1,
+    41: (1 << 41) | (1 << 3) | 1,
+    42: (1 << 42) | (1 << 7) | 1,
+    43: (1 << 43) | (1 << 6) | (1 << 4) | (1 << 3) | 1,
+    44: (1 << 44) | (1 << 5) | 1,
+    45: (1 << 45) | (1 << 4) | (1 << 3) | (1 << 1) | 1,
+    46: (1 << 46) | (1 << 1) | 1,
+    47: (1 << 47) | (1 << 5) | 1,
+    48: (1 << 48) | (1 << 5) | (1 << 3) | (1 << 2) | 1,
+    49: (1 << 49) | (1 << 9) | 1,
+    50: (1 << 50) | (1 << 4) | (1 << 3) | (1 << 2) | 1,
+    51: (1 << 51) | (1 << 6) | (1 << 3) | (1 << 1) | 1,
+    52: (1 << 52) | (1 << 3) | 1,
+    53: (1 << 53) | (1 << 6) | (1 << 2) | (1 << 1) | 1,
+    54: (1 << 54) | (1 << 9) | 1,
+    55: (1 << 55) | (1 << 7) | 1,
+    56: (1 << 56) | (1 << 7) | (1 << 4) | (1 << 2) | 1,
+    57: (1 << 57) | (1 << 4) | 1,
+    58: (1 << 58) | (1 << 19) | 1,
+    59: (1 << 59) | (1 << 7) | (1 << 4) | (1 << 2) | 1,
+    60: (1 << 60) | (1 << 1) | 1,
+    61: (1 << 61) | (1 << 5) | (1 << 2) | (1 << 1) | 1,
+    62: (1 << 62) | (1 << 29) | 1,
+    63: (1 << 63) | (1 << 1) | 1,
+    64: (1 << 64) | (1 << 4) | (1 << 3) | (1 << 1) | 1,
+}
+
+
+def clmul(a: int, b: int) -> int:
+    """Carry-less (GF(2)[x]) product of two polynomial bit-vectors."""
+    if a < 0 or b < 0:
+        raise ValueError("carry-less multiplication requires non-negative ints")
+    result = 0
+    while b:
+        low = b & -b
+        result ^= a * low  # multiplying by a power of two is a pure shift
+        b ^= low
+    return result
+
+
+def poly_divmod(a: int, b: int) -> tuple[int, int]:
+    """Quotient and remainder of GF(2)[x] polynomial division."""
+    if b == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    deg_b = b.bit_length() - 1
+    quotient = 0
+    while a.bit_length() - 1 >= deg_b and a:
+        shift = (a.bit_length() - 1) - deg_b
+        quotient ^= 1 << shift
+        a ^= b << shift
+    return quotient, a
+
+
+def poly_mod(a: int, modulus: int) -> int:
+    """Remainder of ``a`` modulo ``modulus`` in GF(2)[x]."""
+    return poly_divmod(a, modulus)[1]
+
+
+def poly_gcd(a: int, b: int) -> int:
+    """Greatest common divisor in GF(2)[x] (monic by construction)."""
+    while b:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def _poly_powmod_x(exponent: int, modulus: int) -> int:
+    """``x^exponent mod modulus`` in GF(2)[x] via square-and-multiply."""
+    result = 1
+    base = 0b10  # the polynomial "x"
+    e = exponent
+    while e:
+        if e & 1:
+            result = poly_mod(clmul(result, base), modulus)
+        base = poly_mod(clmul(base, base), modulus)
+        e >>= 1
+    return result
+
+
+def is_irreducible(poly: int) -> bool:
+    """Rabin's irreducibility test for a GF(2)[x] polynomial.
+
+    ``poly`` (degree ``k``) is irreducible iff ``x^(2^k) == x (mod poly)``
+    and ``gcd(x^(2^(k/q)) - x, poly) == 1`` for every prime ``q | k``.
+    """
+    k = poly.bit_length() - 1
+    if k <= 0:
+        return False
+    if k == 1:
+        return True
+    # Collect the prime factors of the degree.
+    factors = []
+    d = k
+    candidate = 2
+    while candidate * candidate <= d:
+        if d % candidate == 0:
+            factors.append(candidate)
+            while d % candidate == 0:
+                d //= candidate
+        candidate += 1
+    if d > 1:
+        factors.append(d)
+    for q in factors:
+        h = _poly_powmod_x(1 << (k // q), poly) ^ 0b10  # x^(2^(k/q)) - x
+        if poly_gcd(h, poly) != 1:
+            return False
+    return _poly_powmod_x(1 << k, poly) == 0b10
+
+
+@dataclass(frozen=True)
+class GF2Field:
+    """The finite field GF(2^k) with a fixed irreducible modulus.
+
+    Elements are ints in ``[0, 2^k)``.  The class is immutable and cheap to
+    share; use :func:`field` for a cached instance per degree.
+    """
+
+    degree: int
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError(f"field degree must be >= 1, got {self.degree}")
+        if self.modulus.bit_length() - 1 != self.degree:
+            raise ValueError(
+                f"modulus degree {self.modulus.bit_length() - 1} does not "
+                f"match field degree {self.degree}"
+            )
+
+    @property
+    def order(self) -> int:
+        """Number of field elements, ``2^degree``."""
+        return 1 << self.degree
+
+    def _check(self, a: int) -> int:
+        if not 0 <= a < self.order:
+            raise ValueError(f"{a} is not an element of GF(2^{self.degree})")
+        return a
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (coefficient-wise XOR)."""
+        return self._check(a) ^ self._check(b)
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication (carry-less product, then reduction)."""
+        self._check(a)
+        self._check(b)
+        return poly_mod(clmul(a, b), self.modulus)
+
+    def square(self, a: int) -> int:
+        """``a^2``; squaring is linear in GF(2^k) but we just multiply."""
+        return self.mul(a, a)
+
+    def pow(self, a: int, exponent: int) -> int:
+        """``a^exponent`` by square-and-multiply (exponent >= 0)."""
+        if exponent < 0:
+            raise ValueError("use inverse() for negative exponents")
+        self._check(a)
+        result = 1
+        base = a
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            exponent >>= 1
+        return result
+
+    def cube(self, a: int) -> int:
+        """``a^3`` -- the exact operation BCH5 needs per index."""
+        return self.mul(self.mul(a, a), a)
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse via Fermat: ``a^(2^k - 2)``."""
+        if self._check(a) == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^k)")
+        return self.pow(a, self.order - 2)
+
+    def elements(self):
+        """Iterate over all field elements (small fields only)."""
+        return range(self.order)
+
+
+@lru_cache(maxsize=None)
+def field(degree: int) -> GF2Field:
+    """Cached GF(2^degree) instance using the library's modulus table."""
+    try:
+        modulus = IRREDUCIBLE_POLYS[degree]
+    except KeyError:
+        raise ValueError(
+            f"no irreducible polynomial tabulated for degree {degree}; "
+            f"supported degrees are 1..64"
+        ) from None
+    return GF2Field(degree=degree, modulus=modulus)

@@ -1,0 +1,33 @@
+"""The experiment harness: one module per paper table/figure.
+
+==========  =====================================================
+Experiment  Regenerates
+==========  =====================================================
+``table1``  Table 1 -- generation time and seed size per scheme
+``table2``  Table 2 -- range-summation time per interval (+ §5.2 DMAP)
+``fig2``    Figure 2 -- EH3 measured error vs the Eq. 12 model
+``fig3``    Figure 3 -- EH3 vs BCH5 self-join error across skew
+``fig4``    Figure 4 -- EH3 vs DMAP selectivity estimation
+``fig567``  Figures 5-7 -- EH3 vs DMAP spatial joins vs memory
+==========  =====================================================
+"""
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig567 import run_fig567
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+__all__ = [
+    "ExperimentResult",
+    "run_ablations",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig567",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,118 @@
+"""Shared infrastructure for the experiment harness.
+
+Every experiment module produces an :class:`ExperimentResult` -- a titled
+table of rows -- that renders to aligned text, so benchmark runs print the
+same rows/series the paper's tables and figures report, side by side with
+any paper-reported reference values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = ["ExperimentResult", "time_per_op", "format_number"]
+
+
+def format_number(value) -> str:
+    """Human-friendly numeric formatting for table cells."""
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e6 or magnitude < 1e-3:
+        return f"{value:.3e}"
+    if magnitude >= 100:
+        return f"{value:,.1f}"
+    return f"{value:.4g}"
+
+
+@dataclass
+class ExperimentResult:
+    """A titled table of experiment rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append one row (must match the header width)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note printed under the table."""
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table."""
+        formatted = [[format_number(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(row[k]) for row in formatted)) if formatted
+            else len(h)
+            for k, h in enumerate(self.headers)
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in formatted:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name (for tests and plots)."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]
+
+    def to_json(self) -> str:
+        """Machine-readable form: title, headers, rows, notes."""
+        import json
+
+        return json.dumps(
+            {
+                "title": self.title,
+                "headers": list(self.headers),
+                "rows": [list(row) for row in self.rows],
+                "notes": list(self.notes),
+            },
+            indent=2,
+        )
+
+
+def time_per_op(
+    operation: Callable[[], object],
+    operations_per_call: int,
+    min_seconds: float = 0.2,
+    max_calls: int = 1_000_000,
+) -> float:
+    """Wall-clock nanoseconds per elementary operation.
+
+    Calls ``operation`` repeatedly until ``min_seconds`` of work has been
+    accumulated (at least twice), then divides by the total number of
+    elementary operations performed.
+    """
+    if operations_per_call <= 0:
+        raise ValueError("operations_per_call must be positive")
+    calls = 0
+    elapsed = 0.0
+    while (elapsed < min_seconds or calls < 2) and calls < max_calls:
+        start = time.perf_counter()
+        operation()
+        elapsed += time.perf_counter() - start
+        calls += 1
+    return elapsed / (calls * operations_per_call) * 1e9

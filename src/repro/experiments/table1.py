@@ -1,0 +1,123 @@
+"""Table 1 -- generation time and seed size per scheme.
+
+Paper setup: 10,000 seeds x 10,000 indices, all pairs evaluated, time per
+generated variable reported in nanoseconds, plus the seed-size column.
+
+Paper-reported values (2.8 GHz Xeon, assembly parity):
+
+    BCH3 10.8 ns | EH3 7.3 ns | Massdal2 27.2 ns | BCH5 12.7 ns |
+    Massdal4 101.2 ns | RM7 3,301 ns
+
+Our measurements run the vectorized numpy kernels (see DESIGN.md,
+"Substitutions"); absolute values differ from a 2006 C build, but the
+paper's qualitative ordering must reproduce: BCH3/EH3 cheapest, BCH5
+close behind, the polynomial schemes several times slower, RM7 slower by
+orders of magnitude.  A scalar (pure-Python per-call) column is included
+for completeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentResult, time_per_op
+from repro.generators import (
+    BCH3,
+    BCH5,
+    EH3,
+    RM7,
+    SeedSource,
+    massdal2,
+    massdal4,
+)
+
+__all__ = ["run_table1", "PAPER_TABLE1_NS", "scheme_seed_bits"]
+
+#: The paper's reported nanoseconds per generated variable.
+PAPER_TABLE1_NS: dict[str, float] = {
+    "BCH3": 10.8,
+    "EH3": 7.3,
+    "Massdal2": 27.2,
+    "BCH5": 12.7,
+    "Massdal4": 101.2,
+    "RM7": 3301.0,
+}
+
+
+def scheme_seed_bits(n: int) -> dict[str, int]:
+    """Table 1's seed-size column evaluated for a concrete domain width."""
+    return {
+        "BCH3": n + 1,
+        "EH3": n + 1,
+        "Massdal2": 2 * n,
+        "BCH5": 2 * n + 1,
+        "Massdal4": 4 * n,
+        "RM7": 1 + n + n * (n - 1) // 2,
+    }
+
+
+def _build_generators(domain_bits: int, source: SeedSource) -> dict:
+    return {
+        "BCH3": BCH3.from_source(domain_bits, source),
+        "EH3": EH3.from_source(domain_bits, source),
+        "Massdal2": massdal2(domain_bits, source),
+        "BCH5": BCH5.from_source(domain_bits, source, mode="arithmetic"),
+        "Massdal4": massdal4(domain_bits, source),
+        "RM7": RM7.from_source(domain_bits, source),
+    }
+
+
+def run_table1(
+    domain_bits: int = 30,
+    batch: int = 100_000,
+    scalar_samples: int = 2_000,
+    seed: int = 20060627,
+    min_seconds: float = 0.05,
+) -> ExperimentResult:
+    """Measure per-variable generation cost for all six Table 1 schemes.
+
+    ``domain_bits`` defaults to 30 so the polynomials-over-primes scheme
+    runs on its classical Mersenne-31 fast path (the paper used 2^32 with
+    a C implementation; the ordering is insensitive to this choice).
+    """
+    source = SeedSource(seed)
+    generators = _build_generators(domain_bits, source)
+    indices = np.asarray(
+        source.rng.integers(0, 1 << domain_bits, size=batch), dtype=np.uint64
+    )
+    scalar_indices = [int(i) for i in indices[:scalar_samples]]
+    seed_sizes = scheme_seed_bits(domain_bits)
+
+    result = ExperimentResult(
+        title="Table 1: generation time and seed size",
+        headers=[
+            "Scheme",
+            "ns/value (vectorized)",
+            "ns/value (scalar)",
+            "Seed bits",
+            "Paper ns/value",
+        ],
+    )
+    for name, generator in generators.items():
+        vector_ns = time_per_op(
+            lambda g=generator: g.values(indices),
+            operations_per_call=batch,
+            min_seconds=min_seconds,
+        )
+        scalar_ns = time_per_op(
+            lambda g=generator: [g.value(i) for i in scalar_indices],
+            operations_per_call=scalar_samples,
+            min_seconds=min_seconds,
+        )
+        result.add_row(
+            name,
+            vector_ns,
+            scalar_ns,
+            seed_sizes[name],
+            PAPER_TABLE1_NS[name],
+        )
+    result.add_note(
+        f"domain 2^{domain_bits}; BCH5 cubes computed arithmetically "
+        f"(paper footnote 2); paper ns are a 2.8 GHz Xeon C/assembly build"
+    )
+    return result

@@ -1,0 +1,43 @@
+"""The +/-1 generating schemes of paper Section 3.
+
+==============  ============  ==========================  =================
+Scheme          Independence  Seed size (bits)            Fast range-sum?
+==============  ============  ==========================  =================
+``BCH3``        3-wise        n + 1                       yes, O(1) amortized
+``EH3``         3-wise        n + 1                       yes, O(log range)
+``BCH5``        5-wise        2n + 1                      no (Theorem 3)
+``RM7``         7-wise        1 + n + n(n-1)/2            yes but impractical
+``Massdal2/4``  2/4-wise      2n / 4n                     no (Theorem 4)
+``Toeplitz``    2-wise        n + 2m - 1                  yes (collapses to BCH3)
+==============  ============  ==========================  =================
+"""
+
+from repro.generators.base import Generator
+from repro.generators.bch import BCH
+from repro.generators.bch3 import BCH3
+from repro.generators.bch5 import BCH5
+from repro.generators.eh3 import EH3
+from repro.generators.polyprime import PolynomialsOverPrimes, massdal2, massdal4
+from repro.generators.rm7 import RM7
+from repro.generators.seeds import SeedSource, family_grid, make_family
+from repro.generators.sequential import sequential_bits, sequential_values
+from repro.generators.toeplitz import Toeplitz, ToeplitzHash
+
+__all__ = [
+    "Generator",
+    "BCH",
+    "BCH3",
+    "BCH5",
+    "EH3",
+    "RM7",
+    "PolynomialsOverPrimes",
+    "massdal2",
+    "massdal4",
+    "SeedSource",
+    "sequential_bits",
+    "sequential_values",
+    "family_grid",
+    "make_family",
+    "Toeplitz",
+    "ToeplitzHash",
+]

@@ -1,0 +1,100 @@
+"""Common interface of the +/-1 generating schemes (paper Section 3).
+
+Every scheme has the shape ``xi_i(S) = (-1)^f(S, i)`` (paper Eq. 1): a small
+random seed ``S`` plus a cheap function of the index determine the value of
+the i-th random variable.  Concrete schemes differ in their seed layout,
+degree of independence, and whether they admit fast range-summation.
+
+Design notes
+------------
+* ``bit(i)`` exposes the raw ``f(S, i)`` in {0, 1}; ``value(i)`` maps it to
+  {+1, -1}.  Independence proofs and tests operate on bits, estimators on
+  values, mirroring the paper's presentation.
+* ``values(indices)`` is the vectorized bulk API the benchmark harness uses;
+  it must agree with ``value`` element-wise (a property test enforces this).
+* ``seed_bits`` reports the seed size in bits exactly as in Table 1's
+  "Seed size" column.
+* Generators are immutable; an estimator that needs many independent copies
+  builds a family with :func:`repro.generators.seeds.make_family`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Generator", "check_domain"]
+
+
+def check_domain(domain_bits: int, *, maximum: int = 64) -> int:
+    """Validate the ``n`` of a ``{0, ..., 2^n - 1}`` index domain."""
+    if not 1 <= domain_bits <= maximum:
+        raise ValueError(
+            f"domain_bits must be in [1, {maximum}], got {domain_bits}"
+        )
+    return domain_bits
+
+
+class Generator(ABC):
+    """A family ``{xi_i}`` of +/-1 random variables with a fixed seed."""
+
+    #: Number of bits of the index domain ``I = {0, ..., 2^n - 1}``.
+    domain_bits: int
+
+    #: Guaranteed degree of uniform k-wise independence (Definition 1).
+    independence: int
+
+    @property
+    def domain_size(self) -> int:
+        """Number of indices, ``2^domain_bits``."""
+        return 1 << self.domain_bits
+
+    @property
+    @abstractmethod
+    def seed_bits(self) -> int:
+        """Seed size in bits (Table 1's accounting)."""
+
+    @abstractmethod
+    def bit(self, i: int) -> int:
+        """The raw output bit ``f(S, i)`` in {0, 1}."""
+
+    def value(self, i: int) -> int:
+        """The +/-1 random variable ``xi_i = (-1)^f(S, i)``."""
+        return 1 - 2 * self.bit(i)
+
+    @abstractmethod
+    def bits(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized ``bit`` over a ``uint64`` array; returns ``uint8``."""
+
+    def values(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized ``value``; returns an ``int8`` array of +/-1."""
+        return (1 - 2 * self.bits(indices).astype(np.int8)).astype(np.int8)
+
+    def _check_index(self, i: int) -> int:
+        if not 0 <= i < self.domain_size:
+            raise ValueError(
+                f"index {i} outside domain of size 2^{self.domain_bits}"
+            )
+        return i
+
+    def _check_indices(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.uint64)
+        if indices.size and self.domain_bits < 64:
+            top = int(indices.max())
+            if top >= self.domain_size:
+                raise ValueError(
+                    f"index {top} outside domain of size 2^{self.domain_bits}"
+                )
+        return indices
+
+    def total_sum(self) -> int:
+        """Sum of all ``2^n`` variables (small domains; used in tests)."""
+        indices = np.arange(self.domain_size, dtype=np.uint64)
+        return int(self.values(indices).astype(np.int64).sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(domain_bits={self.domain_bits}, "
+            f"independence={self.independence}, seed_bits={self.seed_bits})"
+        )

@@ -1,0 +1,75 @@
+"""The 3-wise independent BCH scheme, BCH3 (paper Section 3.1, Eq. 4).
+
+``f(S, i) = S . [1, i]`` -- a GF(2) dot product between an ``(n+1)``-bit
+seed and the index prefixed with a constant 1 bit.  Writing the seed as
+``S = [s0, S1]`` this is ``f(S, i) = s0 XOR (S1 . i)``.
+
+BCH3 has the smallest possible seed (``n + 1`` bits, near the Rao bound),
+is 3-wise independent, and is fast range-summable in O(1) amortized time
+(see :mod:`repro.rangesum.bch3_rangesum`).  Its weakness, quantified in
+Section 5.3.2, is the large extra variance term when used in place of a
+4-wise scheme for size-of-join estimation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bits import mask, parity, parity_array
+from repro.generators.base import Generator, check_domain
+from repro.generators.seeds import SeedSource
+
+__all__ = ["BCH3"]
+
+
+class BCH3(Generator):
+    """BCH3 generator: ``xi_i = (-1)^(s0 XOR S1 . i)``."""
+
+    independence = 3
+
+    def __init__(self, domain_bits: int, s0: int, s1: int) -> None:
+        self.domain_bits = check_domain(domain_bits)
+        if s0 not in (0, 1):
+            raise ValueError(f"s0 must be a single bit, got {s0}")
+        if not 0 <= s1 < (1 << domain_bits):
+            raise ValueError(f"S1 must fit in {domain_bits} bits, got {s1}")
+        self.s0 = s0
+        self.s1 = s1
+
+    @classmethod
+    def from_source(cls, domain_bits: int, source: SeedSource) -> "BCH3":
+        """Draw a uniform ``(n+1)``-bit seed from ``source``."""
+        return cls(domain_bits, source.bit(), source.bits(domain_bits))
+
+    @property
+    def seed_bits(self) -> int:
+        """Seed size: ``n + 1`` bits (Table 1)."""
+        return self.domain_bits + 1
+
+    def bit(self, i: int) -> int:
+        """``f(S, i) = s0 XOR parity(S1 & i)``."""
+        self._check_index(i)
+        return self.s0 ^ parity(self.s1 & i)
+
+    def bits(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        out = parity_array(indices & np.uint64(self.s1))
+        if self.s0:
+            out ^= np.uint8(1)
+        return out
+
+    def restrict_low_bits(self, nbits: int) -> "BCH3":
+        """The scheme induced on the low ``nbits`` of the index.
+
+        Fixing the high index bits to zero leaves a BCH3 instance over the
+        smaller domain -- the structural fact behind dyadic range-summation.
+        """
+        if not 1 <= nbits <= self.domain_bits:
+            raise ValueError(f"nbits must be in [1, {self.domain_bits}]")
+        return BCH3(nbits, self.s0, self.s1 & mask(nbits))
+
+    def range_sum(self, alpha: int, beta: int) -> int:
+        """Sum of ``xi_i`` for ``i`` in ``[alpha, beta]`` in O(1) time."""
+        from repro.rangesum.bch3_rangesum import bch3_range_sum
+
+        return bch3_range_sum(self, alpha, beta)

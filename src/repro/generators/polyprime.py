@@ -1,0 +1,102 @@
+"""The polynomials-over-primes scheme (paper Section 3.3, Theorem 1).
+
+Karloff-Mansour construction: pick ``k`` coefficients uniformly from Z_p
+(``p >= |domain|`` prime) and set ``X_j = a_0 + a_1 j + ... + a_{k-1}
+j^{k-1} mod p``; the ``X_j`` are uniform k-wise independent over Z_p.  A
++/-1 variable is obtained by keeping one output bit (we use the LSB, as the
+Massdal library the paper benchmarks does), which introduces a bias of
+``1/p`` -- negligible for ``p = 2^31 - 1``.
+
+The paper's Table 1 rows "Massdal2" (k = 2, 2-wise) and "Massdal4"
+(k = 4, 4-wise) are instances of this class.  Seed size is ``k * ceil(log
+p)`` bits -- about double the BCH seed at equal independence.  The scheme is
+NOT fast range-summable for any dyadic interval of size >= 8 (Theorem 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.primefield import MERSENNE_31, PrimeField, prime_field
+from repro.generators.base import Generator, check_domain
+from repro.generators.seeds import SeedSource
+
+__all__ = ["PolynomialsOverPrimes", "massdal2", "massdal4"]
+
+
+class PolynomialsOverPrimes(Generator):
+    """k-wise (slightly biased) generator via polynomials over GF(p)."""
+
+    def __init__(
+        self,
+        domain_bits: int,
+        coefficients: tuple[int, ...],
+        p: int = MERSENNE_31,
+    ) -> None:
+        self.domain_bits = check_domain(domain_bits)
+        self._field: PrimeField = prime_field(p)
+        if (1 << domain_bits) > p:
+            raise ValueError(
+                f"the prime p={p} must be at least the domain size "
+                f"2^{domain_bits} (Theorem 1 requires p >= N)"
+            )
+        coefficients = tuple(int(c) for c in coefficients)
+        if not coefficients:
+            raise ValueError("at least one polynomial coefficient is required")
+        for c in coefficients:
+            if not 0 <= c < p:
+                raise ValueError(f"coefficient {c} outside Z_{p}")
+        self.coefficients = coefficients
+        self.p = p
+        self.independence = len(coefficients)
+
+    @classmethod
+    def from_source(
+        cls,
+        domain_bits: int,
+        source: SeedSource,
+        k: int,
+        p: int = MERSENNE_31,
+    ) -> "PolynomialsOverPrimes":
+        """Draw ``k`` uniform coefficients from Z_p."""
+        if k < 1:
+            raise ValueError(f"independence degree k must be >= 1, got {k}")
+        coefficients = tuple(source.below(p) for _ in range(k))
+        return cls(domain_bits, coefficients, p=p)
+
+    @property
+    def seed_bits(self) -> int:
+        """Seed size: ``k * ceil(log2 p)`` bits (Table 1's 2n / 4n rows)."""
+        return len(self.coefficients) * (self.p - 1).bit_length()
+
+    def raw_value(self, i: int) -> int:
+        """The full k-wise independent value ``X_i`` in Z_p."""
+        self._check_index(i)
+        return self._field.eval_poly(self.coefficients, i % self.p)
+
+    def bit(self, i: int) -> int:
+        """LSB of ``X_i`` -- the (slightly biased) output bit."""
+        return self.raw_value(i) & 1
+
+    def bits(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        raw = self._field.eval_poly_array(self.coefficients, indices)
+        return (raw & np.uint64(1)).astype(np.uint8)
+
+    def bias(self) -> float:
+        """|P[bit=0] - P[bit=1]| over a uniform value in Z_p: ``1/p``."""
+        return 1.0 / self.p
+
+
+def massdal2(
+    domain_bits: int, source: SeedSource, p: int = MERSENNE_31
+) -> PolynomialsOverPrimes:
+    """Table 1's "Massdal2": 2-wise polynomials-over-primes generator."""
+    return PolynomialsOverPrimes.from_source(domain_bits, source, k=2, p=p)
+
+
+def massdal4(
+    domain_bits: int, source: SeedSource, p: int = MERSENNE_31
+) -> PolynomialsOverPrimes:
+    """Table 1's "Massdal4": 4-wise polynomials-over-primes generator."""
+    return PolynomialsOverPrimes.from_source(domain_bits, source, k=4, p=p)

@@ -1,0 +1,117 @@
+"""The 7-wise independent Reed-Muller scheme, RM7 (paper Section 3.2).
+
+``f(S, i) = S . [1, i, i^(2)]`` where ``i^(2)`` is the vector of all
+pairwise AND products of index bits (Eq. 8).  The seed therefore has
+``1 + n + n(n-1)/2`` bits -- by far the largest of the schemes in Table 1 --
+and evaluation costs O(n) word operations, which is why the paper measures
+RM7 at roughly 300x the cost of BCH5.
+
+RM7 matters because its XOR-of-ANDs expansion is *quadratic* in the index
+bits, which makes it the only 4-wise-or-better scheme with a polynomial-time
+range-summation algorithm (the Ehrenfeucht-Karpinski 2XOR-AND counting of
+Section 4.3) -- practical or not.
+
+Seed layout: ``s0`` (constant bit), ``s1`` (n linear bits), and ``q_rows``,
+where ``q_rows[u]`` is a bitmask over positions ``v > u`` holding the
+coefficient of the quadratic term ``i_u AND i_v``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.bits import parity, parity_array
+from repro.generators.base import Generator, check_domain
+from repro.generators.seeds import SeedSource
+
+__all__ = ["RM7"]
+
+
+class RM7(Generator):
+    """RM7 generator: ``xi_i = (-1)^(s0 XOR S1 . i XOR S2 . i^(2))``."""
+
+    independence = 7
+
+    def __init__(
+        self,
+        domain_bits: int,
+        s0: int,
+        s1: int,
+        q_rows: Sequence[int],
+    ) -> None:
+        self.domain_bits = check_domain(domain_bits)
+        if s0 not in (0, 1):
+            raise ValueError(f"s0 must be a single bit, got {s0}")
+        if not 0 <= s1 < (1 << domain_bits):
+            raise ValueError(f"S1 must fit in {domain_bits} bits, got {s1}")
+        rows = tuple(q_rows)
+        if len(rows) != domain_bits:
+            raise ValueError(
+                f"expected {domain_bits} quadratic rows, got {len(rows)}"
+            )
+        for u, row in enumerate(rows):
+            if row < 0 or row >= (1 << domain_bits):
+                raise ValueError(f"row {u} does not fit in {domain_bits} bits")
+            if row & ((1 << (u + 1)) - 1):
+                raise ValueError(
+                    f"row {u} must only set positions above {u} "
+                    f"(strictly-upper-triangular layout)"
+                )
+        self.s0 = s0
+        self.s1 = s1
+        self.q_rows = rows
+
+    @classmethod
+    def from_source(cls, domain_bits: int, source: SeedSource) -> "RM7":
+        """Draw a uniform ``1 + n + n(n-1)/2``-bit seed from ``source``."""
+        rows = []
+        for u in range(domain_bits):
+            width = domain_bits - u - 1
+            rows.append(source.bits(width) << (u + 1) if width > 0 else 0)
+        return cls(domain_bits, source.bit(), source.bits(domain_bits), rows)
+
+    @property
+    def seed_bits(self) -> int:
+        """Seed size: ``1 + n + n(n-1)/2`` bits (Table 1)."""
+        n = self.domain_bits
+        return 1 + n + n * (n - 1) // 2
+
+    def quadratic_bit(self, i: int) -> int:
+        """The ``S2 . i^(2)`` part: XOR of selected pairwise AND products."""
+        acc = 0
+        bits = i
+        u = 0
+        while bits:
+            if bits & 1:
+                acc ^= parity(self.q_rows[u] & i)
+            bits >>= 1
+            u += 1
+        return acc
+
+    def bit(self, i: int) -> int:
+        """``f(S, i) = s0 XOR parity(S1 & i) XOR quadratic(i)``."""
+        self._check_index(i)
+        return self.s0 ^ parity(self.s1 & i) ^ self.quadratic_bit(i)
+
+    def bits(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        out = parity_array(indices & np.uint64(self.s1))
+        for u, row in enumerate(self.q_rows):
+            if row == 0:
+                continue
+            selected = ((indices >> np.uint64(u)) & np.uint64(1)).astype(np.uint8)
+            out ^= selected & parity_array(indices & np.uint64(row))
+        if self.s0:
+            out ^= np.uint8(1)
+        return out
+
+    def quadratic_coefficient(self, u: int, v: int) -> int:
+        """The seed coefficient of the term ``i_u AND i_v`` (u != v)."""
+        if u == v:
+            raise ValueError("quadratic terms pair two distinct bits")
+        lo, hi = min(u, v), max(u, v)
+        if not 0 <= lo < self.domain_bits or hi >= self.domain_bits:
+            raise ValueError(f"bit positions ({u}, {v}) out of range")
+        return (self.q_rows[lo] >> hi) & 1

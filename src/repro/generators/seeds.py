@@ -1,0 +1,106 @@
+"""Random seed material and family construction for generating schemes.
+
+Every scheme in Section 3 of the paper draws its seed uniformly from a space
+of the form ``{0, ..., 2^m - 1}``; the paper notes such seeds are obtained by
+concatenating independent uniform bits.  :class:`SeedSource` provides exactly
+that, on top of numpy's PCG64, and :func:`make_family` builds the
+``medians x averages`` grid of independently-seeded generators an AGMS
+estimator needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.generators.base import Generator
+
+__all__ = ["SeedSource", "make_family", "family_grid", "seeds_array"]
+
+G = TypeVar("G", bound=Generator)
+
+
+class SeedSource:
+    """Uniform random bit strings, packaged as Python ints.
+
+    A thin, seedable wrapper over ``numpy.random.Generator`` that produces
+    the ``m``-bit uniform integers every scheme's seed is assembled from.
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+        else:
+            self._rng = np.random.default_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The underlying numpy generator (shared, stateful)."""
+        return self._rng
+
+    def bits(self, nbits: int) -> int:
+        """A uniform integer in ``[0, 2^nbits)`` built from random words."""
+        if nbits < 0:
+            raise ValueError(f"nbits must be non-negative, got {nbits}")
+        value = 0
+        produced = 0
+        while produced < nbits:
+            take = min(32, nbits - produced)
+            word = int(self._rng.integers(0, 1 << take))
+            value |= word << produced
+            produced += take
+        return value
+
+    def bit(self) -> int:
+        """A single uniform bit."""
+        return int(self._rng.integers(0, 2))
+
+    def below(self, bound: int) -> int:
+        """A uniform integer in ``[0, bound)`` (rejection-free via numpy)."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return int(self._rng.integers(0, bound))
+
+    def spawn(self) -> "SeedSource":
+        """An independent child source (for parallel families)."""
+        return SeedSource(self._rng.spawn(1)[0])
+
+
+def make_family(
+    factory: Callable[[SeedSource], G],
+    count: int,
+    source: SeedSource,
+) -> list[G]:
+    """Build ``count`` independently-seeded generators.
+
+    ``factory`` receives the shared :class:`SeedSource` and returns a fresh
+    generator; drawing all seeds from one source keeps experiments
+    reproducible from a single master seed.
+    """
+    if count <= 0:
+        raise ValueError(f"family size must be positive, got {count}")
+    return [factory(source) for _ in range(count)]
+
+
+def family_grid(
+    factory: Callable[[SeedSource], G],
+    medians: int,
+    averages: int,
+    source: SeedSource,
+) -> list[list[G]]:
+    """A ``medians x averages`` grid of independent generators.
+
+    Row ``m`` holds the generators whose atomic estimates are averaged; the
+    median is then taken across rows (paper Section 2.1).
+    """
+    if medians <= 0 or averages <= 0:
+        raise ValueError("medians and averages must both be positive")
+    return [
+        make_family(factory, averages, source) for _ in range(medians)
+    ]
+
+
+def seeds_array(source: SeedSource, count: int, nbits: int) -> Sequence[int]:
+    """``count`` independent ``nbits``-bit seeds (benchmark harness input)."""
+    return [source.bits(nbits) for _ in range(count)]

@@ -1,0 +1,142 @@
+"""The Toeplitz hash family (paper Section 4, reference [5]).
+
+Bar-Yosseff, Kumar and Sivakumar observe that +/-1 variables derived from
+Toeplitz-matrix hashing are 2-wise independent and fast range-summable.  A
+Toeplitz matrix over GF(2) with ``m`` rows and ``n`` columns is determined
+by its first row and first column (``n + m - 1`` random bits); row ``r`` is
+the diagonal band shifted by ``r``.
+
+The +/-1 variable is the parity of the ``m``-bit hash ``T i + c``:
+
+``xi_i = (-1)^(parity(T i) XOR parity(c))``
+
+Since parity of ``T i`` equals ``(XOR of rows of T) . i``, the one-bit
+projection collapses to a BCH3-style dot product -- which is exactly why the
+paper treats Toeplitz as one more member of the 2-wise fast range-summable
+class rather than a distinct contender.  The class still exposes the full
+multi-bit hash because the L1-difference literature uses it directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bits import mask, parity, parity_array
+from repro.generators.base import Generator, check_domain
+from repro.generators.seeds import SeedSource
+
+__all__ = ["ToeplitzHash", "Toeplitz"]
+
+
+class ToeplitzHash:
+    """An ``m x n`` Toeplitz matrix hash over GF(2), plus an offset.
+
+    ``diagonal_bits`` holds the ``n + m - 1`` defining bits: bit ``k``
+    gives the matrix entry at positions with ``column - row + (m-1) == k``.
+    """
+
+    def __init__(self, n: int, m: int, diagonal_bits: int, offset: int) -> None:
+        if n < 1 or m < 1:
+            raise ValueError("matrix dimensions must be positive")
+        if not 0 <= diagonal_bits < (1 << (n + m - 1)):
+            raise ValueError("diagonal bits must fit in n + m - 1 bits")
+        if not 0 <= offset < (1 << m):
+            raise ValueError("offset must fit in m bits")
+        self.n = n
+        self.m = m
+        self.diagonal_bits = diagonal_bits
+        self.offset = offset
+
+    @classmethod
+    def from_source(cls, n: int, m: int, source: SeedSource) -> "ToeplitzHash":
+        """Draw the ``n + m - 1`` diagonal bits and ``m`` offset bits."""
+        return cls(n, m, source.bits(n + m - 1), source.bits(m))
+
+    @property
+    def seed_bits(self) -> int:
+        """Seed size: ``n + 2m - 1`` bits."""
+        return self.n + 2 * self.m - 1
+
+    def row(self, r: int) -> int:
+        """Row ``r`` of the matrix as an ``n``-bit mask."""
+        if not 0 <= r < self.m:
+            raise ValueError(f"row index {r} out of range")
+        # Entry (r, c) is diagonal bit (c - r + m - 1); shifting the band
+        # right by (m - 1 - r) aligns bit c of the row with column c.
+        return (self.diagonal_bits >> (self.m - 1 - r)) & mask(self.n)
+
+    def hash(self, i: int) -> int:
+        """The ``m``-bit hash ``T i + c`` of an ``n``-bit input."""
+        if not 0 <= i < (1 << self.n):
+            raise ValueError(f"input {i} does not fit in {self.n} bits")
+        out = 0
+        for r in range(self.m):
+            out |= parity(self.row(r) & i) << r
+        return out ^ self.offset
+
+    def parity_row(self) -> int:
+        """XOR of all rows -- the single row the +/-1 projection sees."""
+        acc = 0
+        for r in range(self.m):
+            acc ^= self.row(r)
+        return acc
+
+
+class Toeplitz(Generator):
+    """+/-1 generator: parity of an ``m``-bit Toeplitz hash.
+
+    The multi-bit Toeplitz hash is guaranteed 2-wise independent; the
+    one-bit parity projection together with the uniform offset bit is
+    exactly a uniformly-seeded BCH3 instance (the banded XOR of the rows
+    is a full-rank linear image of the diagonal bits), so the +/-1 family
+    is in fact 3-wise independent -- the paper's footnote-1 effect of the
+    extra random constant bit.
+    """
+
+    independence = 3
+
+    def __init__(self, domain_bits: int, hash_function: ToeplitzHash) -> None:
+        self.domain_bits = check_domain(domain_bits)
+        if hash_function.n != domain_bits:
+            raise ValueError(
+                f"hash input width {hash_function.n} != domain {domain_bits}"
+            )
+        self.hash_function = hash_function
+        self._row = hash_function.parity_row()
+        self._offset_parity = parity(hash_function.offset)
+
+    @classmethod
+    def from_source(
+        cls, domain_bits: int, source: SeedSource, m: int = 16
+    ) -> "Toeplitz":
+        """Generator from a fresh random ``m``-row Toeplitz hash."""
+        return cls(domain_bits, ToeplitzHash.from_source(domain_bits, m, source))
+
+    @property
+    def seed_bits(self) -> int:
+        """Seed size of the underlying hash."""
+        return self.hash_function.seed_bits
+
+    def bit(self, i: int) -> int:
+        """Parity of the full hash, computed via the collapsed row."""
+        self._check_index(i)
+        return parity(self._row & i) ^ self._offset_parity
+
+    def bits(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        out = parity_array(indices & np.uint64(self._row))
+        if self._offset_parity:
+            out ^= np.uint8(1)
+        return out
+
+    def as_bch3(self):
+        """The equivalent BCH3 instance (same bits for every index)."""
+        from repro.generators.bch3 import BCH3
+
+        return BCH3(self.domain_bits, self._offset_parity, self._row)
+
+    def range_sum(self, alpha: int, beta: int) -> int:
+        """Fast range-summation (reference [5]), via the BCH3 collapse."""
+        from repro.rangesum.bch3_rangesum import bch3_range_sum
+
+        return bch3_range_sum(self.as_bch3(), alpha, beta)

@@ -1,0 +1,66 @@
+"""Fast range-summation algorithms and the DMAP baseline (paper Sections 4-5).
+
+Practical algorithms: BCH3 in O(1), EH3 in O(log range) (Theorem 2 /
+Algorithm 1), RM7 in polynomial-but-impractical time via 2XOR-AND counting.
+Negative results (BCH5, polynomials over primes) are demonstrated in
+:mod:`repro.rangesum.hardness`.
+"""
+
+from repro.rangesum.approximate import (
+    ApproximateSum,
+    sampled_range_sum,
+    samples_for_absolute_error,
+    stratified_range_sum,
+)
+from repro.rangesum.base import (
+    RangeSummable,
+    brute_force_range_sum,
+    range_sum_via_cover,
+)
+from repro.rangesum.bch3_rangesum import bch3_dyadic_sum, bch3_range_sum
+from repro.rangesum.bch5_rangesum import (
+    bch5_dyadic_sum,
+    bch5_quadratic_form,
+    bch5_range_sum,
+)
+from repro.rangesum.dmap import DMAP, DyadicMapper
+from repro.rangesum.eh3_rangesum import eh3_dyadic_sum, eh3_range_sum, h3_interval
+from repro.rangesum.multidim import ProductDMAP, ProductGenerator
+from repro.rangesum.quadratic import (
+    QuadraticPolynomial,
+    count_values,
+    count_zeros,
+)
+from repro.rangesum.rm7_rangesum import (
+    rm7_dyadic_sum,
+    rm7_range_sum,
+    rm7_restrict_to_dyadic,
+)
+
+__all__ = [
+    "ApproximateSum",
+    "sampled_range_sum",
+    "samples_for_absolute_error",
+    "stratified_range_sum",
+    "RangeSummable",
+    "brute_force_range_sum",
+    "range_sum_via_cover",
+    "bch3_dyadic_sum",
+    "bch3_range_sum",
+    "bch5_dyadic_sum",
+    "bch5_quadratic_form",
+    "bch5_range_sum",
+    "DMAP",
+    "DyadicMapper",
+    "eh3_dyadic_sum",
+    "eh3_range_sum",
+    "h3_interval",
+    "ProductDMAP",
+    "ProductGenerator",
+    "QuadraticPolynomial",
+    "count_values",
+    "count_zeros",
+    "rm7_dyadic_sum",
+    "rm7_range_sum",
+    "rm7_restrict_to_dyadic",
+]

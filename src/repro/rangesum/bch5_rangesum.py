@@ -1,0 +1,100 @@
+"""Fast range-summation for field-mode BCH5 -- a beyond-the-paper result.
+
+Theorem 3 of the paper states that the k >= 5 BCH schemes are not fast
+range-summable, by the Ehrenfeucht-Karpinski degree argument: a term ANDing
+three or more index bits makes counting #P-hard.  That argument is airtight
+for the *arithmetic* cube the paper's implementation uses (footnote 2):
+integer-multiplication carries produce monomials of degree >= 3 (see
+:func:`repro.rangesum.hardness.bch5_has_cubic_term`).
+
+For the provably-5-wise *extension-field* cube, however, the premise fails:
+``x -> x^3`` over GF(2^n) is the Gold function, and since squaring is the
+linear Frobenius map, ``i^3 = i^2 * i`` is a bilinear image of ``(i, i)``
+-- every coordinate bit of ``i^3`` is a *quadratic* form in the bits of
+``i``.  Field-mode BCH5's generating function is therefore an XOR-of-ANDs
+polynomial of degree 2, and the same 2XOR-AND counting that range-sums RM7
+range-sums BCH5, in O(n^2)-per-dyadic-interval time.
+
+Writing ``e_u`` for the basis element ``2^u``:
+
+    ``S3 . (i^3) = XOR_{u,v} x_u x_v <S3, e_u^2 e_v>``
+
+whose diagonal collapses to linear terms ``<S3, e_u^3> x_u`` and whose
+off-diagonal coefficient for ``{u, v}`` is ``<S3, e_u^2 e_v + e_v^2 e_u>``.
+The quadratic representation is built once per seed with O(n^2) field
+multiplications, then restricted per dyadic interval.
+
+Practicality caveat: like RM7's, this algorithm is polynomial but far
+slower than EH3's closed form -- it rescues the *theory*, not the paper's
+practicality verdict, which stands.
+"""
+
+from __future__ import annotations
+
+from repro.core.bits import parity
+from repro.core.dyadic import DyadicInterval
+from repro.generators.bch5 import BCH5
+from repro.rangesum.base import check_interval, range_sum_via_cover
+from repro.rangesum.quadratic import QuadraticPolynomial, count_values
+
+__all__ = [
+    "bch5_quadratic_form",
+    "bch5_dyadic_sum",
+    "bch5_range_sum",
+]
+
+
+def bch5_quadratic_form(generator: BCH5) -> QuadraticPolynomial:
+    """The exact degree-2 XOR-of-ANDs form of field-mode BCH5's bits."""
+    if generator.mode != "gf":
+        raise ValueError(
+            "only the extension-field cube is quadratic; the arithmetic "
+            "cube has degree >= 3 terms (Theorem 3 applies)"
+        )
+    gf = generator._field
+    n = generator.domain_bits
+    basis = [1 << u for u in range(n)]
+    squares = [gf.square(e) for e in basis]
+
+    linear = generator.s1
+    for u in range(n):
+        if parity(generator.s3 & gf.mul(squares[u], basis[u])):
+            linear ^= 1 << u
+
+    upper_rows = []
+    for u in range(n):
+        row = 0
+        for v in range(u + 1, n):
+            coupling = gf.mul(squares[u], basis[v]) ^ gf.mul(
+                squares[v], basis[u]
+            )
+            if parity(generator.s3 & coupling):
+                row |= 1 << v
+        upper_rows.append(row)
+    return QuadraticPolynomial.from_upper_rows(
+        n, generator.s0, linear, tuple(upper_rows)
+    )
+
+
+def bch5_dyadic_sum(generator: BCH5, interval: DyadicInterval) -> int:
+    """Sum of field-mode BCH5 values over a dyadic interval."""
+    if interval.high > generator.domain_size:
+        raise ValueError(f"{interval} outside the generator domain")
+    poly = bch5_quadratic_form(generator).restrict_low_bits(
+        interval.level, interval.low
+    )
+    zeros, ones = count_values(poly)
+    return zeros - ones
+
+
+def bch5_range_sum(generator: BCH5, alpha: int, beta: int) -> int:
+    """Field-mode BCH5 sum over any ``[alpha, beta]`` via the dyadic cover."""
+    check_interval(generator, alpha, beta)
+    form = bch5_quadratic_form(generator)
+
+    def dyadic_sum(piece: DyadicInterval) -> int:
+        poly = form.restrict_low_bits(piece.level, piece.low)
+        zeros, ones = count_values(poly)
+        return zeros - ones
+
+    return range_sum_via_cover(alpha, beta, dyadic_sum)

@@ -1,0 +1,128 @@
+"""Executable evidence for the paper's negative results (Theorems 3 and 4).
+
+The paper's method for proving a scheme is NOT fast range-summable: write
+``f(S, i)`` as an XOR-of-ANDs polynomial in the bits of ``i`` and exhibit a
+seed for which some term ANDs three or more variables -- counting values of
+such polynomials is #P-complete (Ehrenfeucht-Karpinski), so no generic
+sub-linear summation exists.
+
+This module makes those arguments checkable:
+
+* :func:`algebraic_normal_form` computes the exact ANF of any boolean
+  function by the Moebius transform;
+* :func:`max_anf_degree` and :func:`bch5_has_cubic_term` exhibit the
+  degree >= 3 monomials behind Theorem 3 (k-wise BCH, k >= 5);
+* :func:`polyprime_dyadic_profile` shows the irregular (non-closed-form)
+  per-dyadic-interval sums behind Theorem 4 for the polynomials-over-primes
+  scheme.
+
+All of it operates on small domains -- these are demonstrations of
+structure, not asymptotics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.bits import popcount
+from repro.generators.bch5 import BCH5
+from repro.generators.polyprime import PolynomialsOverPrimes
+
+__all__ = [
+    "algebraic_normal_form",
+    "max_anf_degree",
+    "anf_terms",
+    "bch5_has_cubic_term",
+    "bch5_gf_anf_degree",
+    "polyprime_dyadic_profile",
+]
+
+
+def algebraic_normal_form(
+    function: Callable[[int], int], variables: int
+) -> list[int]:
+    """Exact ANF coefficients of a boolean function of ``variables`` bits.
+
+    Returns the truth-table-indexed coefficient vector: entry ``m`` is the
+    coefficient of the monomial ANDing exactly the variables in the bitmask
+    ``m``.  Computed with the in-place Moebius (binary super-set) transform
+    in O(l 2^l).
+    """
+    if variables < 0 or variables > 22:
+        raise ValueError("ANF computation limited to <= 22 variables")
+    table = [function(x) & 1 for x in range(1 << variables)]
+    for k in range(variables):
+        step = 1 << k
+        for block in range(0, 1 << variables, step << 1):
+            for offset in range(block, block + step):
+                table[offset + step] ^= table[offset]
+    return table
+
+
+def anf_terms(coefficients: list[int]) -> list[int]:
+    """Bitmasks of the monomials present in an ANF coefficient vector."""
+    return [m for m, c in enumerate(coefficients) if c]
+
+
+def max_anf_degree(coefficients: list[int]) -> int:
+    """Largest number of variables ANDed in any present monomial."""
+    degree = 0
+    for monomial in anf_terms(coefficients):
+        degree = max(degree, popcount(monomial))
+    return degree
+
+
+def bch5_has_cubic_term(domain_bits: int, s3: int | None = None) -> bool:
+    """Whether arithmetic-cube BCH5's ANF has a term with >= 3 variables.
+
+    Theorem 3 declares the k >= 5 BCH schemes not fast range-summable via
+    the XOR-of-ANDs degree argument.  A reproduction finding of this
+    implementation: the argument applies to the *arithmetic* cube the
+    paper actually benchmarks (footnote 2) -- integer multiplication
+    carries create monomials of degree >= 3 for ``domain_bits >= 5`` --
+    whereas the extension-field cube is the Gold function ``x -> x^3``,
+    whose coordinate bits are only *quadratic* over GF(2)
+    (``i^3 = Frobenius(i) * i``), see :func:`bch5_gf_anf_degree` and the
+    2XOR-AND range-sum in :mod:`repro.rangesum.bch5_rangesum`.
+    """
+    if s3 is None:
+        # The witness seed: all-ones S3 sees every carry chain of i^3.
+        # (Low bits of the arithmetic cube are low-degree: bit 0 is x0.)
+        s3 = (1 << domain_bits) - 1
+    generator = BCH5(domain_bits, 0, 0, s3, mode="arithmetic")
+    anf = algebraic_normal_form(generator.bit, domain_bits)
+    return max_anf_degree(anf) >= 3
+
+
+def bch5_gf_anf_degree(domain_bits: int, s3: int = 1) -> int:
+    """ANF degree of field-mode BCH5: always <= 2 (the Gold function).
+
+    Squaring in GF(2^n) is the linear Frobenius map, so
+    ``i^3 = i^2 * i`` is a bilinear image of ``(i, i)`` -- every output
+    bit a quadratic form in the index bits.
+    """
+    generator = BCH5(domain_bits, 0, 0, s3, mode="gf")
+    anf = algebraic_normal_form(generator.bit, domain_bits)
+    return max_anf_degree(anf)
+
+
+def polyprime_dyadic_profile(
+    generator: PolynomialsOverPrimes, level: int
+) -> list[int]:
+    """Per-dyadic-interval sums of a polynomials-over-primes generator.
+
+    Theorem 4 says these sums admit no closed form for ``level >= 3``.  The
+    profile returned here -- one sum per dyadic interval of the given level
+    -- lets tests confirm the irregularity: unlike BCH3 (sums all zero or
+    full) or EH3 (magnitude exactly ``2^(level/2)``), the values scatter.
+    """
+    if level < 0 or level > generator.domain_bits:
+        raise ValueError(f"level must be in [0, {generator.domain_bits}]")
+    size = 1 << level
+    sums = []
+    for q in range(1 << (generator.domain_bits - level)):
+        total = 0
+        for i in range(q * size, (q + 1) * size):
+            total += generator.value(i)
+        sums.append(total)
+    return sums

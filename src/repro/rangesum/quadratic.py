@@ -1,0 +1,218 @@
+"""Counting the values of quadratic XOR-of-AND polynomials over GF(2).
+
+The Ehrenfeucht-Karpinski dichotomy (paper Section 4.2-4.3): counting the
+assignments on which an XOR-of-ANDs polynomial evaluates to 0 is #P-complete
+as soon as a term ANDs three or more variables, but polynomial -- O(l^3) --
+when every term ANDs at most two.  The tractable case ("2XOR-AND") is what
+makes the Reed-Muller scheme the only 4-wise-or-better scheme with an exact
+fast range-summation algorithm.
+
+The algorithm implemented by :func:`count_zeros` is the classical reduction
+of a quadratic boolean function to hyperbolic normal form.  Repeatedly pick
+a surviving quadratic term ``x_u x_v`` and group everything touching
+``x_u, x_v``:
+
+    ``Q = x_u x_v  XOR  x_u A_u  XOR  x_v A_v  XOR  Q'``
+
+with ``A_u = L_u + b_u`` and ``A_v = L_v + b_v`` affine forms over the
+*other* variables.  The affine change of variables ``z_u = x_u + A_v``,
+``z_v = x_v + A_u`` is a bijection and rewrites
+
+    ``Q = z_u z_v  XOR  A_u A_v  XOR  Q'``
+
+so ``z_u, z_v`` now appear only in one isolated "hyperbolic" product while
+``A_u A_v`` expands into quadratic/linear/constant terms over the remaining
+variables.  After at most ``l/2`` eliminations Q is an XOR of ``r``
+independent hyperbolic products plus an affine remainder on the ``l - 2r``
+untouched variables, for which counting is closed-form:
+
+* remainder has a nonzero linear part -> perfectly balanced, ``2^(l-1)``;
+* otherwise the XOR of ``r`` independent products must equal the constant,
+  and the number of pair-assignments achieving XOR ``= 0`` is
+  ``(4^r + 2^r) / 2`` (each product is 1 on exactly 1 of its 4 inputs).
+
+Each elimination is O(l) word operations on bitmask rows, so the total cost
+is O(l^2) words -- comfortably inside the paper's O(l^3) bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bits import parity
+
+__all__ = ["QuadraticPolynomial", "count_zeros", "count_values", "brute_force_counts"]
+
+
+@dataclass(frozen=True)
+class QuadraticPolynomial:
+    """``Q(x) = constant XOR linear . x XOR sum_{u<v} A_uv x_u x_v``.
+
+    ``adjacency[u]`` is the symmetric neighbor mask of variable ``u``:
+    bit ``v`` is set iff the term ``x_u x_v`` is present.  Diagonal bits
+    must be clear (``x_u x_u`` is the linear term ``x_u``).
+    """
+
+    variables: int
+    constant: int
+    linear: int
+    adjacency: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.variables < 0:
+            raise ValueError("variable count must be non-negative")
+        if self.constant not in (0, 1):
+            raise ValueError("constant must be a single bit")
+        if not 0 <= self.linear < (1 << self.variables):
+            if not (self.variables == 0 and self.linear == 0):
+                raise ValueError("linear mask does not fit the variable count")
+        if len(self.adjacency) != self.variables:
+            raise ValueError("adjacency must have one row per variable")
+        for u, row in enumerate(self.adjacency):
+            if row >> self.variables:
+                raise ValueError(f"adjacency row {u} out of range")
+            if (row >> u) & 1:
+                raise ValueError(f"diagonal bit set in adjacency row {u}")
+            for v in range(self.variables):
+                if (row >> v) & 1 and not (self.adjacency[v] >> u) & 1:
+                    raise ValueError("adjacency must be symmetric")
+
+    def evaluate(self, x: int) -> int:
+        """Evaluate Q at the assignment packed into the bits of ``x``."""
+        acc = self.constant ^ parity(self.linear & x)
+        remaining = x
+        u = 0
+        while remaining:
+            if remaining & 1:
+                # Count each edge once: only neighbors above u.
+                upper = self.adjacency[u] >> (u + 1) << (u + 1)
+                acc ^= parity(upper & x)
+            remaining >>= 1
+            u += 1
+        return acc
+
+    def restrict_low_bits(self, level: int, high: int) -> "QuadraticPolynomial":
+        """The polynomial induced on the low ``level`` variables.
+
+        ``high`` fixes the remaining variables (its low ``level`` bits must
+        be zero) -- exactly the restriction of a quadratic generating
+        function to a dyadic interval ``[high, high + 2^level)``:
+
+        * constant: Q evaluated at the interval's low end-point,
+        * linear on a free bit u: the original linear bit XOR the parity
+          of u's couplings into the set high bits,
+        * quadratic: the free-free couplings, unchanged.
+        """
+        if not 0 <= level <= self.variables:
+            raise ValueError(f"level must be in [0, {self.variables}]")
+        low_mask = (1 << level) - 1
+        if high & low_mask:
+            raise ValueError("the fixed part must have zero low bits")
+        constant = self.evaluate(high)
+        linear = self.linear & low_mask
+        adjacency = []
+        for u in range(level):
+            if parity(self.adjacency[u] & high):
+                linear ^= 1 << u
+            adjacency.append(self.adjacency[u] & low_mask)
+        return QuadraticPolynomial(level, constant, linear, tuple(adjacency))
+
+    @classmethod
+    def from_upper_rows(
+        cls,
+        variables: int,
+        constant: int,
+        linear: int,
+        upper_rows: tuple[int, ...],
+    ) -> "QuadraticPolynomial":
+        """Build from strictly-upper-triangular rows (RM7 seed layout)."""
+        adjacency = list(upper_rows)
+        if len(adjacency) != variables:
+            raise ValueError("expected one upper row per variable")
+        for u in range(variables):
+            for v in range(u + 1, variables):
+                if (upper_rows[u] >> v) & 1:
+                    adjacency[v] |= 1 << u
+        return cls(variables, constant, linear, tuple(adjacency))
+
+
+def _bits_of(x: int):
+    """Yield the set bit positions of ``x``."""
+    while x:
+        low = x & -x
+        yield low.bit_length() - 1
+        x ^= low
+
+
+def count_zeros(poly: QuadraticPolynomial) -> int:
+    """Number of assignments in ``{0,1}^variables`` with ``Q(x) == 0``."""
+    l = poly.variables
+    adjacency = list(poly.adjacency)
+    linear = poly.linear
+    constant = poly.constant
+    hyperbolic_pairs = 0
+
+    u = 0
+    while u < l:
+        if adjacency[u] == 0:
+            u += 1
+            continue
+        v = (adjacency[u] & -adjacency[u]).bit_length() - 1
+        # Affine forms multiplying x_u and x_v, over the other variables.
+        l_u = adjacency[u] & ~(1 << v)
+        l_v = adjacency[v] & ~(1 << u)
+        b_u = (linear >> u) & 1
+        b_v = (linear >> v) & 1
+
+        # Retire x_u and x_v: clear their rows, columns and linear bits.
+        for w in _bits_of(adjacency[u]):
+            adjacency[w] &= ~(1 << u)
+        for w in _bits_of(adjacency[v]):
+            adjacency[w] &= ~(1 << v)
+        adjacency[u] = 0
+        adjacency[v] = 0
+        linear &= ~((1 << u) | (1 << v))
+
+        # XOR in the expansion of A_u * A_v =
+        #   L_u L_v + b_v L_u + b_u L_v + b_u b_v.
+        common = l_u & l_v
+        linear ^= common  # diagonal products x_s x_s collapse to x_s
+        for s in _bits_of(l_u):
+            adjacency[s] ^= l_v & ~(1 << s)
+        for t in _bits_of(l_v):
+            adjacency[t] ^= l_u & ~(1 << t)
+        if b_v:
+            linear ^= l_u
+        if b_u:
+            linear ^= l_v
+        constant ^= b_u & b_v
+
+        hyperbolic_pairs += 1
+        u = 0  # new quadratic terms may appear below the cursor
+
+    free = l - 2 * hyperbolic_pairs
+    if linear:
+        return 1 << (l - 1)
+    r = hyperbolic_pairs
+    # Assignments of the r pairs whose hyperbolic XOR equals `target`.
+    zero_ways = ((1 << (2 * r)) + (1 << r)) // 2  # (4^r + 2^r) / 2
+    one_ways = ((1 << (2 * r)) - (1 << r)) // 2
+    ways = zero_ways if constant == 0 else one_ways
+    return ways << free
+
+
+def count_values(poly: QuadraticPolynomial) -> tuple[int, int]:
+    """``(#zeros, #ones)`` of Q over all assignments."""
+    zeros = count_zeros(poly)
+    return zeros, (1 << poly.variables) - zeros
+
+
+def brute_force_counts(poly: QuadraticPolynomial) -> tuple[int, int]:
+    """Reference enumeration of ``(#zeros, #ones)`` (small l only)."""
+    if poly.variables > 22:
+        raise ValueError("brute force limited to <= 22 variables")
+    zeros = 0
+    for x in range(1 << poly.variables):
+        if poly.evaluate(x) == 0:
+            zeros += 1
+    return zeros, (1 << poly.variables) - zeros

@@ -1,0 +1,76 @@
+"""Fast range-summation for the Reed-Muller scheme RM7 (paper Section 4.3).
+
+RM7's generating function is a *quadratic* XOR-of-ANDs polynomial in the
+index bits, so restricting it to a dyadic interval (low bits free, high bits
+fixed) leaves a quadratic boolean function whose value counts the 2XOR-AND
+algorithm of :mod:`repro.rangesum.quadratic` computes in polynomial time:
+
+    ``sum over the interval = #zeros - #ones = 2^l - 2 * #ones``.
+
+Per dyadic interval the cost is O(l^2)-O(l^3) word operations (one
+hyperbolic reduction), and a general interval needs O(n) dyadic pieces --
+the O(n^4) total the paper quotes.  This is *fast range-summable by the
+definition* but, as Table 2 shows, thousands of times slower than EH3's
+closed form; the module exists to reproduce exactly that comparison.
+"""
+
+from __future__ import annotations
+
+from repro.core.bits import mask, parity
+from repro.core.dyadic import DyadicInterval
+from repro.generators.rm7 import RM7
+from repro.rangesum.base import check_interval, range_sum_via_cover
+from repro.rangesum.quadratic import QuadraticPolynomial, count_values
+
+__all__ = ["rm7_restrict_to_dyadic", "rm7_dyadic_sum", "rm7_range_sum"]
+
+
+def rm7_restrict_to_dyadic(
+    generator: RM7, interval: DyadicInterval
+) -> QuadraticPolynomial:
+    """The quadratic polynomial induced on an interval's free low bits.
+
+    For ``i = high | x`` with ``high = q 2^l`` fixed and ``x`` ranging over
+    the low ``l`` bits, grouping f(S, i)'s terms by which variables they
+    touch yields:
+
+    * constant: f evaluated at the interval's low end-point,
+    * linear on ``x_u``: seed linear bit ``u`` XOR the parity of quadratic
+      couplings between ``u`` and the *set* high bits,
+    * quadratic on ``x_u x_v``: the seed's low-low coupling, unchanged.
+    """
+    level = interval.level
+    if interval.high > generator.domain_size:
+        raise ValueError(f"{interval} outside the generator domain")
+    high = interval.low  # low bits are all zero here
+    low_mask = mask(level)
+
+    constant = generator.bit(high)
+    linear = generator.s1 & low_mask
+    upper_rows = []
+    for u in range(level):
+        row_u = generator.q_rows[u]
+        # Coupling of free bit u with the fixed high part of the index.
+        if parity(row_u & high):
+            linear ^= 1 << u
+        upper_rows.append(row_u & low_mask)
+    # Couplings contributed by rows u >= level acting on free bits do not
+    # exist: q_rows[u] only sets positions v > u >= level, all fixed.
+    return QuadraticPolynomial.from_upper_rows(
+        level, constant, linear, tuple(upper_rows)
+    )
+
+
+def rm7_dyadic_sum(generator: RM7, interval: DyadicInterval) -> int:
+    """Sum of RM7 values over a dyadic interval via 2XOR-AND counting."""
+    poly = rm7_restrict_to_dyadic(generator, interval)
+    zeros, ones = count_values(poly)
+    return zeros - ones
+
+
+def rm7_range_sum(generator: RM7, alpha: int, beta: int) -> int:
+    """RM7 sum over any ``[alpha, beta]`` via the minimal dyadic cover."""
+    check_interval(generator, alpha, beta)
+    return range_sum_via_cover(
+        alpha, beta, lambda piece: rm7_dyadic_sum(generator, piece)
+    )

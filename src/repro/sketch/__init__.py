@@ -1,0 +1,72 @@
+"""AMS sketching: atomic counters, median-of-averages grids, variance theory."""
+
+from repro.sketch.ams import (
+    SketchMatrix,
+    SketchScheme,
+    estimate_product,
+    recommended_grid,
+)
+from repro.sketch.atomic import (
+    AtomicChannel,
+    AtomicSketch,
+    DMAPChannel,
+    GeneratorChannel,
+    ProductChannel,
+    ProductDMAPChannel,
+)
+from repro.sketch.multijoin import ChainJoinScheme, exact_chain_join
+from repro.sketch.estimators import (
+    estimate_join_size,
+    estimate_self_join,
+    exact_join_size,
+    exact_self_join,
+    relative_error,
+    sketch_frequency_vector,
+    sketch_intervals,
+    sketch_points,
+)
+from repro.sketch.variance import (
+    delta_var_bch3_exact,
+    delta_var_eh3_exact,
+    eh3_expected_delta_var,
+    equal_triples,
+    predicted_relative_error,
+    var_bch3_exact,
+    var_bch5,
+    var_eh3_exact,
+    var_eh3_model,
+    zy_counts,
+)
+
+__all__ = [
+    "SketchMatrix",
+    "SketchScheme",
+    "estimate_product",
+    "recommended_grid",
+    "AtomicChannel",
+    "AtomicSketch",
+    "DMAPChannel",
+    "GeneratorChannel",
+    "ProductChannel",
+    "ProductDMAPChannel",
+    "ChainJoinScheme",
+    "exact_chain_join",
+    "estimate_join_size",
+    "estimate_self_join",
+    "exact_join_size",
+    "exact_self_join",
+    "relative_error",
+    "sketch_frequency_vector",
+    "sketch_intervals",
+    "sketch_points",
+    "delta_var_bch3_exact",
+    "delta_var_eh3_exact",
+    "eh3_expected_delta_var",
+    "equal_triples",
+    "predicted_relative_error",
+    "var_bch3_exact",
+    "var_bch5",
+    "var_eh3_exact",
+    "var_eh3_model",
+    "zy_counts",
+]

@@ -1,0 +1,195 @@
+"""AGMS estimators: medians of averages of atomic sketches (Section 2.1).
+
+An ``(epsilon, delta)`` estimator for ``|R join S|`` keeps a grid of
+independently-seeded atomic sketches: ``averages`` copies are averaged to
+shrink the variance (their count proportional to ``Var(X) / (eps^2 E[X]^2)``)
+and the median across ``medians`` rows boosts the confidence to ``1 -
+delta`` (count proportional to ``log(1/delta)``).
+
+:class:`SketchScheme` owns the grid of channels (the seeds); every relation
+sketched against the same scheme is comparable, and ``estimate_product``
+implements the median-of-averages combination of ``X_R * X_S``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.generators.base import Generator
+from repro.generators.seeds import SeedSource
+from repro.sketch.atomic import AtomicChannel, AtomicSketch, GeneratorChannel
+
+__all__ = [
+    "SketchScheme",
+    "SketchMatrix",
+    "estimate_product",
+    "recommended_grid",
+]
+
+
+def recommended_grid(
+    epsilon: float, delta: float, variance_ratio: float = 2.0
+) -> tuple[int, int]:
+    """Grid dimensions for a target ``(epsilon, delta)`` guarantee.
+
+    ``variance_ratio`` approximates ``Var(X) / E[X]^2``; the classical
+    bounds give ``averages = ceil(8 * ratio / eps^2)`` (Chebyshev with a
+    comfortable constant) and ``medians = ceil(4.5 * ln(1/delta))``.
+    """
+    if not 0 < epsilon < 1 or not 0 < delta < 1:
+        raise ValueError("epsilon and delta must lie in (0, 1)")
+    averages = max(1, math.ceil(8.0 * variance_ratio / epsilon**2))
+    medians = max(1, math.ceil(4.5 * math.log(1.0 / delta)))
+    return medians, averages
+
+
+class SketchScheme:
+    """A ``medians x averages`` grid of independently-seeded channels."""
+
+    def __init__(self, channels: Sequence[Sequence[AtomicChannel]]) -> None:
+        if not channels or not channels[0]:
+            raise ValueError("the channel grid must be non-empty")
+        width = len(channels[0])
+        if any(len(row) != width for row in channels):
+            raise ValueError("all rows must have the same number of channels")
+        self.channels = tuple(tuple(row) for row in channels)
+
+    @classmethod
+    def from_factory(
+        cls,
+        factory: Callable[[SeedSource], AtomicChannel],
+        medians: int,
+        averages: int,
+        source: SeedSource,
+    ) -> "SketchScheme":
+        """Build the grid by drawing one fresh channel per cell."""
+        if medians <= 0 or averages <= 0:
+            raise ValueError("medians and averages must be positive")
+        return cls(
+            [[factory(source) for _ in range(averages)] for _ in range(medians)]
+        )
+
+    @classmethod
+    def from_generators(
+        cls,
+        factory: Callable[[SeedSource], Generator],
+        medians: int,
+        averages: int,
+        source: SeedSource,
+    ) -> "SketchScheme":
+        """Grid of :class:`GeneratorChannel` over a generator factory."""
+        return cls.from_factory(
+            lambda src: GeneratorChannel(factory(src)), medians, averages, source
+        )
+
+    @property
+    def medians(self) -> int:
+        """Number of rows (median candidates)."""
+        return len(self.channels)
+
+    @property
+    def averages(self) -> int:
+        """Number of columns (averaged copies per row)."""
+        return len(self.channels[0])
+
+    @property
+    def counters(self) -> int:
+        """Total number of atomic counters -- the sketch's memory in words."""
+        return self.medians * self.averages
+
+    def sketch(self) -> "SketchMatrix":
+        """A fresh all-zero sketch of some relation under this scheme."""
+        return SketchMatrix(self)
+
+
+class SketchMatrix:
+    """The grid of atomic counters summarizing one relation."""
+
+    def __init__(self, scheme: SketchScheme) -> None:
+        self.scheme = scheme
+        self.cells = [
+            [AtomicSketch(channel) for channel in row]
+            for row in scheme.channels
+        ]
+
+    def update_point(self, item, weight: float = 1.0) -> None:
+        """Stream one point into every atomic counter."""
+        for row in self.cells:
+            for cell in row:
+                cell.update_point(item, weight)
+
+    def update_interval(self, bounds, weight: float = 1.0) -> None:
+        """Stream one interval/rectangle into every atomic counter."""
+        for row in self.cells:
+            for cell in row:
+                cell.update_interval(bounds, weight)
+
+    def update_frequency_vector(self, frequencies: np.ndarray) -> None:
+        """Bulk-load a full 1-D frequency vector (experiment fast path).
+
+        Equivalent to ``update_point(i, f_i)`` for every domain point but
+        computed as one dot product per generator cell; only available when
+        every channel is a plain :class:`GeneratorChannel`.
+        """
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        nonzero = np.flatnonzero(frequencies)
+        indices = nonzero.astype(np.uint64)
+        weights = frequencies[nonzero]
+        for row in self.cells:
+            for cell in row:
+                channel = cell.channel
+                if not isinstance(channel, GeneratorChannel):
+                    raise TypeError(
+                        "update_frequency_vector requires GeneratorChannel cells"
+                    )
+                values = channel.generator.values(indices).astype(np.float64)
+                cell.value += float(np.dot(values, weights))
+
+    def values(self) -> np.ndarray:
+        """The counters as a ``(medians, averages)`` float array."""
+        return np.array(
+            [[cell.value for cell in row] for row in self.cells],
+            dtype=np.float64,
+        )
+
+    def combined(self, other: "SketchMatrix") -> "SketchMatrix":
+        """Merge two sketches built under the same scheme (union of data)."""
+        if self.scheme is not other.scheme:
+            raise ValueError("can only combine sketches of the same scheme")
+        merged = SketchMatrix(self.scheme)
+        for m_row, a_row, b_row in zip(merged.cells, self.cells, other.cells):
+            for m, a, b in zip(m_row, a_row, b_row):
+                m.value = a.value + b.value
+        return merged
+
+    def difference(self, other: "SketchMatrix") -> "SketchMatrix":
+        """Sketch of the (signed) difference of the two sketched multisets.
+
+        By linearity ``X_{R - S} = X_R - X_S``; self-joining the result
+        estimates the self-join of the symmetric difference -- the
+        reduction behind the L1-difference application (Section 5.1).
+        """
+        if self.scheme is not other.scheme:
+            raise ValueError("can only subtract sketches of the same scheme")
+        result = SketchMatrix(self.scheme)
+        for r_row, a_row, b_row in zip(result.cells, self.cells, other.cells):
+            for r, a, b in zip(r_row, a_row, b_row):
+                r.value = a.value - b.value
+        return result
+
+
+def estimate_product(x: SketchMatrix, y: SketchMatrix) -> float:
+    """Median-of-averages estimate of ``sum_i r_i s_i`` from two sketches.
+
+    ``x`` and ``y`` must be built under the same scheme (same seeds); the
+    per-cell products ``X_cell * Y_cell`` are unbiased size-of-join
+    estimates, averaged within rows and median-ed across rows.
+    """
+    if x.scheme is not y.scheme:
+        raise ValueError("sketches must share a scheme to be multiplied")
+    products = x.values() * y.values()
+    row_means = products.mean(axis=1)
+    return float(np.median(row_means))

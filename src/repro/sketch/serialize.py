@@ -1,0 +1,260 @@
+"""Serialization of generators, schemes, and sketches.
+
+Distributed sketching (paper Section 2.1) only works if every party uses
+the SAME seeds: the coordinator fixes a scheme, ships it to the sites,
+each site sketches its local data, and the numeric sketches are added.
+This module provides the shipping format: plain JSON-compatible dicts
+with explicit seed material, round-trippable bit-for-bit.
+
+Supported channel kinds: direct generators (all six schemes), DMAP, and
+their d-dimensional products.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.generators.base import Generator
+from repro.generators.bch3 import BCH3
+from repro.generators.bch5 import BCH5
+from repro.generators.eh3 import EH3
+from repro.generators.polyprime import PolynomialsOverPrimes
+from repro.generators.rm7 import RM7
+from repro.generators.toeplitz import Toeplitz, ToeplitzHash
+from repro.rangesum.dmap import DMAP
+from repro.rangesum.multidim import ProductDMAP, ProductGenerator
+from repro.sketch.ams import SketchMatrix, SketchScheme
+from repro.sketch.atomic import (
+    AtomicChannel,
+    DMAPChannel,
+    GeneratorChannel,
+    ProductChannel,
+    ProductDMAPChannel,
+)
+
+__all__ = [
+    "generator_to_dict",
+    "generator_from_dict",
+    "channel_to_dict",
+    "channel_from_dict",
+    "scheme_to_dict",
+    "scheme_from_dict",
+    "sketch_to_dict",
+    "sketch_from_dict",
+]
+
+
+def generator_to_dict(generator: Generator) -> dict[str, Any]:
+    """Serialize a generator's seed material to a JSON-compatible dict."""
+    if isinstance(generator, EH3):
+        return {
+            "kind": "eh3",
+            "domain_bits": generator.domain_bits,
+            "s0": generator.s0,
+            "s1": generator.s1,
+        }
+    if isinstance(generator, BCH3):
+        return {
+            "kind": "bch3",
+            "domain_bits": generator.domain_bits,
+            "s0": generator.s0,
+            "s1": generator.s1,
+        }
+    if isinstance(generator, BCH5):
+        return {
+            "kind": "bch5",
+            "domain_bits": generator.domain_bits,
+            "s0": generator.s0,
+            "s1": generator.s1,
+            "s3": generator.s3,
+            "mode": generator.mode,
+        }
+    if isinstance(generator, RM7):
+        return {
+            "kind": "rm7",
+            "domain_bits": generator.domain_bits,
+            "s0": generator.s0,
+            "s1": generator.s1,
+            "q_rows": list(generator.q_rows),
+        }
+    if isinstance(generator, PolynomialsOverPrimes):
+        return {
+            "kind": "polyprime",
+            "domain_bits": generator.domain_bits,
+            "coefficients": list(generator.coefficients),
+            "p": generator.p,
+        }
+    if isinstance(generator, Toeplitz):
+        hash_function = generator.hash_function
+        return {
+            "kind": "toeplitz",
+            "domain_bits": generator.domain_bits,
+            "m": hash_function.m,
+            "diagonal_bits": hash_function.diagonal_bits,
+            "offset": hash_function.offset,
+        }
+    raise TypeError(f"cannot serialize generator {type(generator).__name__}")
+
+
+def generator_from_dict(data: dict[str, Any]) -> Generator:
+    """Rebuild a generator from :func:`generator_to_dict` output."""
+    kind = data["kind"]
+    if kind == "eh3":
+        return EH3(data["domain_bits"], data["s0"], data["s1"])
+    if kind == "bch3":
+        return BCH3(data["domain_bits"], data["s0"], data["s1"])
+    if kind == "bch5":
+        return BCH5(
+            data["domain_bits"], data["s0"], data["s1"], data["s3"],
+            mode=data["mode"],
+        )
+    if kind == "rm7":
+        return RM7(data["domain_bits"], data["s0"], data["s1"], data["q_rows"])
+    if kind == "polyprime":
+        return PolynomialsOverPrimes(
+            data["domain_bits"], tuple(data["coefficients"]), p=data["p"]
+        )
+    if kind == "toeplitz":
+        hash_function = ToeplitzHash(
+            data["domain_bits"], data["m"], data["diagonal_bits"],
+            data["offset"],
+        )
+        return Toeplitz(data["domain_bits"], hash_function)
+    raise ValueError(f"unknown generator kind {kind!r}")
+
+
+def channel_to_dict(channel: AtomicChannel) -> dict[str, Any]:
+    """Serialize an update channel (generator, DMAP, or product)."""
+    if isinstance(channel, GeneratorChannel):
+        return {
+            "kind": "generator",
+            "generator": generator_to_dict(channel.generator),
+        }
+    if isinstance(channel, DMAPChannel):
+        return {
+            "kind": "dmap",
+            "domain_bits": channel.dmap.domain_bits,
+            "generator": generator_to_dict(channel.dmap.generator),
+        }
+    if isinstance(channel, ProductChannel):
+        return {
+            "kind": "product",
+            "factors": [
+                generator_to_dict(factor)
+                for factor in channel.generator.factors
+            ],
+        }
+    if isinstance(channel, ProductDMAPChannel):
+        return {
+            "kind": "product_dmap",
+            "axes": [
+                {
+                    "domain_bits": dmap.domain_bits,
+                    "generator": generator_to_dict(dmap.generator),
+                }
+                for dmap in channel.dmap.dmaps
+            ],
+        }
+    raise TypeError(f"cannot serialize channel {type(channel).__name__}")
+
+
+def channel_from_dict(data: dict[str, Any]) -> AtomicChannel:
+    """Rebuild a channel from :func:`channel_to_dict` output."""
+    kind = data["kind"]
+    if kind == "generator":
+        return GeneratorChannel(generator_from_dict(data["generator"]))
+    if kind == "dmap":
+        return DMAPChannel(
+            DMAP(data["domain_bits"], generator_from_dict(data["generator"]))
+        )
+    if kind == "product":
+        return ProductChannel(
+            ProductGenerator(
+                [generator_from_dict(f) for f in data["factors"]]
+            )
+        )
+    if kind == "product_dmap":
+        return ProductDMAPChannel(
+            ProductDMAP(
+                [
+                    DMAP(
+                        axis["domain_bits"],
+                        generator_from_dict(axis["generator"]),
+                    )
+                    for axis in data["axes"]
+                ]
+            )
+        )
+    raise ValueError(f"unknown channel kind {kind!r}")
+
+
+def scheme_to_dict(scheme: SketchScheme) -> dict[str, Any]:
+    """Serialize a full medians x averages scheme (all seeds)."""
+    return {
+        "kind": "sketch_scheme",
+        "channels": [
+            [channel_to_dict(channel) for channel in row]
+            for row in scheme.channels
+        ],
+    }
+
+
+def scheme_from_dict(data: dict[str, Any]) -> SketchScheme:
+    """Rebuild a scheme; sketches made from it are comparable across
+    processes because the seeds are identical."""
+    if data.get("kind") != "sketch_scheme":
+        raise ValueError("not a serialized sketch scheme")
+    return SketchScheme(
+        [
+            [channel_from_dict(channel) for channel in row]
+            for row in data["channels"]
+        ]
+    )
+
+
+def sketch_to_dict(
+    sketch: SketchMatrix, include_scheme: bool = True
+) -> dict[str, Any]:
+    """Serialize a sketch: its counter values, plus (optionally) the scheme.
+
+    With ``include_scheme=False`` only the numeric counters are shipped --
+    the right choice when the receiver already holds the scheme (it
+    distributed the seeds in the first place), since the counters are the
+    whole point of sketch-sized communication.
+    """
+    data: dict[str, Any] = {
+        "kind": "sketch",
+        "values": [[cell.value for cell in row] for row in sketch.cells],
+    }
+    if include_scheme:
+        data["scheme"] = scheme_to_dict(sketch.scheme)
+    return data
+
+
+def sketch_from_dict(
+    data: dict[str, Any], scheme: SketchScheme | None = None
+) -> SketchMatrix:
+    """Rebuild a sketch.
+
+    Pass the receiver's ``scheme`` to attach the counters to an existing
+    scheme object (required for combining with locally-built sketches);
+    otherwise a fresh equivalent scheme is reconstructed.
+    """
+    if data.get("kind") != "sketch":
+        raise ValueError("not a serialized sketch")
+    if scheme is None:
+        if "scheme" not in data:
+            raise ValueError(
+                "sketch was serialized without its scheme; pass scheme="
+            )
+        scheme = scheme_from_dict(data["scheme"])
+    sketch = SketchMatrix(scheme)
+    values = data["values"]
+    if len(values) != scheme.medians or any(
+        len(row) != scheme.averages for row in values
+    ):
+        raise ValueError("serialized values do not match the scheme shape")
+    for cells_row, values_row in zip(sketch.cells, values):
+        for cell, value in zip(cells_row, values_row):
+            cell.value = float(value)
+    return sketch

@@ -1,0 +1,189 @@
+"""Variance of the AMS size-of-join estimator per scheme (paper Section 5.3).
+
+All 2-wise-or-better schemes make ``X = X_R X_S`` unbiased; they differ in
+``Var(X)``, i.e. in the extra terms contributed by index quadruples that are
+all distinct:
+
+* BCH5 (4-wise): no extra terms -- Eq. 11, the reference variance;
+* BCH3: ``E[xi_i xi_j xi_k xi_l] = 1`` whenever ``i^j^k^l = 0``, adding the
+  always-non-negative Delta of Section 5.3.2;
+* EH3: same quadruples, but signed by ``(-1)^(h(i)^h(j)^h(k)^h(l))``
+  (Proposition 3), so positive and negative contributions cancel; the
+  *average-case* model of Eq. 12 quantifies the cancellation through the
+  ``z_n / y_n`` pair-counting recursion of Proposition 4.
+
+The exact Delta computations here are ``O(|I|^3)`` enumerations meant for
+validation on small domains; the Eq. 12 model is what the Figure 2
+experiment evaluates at scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bits import adjacent_pair_or_fold
+
+__all__ = [
+    "var_bch5",
+    "delta_var_bch3_exact",
+    "delta_var_eh3_exact",
+    "zy_counts",
+    "equal_triples",
+    "eh3_expected_delta_var",
+    "var_eh3_model",
+    "var_bch3_exact",
+    "var_eh3_exact",
+    "predicted_relative_error",
+]
+
+
+def _as_freq(vector) -> np.ndarray:
+    v = np.asarray(vector, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError("frequency vectors must be one-dimensional")
+    return v
+
+
+def var_bch5(r, s) -> float:
+    """Eq. 11: the 4-wise-independent variance of ``X = X_R X_S``.
+
+    ``Var = (sum r^2)(sum s^2) + (sum r s)^2 - 2 sum r^2 s^2``.
+    """
+    r = _as_freq(r)
+    s = _as_freq(s)
+    if r.shape != s.shape:
+        raise ValueError("r and s must be over the same domain")
+    return float(
+        (r**2).sum() * (s**2).sum()
+        + (r * s).sum() ** 2
+        - 2.0 * ((r**2) * (s**2)).sum()
+    )
+
+
+def delta_var_bch3_exact(r, s) -> float:
+    """Section 5.3.2's extra term, by direct O(|I|^3) enumeration.
+
+    ``sum over distinct i, j, k (and l = i^j^k also distinct) of
+    r_i r_j s_k s_l`` -- the quadruples BCH3 fails to cancel.
+    """
+    r = _as_freq(r)
+    s = _as_freq(s)
+    size = len(r)
+    if size & (size - 1):
+        raise ValueError("domain size must be a power of two (XOR closure)")
+    total = 0.0
+    for i in range(size):
+        if r[i] == 0.0:
+            continue
+        for j in range(size):
+            if j == i or r[j] == 0.0:
+                continue
+            for k in range(size):
+                l = i ^ j ^ k
+                if k in (i, j) or l in (i, j, k):
+                    continue
+                total += r[i] * r[j] * s[k] * s[l]
+    return total
+
+
+def delta_var_eh3_exact(r, s, domain_bits: int) -> float:
+    """EH3's exact extra term: the BCH3 quadruples, signed by h-parity."""
+    r = _as_freq(r)
+    s = _as_freq(s)
+    size = len(r)
+    if size != (1 << domain_bits):
+        raise ValueError("vector length must match 2^domain_bits")
+    h = [adjacent_pair_or_fold(i, domain_bits) for i in range(size)]
+    total = 0.0
+    for i in range(size):
+        if r[i] == 0.0:
+            continue
+        for j in range(size):
+            if j == i or r[j] == 0.0:
+                continue
+            for k in range(size):
+                l = i ^ j ^ k
+                if k in (i, j) or l in (i, j, k):
+                    continue
+                sign = -1.0 if (h[i] ^ h[j] ^ h[k] ^ h[l]) else 1.0
+                total += sign * r[i] * r[j] * s[k] * s[l]
+    return total
+
+
+def var_bch3_exact(r, s) -> float:
+    """Exact size-of-join variance under BCH3: Eq. 11 plus its Delta."""
+    return var_bch5(r, s) + delta_var_bch3_exact(r, s)
+
+
+def var_eh3_exact(r, s, domain_bits: int) -> float:
+    """Exact size-of-join variance under EH3: Eq. 11 plus its signed Delta."""
+    return var_bch5(r, s) + delta_var_eh3_exact(r, s, domain_bits)
+
+
+def zy_counts(n: int) -> tuple[int, int]:
+    """Proposition 4: ``(z_n, y_n)`` over the domain ``{0 .. 4^n - 1}``.
+
+    ``z_n`` counts the triples (i, j, k) on which
+    ``g = h(i)^h(j)^h(k)^h(i^j^k)`` is 0, ``y_n`` those where it is 1:
+    ``z_1 = 40, y_1 = 24`` and each extra bit-pair mixes them through the
+    parity convolution ``z' = 40 z + 24 y``, ``y' = 24 z + 40 y``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    z, y = 40, 24
+    for _ in range(n - 1):
+        z, y = 40 * z + 24 * y, 24 * z + 40 * y
+    return z, y
+
+
+def equal_triples(n: int) -> int:
+    """``eq_n = 3 (4^n)^2 - 2 * 4^n``: triples with at least two equal."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    domain = 1 << (2 * n)
+    return 3 * domain * domain - 2 * domain
+
+
+def eh3_expected_delta_var(r, s, n: int) -> float:
+    """Eq. 12's model of EH3's expected extra variance term.
+
+    ``(1 / 4^n) (sum r)^2 (sum s)^2 (z - eq - y) / (z - eq + y)`` under the
+    independence assumptions of Section 5.3.3.  The last factor is small
+    and negative-leaning, and the ``1 / 4^n`` scaling crushes the whole
+    term for large domains -- the theoretical heart of "EH3 is as good as
+    4-wise".
+    """
+    r = _as_freq(r)
+    s = _as_freq(s)
+    if len(r) != (1 << (2 * n)):
+        raise ValueError("vector length must be 4^n")
+    z, y = zy_counts(n)
+    eq = equal_triples(n)
+    factor = (z - eq - y) / (z - eq + y)
+    domain = 1 << (2 * n)
+    return float(r.sum() ** 2 * s.sum() ** 2 * factor / domain)
+
+
+def var_eh3_model(r, s, n: int) -> float:
+    """Eq. 12: the average-case EH3 variance model."""
+    return var_bch5(r, s) + eh3_expected_delta_var(r, s, n)
+
+
+def predicted_relative_error(
+    variance: float, expectation: float, averages: int, absolute: bool = True
+) -> float:
+    """Predicted relative error of an ``averages``-wide AMS estimate.
+
+    The averaged estimator has standard deviation ``sqrt(Var / averages)``;
+    relative to ``E[X]`` this is the paper's error proxy.  With
+    ``absolute=True`` the expected *absolute* error of a (near-normal)
+    estimator, ``sqrt(2 / pi) * sigma``, is reported instead of one sigma.
+    """
+    if averages <= 0:
+        raise ValueError("averages must be positive")
+    if expectation == 0:
+        raise ValueError("relative error undefined for zero expectation")
+    variance = max(variance, 0.0)
+    sigma = np.sqrt(variance / averages)
+    scale = np.sqrt(2.0 / np.pi) if absolute else 1.0
+    return float(scale * sigma / abs(expectation))

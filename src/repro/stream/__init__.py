@@ -1,0 +1,34 @@
+"""Stream abstractions and exact reference aggregates."""
+
+from repro.stream.exact import (
+    join_size,
+    l1_difference,
+    region_frequency_sum,
+    segments_intersecting,
+    self_join_size,
+)
+from repro.stream.processor import QueryHandle, StreamProcessor
+from repro.stream.streams import (
+    IntervalStream,
+    IntervalUpdate,
+    PointStream,
+    PointUpdate,
+    frequency_vector,
+    stream_from_frequencies,
+)
+
+__all__ = [
+    "join_size",
+    "l1_difference",
+    "region_frequency_sum",
+    "segments_intersecting",
+    "self_join_size",
+    "QueryHandle",
+    "StreamProcessor",
+    "IntervalStream",
+    "IntervalUpdate",
+    "PointStream",
+    "PointUpdate",
+    "frequency_vector",
+    "stream_from_frequencies",
+]

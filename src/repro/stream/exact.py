@@ -1,0 +1,101 @@
+"""Exact reference aggregates -- the ground truth of every experiment.
+
+These are the quantities sketches approximate, computed exactly from dense
+frequency vectors or explicit geometry.  Deliberately simple, so that their
+correctness is evident: every estimator test and every figure in the
+benchmark harness compares against these.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "join_size",
+    "self_join_size",
+    "l1_difference",
+    "segments_intersecting",
+    "segments_intersecting_brute",
+    "region_frequency_sum",
+]
+
+
+def join_size(r: np.ndarray, s: np.ndarray) -> float:
+    """``|R join S| = sum_i r_i s_i``."""
+    r = np.asarray(r, dtype=np.float64)
+    s = np.asarray(s, dtype=np.float64)
+    if r.shape != s.shape:
+        raise ValueError("frequency vectors must share a domain")
+    return float(np.dot(r, s))
+
+
+def self_join_size(r: np.ndarray) -> float:
+    """``F2 = sum_i r_i^2``."""
+    r = np.asarray(r, dtype=np.float64)
+    return float(np.dot(r, r))
+
+
+def l1_difference(a: np.ndarray, b: np.ndarray) -> float:
+    """``sum_i |a_i - b_i|`` (Application 2's target quantity)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("vectors must share a domain")
+    return float(np.abs(a - b).sum())
+
+
+def segments_intersecting(
+    first: Sequence[tuple[int, int]], second: Sequence[tuple[int, int]]
+) -> int:
+    """Number of intersecting segment pairs across two sets (Application 1).
+
+    Segments are inclusive ``(low, high)`` pairs; two segments intersect
+    iff ``max(lows) <= min(highs)``.  Counted by complement in
+    O((m + n) log(m + n)): a pair does NOT intersect exactly when one
+    segment ends strictly before the other starts.
+    """
+    firsts = np.asarray(first, dtype=np.int64)
+    seconds = np.asarray(second, dtype=np.int64)
+    if firsts.ndim != 2 or seconds.ndim != 2:
+        raise ValueError("segment sets must be (count, 2) arrays")
+    first_lows = np.sort(firsts[:, 0])
+    first_highs = np.sort(firsts[:, 1])
+    # For each s: segments of `first` entirely left of s (high < s.low),
+    # and entirely right of s (low > s.high).
+    left = np.searchsorted(first_highs, seconds[:, 0], side="left")
+    right = len(firsts) - np.searchsorted(
+        first_lows, seconds[:, 1], side="right"
+    )
+    disjoint = int(left.sum()) + int(right.sum())
+    return len(firsts) * len(seconds) - disjoint
+
+
+def segments_intersecting_brute(
+    first: Sequence[tuple[int, int]], second: Sequence[tuple[int, int]]
+) -> int:
+    """Quadratic reference for :func:`segments_intersecting` (tests only)."""
+    firsts = np.asarray(first, dtype=np.int64)
+    seconds = np.asarray(second, dtype=np.int64)
+    lows = np.maximum.outer(firsts[:, 0], seconds[:, 0])
+    highs = np.minimum.outer(firsts[:, 1], seconds[:, 1])
+    return int((lows <= highs).sum())
+
+
+def region_frequency_sum(
+    points: np.ndarray, rect: Sequence[tuple[int, int]]
+) -> int:
+    """Number of data points inside an axis-aligned rectangle.
+
+    ``points`` is a ``(count, d)`` integer array; ``rect`` is one inclusive
+    ``(low, high)`` pair per axis.  This is the numerator of Application
+    3's average-frequency computation.
+    """
+    points = np.asarray(points, dtype=np.int64)
+    if points.ndim != 2 or points.shape[1] != len(rect):
+        raise ValueError("points must be (count, d) matching the rectangle")
+    inside = np.ones(len(points), dtype=bool)
+    for axis, (low, high) in enumerate(rect):
+        inside &= (points[:, axis] >= low) & (points[:, axis] <= high)
+    return int(inside.sum())

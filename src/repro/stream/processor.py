@@ -1,0 +1,172 @@
+"""A small continuous-query engine over sketched streams.
+
+The paper's systems story (Section 2.1): relations arrive as unbounded
+update streams, memory holds only sketches, and registered aggregate
+queries are answerable at any time.  :class:`StreamProcessor` packages
+that story behind one object:
+
+* **relations** are registered with a domain width; each is backed by one
+  :class:`~repro.sketch.ams.SketchMatrix` under a scheme chosen at
+  registration (EH3 generator channels by default, so interval updates
+  are O(log range));
+* **updates** -- points, intervals, weighted, deletions -- stream in via
+  :meth:`process_point` / :meth:`process_interval`;
+* **queries** -- size-of-join between two relations, self-join size of
+  one -- are registered up front (the sketches must share seeds to be
+  comparable, so relations joined together are placed on a shared scheme)
+  and answered on demand with :meth:`answer`.
+
+The processor is deliberately memory-honest: :meth:`memory_words` reports
+exactly how many counters it holds, the number the paper's Figures 5-7
+sweep on their x-axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.generators.base import Generator
+from repro.generators.eh3 import EH3
+from repro.generators.seeds import SeedSource
+from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
+from repro.sketch.atomic import GeneratorChannel
+
+__all__ = ["StreamProcessor", "QueryHandle"]
+
+
+@dataclass(frozen=True)
+class QueryHandle:
+    """Opaque handle for a registered continuous query."""
+
+    kind: str
+    left: str
+    right: str
+    identifier: int
+
+
+class StreamProcessor:
+    """Sketch-backed continuous aggregate queries over update streams."""
+
+    def __init__(
+        self,
+        medians: int = 7,
+        averages: int = 100,
+        seed: int | SeedSource = 0,
+        generator_factory: Callable[[int, SeedSource], Generator] | None = None,
+    ) -> None:
+        if medians < 1 or averages < 1:
+            raise ValueError("medians and averages must be positive")
+        self._medians = medians
+        self._averages = averages
+        self._source = seed if isinstance(seed, SeedSource) else SeedSource(seed)
+        self._factory = generator_factory or (
+            lambda bits, src: EH3.from_source(bits, src)
+        )
+        self._domain_bits: dict[str, int] = {}
+        self._schemes: dict[str, SketchScheme] = {}  # per domain-group
+        self._sketches: dict[str, SketchMatrix] = {}
+        self._groups: dict[str, str] = {}  # relation -> scheme key
+        self._queries: dict[int, QueryHandle] = {}
+        self._next_query = 0
+
+    # -- registration ----------------------------------------------------
+
+    def register_relation(self, name: str, domain_bits: int) -> None:
+        """Declare a relation before streaming into it.
+
+        Relations of the same domain width share one scheme (same seeds),
+        which is what makes joins between them well-defined.
+        """
+        if name in self._domain_bits:
+            raise ValueError(f"relation {name!r} already registered")
+        if domain_bits < 1:
+            raise ValueError("domain_bits must be positive")
+        group = f"domain:{domain_bits}"
+        if group not in self._schemes:
+            bits = domain_bits
+            self._schemes[group] = SketchScheme.from_factory(
+                lambda src: GeneratorChannel(self._factory(bits, src)),
+                self._medians,
+                self._averages,
+                self._source,
+            )
+        self._domain_bits[name] = domain_bits
+        self._groups[name] = group
+        self._sketches[name] = self._schemes[group].sketch()
+
+    def register_join(self, left: str, right: str) -> QueryHandle:
+        """Continuous ``|left JOIN right|`` query."""
+        self._require(left)
+        self._require(right)
+        if self._groups[left] != self._groups[right]:
+            raise ValueError(
+                "joined relations must share a domain width (and thus seeds)"
+            )
+        handle = QueryHandle("join", left, right, self._next_query)
+        self._queries[self._next_query] = handle
+        self._next_query += 1
+        return handle
+
+    def register_self_join(self, relation: str) -> QueryHandle:
+        """Continuous self-join size (F2) query."""
+        self._require(relation)
+        handle = QueryHandle("self_join", relation, relation, self._next_query)
+        self._queries[self._next_query] = handle
+        self._next_query += 1
+        return handle
+
+    # -- streaming -------------------------------------------------------
+
+    def process_point(
+        self, relation: str, item: int, weight: float = 1.0
+    ) -> None:
+        """One arriving tuple (negative weight = deletion)."""
+        self._require(relation)
+        self._sketches[relation].update_point(item, weight)
+
+    def process_interval(
+        self, relation: str, low: int, high: int, weight: float = 1.0
+    ) -> None:
+        """One arriving interval, sketched in sub-linear time."""
+        self._require(relation)
+        self._sketches[relation].update_interval((low, high), weight)
+
+    def merge_sketch(self, relation: str, other: SketchMatrix) -> None:
+        """Fold in a remote site's sketch of the same relation."""
+        self._require(relation)
+        self._sketches[relation] = self._sketches[relation].combined(other)
+
+    # -- answers ---------------------------------------------------------
+
+    def answer(self, handle: QueryHandle) -> float:
+        """Current estimate for a registered query."""
+        if self._queries.get(handle.identifier) is not handle:
+            raise ValueError("unknown query handle")
+        return estimate_product(
+            self._sketches[handle.left], self._sketches[handle.right]
+        )
+
+    def sketch_of(self, relation: str) -> SketchMatrix:
+        """The relation's live sketch (e.g. to ship to a coordinator)."""
+        self._require(relation)
+        return self._sketches[relation]
+
+    def scheme_of(self, relation: str) -> SketchScheme:
+        """The scheme backing a relation (to hand to new sites)."""
+        self._require(relation)
+        return self._schemes[self._groups[relation]]
+
+    def memory_words(self) -> int:
+        """Total counters held -- the paper's memory metric."""
+        return sum(
+            sketch.scheme.counters for sketch in self._sketches.values()
+        )
+
+    def relations(self) -> list[str]:
+        """Registered relation names."""
+        return list(self._domain_bits)
+
+    def _require(self, relation: str) -> None:
+        if relation not in self._domain_bits:
+            raise ValueError(f"unknown relation {relation!r}")

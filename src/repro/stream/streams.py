@@ -1,0 +1,132 @@
+"""Stream abstractions: relations arriving tuple-by-tuple or as intervals.
+
+The paper's setting (Section 2.1): a relation is observed as an unbounded
+sequence of updates -- points for classic AMS sketching, intervals for the
+applications of Section 5.  These small dataclasses give the applications
+and experiments a common vocabulary and keep workload generators decoupled
+from estimators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "PointUpdate",
+    "IntervalUpdate",
+    "PointStream",
+    "IntervalStream",
+    "frequency_vector",
+    "stream_from_frequencies",
+]
+
+
+@dataclass(frozen=True)
+class PointUpdate:
+    """One streamed tuple: a domain value and a (signed) multiplicity."""
+
+    item: int
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class IntervalUpdate:
+    """One streamed interval: every point of ``[low, high]`` (inclusive)."""
+
+    low: int
+    high: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"empty interval [{self.low}, {self.high}]")
+
+    @property
+    def size(self) -> int:
+        """Number of domain points covered."""
+        return self.high - self.low + 1
+
+
+@dataclass
+class PointStream:
+    """A finite recorded point stream over a ``2^domain_bits`` domain."""
+
+    domain_bits: int
+    updates: list[PointUpdate] = field(default_factory=list)
+
+    def append(self, item: int, weight: float = 1.0) -> None:
+        """Record one arriving tuple."""
+        if not 0 <= item < (1 << self.domain_bits):
+            raise ValueError(f"item {item} outside domain 2^{self.domain_bits}")
+        self.updates.append(PointUpdate(item, weight))
+
+    def __iter__(self) -> Iterator[PointUpdate]:
+        return iter(self.updates)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+
+@dataclass
+class IntervalStream:
+    """A finite recorded interval stream over a ``2^domain_bits`` domain."""
+
+    domain_bits: int
+    updates: list[IntervalUpdate] = field(default_factory=list)
+
+    def append(self, low: int, high: int, weight: float = 1.0) -> None:
+        """Record one arriving interval."""
+        if low < 0 or high >= (1 << self.domain_bits):
+            raise ValueError(
+                f"[{low}, {high}] outside domain 2^{self.domain_bits}"
+            )
+        self.updates.append(IntervalUpdate(low, high, weight))
+
+    def __iter__(self) -> Iterator[IntervalUpdate]:
+        return iter(self.updates)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def total_points(self) -> float:
+        """Total weighted number of (expanded) points in the stream."""
+        return sum(u.size * u.weight for u in self.updates)
+
+
+def frequency_vector(stream, domain_bits: int | None = None) -> np.ndarray:
+    """Exact frequency vector of a point or interval stream.
+
+    The dense ground-truth representation every experiment checks
+    estimates against; only feasible for enumerable domains.
+    """
+    if domain_bits is None:
+        domain_bits = stream.domain_bits
+    freq = np.zeros(1 << domain_bits, dtype=np.float64)
+    for update in stream:
+        if isinstance(update, PointUpdate):
+            freq[update.item] += update.weight
+        elif isinstance(update, IntervalUpdate):
+            freq[update.low : update.high + 1] += update.weight
+        else:
+            raise TypeError(f"unsupported update type {type(update).__name__}")
+    return freq
+
+
+def stream_from_frequencies(
+    frequencies: Sequence[float] | np.ndarray, domain_bits: int
+) -> PointStream:
+    """A point stream that replays a frequency vector (integer counts)."""
+    frequencies = np.asarray(frequencies)
+    if len(frequencies) > (1 << domain_bits):
+        raise ValueError("frequency vector longer than the domain")
+    stream = PointStream(domain_bits)
+    for item, count in enumerate(frequencies):
+        whole = int(count)
+        if whole != count or whole < 0:
+            raise ValueError("replaying requires non-negative integer counts")
+        for _ in range(whole):
+            stream.append(item)
+    return stream

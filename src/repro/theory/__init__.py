@@ -1,0 +1,35 @@
+"""Executable theory: independence certification and the propositions of §5."""
+
+from repro.theory.independence import (
+    bit_table,
+    is_kwise_independent,
+    max_exact_independence,
+    pattern_counts,
+    sampled_pattern_chisq,
+)
+from repro.theory.model import (
+    eh3_error_prediction,
+    exact_estimator_moments,
+    expectation_over_seeds,
+    proposition1_value_counts,
+    proposition2_expectation,
+    proposition3_expectation,
+    proposition4_brute_counts,
+    rao_seed_lower_bound,
+)
+
+__all__ = [
+    "bit_table",
+    "is_kwise_independent",
+    "max_exact_independence",
+    "pattern_counts",
+    "sampled_pattern_chisq",
+    "eh3_error_prediction",
+    "exact_estimator_moments",
+    "expectation_over_seeds",
+    "proposition1_value_counts",
+    "proposition2_expectation",
+    "proposition3_expectation",
+    "proposition4_brute_counts",
+    "rao_seed_lower_bound",
+]

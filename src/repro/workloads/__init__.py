@@ -1,0 +1,43 @@
+"""Workload generators for the paper's experiments (Section 6)."""
+
+from repro.workloads.adversarial import (
+    adverse_frequency_vector,
+    adverse_support,
+    is_pair_aligned,
+)
+from repro.workloads.regions import (
+    Region,
+    RegionDataset,
+    generate_region_dataset,
+)
+from repro.workloads.spatial import (
+    DATASET_SPECS,
+    SegmentDataset,
+    generate_segments,
+    landc,
+    lando,
+    soil,
+)
+from repro.workloads.zipf import (
+    sample_zipf_counts,
+    zipf_frequency_vector,
+    zipf_weights,
+)
+
+__all__ = [
+    "adverse_frequency_vector",
+    "adverse_support",
+    "is_pair_aligned",
+    "Region",
+    "RegionDataset",
+    "generate_region_dataset",
+    "DATASET_SPECS",
+    "SegmentDataset",
+    "generate_segments",
+    "landc",
+    "lando",
+    "soil",
+    "sample_zipf_counts",
+    "zipf_frequency_vector",
+    "zipf_weights",
+]

@@ -1,0 +1,132 @@
+"""Synthetic multi-dimensional region data (paper Section 6.4 / Figure 4).
+
+Reimplementation of the data generator the paper borrows from Dobra et
+al. [8]: a two-dimensional point distribution composed of rectangular
+*regions* randomly placed in the domain, with
+
+* the number of points assigned to each region Zipf distributed across
+  regions, and
+* the point distribution *within* each region Zipf distributed as well
+  (skew over the region's cells, positions shuffled inside the region).
+
+The Figure 4 experiments use 10 regions over a 1024 x 1024 domain and sweep
+the within-region Zipf coefficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.zipf import zipf_weights
+
+__all__ = ["Region", "RegionDataset", "generate_region_dataset"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned rectangular region with a point budget."""
+
+    bounds: tuple[tuple[int, int], ...]  # one inclusive (low, high) per axis
+    points: int
+
+    @property
+    def cells(self) -> int:
+        """Number of domain cells inside the region."""
+        total = 1
+        for low, high in self.bounds:
+            total *= high - low + 1
+        return total
+
+
+@dataclass
+class RegionDataset:
+    """A generated dataset: the points plus the region metadata."""
+
+    domain_bits: tuple[int, ...]
+    regions: list[Region]
+    points: np.ndarray  # (count, d) int64
+
+    @property
+    def dimensions(self) -> int:
+        """Number of axes."""
+        return len(self.domain_bits)
+
+    def frequency_matrix(self) -> np.ndarray:
+        """Dense d-dimensional histogram of the points (small domains)."""
+        shape = tuple(1 << b for b in self.domain_bits)
+        freq = np.zeros(shape, dtype=np.float64)
+        np.add.at(freq, tuple(self.points[:, k] for k in range(self.dimensions)), 1.0)
+        return freq
+
+
+def _random_region_bounds(
+    rng: np.random.Generator,
+    domain_bits: tuple[int, ...],
+    min_side: int,
+    max_side: int,
+) -> tuple[tuple[int, int], ...]:
+    bounds = []
+    for bits in domain_bits:
+        size = 1 << bits
+        side = int(rng.integers(min_side, min(max_side, size) + 1))
+        low = int(rng.integers(0, size - side + 1))
+        bounds.append((low, low + side - 1))
+    return tuple(bounds)
+
+
+def generate_region_dataset(
+    domain_bits: tuple[int, ...] = (10, 10),
+    regions: int = 10,
+    total_points: int = 100_000,
+    region_zipf: float = 1.0,
+    within_zipf: float = 1.0,
+    rng: np.random.Generator | None = None,
+    min_side: int = 32,
+    max_side: int = 256,
+) -> RegionDataset:
+    """The Figure 4 dataset: Zipf-over-regions, Zipf-within-region points.
+
+    ``region_zipf`` skews how many points each region receives;
+    ``within_zipf`` skews how the points spread over a region's cells (the
+    coefficient swept on Figure 4's x-axis).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if regions < 1:
+        raise ValueError("at least one region is required")
+
+    per_region = rng.multinomial(total_points, zipf_weights(regions, region_zipf))
+    region_list: list[Region] = []
+    chunks: list[np.ndarray] = []
+    for budget in per_region:
+        bounds = _random_region_bounds(rng, tuple(domain_bits), min_side, max_side)
+        region = Region(bounds=bounds, points=int(budget))
+        region_list.append(region)
+        if budget == 0:
+            continue
+        # Zipf over the region's cells, with shuffled cell order so the
+        # skew is not axis-aligned.
+        cells = region.cells
+        cell_weights = zipf_weights(cells, within_zipf)
+        cell_counts = rng.multinomial(int(budget), cell_weights)
+        cell_ids = rng.permutation(cells)[cell_counts > 0]
+        cell_counts = cell_counts[cell_counts > 0]
+        # Unrank cell ids into per-axis coordinates.
+        sides = [high - low + 1 for low, high in bounds]
+        coords = np.empty((len(cell_ids), len(bounds)), dtype=np.int64)
+        remainder = cell_ids.astype(np.int64)
+        for axis in range(len(bounds) - 1, -1, -1):
+            coords[:, axis] = bounds[axis][0] + remainder % sides[axis]
+            remainder //= sides[axis]
+        chunks.append(np.repeat(coords, cell_counts, axis=0))
+
+    if chunks:
+        points = np.concatenate(chunks, axis=0)
+        rng.shuffle(points, axis=0)
+    else:
+        points = np.empty((0, len(domain_bits)), dtype=np.int64)
+    return RegionDataset(
+        domain_bits=tuple(domain_bits), regions=region_list, points=points
+    )

@@ -1,0 +1,174 @@
+"""Synthetic GIS-like segment datasets (paper Section 6.3 / Figures 5-7).
+
+The paper evaluates spatial-join estimation on three Wyoming GIS layers:
+
+* LANDO -- land-cover ownership, 33,860 objects,
+* LANDC -- land-cover / vegetation types, 14,731 objects,
+* SOIL  -- state soils at 1:100,000 scale, 29,662 objects.
+
+Those files are not redistributable, so this module builds synthetic
+*stand-ins* with the properties the estimators are sensitive to (see
+DESIGN.md, "Substitutions"): identical object counts, spatially clustered
+placement (parcels concentrate around populated areas), and heavy-tailed
+segment lengths (a few huge ownership parcels, many small ones).  Each
+dataset is generated from a fixed per-name seed, so every experiment is
+reproducible bit-for-bit.
+
+Segments are 1-D inclusive integer intervals over a ``2^domain_bits``
+domain -- the unidimensional spatial-join setting of Application 1 (the
+paper's own base case; its d-dimensional extension combines per-dimension
+estimators exactly as :mod:`repro.rangesum.multidim` does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SegmentDataset",
+    "generate_segments",
+    "state_geography",
+    "lando",
+    "landc",
+    "soil",
+    "DATASET_SPECS",
+]
+
+#: (object count, cluster count, mean log2 length, seed) per paper dataset.
+#: All three layers share :func:`state_geography` hotspots (same state).
+DATASET_SPECS: dict[str, tuple[int, int, float, int]] = {
+    "LANDO": (33_860, 200, 9.0, 0xA1),
+    "LANDC": (14_731, 200, 9.5, 0xB2),
+    "SOIL": (29_662, 200, 8.5, 0xC3),
+}
+
+
+@dataclass
+class SegmentDataset:
+    """A named set of 1-D segments over a ``2^domain_bits`` domain."""
+
+    name: str
+    domain_bits: int
+    segments: np.ndarray  # (count, 2) int64, inclusive [low, high]
+
+    def __post_init__(self) -> None:
+        seg = np.asarray(self.segments, dtype=np.int64)
+        if seg.ndim != 2 or seg.shape[1] != 2:
+            raise ValueError("segments must be a (count, 2) array")
+        if (seg[:, 0] > seg[:, 1]).any():
+            raise ValueError("every segment needs low <= high")
+        if seg.min(initial=0) < 0 or seg.max(initial=0) >= (1 << self.domain_bits):
+            raise ValueError("segments outside the domain")
+        self.segments = seg
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def left_endpoints(self) -> np.ndarray:
+        """The left end-point of every segment (the join's point side)."""
+        return self.segments[:, 0].copy()
+
+    def coverage_vector(self) -> np.ndarray:
+        """Dense count of segments covering each domain point (small domains).
+
+        Computed with a difference array so it is O(count + domain).
+        """
+        diff = np.zeros((1 << self.domain_bits) + 1, dtype=np.float64)
+        np.add.at(diff, self.segments[:, 0], 1.0)
+        np.add.at(diff, self.segments[:, 1] + 1, -1.0)
+        return np.cumsum(diff)[:-1]
+
+
+def state_geography(domain_bits: int, clusters: int, seed: int = 0x57A7E) -> np.ndarray:
+    """Shared hotspot centers for co-located layers.
+
+    The paper's three layers all describe Wyoming, so their object
+    densities peak in the same places; the stand-ins share this fixed
+    center set (per-layer placement still differs) which gives the
+    pairwise joins realistic, non-vanishing selectivities.
+    """
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << domain_bits, size=clusters)
+
+
+def generate_segments(
+    name: str,
+    count: int,
+    domain_bits: int,
+    clusters: int,
+    mean_log_length: float,
+    rng: np.random.Generator,
+    cluster_spread: float = 0.08,
+    popularity_zipf: float = 0.5,
+    length_log_sigma: float = 1.0,
+    centers: np.ndarray | None = None,
+) -> SegmentDataset:
+    """Clustered heavy-tailed segment generator.
+
+    Cluster centers are uniform; each segment picks a cluster (Zipf
+    popularity with coefficient ``popularity_zipf``), a Gaussian position
+    around its center (``cluster_spread`` of the domain), and a log-normal
+    length centered at ``2^mean_log_length``.  The defaults are calibrated
+    so coverage depths resemble cadastral GIS layers (tens of overlapping
+    parcels at hot spots, not hundreds) -- see DESIGN.md, Substitutions.
+    """
+    if count < 1 or clusters < 1:
+        raise ValueError("count and clusters must be positive")
+    domain = 1 << domain_bits
+
+    if centers is None:
+        centers = rng.integers(0, domain, size=clusters)
+    else:
+        centers = np.asarray(centers, dtype=np.int64)
+        if len(centers) != clusters:
+            raise ValueError("centers must match the cluster count")
+    popularity = np.arange(1, clusters + 1, dtype=np.float64) ** -popularity_zipf
+    popularity /= popularity.sum()
+    assignment = rng.choice(clusters, size=count, p=popularity)
+
+    positions = centers[assignment] + rng.normal(
+        0.0, cluster_spread * domain, size=count
+    )
+    lengths = np.exp2(
+        rng.normal(mean_log_length, length_log_sigma, size=count)
+    )
+    lengths = np.clip(lengths, 1, domain // 4).astype(np.int64)
+
+    # Wrap positions modulo the per-segment feasible start range instead of
+    # clipping: clipping would pile thousands of end-points onto the two
+    # boundary values and distort every end-point-based reduction.
+    lows = positions.astype(np.int64) % (domain - lengths)
+    highs = lows + lengths
+    segments = np.stack([lows, highs], axis=1)
+    return SegmentDataset(name=name, domain_bits=domain_bits, segments=segments)
+
+
+def _from_spec(name: str, domain_bits: int) -> SegmentDataset:
+    count, clusters, mean_log_length, seed = DATASET_SPECS[name]
+    rng = np.random.default_rng(seed)
+    return generate_segments(
+        name,
+        count,
+        domain_bits,
+        clusters,
+        mean_log_length,
+        rng,
+        centers=state_geography(domain_bits, clusters),
+    )
+
+
+def lando(domain_bits: int = 20) -> SegmentDataset:
+    """Synthetic stand-in for the LANDO layer (33,860 objects)."""
+    return _from_spec("LANDO", domain_bits)
+
+
+def landc(domain_bits: int = 20) -> SegmentDataset:
+    """Synthetic stand-in for the LANDC layer (14,731 objects)."""
+    return _from_spec("LANDC", domain_bits)
+
+
+def soil(domain_bits: int = 20) -> SegmentDataset:
+    """Synthetic stand-in for the SOIL layer (29,662 objects)."""
+    return _from_spec("SOIL", domain_bits)

@@ -1,0 +1,74 @@
+"""Zipf-distributed frequency vectors (paper Section 6.1-6.2 workloads).
+
+Figures 2 and 3 estimate self-join sizes of relations whose value
+frequencies follow a Zipf law: frequency of the rank-``k`` value
+proportional to ``1 / k^z`` with the coefficient ``z`` swept from 0
+(uniform) to 5 (extremely skewed).  The generators here produce both the
+*expected* (deterministic, real-valued) frequency vector and sampled
+integer-count vectors, over domains of ``2^n`` values, with an optional
+random permutation decoupling rank from domain position (XOR structure in
+the variance theory makes position matter, so experiments shuffle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "zipf_weights",
+    "zipf_frequency_vector",
+    "sample_zipf_counts",
+]
+
+
+def zipf_weights(domain_size: int, z: float) -> np.ndarray:
+    """Normalized Zipf probabilities ``p_k ~ 1 / (k+1)^z`` (rank order)."""
+    if domain_size < 1:
+        raise ValueError("domain_size must be positive")
+    if z < 0:
+        raise ValueError("the Zipf coefficient must be non-negative")
+    ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+    weights = ranks**-z
+    return weights / weights.sum()
+
+
+def zipf_frequency_vector(
+    domain_size: int,
+    tuples: int,
+    z: float,
+    rng: np.random.Generator | None = None,
+    permute: bool = True,
+) -> np.ndarray:
+    """Expected (real-valued) Zipf frequency vector with ``tuples`` mass.
+
+    The deterministic counterpart of :func:`sample_zipf_counts`: frequency
+    of the rank-k value is exactly ``tuples * p_k``.  With ``permute=True``
+    ranks are assigned to random domain positions (requires ``rng``).
+    """
+    frequencies = zipf_weights(domain_size, z) * float(tuples)
+    if permute:
+        if rng is None:
+            raise ValueError("permute=True requires an rng")
+        frequencies = frequencies[rng.permutation(domain_size)]
+    return frequencies
+
+
+def sample_zipf_counts(
+    domain_size: int,
+    tuples: int,
+    z: float,
+    rng: np.random.Generator,
+    permute: bool = True,
+) -> np.ndarray:
+    """Integer frequency vector of ``tuples`` i.i.d. Zipf draws.
+
+    This is what a real tuple stream produces; totals sum exactly to
+    ``tuples``.
+    """
+    if tuples < 0:
+        raise ValueError("tuples must be non-negative")
+    weights = zipf_weights(domain_size, z)
+    counts = rng.multinomial(tuples, weights).astype(np.float64)
+    if permute:
+        counts = counts[rng.permutation(domain_size)]
+    return counts

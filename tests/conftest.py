@@ -1,0 +1,20 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import SeedSource
+
+
+@pytest.fixture
+def source() -> SeedSource:
+    """A deterministic seed source, fresh per test."""
+    return SeedSource(0xDEADBEEF)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy generator, fresh per test."""
+    return np.random.default_rng(0xC0FFEE)

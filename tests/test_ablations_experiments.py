@@ -1,0 +1,63 @@
+"""Unit tests for the ablation experiment runners (tiny parameters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_ablation_adversarial,
+    run_ablation_allocation,
+    run_ablation_covers,
+    run_ablation_cube,
+    run_ablation_h_function,
+    run_ablations,
+)
+
+
+class TestIndividualRunners:
+    def test_h_function_tiny(self):
+        result = run_ablation_h_function(
+            domain_bits=8, tuples=5_000, averages=10, trials=4
+        )
+        errors = dict(zip(result.column("Scheme"), result.column("Error")))
+        assert set(errors) == {"EH3", "BCH3", "BCH5"}
+        assert all(v >= 0 for v in errors.values())
+
+    def test_adversarial_tiny(self):
+        result = run_ablation_adversarial(
+            domain_bits=8, tuples=5_000, averages=10, trials=4
+        )
+        assert len(result.rows) == 3
+
+    def test_cube_tiny(self):
+        result = run_ablation_cube(
+            domain_bits=8, tuples=5_000, averages=10, trials=4
+        )
+        assert len(result.rows) == 2
+
+    def test_covers_counts(self):
+        result = run_ablation_covers(domain_bits=12, intervals=100)
+        pieces = dict(
+            zip(result.column("Cover"), result.column("Total pieces"))
+        )
+        assert pieces["binary"] <= pieces["quaternary"] <= 2 * pieces["binary"]
+
+    def test_allocation_partitions_budget(self):
+        result = run_ablation_allocation(
+            domain_bits=8, tuples=5_000, total_counters=24, trials=4
+        )
+        for medians, averages, __ in result.rows:
+            assert medians * averages <= 24
+            assert averages == 24 // medians
+
+
+class TestCombinedRunner:
+    def test_combined_table_collects_all_studies(self):
+        # Tiny parameters are not exposed through run_ablations, so this
+        # is the one intentionally slower unit test (~10 s).
+        result = run_ablations()
+        studies = set(result.column("Study"))
+        assert len(studies) == 5
+        # Allocation variants flatten their two leading columns.
+        variants = result.column("Variant")
+        assert any(" x " in str(v) for v in variants)

@@ -1,0 +1,67 @@
+"""Tests for the Section 5.3.3 adversarial workload construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bits import adjacent_pair_or_fold
+from repro.sketch.variance import var_bch3_exact, var_bch5, var_eh3_exact
+from repro.workloads.adversarial import (
+    adverse_frequency_vector,
+    adverse_support,
+    is_pair_aligned,
+)
+
+
+class TestSupportStructure:
+    def test_size_is_2_to_pairs(self):
+        for bits in (2, 4, 6, 8):
+            assert len(adverse_support(bits)) == 1 << (bits // 2)
+
+    def test_membership_predicate(self):
+        support = set(int(i) for i in adverse_support(6))
+        for i in range(64):
+            assert is_pair_aligned(i, 6) == (i in support)
+
+    def test_closed_under_xor(self):
+        support = set(int(i) for i in adverse_support(6))
+        for a in support:
+            for b in support:
+                assert a ^ b in support
+
+    def test_h_constant_parity_on_quadruples(self):
+        """h(i)^h(j)^h(k)^h(i^j^k) == 0 for support members."""
+        support = [int(i) for i in adverse_support(6)]
+        h = lambda x: adjacent_pair_or_fold(x, 6)  # noqa: E731
+        for i in support[:8]:
+            for j in support[:8]:
+                for k in support[:8]:
+                    l = i ^ j ^ k
+                    assert h(i) ^ h(j) ^ h(k) ^ h(l) == 0
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            adverse_support(5)
+
+
+class TestVarianceCollapse:
+    def test_eh3_equals_bch3_on_adverse_data(self):
+        """The headline property: EH3's variance == BCH3's exactly."""
+        r = adverse_frequency_vector(4, 100)
+        assert var_eh3_exact(r, r, 4) == pytest.approx(var_bch3_exact(r, r))
+
+    def test_eh3_worse_than_bch5_on_adverse_data(self):
+        r = adverse_frequency_vector(4, 100)
+        assert var_eh3_exact(r, r, 4) > 1.5 * var_bch5(r, r)
+
+    def test_jittered_masses_keep_the_property(self, rng):
+        r = adverse_frequency_vector(4, 100, rng)
+        assert var_eh3_exact(r, r, 4) == pytest.approx(var_bch3_exact(r, r))
+
+    def test_mass_conserved(self, rng):
+        r = adverse_frequency_vector(6, 500, rng)
+        assert r.sum() == pytest.approx(500)
+        off_support = np.ones(64, dtype=bool)
+        off_support[adverse_support(6)] = False
+        assert (r[off_support] == 0).all()

@@ -1,0 +1,79 @@
+"""Tests for the Monte-Carlo approximate range-summation extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import BCH5, EH3, SeedSource
+from repro.rangesum import brute_force_range_sum
+from repro.rangesum.approximate import (
+    sampled_range_sum,
+    samples_for_absolute_error,
+    stratified_range_sum,
+)
+
+
+class TestSampleAccounting:
+    def test_hoeffding_bound_shape(self):
+        # Halving the error quadruples the samples.
+        base = samples_for_absolute_error(1 << 20, 1000.0)
+        tighter = samples_for_absolute_error(1 << 20, 500.0)
+        assert tighter == pytest.approx(4 * base, rel=0.01)
+
+    def test_relative_guarantee_needs_linear_samples(self):
+        """The paper's implicit negative result: aiming at the natural
+        sqrt(size) target costs ~size samples."""
+        size = 1 << 16
+        needed = samples_for_absolute_error(size, float(np.sqrt(size)))
+        assert needed > size  # no better than enumerating the interval
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            samples_for_absolute_error(16, 0.0)
+        with pytest.raises(ValueError):
+            samples_for_absolute_error(16, 1.0, confidence=1.0)
+
+
+class TestEstimators:
+    def test_unbiased_on_average(self, rng):
+        generator = BCH5.from_source(12, SeedSource(1), mode="arithmetic")
+        alpha, beta = 100, 3500
+        truth = brute_force_range_sum(generator, alpha, beta)
+        estimates = [
+            sampled_range_sum(generator, alpha, beta, 500, rng).estimate
+            for _ in range(80)
+        ]
+        sd = (beta - alpha + 1) / np.sqrt(500)
+        assert abs(np.mean(estimates) - truth) < 4 * sd / np.sqrt(80)
+
+    def test_exhaustive_sampling_bound_holds(self, rng):
+        generator = EH3.from_source(10, SeedSource(2))
+        alpha, beta = 17, 900
+        truth = brute_force_range_sum(generator, alpha, beta)
+        result = sampled_range_sum(
+            generator, alpha, beta, 20_000, rng, confidence=0.999
+        )
+        assert abs(result.estimate - truth) <= result.absolute_error_bound
+
+    def test_stratified_matches_truth_with_many_samples(self, rng):
+        generator = BCH5.from_source(10, SeedSource(3), mode="gf")
+        alpha, beta = 5, 1000
+        truth = brute_force_range_sum(generator, alpha, beta)
+        result = stratified_range_sum(generator, alpha, beta, 30_000, rng)
+        assert abs(result.estimate - truth) <= result.absolute_error_bound
+
+    def test_sample_counts_recorded(self, rng):
+        generator = EH3.from_source(8, SeedSource(4))
+        result = sampled_range_sum(generator, 0, 255, 64, rng)
+        assert result.samples == 64
+        assert result.interval_size == 256
+
+    def test_validation(self, rng):
+        generator = EH3.from_source(8, SeedSource(5))
+        with pytest.raises(ValueError):
+            sampled_range_sum(generator, 10, 5, 10, rng)
+        with pytest.raises(ValueError):
+            sampled_range_sum(generator, 0, 10, 0, rng)
+        with pytest.raises(ValueError):
+            stratified_range_sum(generator, 0, 200, 1, rng)

@@ -1,0 +1,98 @@
+"""Tests for the selectivity-estimation application (Application 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.histograms import (
+    SelectivityEstimator,
+    estimate_average_frequency,
+    estimate_region_count,
+    exact_region_count,
+    random_query_rects,
+    rect_area,
+    sketch_data_points,
+    sketch_region,
+)
+from repro.generators import SeedSource
+from repro.rangesum.multidim import ProductGenerator
+from repro.sketch.ams import SketchScheme
+from repro.sketch.atomic import ProductChannel
+
+
+def product_scheme(source, medians=5, averages=200, bits=(6, 6)):
+    return SketchScheme.from_factory(
+        lambda src: ProductChannel(ProductGenerator.eh3(bits, src)),
+        medians,
+        averages,
+        source,
+    )
+
+
+@pytest.fixture
+def clustered_points(rng):
+    cluster = rng.integers(10, 30, size=(300, 2))
+    spread = rng.integers(0, 64, size=(100, 2))
+    return np.concatenate([cluster, spread])
+
+
+class TestGeometry:
+    def test_rect_area(self):
+        assert rect_area(((0, 3), (0, 4))) == 20
+        assert rect_area(((5, 5),)) == 1
+        with pytest.raises(ValueError):
+            rect_area(((3, 2),))
+
+    def test_random_query_rects_within_domain(self, rng):
+        rects = random_query_rects(rng, (6, 6), 20, min_side=4, max_side=16)
+        assert len(rects) == 20
+        for rect in rects:
+            for low, high in rect:
+                assert 0 <= low <= high < 64
+                assert 4 <= high - low + 1 <= 16
+
+
+class TestEstimation:
+    def test_region_count_converges(self, clustered_points, source: SeedSource):
+        scheme = product_scheme(source)
+        data_sketch = sketch_data_points(scheme, clustered_points)
+        rect = ((8, 32), (8, 32))
+        truth = exact_region_count(clustered_points, rect)
+        estimate = estimate_region_count(data_sketch, scheme, rect)
+        assert truth > 100  # the cluster is inside
+        assert estimate == pytest.approx(truth, rel=0.5)
+
+    def test_average_frequency_scales(self, clustered_points, source: SeedSource):
+        scheme = product_scheme(source)
+        data_sketch = sketch_data_points(scheme, clustered_points)
+        rect = ((8, 32), (8, 32))
+        count = estimate_region_count(data_sketch, scheme, rect)
+        average = estimate_average_frequency(data_sketch, scheme, rect)
+        assert average == pytest.approx(count / rect_area(rect))
+
+    def test_estimator_wrapper(self, clustered_points, source: SeedSource):
+        scheme = product_scheme(source)
+        estimator = SelectivityEstimator(scheme, clustered_points)
+        rect = ((8, 32), (8, 32))
+        truth = estimator.exact_count(rect)
+        assert estimator.count(rect) == pytest.approx(truth, rel=0.5)
+        assert estimator.selectivity(rect) == pytest.approx(
+            estimator.count(rect) / len(clustered_points)
+        )
+        assert estimator.average_frequency(rect) == pytest.approx(
+            estimator.count(rect) / rect_area(rect)
+        )
+
+    def test_empty_dataset_selectivity_rejected(self, source: SeedSource):
+        scheme = product_scheme(source, medians=1, averages=1)
+        estimator = SelectivityEstimator(scheme, np.empty((0, 2), dtype=int))
+        with pytest.raises(ValueError):
+            estimator.selectivity(((0, 3), (0, 3)))
+
+    def test_region_sketch_single_update(self, source: SeedSource):
+        scheme = product_scheme(source, medians=1, averages=1)
+        rect = ((0, 7), (0, 7))
+        sketch = sketch_region(scheme, rect)
+        channel = scheme.channels[0][0]
+        assert sketch.values()[0, 0] == channel.interval(rect)

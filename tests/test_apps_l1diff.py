@@ -1,0 +1,108 @@
+"""Tests for the L1-difference application (Application 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.l1diff import (
+    encode_entry_interval,
+    estimate_l1_difference,
+    l1_domain_bits,
+    sketch_vector,
+    update_vector_entry,
+)
+from repro.generators import EH3, SeedSource
+from repro.sketch.ams import SketchScheme
+from repro.stream.exact import l1_difference
+
+
+def l1_scheme(source, index_bits=4, value_bits=6, medians=5, averages=300):
+    bits = l1_domain_bits(index_bits, value_bits)
+    return SketchScheme.from_generators(
+        lambda src: EH3.from_source(bits, src), medians, averages, source
+    )
+
+
+class TestEncoding:
+    def test_interval_layout(self):
+        assert encode_entry_interval(0, 5, 4) == (0, 4)
+        assert encode_entry_interval(3, 1, 4) == (48, 48)
+        assert encode_entry_interval(2, 16, 4) == (32, 47)
+
+    def test_zero_value_contributes_nothing(self):
+        assert encode_entry_interval(7, 0, 4) is None
+
+    def test_value_bounds(self):
+        with pytest.raises(ValueError):
+            encode_entry_interval(0, 17, 4)
+        with pytest.raises(ValueError):
+            encode_entry_interval(0, -1, 4)
+
+    def test_domain_bits(self):
+        assert l1_domain_bits(10, 6) == 16
+        with pytest.raises(ValueError):
+            l1_domain_bits(0, 4)
+
+    def test_intervals_disjoint_across_indices(self):
+        spans = [encode_entry_interval(i, 1 << 4, 4) for i in range(8)]
+        for (a1, b1), (a2, b2) in zip(spans, spans[1:]):
+            assert b1 < a2
+
+
+class TestSketching:
+    def test_entry_updates_match_vector_sketch(self, source: SeedSource):
+        scheme = l1_scheme(source, medians=2, averages=3)
+        vector = np.array([3, 0, 7, 1] + [0] * 12)
+        whole = sketch_vector(scheme, vector, value_bits=6)
+        streamed = scheme.sketch()
+        for index, value in enumerate(vector):
+            update_vector_entry(streamed, index, int(value), value_bits=6)
+        assert np.allclose(whole.values(), streamed.values())
+
+    def test_identical_vectors_give_zero(self, source: SeedSource):
+        """X_a - X_b is identically zero for equal inputs: estimate 0."""
+        scheme = l1_scheme(source, medians=2, averages=3)
+        vector = np.array([5, 2, 0, 9] + [0] * 12)
+        a = sketch_vector(scheme, vector, value_bits=6)
+        b = sketch_vector(scheme, vector, value_bits=6)
+        assert estimate_l1_difference(a, b) == 0.0
+
+
+class TestEstimation:
+    def test_l1_estimate_converges(self, source: SeedSource):
+        rng = np.random.default_rng(23)
+        vector_a = rng.integers(0, 40, size=16)
+        vector_b = rng.integers(0, 40, size=16)
+        truth = l1_difference(vector_a, vector_b)
+        scheme = l1_scheme(source, medians=7, averages=600)
+        a = sketch_vector(scheme, vector_a, value_bits=6)
+        b = sketch_vector(scheme, vector_b, value_bits=6)
+        estimate = estimate_l1_difference(a, b)
+        assert estimate == pytest.approx(truth, rel=0.5)
+
+    def test_single_coordinate_difference_is_exactish(self, source: SeedSource):
+        """Vectors differing in one coordinate by d: L1 = d."""
+        scheme = l1_scheme(source, medians=7, averages=600)
+        vector_a = np.zeros(16, dtype=int)
+        vector_b = np.zeros(16, dtype=int)
+        vector_a[5] = 20
+        vector_b[5] = 12
+        a = sketch_vector(scheme, vector_a, value_bits=6)
+        b = sketch_vector(scheme, vector_b, value_bits=6)
+        estimate = estimate_l1_difference(a, b)
+        # The difference sketch holds exactly the 8 tuples (5, 12..19);
+        # the self-join of 8 singletons is 8.
+        assert estimate == pytest.approx(8.0, abs=4.0)
+
+    def test_order_independence(self, source: SeedSource):
+        """Streaming order cannot matter (sketches are linear)."""
+        scheme = l1_scheme(source, medians=2, averages=3)
+        forward = scheme.sketch()
+        backward = scheme.sketch()
+        entries = [(0, 3), (2, 9), (7, 1)]
+        for index, value in entries:
+            update_vector_entry(forward, index, value, value_bits=6)
+        for index, value in reversed(entries):
+            update_vector_entry(backward, index, value, value_bits=6)
+        assert np.allclose(forward.values(), backward.values())

@@ -1,0 +1,103 @@
+"""Tests for the spatial size-of-join application (Application 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.spatialjoin import (
+    endpoint_join_truth,
+    estimate_spatial_join,
+    exact_spatial_join,
+    sketch_segment_dataset,
+)
+from repro.generators import EH3, SeedSource
+from repro.rangesum.dmap import DMAP
+from repro.sketch.ams import SketchScheme
+from repro.sketch.atomic import DMAPChannel, GeneratorChannel
+from repro.workloads.spatial import SegmentDataset
+
+
+def make_dataset(name, segments, bits=10) -> SegmentDataset:
+    return SegmentDataset(name, bits, np.array(segments, dtype=np.int64))
+
+
+@pytest.fixture
+def small_pair():
+    rng = np.random.default_rng(11)
+    def random_segments(count):
+        lows = rng.integers(0, 900, size=count)
+        lengths = rng.integers(0, 100, size=count)
+        return [(int(a), int(min(a + l, 1023))) for a, l in zip(lows, lengths)]
+    first = make_dataset("A", random_segments(40))
+    second = make_dataset("B", random_segments(30))
+    return first, second
+
+
+class TestExactReduction:
+    def test_endpoint_truth_close_to_exact(self, small_pair):
+        """(J1 + J2) / 2 equals the intersection count up to end-point
+        coincidences (each shared end-point contributes +/- 1/2)."""
+        first, second = small_pair
+        truth = exact_spatial_join(first, second)
+        reduced = endpoint_join_truth(first, second)
+        assert abs(reduced - truth) <= 0.05 * max(truth, 1)
+
+    def test_endpoint_truth_exact_on_disjoint_endpoints(self):
+        first = make_dataset("A", [(0, 10), (20, 30)])
+        second = make_dataset("B", [(5, 25), (40, 50)])
+        assert exact_spatial_join(first, second) == 2
+        assert endpoint_join_truth(first, second) == 2.0
+
+    def test_nested_segments(self):
+        first = make_dataset("A", [(0, 100)])
+        second = make_dataset("B", [(10, 20)])
+        assert exact_spatial_join(first, second) == 1
+        assert endpoint_join_truth(first, second) == 1.0
+
+
+class TestSketchEstimation:
+    def _eh3_scheme(self, source, medians=5, averages=300):
+        return SketchScheme.from_factory(
+            lambda src: GeneratorChannel(EH3.from_source(10, src)),
+            medians,
+            averages,
+            source,
+        )
+
+    def _dmap_scheme(self, source, medians=5, averages=300):
+        return SketchScheme.from_factory(
+            lambda src: DMAPChannel(DMAP.from_source(10, src)),
+            medians,
+            averages,
+            source,
+        )
+
+    def test_eh3_estimate_converges(self, small_pair, source: SeedSource):
+        first, second = small_pair
+        scheme = self._eh3_scheme(source)
+        estimate = estimate_spatial_join(
+            sketch_segment_dataset(scheme, first),
+            sketch_segment_dataset(scheme, second),
+        )
+        truth = endpoint_join_truth(first, second)
+        assert abs(estimate - truth) <= 0.5 * max(truth, 10)
+
+    def test_dmap_estimate_converges(self, small_pair, source: SeedSource):
+        first, second = small_pair
+        scheme = self._dmap_scheme(source)
+        estimate = estimate_spatial_join(
+            sketch_segment_dataset(scheme, first),
+            sketch_segment_dataset(scheme, second),
+        )
+        truth = endpoint_join_truth(first, second)
+        assert abs(estimate - truth) <= 1.5 * max(truth, 10)
+
+    def test_sketch_counts(self, small_pair, source: SeedSource):
+        first, __ = small_pair
+        scheme = self._eh3_scheme(source, medians=2, averages=2)
+        sketches = sketch_segment_dataset(scheme, first)
+        assert sketches.count == len(first)
+        # Endpoint sketch saw 2 updates per segment: its counter parity
+        # matches 2 * count.
+        assert sketches.endpoints.values().shape == (2, 2)

@@ -1,0 +1,183 @@
+"""Tests for the d-dimensional spatial join extension."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.apps.spatialjoin2d import (
+    RectDataset,
+    estimate_rect_join,
+    exact_rect_join,
+    rect_join_reduction_truth,
+    sketch_rect_dataset,
+)
+from repro.generators import EH3, SeedSource
+from repro.rangesum.multidim import ProductGenerator
+from repro.sketch.ams import SketchScheme
+from repro.sketch.atomic import GeneratorChannel, ProductChannel
+
+
+def tiny_pair():
+    first = RectDataset(
+        "A",
+        (3, 3),
+        np.array(
+            [
+                [[0, 3], [1, 4]],
+                [[2, 6], [0, 2]],
+                [[5, 7], [3, 7]],
+            ]
+        ),
+    )
+    second = RectDataset(
+        "B",
+        (3, 3),
+        np.array(
+            [
+                [[1, 2], [2, 5]],
+                [[4, 7], [1, 3]],
+            ]
+        ),
+    )
+    return first, second
+
+
+class TestRectDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RectDataset("X", (3, 3), np.zeros((2, 2)))  # wrong rank
+        with pytest.raises(ValueError):
+            RectDataset("X", (3,), np.zeros((2, 2, 2), dtype=int))
+        with pytest.raises(ValueError):
+            RectDataset("X", (3, 3), np.array([[[3, 1], [0, 2]]]))
+        with pytest.raises(ValueError):
+            RectDataset("X", (3, 3), np.array([[[0, 8], [0, 2]]]))
+
+    def test_metadata(self):
+        first, __ = tiny_pair()
+        assert len(first) == 3
+        assert first.dimensions == 2
+
+
+class TestExactReferences:
+    def test_exact_join_by_hand(self):
+        first, second = tiny_pair()
+        # Verified by hand: B0 meets A0 and A1; B1 meets A1 and A2.
+        assert exact_rect_join(first, second) == 4
+
+    def test_reduction_truth_near_exact(self):
+        first, second = tiny_pair()
+        truth = exact_rect_join(first, second)
+        reduced = rect_join_reduction_truth(first, second)
+        assert abs(reduced - truth) <= 1.0  # end-point coincidences only
+
+    def test_matches_bruteforce_on_random_data(self, rng):
+        lows = rng.integers(0, 40, size=(30, 2))
+        highs = lows + rng.integers(0, 20, size=(30, 2))
+        first = RectDataset("A", (6, 6), np.stack([lows, np.minimum(highs, 63)], axis=2))
+        lows = rng.integers(0, 40, size=(25, 2))
+        highs = lows + rng.integers(0, 20, size=(25, 2))
+        second = RectDataset("B", (6, 6), np.stack([lows, np.minimum(highs, 63)], axis=2))
+        expected = 0
+        for r in first.rects:
+            for s in second.rects:
+                if all(
+                    max(r[k, 0], s[k, 0]) <= min(r[k, 1], s[k, 1])
+                    for k in range(2)
+                ):
+                    expected += 1
+        assert exact_rect_join(first, second) == expected
+
+
+class TestEstimator:
+    def test_exactly_unbiased_over_full_seed_space(self):
+        """E[estimator] == reduction truth, enumerated over ALL seeds."""
+        first, second = tiny_pair()
+        target = rect_join_reduction_truth(first, second)
+        total = 0.0
+        count = 0
+        for s0x, s1x in product((0, 1), range(8)):
+            for s0y, s1y in product((0, 1), range(8)):
+                generator = ProductGenerator(
+                    [EH3(3, s0x, s1x), EH3(3, s0y, s1y)]
+                )
+                scheme = SketchScheme([[ProductChannel(generator)]])
+                first_sketches = sketch_rect_dataset(scheme, first)
+                second_sketches = sketch_rect_dataset(scheme, second)
+                total += estimate_rect_join(first_sketches, second_sketches)
+                count += 1
+        assert total / count == pytest.approx(target)
+
+    def test_estimate_converges_statistically(self, rng, source: SeedSource):
+        lows = rng.integers(0, 48, size=(40, 2))
+        sides = rng.integers(4, 16, size=(40, 2))
+        first = RectDataset(
+            "A", (6, 6), np.stack([lows, np.minimum(lows + sides, 63)], axis=2)
+        )
+        lows = rng.integers(0, 48, size=(40, 2))
+        sides = rng.integers(4, 16, size=(40, 2))
+        second = RectDataset(
+            "B", (6, 6), np.stack([lows, np.minimum(lows + sides, 63)], axis=2)
+        )
+        target = rect_join_reduction_truth(first, second)
+        estimates = []
+        for _ in range(5):
+            scheme = SketchScheme.from_factory(
+                lambda src: ProductChannel(ProductGenerator.eh3((6, 6), src)),
+                5,
+                400,
+                source,
+            )
+            estimates.append(
+                estimate_rect_join(
+                    sketch_rect_dataset(scheme, first),
+                    sketch_rect_dataset(scheme, second),
+                )
+            )
+        assert np.mean(estimates) == pytest.approx(target, rel=0.5)
+
+    def test_requires_product_channels(self, source: SeedSource):
+        first, __ = tiny_pair()
+        scheme = SketchScheme.from_factory(
+            lambda src: GeneratorChannel(EH3.from_source(6, src)), 1, 1, source
+        )
+        with pytest.raises(TypeError):
+            sketch_rect_dataset(scheme, first)
+
+    def test_one_dimensional_special_case(self, source: SeedSource):
+        """d = 1 must agree with the dedicated 1-D reduction."""
+        from repro.apps.spatialjoin import endpoint_join_truth
+        from repro.workloads.spatial import SegmentDataset
+
+        segments = np.array([[0, 10], [5, 20], [30, 40]])
+        others = np.array([[8, 33], [25, 28]])
+        first_1d = SegmentDataset("A", 6, segments)
+        second_1d = SegmentDataset("B", 6, others)
+        first = RectDataset("A", (6,), segments[:, None, :])
+        second = RectDataset("B", (6,), others[:, None, :])
+        assert rect_join_reduction_truth(first, second) == pytest.approx(
+            endpoint_join_truth(first_1d, second_1d)
+        )
+
+
+class TestMixedSum:
+    def test_mixed_matches_manual_product(self, source: SeedSource):
+        generator = ProductGenerator.eh3((5, 5), source)
+        gx, gy = generator.factors
+        spec = ((3, 17), 9)
+        assert generator.mixed_sum(spec) == gx.range_sum(3, 17) * gy.value(9)
+        spec = (4, (0, 31))
+        assert generator.mixed_sum(spec) == gx.value(4) * gy.range_sum(0, 31)
+
+    def test_all_pairs_equals_rect_sum(self, source: SeedSource):
+        generator = ProductGenerator.eh3((5, 5), source)
+        rect = ((2, 9), (11, 30))
+        assert generator.mixed_sum(rect) == generator.rect_sum(rect)
+
+    def test_rank_checked(self, source: SeedSource):
+        generator = ProductGenerator.eh3((5, 5), source)
+        with pytest.raises(ValueError):
+            generator.mixed_sum((1,))

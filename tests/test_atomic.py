@@ -1,0 +1,128 @@
+"""Tests for atomic sketches and update channels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import BCH5, EH3, RM7, SeedSource
+from repro.rangesum.dmap import DMAP
+from repro.rangesum.multidim import ProductDMAP, ProductGenerator
+from repro.sketch.atomic import (
+    AtomicSketch,
+    DMAPChannel,
+    GeneratorChannel,
+    ProductChannel,
+    ProductDMAPChannel,
+)
+
+
+class TestGeneratorChannel:
+    def test_point_is_generator_value(self, source: SeedSource):
+        generator = EH3.from_source(8, source)
+        channel = GeneratorChannel(generator)
+        for i in (0, 100, 255):
+            assert channel.point(i) == generator.value(i)
+
+    def test_interval_uses_fast_range_sum(self, source: SeedSource):
+        generator = EH3.from_source(8, source)
+        channel = GeneratorChannel(generator)
+        assert channel.interval((10, 200)) == generator.range_sum(10, 200)
+
+    def test_interval_falls_back_to_brute_force(self, source: SeedSource):
+        generator = RM7.from_source(8, source)  # no .range_sum method
+        channel = GeneratorChannel(generator)
+        expected = sum(generator.value(i) for i in range(10, 40))
+        assert channel.interval((10, 39)) == expected
+
+    def test_points_vectorized(self, source: SeedSource):
+        generator = BCH5.from_source(8, source, mode="arithmetic")
+        channel = GeneratorChannel(generator)
+        items = np.array([3, 7, 200], dtype=np.uint64)
+        assert list(channel.points(items)) == [
+            generator.value(3),
+            generator.value(7),
+            generator.value(200),
+        ]
+
+
+class TestOtherChannels:
+    def test_dmap_channel(self, source: SeedSource):
+        dmap = DMAP.from_source(8, source)
+        channel = DMAPChannel(dmap)
+        assert channel.point(5) == dmap.point_contribution(5)
+        assert channel.interval((3, 77)) == dmap.interval_contribution(3, 77)
+
+    def test_product_channel(self, source: SeedSource):
+        product = ProductGenerator.eh3((4, 4), source)
+        channel = ProductChannel(product)
+        assert channel.point((3, 9)) == product.value((3, 9))
+        rect = ((0, 7), (2, 12))
+        assert channel.interval(rect) == product.rect_sum(rect)
+
+    def test_product_dmap_channel(self, source: SeedSource):
+        product = ProductDMAP.from_source((4, 4), source)
+        channel = ProductDMAPChannel(product)
+        assert channel.point((3, 9)) == product.point_contribution((3, 9))
+        rect = ((0, 7), (2, 12))
+        assert channel.interval(rect) == product.rect_contribution(rect)
+
+
+class TestAtomicSketch:
+    def test_point_updates_accumulate(self, source: SeedSource):
+        generator = EH3.from_source(8, source)
+        sketch = AtomicSketch(GeneratorChannel(generator))
+        sketch.update_point(5)
+        sketch.update_point(5)
+        sketch.update_point(9, weight=2.5)
+        expected = 2 * generator.value(5) + 2.5 * generator.value(9)
+        assert sketch.value == pytest.approx(expected)
+
+    def test_interval_equals_pointwise(self, source: SeedSource):
+        generator = EH3.from_source(8, source)
+        fast = AtomicSketch(GeneratorChannel(generator))
+        slow = AtomicSketch(GeneratorChannel(generator))
+        fast.update_interval((20, 120))
+        for i in range(20, 121):
+            slow.update_point(i)
+        assert fast.value == pytest.approx(slow.value)
+
+    def test_update_points_with_weights(self, source: SeedSource):
+        generator = EH3.from_source(8, source)
+        sketch = AtomicSketch(GeneratorChannel(generator))
+        items = np.array([1, 2, 3], dtype=np.uint64)
+        weights = np.array([1.0, -2.0, 0.5])
+        sketch.update_points(items, weights)
+        expected = sum(
+            w * generator.value(int(i)) for i, w in zip(items, weights)
+        )
+        assert sketch.value == pytest.approx(expected)
+
+    def test_update_points_weight_shape_checked(self, source: SeedSource):
+        sketch = AtomicSketch(GeneratorChannel(EH3.from_source(8, source)))
+        with pytest.raises(ValueError):
+            sketch.update_points(np.array([1, 2]), np.array([1.0]))
+
+    def test_combined_requires_shared_channel(self, source: SeedSource):
+        channel = GeneratorChannel(EH3.from_source(8, source))
+        other_channel = GeneratorChannel(EH3.from_source(8, source))
+        a = AtomicSketch(channel, 3.0)
+        b = AtomicSketch(channel, 4.0)
+        assert a.combined(b).value == 7.0
+        with pytest.raises(ValueError):
+            a.combined(AtomicSketch(other_channel))
+
+    def test_combined_is_union_sketch(self, source: SeedSource):
+        """Distributed property: sketch(A) + sketch(B) = sketch(A u B)."""
+        generator = EH3.from_source(8, source)
+        channel = GeneratorChannel(generator)
+        part_a = AtomicSketch(channel)
+        part_b = AtomicSketch(channel)
+        whole = AtomicSketch(channel)
+        for i in (1, 2, 3):
+            part_a.update_point(i)
+            whole.update_point(i)
+        for i in (200, 201):
+            part_b.update_point(i)
+            whole.update_point(i)
+        assert part_a.combined(part_b).value == pytest.approx(whole.value)

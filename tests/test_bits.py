@@ -1,0 +1,186 @@
+"""Tests for the bit kernels in repro.core.bits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bits
+
+
+class TestParity:
+    def test_small_values(self):
+        assert bits.parity(0) == 0
+        assert bits.parity(1) == 1
+        assert bits.parity(2) == 1
+        assert bits.parity(3) == 0
+        assert bits.parity(0b1011) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.parity(-1)
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_matches_popcount_parity(self, x):
+        assert bits.parity(x) == bin(x).count("1") % 2
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_parity_u64_agrees(self, x):
+        assert bits.parity_u64(x) == bits.parity(x)
+
+    def test_parity_u64_truncates_to_64_bits(self):
+        assert bits.parity_u64(1 << 64) == 0  # the set bit is above 64
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=50)
+    )
+    def test_parity_array_matches_scalar(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        expected = np.array([bits.parity(v) for v in values], dtype=np.uint8)
+        assert np.array_equal(bits.parity_array(arr), expected)
+
+    def test_parity_array_signed_nonnegative_ok(self):
+        arr = np.array([1, 2, 3], dtype=np.int64)
+        assert np.array_equal(bits.parity_array(arr), [1, 1, 0])
+
+    def test_parity_array_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.parity_array(np.array([-1], dtype=np.int64))
+
+    def test_parity_array_rejects_floats(self):
+        with pytest.raises(TypeError):
+            bits.parity_array(np.array([1.0]))
+
+
+class TestPopcount:
+    @given(st.integers(min_value=0, max_value=(1 << 100) - 1))
+    def test_matches_bin_count(self, x):
+        assert bits.popcount(x) == bin(x).count("1")
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=50)
+    )
+    def test_popcount_array_matches_scalar(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        expected = [bits.popcount(v) for v in values]
+        assert list(bits.popcount_array(arr)) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.popcount(-5)
+
+
+class TestTrailingZerosOnes:
+    def test_powers_of_two(self):
+        for k in range(60):
+            assert bits.trailing_zeros(1 << k) == k
+
+    def test_general(self):
+        assert bits.trailing_zeros(12) == 2
+        assert bits.trailing_zeros(7) == 0
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            bits.trailing_zeros(0)
+
+    def test_trailing_ones(self):
+        assert bits.trailing_ones(0) == 0
+        assert bits.trailing_ones(0b0111) == 3
+        assert bits.trailing_ones(0b1011) == 2
+
+    @given(st.integers(min_value=1, max_value=(1 << 64) - 1))
+    def test_trailing_zeros_definition(self, x):
+        t = bits.trailing_zeros(x)
+        assert x % (1 << t) == 0
+        assert (x >> t) & 1 == 1
+
+
+class TestMaskAndExtract:
+    def test_mask(self):
+        assert bits.mask(0) == 0
+        assert bits.mask(4) == 0b1111
+        with pytest.raises(ValueError):
+            bits.mask(-1)
+
+    def test_extract_bit(self):
+        assert bits.extract_bit(0b1010, 1) == 1
+        assert bits.extract_bit(0b1010, 0) == 0
+        with pytest.raises(ValueError):
+            bits.extract_bit(5, -1)
+
+    def test_extract_bits_lsb_first(self):
+        assert bits.extract_bits(0b1101, 4) == (1, 0, 1, 1)
+
+    def test_bit_reverse(self):
+        assert bits.bit_reverse(0b0011, 4) == 0b1100
+        assert bits.bit_reverse(0b1, 1) == 0b1
+        with pytest.raises(ValueError):
+            bits.bit_reverse(16, 4)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_bit_reverse_involution(self, x):
+        assert bits.bit_reverse(bits.bit_reverse(x, 8), 8) == x
+
+
+class TestInterleave:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+    )
+    def test_roundtrip(self, x, y):
+        z = bits.interleave_bits(x, y, 16)
+        assert bits.deinterleave_bits(z, 16) == (x, y)
+
+    def test_even_positions_hold_x(self):
+        z = bits.interleave_bits(0b11, 0b00, 2)
+        assert z == 0b0101
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            bits.interleave_bits(4, 0, 2)
+        with pytest.raises(ValueError):
+            bits.deinterleave_bits(1 << 8, 4)
+
+
+class TestAdjacentPairOrFold:
+    """h(i) of EH3 (paper Eq. 6)."""
+
+    def _reference(self, i: int, width: int) -> int:
+        pairs = (width + 1) // 2
+        acc = 0
+        for t in range(pairs):
+            a = (i >> (2 * t)) & 1
+            b = (i >> (2 * t + 1)) & 1
+            acc ^= a | b
+        return acc
+
+    @given(
+        st.integers(min_value=2, max_value=32),
+        st.data(),
+    )
+    def test_matches_reference(self, width, data):
+        i = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        assert bits.adjacent_pair_or_fold(i, width) == self._reference(i, width)
+
+    def test_zero_index(self):
+        assert bits.adjacent_pair_or_fold(0, 8) == 0
+
+    def test_single_pair(self):
+        # h over one pair is just OR.
+        assert bits.adjacent_pair_or_fold(0b00, 2) == 0
+        assert bits.adjacent_pair_or_fold(0b01, 2) == 1
+        assert bits.adjacent_pair_or_fold(0b10, 2) == 1
+        assert bits.adjacent_pair_or_fold(0b11, 2) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.adjacent_pair_or_fold(-1, 4)
+
+    @given(st.integers(min_value=2, max_value=32))
+    def test_array_matches_scalar(self, width):
+        values = np.arange(min(1 << width, 512), dtype=np.uint64)
+        vectorized = bits.adjacent_pair_or_fold_array(values, width)
+        scalar = [bits.adjacent_pair_or_fold(int(v), width) for v in values]
+        assert list(vectorized) == scalar

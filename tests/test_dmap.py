@@ -1,0 +1,105 @@
+"""Tests for the DMAP dyadic-mapping baseline (paper Section 5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dyadic import interval_from_id
+from repro.generators import BCH5, EH3, SeedSource
+from repro.rangesum.dmap import DMAP, DyadicMapper
+
+
+class TestDyadicMapper:
+    def test_id_counts(self):
+        mapper = DyadicMapper(8)
+        assert len(mapper.point_ids(13)) == 9  # n + 1
+        assert len(mapper.interval_ids(0, 255)) == 1
+
+    def test_point_ids_decode_to_containing_intervals(self):
+        mapper = DyadicMapper(6)
+        point = 45
+        for identifier in mapper.point_ids(point):
+            assert interval_from_id(identifier, 6).contains(point)
+
+    def test_interval_ids_decode_to_cover(self):
+        mapper = DyadicMapper(8)
+        alpha, beta = 37, 200
+        covered = []
+        for identifier in mapper.interval_ids(alpha, beta):
+            piece = interval_from_id(identifier, 8)
+            covered.extend(piece.points())
+        assert sorted(covered) == list(range(alpha, beta + 1))
+
+    @given(st.data())
+    @settings(max_examples=200)
+    def test_join_identity(self, data):
+        """The DMAP identity: |cover(interval) ∩ containing(point)| = [p in I]."""
+        n = data.draw(st.integers(min_value=1, max_value=12))
+        mapper = DyadicMapper(n)
+        alpha = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        beta = data.draw(st.integers(min_value=alpha, max_value=(1 << n) - 1))
+        point = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        common = set(mapper.interval_ids(alpha, beta)) & set(
+            mapper.point_ids(point)
+        )
+        assert len(common) == (1 if alpha <= point <= beta else 0)
+
+    def test_bounds_checked(self):
+        mapper = DyadicMapper(4)
+        with pytest.raises(ValueError):
+            mapper.interval_ids(0, 16)
+        with pytest.raises(ValueError):
+            mapper.point_ids(16)
+        with pytest.raises(ValueError):
+            DyadicMapper(0)
+
+
+class TestDMAPSketching:
+    def test_generator_domain_must_cover_ids(self, source: SeedSource):
+        generator = EH3.from_source(8, source)
+        with pytest.raises(ValueError):
+            DMAP(8, generator)  # ids need 9 bits
+        DMAP(7, generator)  # fine
+
+    def test_from_source_uses_bch5(self, source: SeedSource):
+        dmap = DMAP.from_source(10, source)
+        assert isinstance(dmap.generator, BCH5)
+        assert dmap.generator.domain_bits == 11
+        assert dmap.domain_bits == 10
+
+    def test_contributions_sum_generator_values(self, source: SeedSource):
+        dmap = DMAP.from_source(6, source)
+        point = 33
+        expected = sum(
+            dmap.generator.value(i) for i in dmap.mapper.point_ids(point)
+        )
+        assert dmap.point_contribution(point) == expected
+
+        alpha, beta = 5, 48
+        expected = sum(
+            dmap.generator.value(i)
+            for i in dmap.mapper.interval_ids(alpha, beta)
+        )
+        assert dmap.interval_contribution(alpha, beta) == expected
+
+    def test_unbiased_join_estimate(self, source: SeedSource):
+        """E[interval_contribution * point_contribution] = [point in interval].
+
+        Averaged over many independent DMAP seeds the product must approach
+        1 for contained points and 0 for outside points.
+        """
+        n = 6
+        alpha, beta = 10, 40
+        inside, outside = 25, 50
+        trials = 4000
+        sums = {inside: 0.0, outside: 0.0}
+        for _ in range(trials):
+            dmap = DMAP.from_source(n, source)
+            interval_part = dmap.interval_contribution(alpha, beta)
+            for point in (inside, outside):
+                sums[point] += interval_part * dmap.point_contribution(point)
+        assert abs(sums[inside] / trials - 1.0) < 0.25
+        assert abs(sums[outside] / trials) < 0.25

@@ -1,0 +1,220 @@
+"""Tests for dyadic intervals and minimal covers (paper Section 2.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dyadic import (
+    DyadicInterval,
+    all_dyadic_intervals,
+    containing_intervals,
+    interval_from_id,
+    interval_id,
+    minimal_dyadic_cover,
+    minimal_quaternary_cover,
+    render_dyadic_tree,
+)
+
+
+class TestDyadicInterval:
+    def test_endpoints_and_size(self):
+        interval = DyadicInterval(level=3, offset=2)
+        assert interval.low == 16
+        assert interval.high == 24
+        assert interval.size == 8
+
+    def test_contains(self):
+        interval = DyadicInterval(2, 1)  # [4, 8)
+        assert interval.contains(4)
+        assert interval.contains(7)
+        assert not interval.contains(8)
+        assert not interval.contains(3)
+
+    def test_split_and_parent_roundtrip(self):
+        interval = DyadicInterval(4, 3)
+        left, right = interval.split()
+        assert left.parent() == interval
+        assert right.parent() == interval
+        assert left.low == interval.low
+        assert right.high == interval.high
+        assert left.high == right.low
+
+    def test_singleton_cannot_split(self):
+        with pytest.raises(ValueError):
+            DyadicInterval(0, 5).split()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DyadicInterval(-1, 0)
+        with pytest.raises(ValueError):
+            DyadicInterval(0, -1)
+
+
+class TestMinimalDyadicCover:
+    def test_paper_example_interval(self):
+        # Example 1 of the paper decomposes [124, 197] (inclusive).
+        cover = minimal_dyadic_cover(124, 197)
+        spans = [(piece.low, piece.high) for piece in cover]
+        assert spans == [(124, 128), (128, 192), (192, 196), (196, 198)]
+
+    def test_whole_domain_is_one_piece(self):
+        cover = minimal_dyadic_cover(0, 255)
+        assert len(cover) == 1
+        assert cover[0] == DyadicInterval(8, 0)
+
+    def test_singleton(self):
+        assert minimal_dyadic_cover(5, 5) == [DyadicInterval(0, 5)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            minimal_dyadic_cover(5, 4)
+        with pytest.raises(ValueError):
+            minimal_dyadic_cover(-1, 3)
+
+    @given(st.data())
+    def test_cover_properties(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=16))
+        alpha = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        beta = data.draw(st.integers(min_value=alpha, max_value=(1 << n) - 1))
+        cover = minimal_dyadic_cover(alpha, beta)
+        # Pieces are disjoint, contiguous, and exactly cover [alpha, beta].
+        position = alpha
+        for piece in cover:
+            assert piece.low == position
+            position = piece.high
+        assert position == beta + 1
+        # Paper bound: at most 2n - 2 pieces for n >= 2.
+        assert len(cover) <= max(2 * n - 2, 1)
+
+    @given(st.data())
+    def test_cover_is_minimal(self, data):
+        """No two adjacent pieces can merge into a single dyadic interval."""
+        n = data.draw(st.integers(min_value=1, max_value=12))
+        alpha = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        beta = data.draw(st.integers(min_value=alpha, max_value=(1 << n) - 1))
+        cover = minimal_dyadic_cover(alpha, beta)
+        for a, b in zip(cover, cover[1:]):
+            merged_as_one = (
+                a.level == b.level
+                and a.offset % 2 == 0
+                and b.offset == a.offset + 1
+            )
+            assert not merged_as_one
+
+
+class TestQuaternaryCover:
+    def test_paper_example(self):
+        # The quaternary cover of Example 1: five pieces, sizes 4,64,4,1,1.
+        cover = minimal_quaternary_cover(124, 197)
+        spans = [(piece.low, piece.high) for piece in cover]
+        assert spans == [
+            (124, 128),
+            (128, 192),
+            (192, 196),
+            (196, 197),
+            (197, 198),
+        ]
+
+    @given(st.data())
+    def test_all_levels_even(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=14))
+        alpha = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        beta = data.draw(st.integers(min_value=alpha, max_value=(1 << n) - 1))
+        cover = minimal_quaternary_cover(alpha, beta)
+        position = alpha
+        for piece in cover:
+            assert piece.level % 2 == 0
+            assert piece.low == position
+            position = piece.high
+        assert position == beta + 1
+
+    @given(st.data())
+    def test_at_most_twice_binary_cover(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=14))
+        alpha = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        beta = data.draw(st.integers(min_value=alpha, max_value=(1 << n) - 1))
+        binary = minimal_dyadic_cover(alpha, beta)
+        quaternary = minimal_quaternary_cover(alpha, beta)
+        assert len(binary) <= len(quaternary) <= 2 * len(binary)
+
+
+class TestContainingIntervals:
+    def test_count_is_n_plus_one(self):
+        assert len(containing_intervals(5, 4)) == 5
+
+    def test_all_contain_the_point(self):
+        for point in (0, 7, 15):
+            for interval in containing_intervals(point, 4):
+                assert interval.contains(point)
+
+    def test_one_per_level(self):
+        levels = [i.level for i in containing_intervals(9, 4)]
+        assert levels == [0, 1, 2, 3, 4]
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            containing_intervals(16, 4)
+
+    def test_exactly_one_cover_member_contains_any_inside_point(self):
+        """The identity DMAP rests on (paper Section 5.2)."""
+        n = 8
+        alpha, beta = 37, 200
+        cover = minimal_dyadic_cover(alpha, beta)
+        cover_set = set(cover)
+        for point in range(1 << n):
+            containing = [
+                i for i in containing_intervals(point, n) if i in cover_set
+            ]
+            assert len(containing) == (1 if alpha <= point <= beta else 0)
+
+
+class TestIntervalIds:
+    def test_root_is_one(self):
+        assert interval_id(DyadicInterval(4, 0), 4) == 1
+
+    def test_singletons_fill_top_range(self):
+        n = 4
+        ids = [interval_id(DyadicInterval(0, q), n) for q in range(1 << n)]
+        assert ids == list(range(1 << n, 1 << (n + 1)))
+
+    def test_roundtrip_all(self):
+        n = 6
+        for interval in all_dyadic_intervals(n):
+            identifier = interval_id(interval, n)
+            assert interval_from_id(identifier, n) == interval
+
+    def test_ids_unique(self):
+        n = 6
+        ids = [interval_id(i, n) for i in all_dyadic_intervals(n)]
+        assert len(ids) == len(set(ids))
+        assert min(ids) == 1
+        assert max(ids) == (1 << (n + 1)) - 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            interval_id(DyadicInterval(5, 0), 4)
+        with pytest.raises(ValueError):
+            interval_from_id(0, 4)
+        with pytest.raises(ValueError):
+            interval_from_id(1 << 5, 4)
+
+
+class TestEnumerationAndRendering:
+    def test_total_interval_count(self):
+        # 2^(n+1) - 1 dyadic intervals over a 2^n domain.
+        for n in range(5):
+            assert len(list(all_dyadic_intervals(n))) == (1 << (n + 1)) - 1
+
+    def test_render_figure1_domain(self):
+        art = render_dyadic_tree(4)
+        assert "[0,16)" in art
+        assert "[8,16)" in art
+        assert "[15,16)" in art
+        # n + 1 interval rows plus the axis row.
+        assert len(art.splitlines()) == 6
+
+    def test_render_rejects_large_domains(self):
+        with pytest.raises(ValueError):
+            render_dyadic_tree(10)

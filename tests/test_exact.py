@@ -1,0 +1,82 @@
+"""Tests for the exact reference aggregates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stream.exact import (
+    join_size,
+    l1_difference,
+    region_frequency_sum,
+    segments_intersecting,
+    segments_intersecting_brute,
+    self_join_size,
+)
+
+
+class TestVectorAggregates:
+    def test_join_size(self):
+        assert join_size([1, 2, 3], [3, 2, 1]) == 3 + 4 + 3
+
+    def test_self_join(self):
+        assert self_join_size([1, 2, 3]) == 14
+
+    def test_l1(self):
+        assert l1_difference([1, 5, 2], [4, 5, 0]) == 5
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            join_size([1], [1, 2])
+        with pytest.raises(ValueError):
+            l1_difference([1], [1, 2])
+
+
+class TestSegmentsIntersecting:
+    def test_simple_cases(self):
+        first = [(0, 10)]
+        assert segments_intersecting(first, [(5, 15)]) == 1
+        assert segments_intersecting(first, [(11, 15)]) == 0
+        assert segments_intersecting(first, [(10, 15)]) == 1  # touching counts
+        assert segments_intersecting(first, [(2, 3)]) == 1  # nesting counts
+
+    def test_counts_pairs(self):
+        first = [(0, 4), (10, 14)]
+        second = [(3, 11), (20, 21)]
+        assert segments_intersecting(first, second) == 2
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_matches_brute_force(self, data):
+        def segments(count):
+            result = []
+            for _ in range(count):
+                a = data.draw(st.integers(min_value=0, max_value=63))
+                b = data.draw(st.integers(min_value=a, max_value=63))
+                result.append((a, b))
+            return result
+
+        first = segments(data.draw(st.integers(min_value=1, max_value=12)))
+        second = segments(data.draw(st.integers(min_value=1, max_value=12)))
+        assert segments_intersecting(first, second) == (
+            segments_intersecting_brute(first, second)
+        )
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            segments_intersecting(np.zeros(3), np.zeros((2, 2)))
+
+
+class TestRegionFrequencySum:
+    def test_counts_inside(self):
+        points = np.array([[0, 0], [2, 3], [5, 5], [2, 9]])
+        assert region_frequency_sum(points, [(0, 2), (0, 5)]) == 2
+        assert region_frequency_sum(points, [(0, 9), (0, 9)]) == 4
+        assert region_frequency_sum(points, [(6, 9), (6, 9)]) == 0
+
+    def test_dimension_checked(self):
+        points = np.array([[1, 2, 3]])
+        with pytest.raises(ValueError):
+            region_frequency_sum(points, [(0, 5), (0, 5)])

@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts run end-to-end and tell their story.
+
+Only the fast examples run here (the spatial/selectivity demos take
+minutes by design); each is executed in a subprocess exactly as a user
+would run it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "H3Interval closed form: -12" in out
+        assert "Dyadic intervals" in out
+        assert "relative error" in out
+
+    def test_l1_difference_demo(self):
+        out = run_example("l1_difference_demo.py")
+        assert "true L1 difference" in out
+        assert "relative error" in out
+
+    def test_distributed_sketching_demo(self):
+        out = run_example("distributed_sketching_demo.py")
+        assert "estimate from merged sketches" in out
+        assert "communication" in out
+
+    def test_stream_processor_demo(self):
+        out = run_example("stream_processor_demo.py")
+        assert "registered 2 relations" in out
+        assert "regardless of stream length" in out

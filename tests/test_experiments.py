@@ -1,0 +1,207 @@
+"""Smoke tests for the experiment harness (tiny parameters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig567 import run_fig567
+from repro.experiments.runner import ExperimentResult, format_number, time_per_op
+from repro.experiments.table1 import PAPER_TABLE1_NS, run_table1, scheme_seed_bits
+from repro.experiments.table2 import run_table2
+
+
+class TestRunner:
+    def test_result_table_rendering(self):
+        result = ExperimentResult("Title", ["A", "B"])
+        result.add_row("x", 1.5)
+        result.add_row("yy", 1_000_000)
+        result.add_note("a note")
+        text = result.to_text()
+        assert "Title" in text
+        assert "a note" in text
+        assert "yy" in text
+
+    def test_row_width_checked(self):
+        result = ExperimentResult("T", ["A", "B"])
+        with pytest.raises(ValueError):
+            result.add_row("only-one")
+
+    def test_column_extraction(self):
+        result = ExperimentResult("T", ["A", "B"])
+        result.add_row("x", 1)
+        result.add_row("y", 2)
+        assert result.column("B") == [1, 2]
+
+    def test_format_number(self):
+        assert format_number(None) == "-"
+        assert format_number("abc") == "abc"
+        assert format_number(12_345) == "12,345"
+        assert format_number(1.5e9) == "1.500e+09"
+        assert format_number(0) == "0"
+
+    def test_time_per_op(self):
+        ns = time_per_op(lambda: sum(range(100)), 100, min_seconds=0.001)
+        assert ns > 0
+
+    def test_time_per_op_validation(self):
+        with pytest.raises(ValueError):
+            time_per_op(lambda: None, 0)
+
+
+class TestTable1:
+    def test_seed_size_column(self):
+        sizes = scheme_seed_bits(32)
+        assert sizes["BCH3"] == 33
+        assert sizes["EH3"] == 33
+        assert sizes["BCH5"] == 65
+        assert sizes["Massdal2"] == 64
+        assert sizes["Massdal4"] == 128
+        assert sizes["RM7"] == 1 + 32 + 32 * 31 // 2
+
+    def test_runs_and_orders_schemes(self):
+        result = run_table1(
+            domain_bits=16, batch=2_000, scalar_samples=100, min_seconds=0.001
+        )
+        schemes = result.column("Scheme")
+        assert schemes == list(PAPER_TABLE1_NS)
+        times = dict(zip(schemes, result.column("ns/value (vectorized)")))
+        # The paper's qualitative ordering: RM7 is the slowest by far.
+        assert times["RM7"] > times["BCH3"]
+        assert times["RM7"] > times["EH3"]
+
+
+class TestTable2:
+    def test_runs_with_expected_rows(self):
+        result = run_table2(
+            domain_bits=16, intervals=20, rm7_intervals=2, min_seconds=0.001
+        )
+        schemes = result.column("Scheme")
+        assert "BCH3" in schemes and "RM7" in schemes
+        times = dict(zip(schemes, result.column("ns/op")))
+        # RM7's range-sum must be orders slower than BCH3's O(1).
+        assert times["RM7"] > 10 * times["BCH3"]
+        # A point evaluation is cheaper than any interval operation.
+        assert times["EH3 (point)"] < times["EH3"]
+
+
+class TestFigures:
+    def test_fig2_prediction_tracks_measurement(self):
+        result = run_fig2(
+            domain_bits=10,
+            tuples=10_000,
+            zipf_values=(0.0, 2.0),
+            averages=30,
+            trials=4,
+        )
+        rows = {row[0]: row for row in result.rows}
+        # Proposition 5: exactly zero error at z = 0 on a 4^n domain.
+        assert rows[0.0][1] == pytest.approx(0.0, abs=1e-9)
+        # At z = 2 measurement within 3x of the model (loose, tiny trials).
+        measured, predicted = rows[2.0][1], rows[2.0][2]
+        assert predicted > 0
+        assert measured < 3 * predicted + 0.05
+
+    def test_fig2_sampled_mode(self):
+        """Sampled tuples soften Proposition 5's exact zero to near-zero,
+        and Eq. 12 still tracks the error."""
+        result = run_fig2(
+            domain_bits=10,
+            tuples=10_000,
+            zipf_values=(0.0,),
+            averages=20,
+            trials=3,
+            sampled=True,
+        )
+        measured, predicted = result.rows[0][1], result.rows[0][2]
+        assert 0 < measured < 1.0
+        assert predicted > 0
+        assert measured < 3 * predicted + 0.05
+
+    def test_fig3_eh3_wins_at_uniform(self):
+        result = run_fig3(
+            domain_bits=10,
+            tuples=10_000,
+            zipf_values=(0.0,),
+            medians=3,
+            averages=20,
+            trials=2,
+        )
+        row = result.rows[0]
+        assert row[1] == pytest.approx(0.0, abs=1e-9)  # EH3
+        assert row[2] > 0  # BCH5
+
+    def test_fig4_runs(self):
+        result = run_fig4(
+            dims_bits=(6, 6),
+            regions=3,
+            total_points=800,
+            zipf_values=(0.5,),
+            medians=2,
+            averages=10,
+            queries=5,
+            trials=1,
+        )
+        assert len(result.rows) == 1
+        assert result.rows[0][1] >= 0
+
+    def test_fig567_runs(self):
+        result = run_fig567(
+            domain_bits=12,
+            counter_budgets=(32,),
+            medians=2,
+            trials=1,
+            max_segments=300,
+        )
+        assert len(result.rows) == 3  # three dataset pairs
+        for row in result.rows:
+            assert row[3] >= 0 and row[4] >= 0
+
+
+class TestCLI:
+    def test_quick_run_table1(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_unknown_experiment_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_json_output_dir(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        assert main(
+            ["table2", "--quick", "--output-dir", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        data = json.loads((tmp_path / "table2.json").read_text())
+        assert data["title"].startswith("Table 2")
+        assert len(data["rows"]) == len(data["headers"]) == 4 or data["rows"]
+
+    def test_to_json_roundtrip(self):
+        import json
+
+        result = ExperimentResult("T", ["A", "B"])
+        result.add_row("x", 1.5)
+        result.add_note("n")
+        data = json.loads(result.to_json())
+        assert data == {
+            "title": "T",
+            "headers": ["A", "B"],
+            "rows": [["x", 1.5]],
+            "notes": ["n"],
+        }
+
+    def test_column_unknown_header(self):
+        result = ExperimentResult("T", ["A"])
+        with pytest.raises(ValueError):
+            result.column("missing")

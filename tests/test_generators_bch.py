@@ -1,0 +1,88 @@
+"""Tests for the general BCH scheme (arbitrary independence level)."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.generators import BCH3, BCH5, SeedSource
+from repro.generators.bch import BCH
+from repro.theory.independence import is_kwise_independent
+
+
+class TestConstruction:
+    def test_seed_bits(self):
+        for k in (1, 2, 3, 4):
+            generator = BCH(8, 0, [0] * k)
+            assert generator.seed_bits == 8 * k + 1
+            assert generator.independence == 2 * k + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BCH(8, 2, [0])
+        with pytest.raises(ValueError):
+            BCH(8, 0, [])
+        with pytest.raises(ValueError):
+            BCH(8, 0, [256])
+        with pytest.raises(ValueError):
+            BCH.from_source(8, 0, SeedSource(1))
+
+
+class TestConsistencyWithSpecializedClasses:
+    def test_level1_is_bch3(self, source: SeedSource):
+        s0 = source.bit()
+        s1 = source.bits(8)
+        general = BCH(8, s0, [s1])
+        special = BCH3(8, s0, s1)
+        for i in range(256):
+            assert general.bit(i) == special.bit(i)
+
+    def test_level2_is_gf_bch5(self, source: SeedSource):
+        s0 = source.bit()
+        s1 = source.bits(8)
+        s3 = source.bits(8)
+        general = BCH(8, s0, [s1, s3])
+        special = BCH5(8, s0, s1, s3, mode="gf")
+        for i in range(256):
+            assert general.bit(i) == special.bit(i)
+
+
+class TestPowers:
+    def test_odd_powers_in_field(self, source: SeedSource):
+        from repro.core.gf2 import field
+
+        generator = BCH(6, 0, [1, 1, 1])
+        gf = field(6)
+        for i in (0, 1, 5, 44, 63):
+            powers = generator._powers(i)
+            assert powers == [gf.pow(i, 1), gf.pow(i, 3), gf.pow(i, 5)]
+
+
+class TestVectorized:
+    def test_table_path_matches_scalar(self, source: SeedSource):
+        generator = BCH.from_source(9, 3, source)
+        indices = np.arange(512, dtype=np.uint64)
+        vectorized = generator.bits(indices)
+        scalar = np.array([generator.bit(i) for i in range(512)], dtype=np.uint8)
+        assert np.array_equal(vectorized, scalar)
+
+    def test_large_domain_fallback(self, source: SeedSource):
+        generator = BCH.from_source(20, 2, source)
+        indices = np.array([0, 1, 77, 1 << 19], dtype=np.uint64)
+        vectorized = generator.bits(indices)
+        assert list(vectorized) == [generator.bit(int(i)) for i in indices]
+
+
+class TestIndependence:
+    def test_level3_is_7wise_exhaustive(self):
+        """BCH level 3 over a 2^3 domain: exactly 7-wise independent."""
+        n = 3
+        generators = [
+            BCH(n, s0, [a, b, c])
+            for s0 in (0, 1)
+            for a, b, c in product(range(8), range(8), range(8))
+        ]
+        assert is_kwise_independent(generators, n, 7)
+        assert not is_kwise_independent(generators, n, 8)

@@ -1,0 +1,106 @@
+"""Tests for the BCH3 generating scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bits import parity
+from repro.generators import BCH3, SeedSource
+
+
+class TestConstruction:
+    def test_seed_bits_column(self):
+        # Table 1: seed size n + 1.
+        for n in (4, 16, 32):
+            generator = BCH3(n, 1, (1 << n) - 1)
+            assert generator.seed_bits == n + 1
+
+    def test_invalid_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            BCH3(4, 2, 0)
+        with pytest.raises(ValueError):
+            BCH3(4, 0, 16)
+        with pytest.raises(ValueError):
+            BCH3(0, 0, 0)
+        with pytest.raises(ValueError):
+            BCH3(65, 0, 0)
+
+    def test_from_source_deterministic(self):
+        a = BCH3.from_source(16, SeedSource(5))
+        b = BCH3.from_source(16, SeedSource(5))
+        assert (a.s0, a.s1) == (b.s0, b.s1)
+
+    def test_independence_attribute(self):
+        assert BCH3(4, 0, 3).independence == 3
+
+
+class TestValues:
+    def test_definition_eq4(self):
+        """f(S, i) = s0 XOR S1 . i, xi = (-1)^f."""
+        generator = BCH3(6, 1, 0b101101)
+        for i in range(64):
+            expected_bit = 1 ^ parity(0b101101 & i)
+            assert generator.bit(i) == expected_bit
+            assert generator.value(i) == (1 - 2 * expected_bit)
+
+    def test_index_zero_depends_only_on_s0(self):
+        assert BCH3(8, 0, 0xAB).value(0) == 1
+        assert BCH3(8, 1, 0xAB).value(0) == -1
+
+    def test_out_of_domain_rejected(self):
+        generator = BCH3(4, 0, 5)
+        with pytest.raises(ValueError):
+            generator.bit(16)
+        with pytest.raises(ValueError):
+            generator.values(np.array([3, 16], dtype=np.uint64))
+
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    @settings(max_examples=50)
+    def test_vectorized_matches_scalar(self, n, data):
+        s0 = data.draw(st.integers(min_value=0, max_value=1))
+        s1 = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        generator = BCH3(n, s0, s1)
+        size = min(1 << n, 256)
+        indices = np.arange(size, dtype=np.uint64)
+        assert np.array_equal(
+            generator.values(indices),
+            np.array([generator.value(i) for i in range(size)], dtype=np.int8),
+        )
+
+    def test_linearity_in_index(self):
+        """BCH3 bits are linear: f(i) ^ f(j) ^ f(0) = f(i ^ j)."""
+        generator = BCH3(10, 1, 0x2A5)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            i, j = (int(x) for x in rng.integers(0, 1 << 10, size=2))
+            assert (
+                generator.bit(i) ^ generator.bit(j) ^ generator.bit(0)
+                == generator.bit(i ^ j)
+            )
+
+    def test_balanced_over_domain_for_nonzero_seed(self):
+        """Proposition 1: a nonzero S1 makes the family perfectly balanced."""
+        generator = BCH3(8, 0, 0b1)
+        assert generator.total_sum() == 0
+
+    def test_constant_for_zero_seed(self):
+        assert BCH3(8, 0, 0).total_sum() == 256
+        assert BCH3(8, 1, 0).total_sum() == -256
+
+
+class TestRestriction:
+    def test_restrict_low_bits(self):
+        generator = BCH3(8, 1, 0b10110110)
+        restricted = generator.restrict_low_bits(4)
+        for i in range(16):
+            assert restricted.bit(i) == generator.bit(i)
+
+    def test_restrict_bounds(self):
+        generator = BCH3(8, 0, 0)
+        with pytest.raises(ValueError):
+            generator.restrict_low_bits(0)
+        with pytest.raises(ValueError):
+            generator.restrict_low_bits(9)

@@ -1,0 +1,102 @@
+"""Tests for the BCH5 generating scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bits import parity
+from repro.core.gf2 import field
+from repro.generators import BCH5, SeedSource
+
+
+class TestConstruction:
+    def test_seed_bits_column(self):
+        # Table 1: seed size 2n + 1.
+        for n in (4, 16, 32):
+            assert BCH5(n, 0, 0, 0).seed_bits == 2 * n + 1
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            BCH5(4, 0, 0, 0, mode="fast")
+
+    def test_seed_bounds(self):
+        with pytest.raises(ValueError):
+            BCH5(4, 0, 16, 0)
+        with pytest.raises(ValueError):
+            BCH5(4, 0, 0, 16)
+        with pytest.raises(ValueError):
+            BCH5(4, 2, 0, 0)
+
+    def test_independence_attribute(self):
+        assert BCH5(4, 0, 0, 0).independence == 5
+
+
+class TestCube:
+    def test_gf_cube_matches_field(self):
+        generator = BCH5(8, 0, 0, 0, mode="gf")
+        gf = field(8)
+        for i in (0, 1, 2, 3, 100, 255):
+            assert generator.cube(i) == gf.cube(i)
+
+    def test_arithmetic_cube_truncates(self):
+        generator = BCH5(8, 0, 0, 0, mode="arithmetic")
+        for i in (0, 1, 2, 7, 255):
+            assert generator.cube(i) == (i**3) & 0xFF
+
+    def test_modes_differ_in_general(self):
+        gf_gen = BCH5(8, 0, 0, 0, mode="gf")
+        ar_gen = BCH5(8, 0, 0, 0, mode="arithmetic")
+        assert any(gf_gen.cube(i) != ar_gen.cube(i) for i in range(256))
+
+
+class TestDefinition:
+    def test_formula(self):
+        """f(S, i) = s0 ^ S1.i ^ S3.(i^3)."""
+        generator = BCH5(6, 1, 0b110101, 0b011011, mode="gf")
+        gf = field(6)
+        for i in range(64):
+            expected = 1 ^ parity(0b110101 & i) ^ parity(0b011011 & gf.cube(i))
+            assert generator.bit(i) == expected
+
+    @given(st.integers(min_value=2, max_value=12), st.data())
+    @settings(max_examples=30)
+    def test_vectorized_matches_scalar_both_modes(self, n, data):
+        s0 = data.draw(st.integers(min_value=0, max_value=1))
+        s1 = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        s3 = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        for mode in ("gf", "arithmetic"):
+            generator = BCH5(n, s0, s1, s3, mode=mode)
+            size = min(1 << n, 128)
+            indices = np.arange(size, dtype=np.uint64)
+            assert np.array_equal(
+                generator.values(indices),
+                np.array(
+                    [generator.value(i) for i in range(size)], dtype=np.int8
+                ),
+            )
+
+    def test_vectorized_arithmetic_large_domain(self):
+        """uint64 wraparound must still give the cube mod 2^n."""
+        n = 40
+        generator = BCH5(n, 0, 0xABCDE12345, 0x123456789A, mode="arithmetic")
+        rng = np.random.default_rng(3)
+        indices = rng.integers(0, 1 << n, size=64, dtype=np.uint64)
+        vectorized = generator.bits(indices)
+        scalar = [generator.bit(int(i)) for i in indices]
+        assert list(vectorized) == scalar
+
+    def test_gf_lookup_table_path(self, source: SeedSource):
+        """domain_bits <= 16 uses the cube table -- must agree with scalar."""
+        generator = BCH5.from_source(12, source, mode="gf")
+        indices = np.arange(1 << 12, dtype=np.uint64)
+        vectorized = generator.bits(indices)
+        scalar = np.array(
+            [generator.bit(i) for i in range(1 << 12)], dtype=np.uint8
+        )
+        assert np.array_equal(vectorized, scalar)
+
+    def test_balanced_when_linear_part_nonzero(self):
+        assert BCH5(8, 0, 1, 0).total_sum() == 0

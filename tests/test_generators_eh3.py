@@ -1,0 +1,136 @@
+"""Tests for the EH3 generating scheme (paper Section 3.1.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bits import adjacent_pair_or_fold, parity
+from repro.generators import BCH3, EH3, SeedSource
+
+
+class TestConstruction:
+    def test_seed_bits_same_as_bch3(self):
+        for n in (4, 16, 32):
+            assert EH3(n, 0, 0).seed_bits == BCH3(n, 0, 0).seed_bits == n + 1
+
+    def test_invalid_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            EH3(4, 3, 0)
+        with pytest.raises(ValueError):
+            EH3(4, 0, 1 << 4)
+
+
+class TestDefinition:
+    def test_eq5_eh3_is_bch3_xor_h(self):
+        """f_EH3(S, i) = f_BCH3(S, i) XOR h(i)."""
+        eh3 = EH3(8, 1, 0xB7)
+        bch3 = BCH3(8, 1, 0xB7)
+        for i in range(256):
+            assert eh3.bit(i) == bch3.bit(i) ^ adjacent_pair_or_fold(i, 8)
+
+    def test_h_matches_eq6(self):
+        generator = EH3(6, 0, 0)
+        for i in range(64):
+            expected = (
+                ((i >> 0 | i >> 1) & 1)
+                ^ ((i >> 2 | i >> 3) & 1)
+                ^ ((i >> 4 | i >> 5) & 1)
+            )
+            assert generator.h(i) == expected
+
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    @settings(max_examples=50)
+    def test_vectorized_matches_scalar(self, n, data):
+        s0 = data.draw(st.integers(min_value=0, max_value=1))
+        s1 = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        generator = EH3(n, s0, s1)
+        size = min(1 << n, 256)
+        indices = np.arange(size, dtype=np.uint64)
+        assert np.array_equal(
+            generator.values(indices),
+            np.array([generator.value(i) for i in range(size)], dtype=np.int8),
+        )
+
+    def test_nonlinear_unlike_bch3(self):
+        """h makes the bit function nonlinear in the index bits."""
+        generator = EH3(4, 0, 0)
+        broken = False
+        for i in range(16):
+            for j in range(16):
+                if (
+                    generator.bit(i) ^ generator.bit(j) ^ generator.bit(0)
+                    != generator.bit(i ^ j)
+                ):
+                    broken = True
+        assert broken
+
+
+class TestZeroOrPairs:
+    def test_paper_example_seed(self):
+        """S1 = 184 = 10111000b has exactly one pair ORing to 0."""
+        generator = EH3(8, 0, 184)
+        assert generator.zero_or_pairs() == 1
+        assert generator.zero_or_pairs_below(1) == 1  # the low pair (0,0)
+        assert generator.zero_or_pairs_below(0) == 0
+
+    def test_all_zero_seed(self):
+        generator = EH3(8, 0, 0)
+        assert generator.zero_or_pairs() == 4
+        assert generator.zero_or_pairs_below(2) == 2
+
+    def test_all_ones_seed(self):
+        generator = EH3(8, 0, 255)
+        assert generator.zero_or_pairs() == 0
+
+    def test_odd_width_counts_padded_pair(self):
+        # Width 5 has 3 pairs; the top pair is (bit 4, implicit 0).
+        generator = EH3(5, 0, 0b01111)
+        assert generator.zero_or_pairs() == 1  # only the (0, pad) pair
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EH3(8, 0, 0).zero_or_pairs_below(-1)
+
+
+class TestRestriction:
+    def test_pair_aligned_restriction(self):
+        generator = EH3(8, 1, 0xC5)
+        restricted = generator.restrict_low_bits(4)
+        for i in range(16):
+            assert restricted.bit(i) == generator.bit(i)
+
+    def test_unaligned_restriction_rejected(self):
+        with pytest.raises(ValueError):
+            EH3(8, 0, 0).restrict_low_bits(3)
+
+    def test_full_width_restriction_allowed(self):
+        generator = EH3(5, 0, 7)
+        same = generator.restrict_low_bits(5)
+        assert same.s1 == generator.s1
+
+
+class TestStatistics:
+    def test_balanced_for_every_seed_on_small_domain(self):
+        """EH3 values are exactly balanced over 4^n domains for every seed.
+
+        (This is Proposition 5's engine: the total range-sum magnitude is
+        2^(n/2), not 0 -- but each xi is +/-1 with probability 1/2 over
+        seeds; here we check the 1-wise uniformity per index instead.)
+        """
+        n = 4
+        for i in range(1 << n):
+            total = 0
+            for s0 in (0, 1):
+                for s1 in range(1 << n):
+                    total += EH3(n, s0, s1).value(i)
+            assert total == 0
+
+    def test_total_sum_magnitude_on_quaternary_domain(self):
+        """Theorem 2 with the whole domain: |sum| = 2^(n/2) exactly."""
+        n = 8
+        for s1 in (0, 1, 184, 255, 0b1010):
+            generator = EH3(n, 0, s1)
+            assert abs(generator.total_sum()) == 1 << (n // 2)

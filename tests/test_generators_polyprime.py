@@ -1,0 +1,96 @@
+"""Tests for the polynomials-over-primes scheme (paper Section 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.primefield import MERSENNE_31
+from repro.generators import PolynomialsOverPrimes, SeedSource, massdal2, massdal4
+
+
+class TestConstruction:
+    def test_requires_p_at_least_domain(self):
+        with pytest.raises(ValueError):
+            PolynomialsOverPrimes(6, (1, 2), p=31)  # 2^6 = 64 > 31
+        PolynomialsOverPrimes(4, (1, 2), p=31)  # 16 <= 31: fine
+
+    def test_coefficients_validated(self):
+        with pytest.raises(ValueError):
+            PolynomialsOverPrimes(4, (), p=31)
+        with pytest.raises(ValueError):
+            PolynomialsOverPrimes(4, (31,), p=31)
+
+    def test_independence_is_coefficient_count(self):
+        assert PolynomialsOverPrimes(4, (1, 2), p=31).independence == 2
+        assert PolynomialsOverPrimes(4, (1, 2, 3, 4), p=31).independence == 4
+
+    def test_seed_bits_doubles_bch(self):
+        # Table 1's "2n" and "4n" rows: k * ceil(log2 p).
+        generator = massdal2(20, SeedSource(1))
+        assert generator.seed_bits == 2 * 31
+        generator = massdal4(20, SeedSource(1))
+        assert generator.seed_bits == 4 * 31
+
+
+class TestValues:
+    def test_raw_value_is_horner(self):
+        generator = PolynomialsOverPrimes(4, (3, 5, 7), p=31)
+        for i in range(16):
+            expected = (3 + 5 * i + 7 * i * i) % 31
+            assert generator.raw_value(i) == expected
+            assert generator.bit(i) == expected & 1
+
+    def test_vectorized_matches_scalar_mersenne(self):
+        generator = massdal4(16, SeedSource(9))
+        indices = np.arange(1 << 16, dtype=np.uint64)
+        vectorized = generator.bits(indices)
+        sample = np.linspace(0, (1 << 16) - 1, 200, dtype=int)
+        for i in sample:
+            assert vectorized[i] == generator.bit(int(i))
+
+    def test_vectorized_matches_scalar_small_prime(self):
+        generator = PolynomialsOverPrimes(3, (3, 7, 11), p=13)
+        indices = np.arange(8, dtype=np.uint64)
+        assert list(generator.bits(indices)) == [
+            generator.bit(i) for i in range(8)
+        ]
+
+    def test_bias_value(self):
+        generator = massdal2(20, SeedSource(1))
+        assert generator.bias() == 1.0 / MERSENNE_31
+
+    def test_constant_polynomial(self):
+        generator = PolynomialsOverPrimes(4, (6,), p=31)
+        assert all(generator.bit(i) == 0 for i in range(16))
+        generator = PolynomialsOverPrimes(4, (7,), p=31)
+        assert all(generator.bit(i) == 1 for i in range(16))
+
+
+class TestTheorem1:
+    def test_pairwise_uniform_over_zp(self):
+        """Theorem 1 exactly, on a small prime: enumerate all seeds.
+
+        For k = 2 the pairs (X_i, X_j), i != j, must be uniform over
+        Z_p x Z_p when (a0, a1) ranges over all of Z_p^2.
+        """
+        p = 7
+        i, j = 2, 5
+        counts = np.zeros((p, p), dtype=int)
+        for a0 in range(p):
+            for a1 in range(p):
+                xi = (a0 + a1 * i) % p
+                xj = (a0 + a1 * j) % p
+                counts[xi, xj] += 1
+        assert (counts == 1).all()
+
+    def test_output_bit_nearly_balanced(self):
+        """The LSB is biased by exactly 1/p over a full polynomial family."""
+        p = 7
+        i = 3
+        ones = 0
+        for a0 in range(p):
+            for a1 in range(p):
+                ones += (a0 + a1 * i) % p & 1
+        # Each X_i is uniform over Z_7 -> P[odd] = 3/7.
+        assert ones == p * 3

@@ -1,0 +1,94 @@
+"""Tests for the RM7 Reed-Muller generating scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bits import parity
+from repro.generators import RM7, SeedSource
+
+
+def random_rm7(n: int, source: SeedSource) -> RM7:
+    return RM7.from_source(n, source)
+
+
+class TestConstruction:
+    def test_seed_bits_column(self):
+        # Table 1: 1 + n + n(n-1)/2.
+        for n in (4, 8, 32):
+            generator = RM7(n, 0, 0, [0] * n)
+            assert generator.seed_bits == 1 + n + n * (n - 1) // 2
+
+    def test_row_count_enforced(self):
+        with pytest.raises(ValueError):
+            RM7(4, 0, 0, [0, 0, 0])
+
+    def test_rows_must_be_strictly_upper(self):
+        # Row 1 may only set bits above position 1.
+        with pytest.raises(ValueError):
+            RM7(4, 0, 0, [0, 0b0010, 0, 0])
+        with pytest.raises(ValueError):
+            RM7(4, 0, 0, [0b0001, 0, 0, 0])
+
+    def test_valid_upper_rows_accepted(self):
+        generator = RM7(4, 0, 0, [0b1110, 0b1100, 0b1000, 0])
+        assert generator.seed_bits == 1 + 4 + 6
+
+
+class TestDefinition:
+    def test_quadratic_term_evaluation(self):
+        """f includes i_u AND i_v for each seeded pair."""
+        # Only the pair (0, 1) is active.
+        generator = RM7(4, 0, 0, [0b0010, 0, 0, 0])
+        for i in range(16):
+            expected = (i & 1) & ((i >> 1) & 1)
+            assert generator.bit(i) == expected
+
+    def test_eq7_full_formula(self):
+        generator = RM7(4, 1, 0b1010, [0b0110, 0b0100, 0b1000, 0])
+        for i in range(16):
+            quadratic = 0
+            for u in range(4):
+                for v in range(u + 1, 4):
+                    coefficient = generator.quadratic_coefficient(u, v)
+                    quadratic ^= coefficient & (i >> u) & (i >> v) & 1
+            expected = 1 ^ parity(0b1010 & i) ^ quadratic
+            assert generator.bit(i) == expected
+
+    def test_quadratic_coefficient_symmetric_lookup(self):
+        generator = RM7(4, 0, 0, [0b0110, 0b0100, 0, 0])
+        assert generator.quadratic_coefficient(0, 1) == 1
+        assert generator.quadratic_coefficient(1, 0) == 1
+        assert generator.quadratic_coefficient(0, 3) == 0
+        with pytest.raises(ValueError):
+            generator.quadratic_coefficient(2, 2)
+        with pytest.raises(ValueError):
+            generator.quadratic_coefficient(0, 4)
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30)
+    def test_vectorized_matches_scalar(self, n, seed):
+        generator = RM7.from_source(n, SeedSource(seed))
+        size = min(1 << n, 128)
+        indices = np.arange(size, dtype=np.uint64)
+        assert np.array_equal(
+            generator.values(indices),
+            np.array([generator.value(i) for i in range(size)], dtype=np.int8),
+        )
+
+    def test_from_source_produces_valid_layout(self, source: SeedSource):
+        for _ in range(20):
+            generator = RM7.from_source(6, source)
+            for u, row in enumerate(generator.q_rows):
+                assert row & ((1 << (u + 1)) - 1) == 0
+
+    def test_reduces_to_bch3_without_quadratic(self):
+        from repro.generators import BCH3
+
+        rm7 = RM7(6, 1, 0b101010, [0] * 6)
+        bch3 = BCH3(6, 1, 0b101010)
+        for i in range(64):
+            assert rm7.bit(i) == bch3.bit(i)

@@ -1,0 +1,91 @@
+"""Tests for the Toeplitz hash family generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bits import parity
+from repro.generators import SeedSource, Toeplitz, ToeplitzHash
+
+
+class TestToeplitzHash:
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ToeplitzHash(0, 4, 0, 0)
+        with pytest.raises(ValueError):
+            ToeplitzHash(4, 4, 1 << 7, 0)  # needs n + m - 1 = 7 bits
+        with pytest.raises(ValueError):
+            ToeplitzHash(4, 4, 0, 16)  # offset needs m = 4 bits
+
+    def test_rows_share_diagonals(self):
+        """Toeplitz structure: entry (r, c) equals entry (r+1, c+1)."""
+        hash_function = ToeplitzHash.from_source(6, 4, SeedSource(2))
+        for r in range(3):
+            row = hash_function.row(r)
+            next_row = hash_function.row(r + 1)
+            for c in range(5):
+                assert (row >> c) & 1 == (next_row >> (c + 1)) & 1
+
+    def test_hash_is_affine(self):
+        hash_function = ToeplitzHash.from_source(8, 5, SeedSource(3))
+        c = hash_function.hash(0)
+        for i in (1, 3, 77, 200):
+            for j in (2, 5, 130):
+                # T(i ^ j) + c == (Ti + c) ^ (Tj + c) ^ c
+                assert hash_function.hash(i ^ j) == (
+                    hash_function.hash(i) ^ hash_function.hash(j) ^ c
+                )
+
+    def test_hash_width(self):
+        hash_function = ToeplitzHash.from_source(8, 3, SeedSource(4))
+        for i in range(256):
+            assert 0 <= hash_function.hash(i) < 8
+
+    def test_input_width_checked(self):
+        hash_function = ToeplitzHash.from_source(4, 4, SeedSource(5))
+        with pytest.raises(ValueError):
+            hash_function.hash(16)
+
+    def test_parity_row_is_xor_of_rows(self):
+        hash_function = ToeplitzHash.from_source(6, 4, SeedSource(6))
+        expected = 0
+        for r in range(4):
+            expected ^= hash_function.row(r)
+        assert hash_function.parity_row() == expected
+
+
+class TestToeplitzGenerator:
+    def test_bit_is_hash_parity(self):
+        generator = Toeplitz.from_source(8, SeedSource(7), m=5)
+        for i in range(256):
+            assert generator.bit(i) == parity(generator.hash_function.hash(i))
+
+    def test_vectorized_matches_scalar(self):
+        generator = Toeplitz.from_source(10, SeedSource(8))
+        indices = np.arange(1 << 10, dtype=np.uint64)
+        assert np.array_equal(
+            generator.bits(indices),
+            np.array([generator.bit(i) for i in range(1 << 10)], dtype=np.uint8),
+        )
+
+    def test_width_mismatch_rejected(self):
+        hash_function = ToeplitzHash.from_source(6, 4, SeedSource(9))
+        with pytest.raises(ValueError):
+            Toeplitz(8, hash_function)
+
+    def test_independence_attribute(self):
+        # 3-wise: the parity projection is a uniformly-seeded BCH3.
+        assert Toeplitz.from_source(6, SeedSource(10)).independence == 3
+
+    def test_two_wise_independence_sampled(self):
+        """Sampled 2-wise balance: each sign pattern near 1/4."""
+        rng_source = SeedSource(11)
+        i, j = 5, 40
+        counts = np.zeros(4, dtype=int)
+        samples = 2000
+        for _ in range(samples):
+            generator = Toeplitz.from_source(6, rng_source, m=4)
+            counts[generator.bit(i) << 1 | generator.bit(j)] += 1
+        assert (counts > samples / 4 - 150).all()
+        assert (counts < samples / 4 + 150).all()

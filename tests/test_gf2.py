@@ -1,0 +1,178 @@
+"""Tests for GF(2^k) extension-field arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gf2 import (
+    IRREDUCIBLE_POLYS,
+    GF2Field,
+    clmul,
+    field,
+    is_irreducible,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+)
+
+
+class TestClmul:
+    def test_simple_products(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert clmul(0b11, 0b11) == 0b101
+        assert clmul(0b10, 0b10) == 0b100
+        assert clmul(0, 12345) == 0
+        assert clmul(1, 12345) == 12345
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_commutative(self, a, b):
+        assert clmul(a, b) == clmul(b, a)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 20) - 1),
+        st.integers(min_value=0, max_value=(1 << 20) - 1),
+        st.integers(min_value=0, max_value=(1 << 20) - 1),
+    )
+    def test_distributive_over_xor(self, a, b, c):
+        assert clmul(a, b ^ c) == clmul(a, b) ^ clmul(a, c)
+
+    def test_degree_adds(self):
+        a, b = 0b1001, 0b101
+        product = clmul(a, b)
+        assert product.bit_length() - 1 == (a.bit_length() - 1) + (
+            b.bit_length() - 1
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            clmul(-1, 2)
+
+
+class TestPolyDivision:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 24) - 1),
+        st.integers(min_value=1, max_value=(1 << 12) - 1),
+    )
+    def test_divmod_identity(self, a, b):
+        q, r = poly_divmod(a, b)
+        assert clmul(q, b) ^ r == a
+        assert r.bit_length() < b.bit_length()
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod(5, 0)
+
+    def test_mod_of_smaller_is_identity(self):
+        assert poly_mod(0b101, 0b10011) == 0b101
+
+    def test_gcd_of_multiples(self):
+        g = 0b111  # x^2 + x + 1 (irreducible)
+        a = clmul(g, 0b1011)
+        b = clmul(g, 0b1101)
+        assert poly_gcd(a, b) % g == 0
+        assert poly_mod(poly_gcd(a, b), g) == 0
+
+
+class TestIrreducibility:
+    def test_known_irreducibles(self):
+        assert is_irreducible(0b111)  # x^2+x+1
+        assert is_irreducible(0b1011)  # x^3+x+1
+        assert is_irreducible(0b10011)  # x^4+x+1
+        assert is_irreducible(0x11B)  # the AES polynomial
+
+    def test_known_reducibles(self):
+        assert not is_irreducible(0b101)  # x^2+1 = (x+1)^2
+        assert not is_irreducible(0b110)  # x^2+x = x(x+1)
+        assert not is_irreducible(0b1111)  # x^3+x^2+x+1 = (x+1)(x^2+1)
+        assert not is_irreducible(1)  # degree 0
+
+    def test_exhaustive_degree_4(self):
+        # There are exactly 3 irreducible degree-4 polynomials over GF(2).
+        irreducible = [
+            p for p in range(1 << 4, 1 << 5) if is_irreducible(p)
+        ]
+        assert irreducible == [0b10011, 0b11001, 0b11111]
+
+    @pytest.mark.parametrize("degree", sorted(IRREDUCIBLE_POLYS))
+    def test_table_entries_are_irreducible(self, degree):
+        poly = IRREDUCIBLE_POLYS[degree]
+        assert poly.bit_length() - 1 == degree
+        assert is_irreducible(poly)
+
+
+class TestFieldAxioms:
+    @pytest.mark.parametrize("degree", [1, 2, 3, 4])
+    def test_multiplicative_group_small_fields(self, degree):
+        gf = field(degree)
+        # Every nonzero element has an inverse, and inverses verify.
+        for a in range(1, gf.order):
+            inv = gf.inverse(a)
+            assert gf.mul(a, inv) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            field(4).inverse(0)
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_associativity_gf256(self, data):
+        gf = field(8)
+        a = data.draw(st.integers(min_value=0, max_value=255))
+        b = data.draw(st.integers(min_value=0, max_value=255))
+        c = data.draw(st.integers(min_value=0, max_value=255))
+        assert gf.mul(gf.mul(a, b), c) == gf.mul(a, gf.mul(b, c))
+        assert gf.mul(a, gf.add(b, c)) == gf.add(gf.mul(a, b), gf.mul(a, c))
+
+    def test_aes_known_product(self):
+        # {53} * {CA} = {01} in the AES field: a classic test vector.
+        gf = field(8)
+        assert gf.mul(0x53, 0xCA) == 0x01
+
+    def test_pow_and_cube(self):
+        gf = field(8)
+        for a in (0, 1, 2, 0x53, 0xFF):
+            assert gf.cube(a) == gf.pow(a, 3)
+            assert gf.pow(a, 1) == a
+            assert gf.pow(a, 0) == 1
+
+    def test_frobenius_additivity(self):
+        # Squaring is additive in characteristic 2: (a+b)^2 = a^2 + b^2.
+        gf = field(6)
+        for a in range(gf.order):
+            for b in (0, 1, 5, 63):
+                assert gf.square(a ^ b) == gf.square(a) ^ gf.square(b)
+
+    def test_fermat(self):
+        # a^(2^k) == a for all elements.
+        gf = field(5)
+        for a in range(gf.order):
+            assert gf.pow(a, gf.order) == a
+
+    def test_element_bounds_enforced(self):
+        gf = field(4)
+        with pytest.raises(ValueError):
+            gf.mul(16, 1)
+        with pytest.raises(ValueError):
+            gf.add(-1, 0)
+
+    def test_mismatched_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            GF2Field(degree=4, modulus=0b111)  # degree-2 modulus
+
+    def test_unknown_degree_rejected(self):
+        with pytest.raises(ValueError):
+            field(65)
+
+    def test_field_is_cached(self):
+        assert field(8) is field(8)
+
+    def test_cube_in_large_field(self):
+        gf = field(32)
+        a = 0xDEADBEEF
+        assert gf.cube(a) == gf.pow(a, 3)
+        assert gf.mul(gf.cube(a), gf.inverse(a)) == gf.square(a)

@@ -1,0 +1,126 @@
+"""Tests for the negative-result demonstrations (Theorems 3 and 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bits import popcount
+from repro.generators import BCH3, BCH5, EH3, PolynomialsOverPrimes, RM7, SeedSource
+from repro.rangesum.hardness import (
+    algebraic_normal_form,
+    anf_terms,
+    bch5_has_cubic_term,
+    max_anf_degree,
+    polyprime_dyadic_profile,
+)
+
+
+class TestANF:
+    def test_constant_functions(self):
+        assert algebraic_normal_form(lambda x: 0, 3) == [0] * 8
+        anf = algebraic_normal_form(lambda x: 1, 3)
+        assert anf[0] == 1 and sum(anf) == 1
+
+    def test_single_variable(self):
+        anf = algebraic_normal_form(lambda x: x & 1, 2)
+        assert anf_terms(anf) == [0b01]
+
+    def test_and_is_degree_two(self):
+        anf = algebraic_normal_form(lambda x: (x & 1) & (x >> 1 & 1), 2)
+        assert anf_terms(anf) == [0b11]
+        assert max_anf_degree(anf) == 2
+
+    def test_xor_is_degree_one(self):
+        anf = algebraic_normal_form(lambda x: (x & 1) ^ (x >> 1 & 1), 2)
+        assert sorted(anf_terms(anf)) == [0b01, 0b10]
+        assert max_anf_degree(anf) == 1
+
+    def test_majority_of_three(self):
+        def majority(x):
+            bits = [(x >> k) & 1 for k in range(3)]
+            return 1 if sum(bits) >= 2 else 0
+
+        anf = algebraic_normal_form(majority, 3)
+        # maj(a,b,c) = ab ^ ac ^ bc.
+        assert sorted(anf_terms(anf)) == [0b011, 0b101, 0b110]
+
+    def test_roundtrip_evaluation(self):
+        """The ANF must re-evaluate to the original truth table."""
+        function = lambda x: (x * 37 >> 2) & 1  # noqa: E731
+        variables = 5
+        anf = algebraic_normal_form(function, variables)
+        for x in range(1 << variables):
+            value = 0
+            for monomial in anf_terms(anf):
+                if monomial & x == monomial:
+                    value ^= 1
+            assert value == function(x)
+
+    def test_too_many_variables_rejected(self):
+        with pytest.raises(ValueError):
+            algebraic_normal_form(lambda x: 0, 23)
+
+
+class TestSchemeDegrees:
+    def test_bch3_is_linear(self):
+        """BCH3's ANF is degree 1: the root of its fast range-summability."""
+        generator = BCH3(6, 1, 0b101101)
+        anf = algebraic_normal_form(generator.bit, 6)
+        assert max_anf_degree(anf) == 1
+
+    def test_eh3_is_quadratic(self):
+        """h adds degree-2 terms but nothing higher."""
+        generator = EH3(6, 0, 0b110011)
+        anf = algebraic_normal_form(generator.bit, 6)
+        assert max_anf_degree(anf) == 2
+
+    def test_rm7_is_quadratic(self):
+        """RM7 stays at degree 2 -- why its range-sum is polynomial."""
+        generator = RM7.from_source(6, SeedSource(4))
+        anf = algebraic_normal_form(generator.bit, 6)
+        assert max_anf_degree(anf) <= 2
+
+    def test_theorem3_bch5_arithmetic_cubic(self):
+        """Theorem 3's degree argument holds for the arithmetic cube."""
+        for n in (5, 6, 8):
+            assert bch5_has_cubic_term(n)
+
+    def test_bch5_gf_cube_is_quadratic(self):
+        """Reproduction finding: the GF(2^n) cube is the quadratic Gold
+        function, so field-mode BCH5 stays at ANF degree 2 -- making it
+        2XOR-AND summable despite Theorem 3's blanket statement."""
+        from repro.rangesum.hardness import bch5_gf_anf_degree
+
+        for n in (4, 5, 6, 8):
+            assert bch5_gf_anf_degree(n) <= 2
+
+    def test_polyprime_high_degree(self):
+        """Theorem 4's engine: mod-p + LSB has high ANF degree."""
+        generator = PolynomialsOverPrimes(4, (3, 7), p=17)
+        anf = algebraic_normal_form(generator.bit, 4)
+        assert max_anf_degree(anf) >= 3
+
+
+class TestPolyprimeProfile:
+    def test_profile_has_full_coverage(self):
+        generator = PolynomialsOverPrimes(6, (5, 9), p=67)
+        profile = polyprime_dyadic_profile(generator, 3)
+        assert len(profile) == 8
+        assert all(-8 <= total <= 8 for total in profile)
+
+    def test_profile_irregular_unlike_eh3(self):
+        """Theorem 4's consequence: dyadic sums have no fixed magnitude.
+
+        EH3's level-2j dyadic sums all have magnitude exactly 2^j; a
+        polynomials-over-primes generator scatters (here: at least two
+        distinct magnitudes at level 4).
+        """
+        generator = PolynomialsOverPrimes(8, (123, 45), p=257)
+        profile = polyprime_dyadic_profile(generator, 4)
+        magnitudes = {abs(total) for total in profile}
+        assert len(magnitudes) >= 2
+
+    def test_level_bounds(self):
+        generator = PolynomialsOverPrimes(4, (1, 2), p=17)
+        with pytest.raises(ValueError):
+            polyprime_dyadic_profile(generator, 5)

@@ -1,0 +1,132 @@
+"""Tests for the sketch-driven dynamic histogram builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.histogram_builder import (
+    Bucket,
+    build_histogram,
+    exact_count_oracle,
+    histogram_sse,
+    sketch_count_oracle,
+)
+from repro.apps.histograms import sketch_data_points
+from repro.generators import SeedSource
+from repro.rangesum.multidim import ProductGenerator
+from repro.sketch.ams import SketchScheme
+from repro.sketch.atomic import ProductChannel
+
+
+@pytest.fixture
+def bimodal_points(rng):
+    dense = rng.integers(0, 16, size=(800, 2))
+    sparse = rng.integers(40, 64, size=(200, 2))
+    return np.concatenate([dense, sparse])
+
+
+def frequency_matrix(points, bits=6):
+    freq = np.zeros((1 << bits, 1 << bits))
+    np.add.at(freq, (points[:, 0], points[:, 1]), 1.0)
+    return freq
+
+
+class TestBucket:
+    def test_area_and_density(self):
+        bucket = Bucket(rect=((0, 3), (0, 4)), count=40.0)
+        assert bucket.area == 20
+        assert bucket.density == 2.0
+
+
+class TestExactDrivenBuilder:
+    def test_bucket_count_respected(self, bimodal_points):
+        histogram = build_histogram(
+            (6, 6), exact_count_oracle(bimodal_points), 8
+        )
+        assert len(histogram.buckets) == 8
+
+    def test_buckets_partition_domain(self, bimodal_points):
+        histogram = build_histogram(
+            (6, 6), exact_count_oracle(bimodal_points), 10
+        )
+        total_area = sum(bucket.area for bucket in histogram.buckets)
+        assert total_area == 64 * 64
+        # Every point of a sample grid lies in exactly one bucket.
+        for x in range(0, 64, 7):
+            for y in range(0, 64, 9):
+                containing = [
+                    b
+                    for b in histogram.buckets
+                    if b.rect[0][0] <= x <= b.rect[0][1]
+                    and b.rect[1][0] <= y <= b.rect[1][1]
+                ]
+                assert len(containing) == 1
+
+    def test_mass_conserved(self, bimodal_points):
+        histogram = build_histogram(
+            (6, 6), exact_count_oracle(bimodal_points), 6
+        )
+        assert histogram.total_mass() == pytest.approx(len(bimodal_points))
+
+    def test_splits_reduce_sse(self, bimodal_points):
+        freq = frequency_matrix(bimodal_points)
+        oracle = exact_count_oracle(bimodal_points)
+        single = build_histogram((6, 6), oracle, 1)
+        many = build_histogram((6, 6), oracle, 8)
+        assert histogram_sse(many, freq) < histogram_sse(single, freq)
+
+    def test_density_lookup(self, bimodal_points):
+        histogram = build_histogram(
+            (6, 6), exact_count_oracle(bimodal_points), 4
+        )
+        # The dense corner must predict a higher density than the void.
+        dense = histogram.density_at((5, 5))
+        void = histogram.density_at((30, 30))
+        assert dense > void
+
+    def test_point_outside_rejected(self, bimodal_points):
+        histogram = build_histogram(
+            (6, 6), exact_count_oracle(bimodal_points), 2
+        )
+        with pytest.raises(ValueError):
+            histogram.density_at((64, 0))
+
+    def test_validation(self, bimodal_points):
+        with pytest.raises(ValueError):
+            build_histogram((6, 6), exact_count_oracle(bimodal_points), 0)
+
+    def test_singleton_domain_stops_splitting(self):
+        points = np.zeros((5, 1), dtype=int)
+        histogram = build_histogram((1,), exact_count_oracle(points), 10)
+        # A 2-cell domain can produce at most 2 buckets.
+        assert len(histogram.buckets) <= 2
+
+
+class TestSketchDrivenBuilder:
+    def test_sketch_histogram_near_exact_quality(self, bimodal_points):
+        source = SeedSource(9)
+        scheme = SketchScheme.from_factory(
+            lambda src: ProductChannel(ProductGenerator.eh3((6, 6), src)),
+            5,
+            120,
+            source,
+        )
+        data_sketch = sketch_data_points(scheme, bimodal_points)
+        freq = frequency_matrix(bimodal_points)
+
+        sketch_hist = build_histogram(
+            (6, 6), sketch_count_oracle(data_sketch, scheme), 8
+        )
+        exact_hist = build_histogram(
+            (6, 6), exact_count_oracle(bimodal_points), 8
+        )
+        single = build_histogram(
+            (6, 6), exact_count_oracle(bimodal_points), 1
+        )
+        sse_sketch = histogram_sse(sketch_hist, freq)
+        sse_exact = histogram_sse(exact_hist, freq)
+        sse_single = histogram_sse(single, freq)
+        # Streaming (sketch-only) splits capture most of the benefit.
+        assert sse_sketch < sse_single
+        assert sse_sketch < 3 * sse_exact

@@ -1,0 +1,156 @@
+"""Tests for the chain-join extension (Dobra et al. [8])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import BCH5, EH3, SeedSource
+from repro.sketch.multijoin import ChainJoinScheme, exact_chain_join
+
+
+def eh3_chain(attribute_bits, medians, averages, source):
+    return ChainJoinScheme(
+        attribute_bits,
+        lambda bits, src: EH3.from_source(bits, src),
+        medians,
+        averages,
+        source,
+    )
+
+
+class TestExactChainJoin:
+    def test_binary_join(self):
+        r = [1, 1, 2]
+        s = [1, 2, 2, 3]
+        # join on equality: 1 matches twice*once + 2 matches once*twice.
+        assert exact_chain_join([r, s]) == 2 * 1 + 1 * 2
+
+    def test_three_way_chain(self):
+        r = [1, 2]
+        s = [(1, 10), (1, 20), (2, 10)]
+        t = [10, 10, 30]
+        # r=1 -> (1,10),(1,20); r=2 -> (2,10).  t matches value 10 twice.
+        # paths: 1-(1,10)-10 x2, 2-(2,10)-10 x2 => 4.
+        assert exact_chain_join([r, s, t]) == 4
+
+    def test_empty_middle(self):
+        assert exact_chain_join([[1, 2], [], [1]]) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_chain_join([[1]])
+
+
+class TestChainJoinScheme:
+    def test_relation_count_and_attribute_sharing(self, source: SeedSource):
+        chain = eh3_chain((6, 6), 2, 3, source)
+        assert chain.relations == 3
+        # End relations see one attribute, the middle sees two; attribute
+        # generators are SHARED between adjacent relations per cell.
+        left = chain.scheme_for(0).channels[0][0]
+        middle = chain.scheme_for(1).channels[0][0]
+        right = chain.scheme_for(2).channels[0][0]
+        assert len(left.generators) == 1
+        assert len(middle.generators) == 2
+        assert len(right.generators) == 1
+        assert left.generators[0] is middle.generators[0]
+        assert right.generators[0] is middle.generators[1]
+
+    def test_position_bounds(self, source: SeedSource):
+        chain = eh3_chain((6,), 1, 1, source)
+        with pytest.raises(ValueError):
+            chain.scheme_for(2)
+
+    def test_binary_join_estimate(self, source: SeedSource):
+        """Two-relation chain reduces to the ordinary size-of-join."""
+        rng = np.random.default_rng(4)
+        r = rng.integers(0, 64, size=400)
+        s = rng.integers(0, 64, size=300)
+        truth = exact_chain_join([r, s])
+        chain = eh3_chain((6,), 7, 300, source)
+        x = chain.sketch_relation(0, [int(v) for v in r])
+        y = chain.sketch_relation(1, [int(v) for v in s])
+        estimate = chain.estimate([x, y])
+        assert estimate == pytest.approx(truth, rel=0.4)
+
+    def test_three_way_estimate(self, source: SeedSource):
+        rng = np.random.default_rng(9)
+        r = [int(v) for v in rng.integers(0, 32, size=150)]
+        s = [
+            (int(a), int(b))
+            for a, b in zip(
+                rng.integers(0, 32, size=200), rng.integers(0, 32, size=200)
+            )
+        ]
+        t = [int(v) for v in rng.integers(0, 32, size=150)]
+        truth = exact_chain_join([r, s, t])
+        chain = eh3_chain((5, 5), 7, 500, source)
+        sketches = [
+            chain.sketch_relation(0, r),
+            chain.sketch_relation(1, s),
+            chain.sketch_relation(2, t),
+        ]
+        estimate = chain.estimate(sketches)
+        assert truth > 0
+        assert estimate == pytest.approx(truth, rel=0.6)
+
+    def test_three_way_unbiased_with_bch5(self):
+        """Average the 3-way estimator over many independent grids."""
+        rng = np.random.default_rng(11)
+        r = [1, 2, 3]
+        s = [(1, 4), (2, 5), (3, 4)]
+        t = [4, 4, 5]
+        truth = exact_chain_join([r, s, t])
+        source = SeedSource(55)
+        estimates = []
+        for _ in range(300):
+            chain = ChainJoinScheme(
+                (4, 4),
+                lambda bits, src: BCH5.from_source(bits, src, mode="gf"),
+                1,
+                1,
+                source,
+            )
+            sketches = [
+                chain.sketch_relation(0, r),
+                chain.sketch_relation(1, s),
+                chain.sketch_relation(2, t),
+            ]
+            estimates.append(chain.estimate(sketches))
+        sem = np.std(estimates) / np.sqrt(len(estimates))
+        assert np.mean(estimates) == pytest.approx(truth, abs=4 * sem + 0.5)
+
+    def test_interval_updates_on_end_relation(self, source: SeedSource):
+        """An end relation specified as intervals sketches via range-sums."""
+        chain = eh3_chain((6,), 2, 3, source)
+        fast = chain.scheme_for(0).sketch()
+        fast.update_interval((10, 30))
+        slow = chain.scheme_for(0).sketch()
+        for v in range(10, 31):
+            slow.update_point(v)
+        assert np.allclose(fast.values(), slow.values())
+
+    def test_mixed_interval_updates_on_middle_relation(self, source: SeedSource):
+        chain = eh3_chain((5, 5), 2, 3, source)
+        fast = chain.scheme_for(1).sketch()
+        fast.update_interval(((4, 9), 7))
+        slow = chain.scheme_for(1).sketch()
+        for v in range(4, 10):
+            slow.update_point((v, 7))
+        assert np.allclose(fast.values(), slow.values())
+
+    def test_estimate_requires_own_sketches(self, source: SeedSource):
+        chain_a = eh3_chain((5,), 1, 2, source)
+        chain_b = eh3_chain((5,), 1, 2, source)
+        x = chain_a.sketch_relation(0, [1])
+        y = chain_b.sketch_relation(1, [1])
+        with pytest.raises(ValueError):
+            chain_a.estimate([x, y])
+        with pytest.raises(ValueError):
+            chain_a.estimate([x])
+
+    def test_arity_checked(self, source: SeedSource):
+        chain = eh3_chain((5, 5), 1, 1, source)
+        with pytest.raises(ValueError):
+            chain.sketch_relation(1, [3])  # middle relation needs pairs

@@ -1,0 +1,130 @@
+"""Tests for GF(p) prime-field arithmetic and Mersenne reductions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.primefield import (
+    MERSENNE_31,
+    MERSENNE_61,
+    PrimeField,
+    is_prime,
+    mod_mersenne31,
+    mod_mersenne31_array,
+    next_prime_at_least,
+    prime_field,
+)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31]
+        for n in range(32):
+            assert is_prime(n) == (n in primes)
+
+    def test_mersenne_primes(self):
+        assert is_prime(MERSENNE_31)
+        assert is_prime(MERSENNE_61)
+
+    def test_mersenne_composites(self):
+        assert not is_prime((1 << 29) - 1)  # 2^29-1 = 233 * 1103 * 2089
+        assert not is_prime((1 << 32) - 1)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(n)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_next_prime_at_least(self, n):
+        p = next_prime_at_least(n)
+        assert p >= n
+        assert is_prime(p)
+        # No prime strictly between n and p.
+        assert all(not is_prime(q) for q in range(n, p))
+
+
+class TestMersenneReduction:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_scalar_matches_mod(self, x):
+        assert mod_mersenne31(x) == x % MERSENNE_31
+
+    def test_boundary_values(self):
+        assert mod_mersenne31(MERSENNE_31) == 0
+        assert mod_mersenne31(MERSENNE_31 - 1) == MERSENNE_31 - 1
+        assert mod_mersenne31(2 * MERSENNE_31) == 0
+        assert mod_mersenne31(2 * MERSENNE_31 + 5) == 5
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 62) - 1),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_array_matches_mod(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        reduced = mod_mersenne31_array(arr)
+        expected = [v % MERSENNE_31 for v in values]
+        assert list(reduced) == expected
+
+
+class TestPrimeField:
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            PrimeField(10)
+
+    def test_basic_arithmetic(self):
+        gf = prime_field(17)
+        assert gf.add(9, 12) == 4
+        assert gf.sub(3, 9) == 11
+        assert gf.mul(5, 7) == 1
+        assert gf.inverse(5) == 7
+        assert gf.pow(2, 4) == 16
+
+    def test_zero_inverse_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            prime_field(7).inverse(0)
+
+    def test_out_of_range_rejected(self):
+        gf = prime_field(7)
+        with pytest.raises(ValueError):
+            gf.add(7, 0)
+        with pytest.raises(ValueError):
+            gf.mul(-1, 3)
+
+    @given(st.integers(min_value=1, max_value=16))
+    def test_fermat_little(self, a):
+        gf = prime_field(17)
+        assert gf.pow(a, 16) == 1
+
+    def test_horner_matches_naive(self):
+        gf = prime_field(MERSENNE_31)
+        coefficients = (123456789, 987654321, 555555555, 42)
+        for x in (0, 1, 2, 10**9, MERSENNE_31 - 1):
+            naive = (
+                sum(c * pow(x, k, MERSENNE_31) for k, c in enumerate(coefficients))
+                % MERSENNE_31
+            )
+            assert gf.eval_poly(coefficients, x) == naive
+
+    def test_horner_array_matches_scalar_mersenne31(self):
+        gf = prime_field(MERSENNE_31)
+        coefficients = (7, 11, 13)
+        xs = np.array([0, 1, 5, 10**6, MERSENNE_31 - 1], dtype=np.uint64)
+        vectorized = gf.eval_poly_array(coefficients, xs)
+        scalar = [gf.eval_poly(coefficients, int(x)) for x in xs]
+        assert list(vectorized) == scalar
+
+    def test_horner_array_generic_prime(self):
+        gf = prime_field(101)
+        coefficients = (3, 1, 4, 1, 5)
+        xs = np.arange(101, dtype=np.uint64)
+        vectorized = gf.eval_poly_array(coefficients, xs)
+        scalar = [gf.eval_poly(coefficients, int(x)) for x in xs]
+        assert list(vectorized) == scalar
+
+    def test_prime_field_cached(self):
+        assert prime_field(31) is prime_field(31)

@@ -1,0 +1,137 @@
+"""Tests for the continuous-query stream processor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import BCH5, SeedSource
+from repro.stream.processor import StreamProcessor
+
+
+class TestRegistration:
+    def test_relations_and_memory(self):
+        processor = StreamProcessor(medians=3, averages=10)
+        processor.register_relation("r", 10)
+        processor.register_relation("s", 10)
+        assert processor.relations() == ["r", "s"]
+        assert processor.memory_words() == 2 * 30
+
+    def test_duplicate_rejected(self):
+        processor = StreamProcessor()
+        processor.register_relation("r", 8)
+        with pytest.raises(ValueError):
+            processor.register_relation("r", 8)
+
+    def test_same_domain_shares_scheme(self):
+        processor = StreamProcessor(medians=2, averages=3)
+        processor.register_relation("r", 9)
+        processor.register_relation("s", 9)
+        processor.register_relation("t", 12)
+        assert processor.scheme_of("r") is processor.scheme_of("s")
+        assert processor.scheme_of("r") is not processor.scheme_of("t")
+
+    def test_cross_domain_join_rejected(self):
+        processor = StreamProcessor()
+        processor.register_relation("r", 8)
+        processor.register_relation("t", 12)
+        with pytest.raises(ValueError):
+            processor.register_join("r", "t")
+
+    def test_unknown_relation_rejected(self):
+        processor = StreamProcessor()
+        with pytest.raises(ValueError):
+            processor.process_point("ghost", 1)
+        with pytest.raises(ValueError):
+            processor.register_self_join("ghost")
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            StreamProcessor(medians=0)
+        processor = StreamProcessor()
+        with pytest.raises(ValueError):
+            processor.register_relation("r", 0)
+
+
+class TestContinuousQueries:
+    def test_join_estimate_tracks_stream(self):
+        processor = StreamProcessor(medians=7, averages=250, seed=5)
+        processor.register_relation("r", 10)
+        processor.register_relation("s", 10)
+        join = processor.register_join("r", "s")
+
+        rng = np.random.default_rng(2)
+        r_items = rng.integers(0, 1 << 10, size=800)
+        s_items = rng.integers(0, 1 << 10, size=600)
+        for item in r_items:
+            processor.process_point("r", int(item))
+        for item in s_items:
+            processor.process_point("s", int(item))
+
+        truth = float(
+            np.dot(
+                np.bincount(r_items, minlength=1 << 10),
+                np.bincount(s_items, minlength=1 << 10),
+            )
+        )
+        assert processor.answer(join) == pytest.approx(truth, rel=0.5)
+
+    def test_interval_stream_self_join(self):
+        processor = StreamProcessor(medians=7, averages=300, seed=6)
+        processor.register_relation("coverage", 10)
+        f2 = processor.register_self_join("coverage")
+        intervals = [(0, 499), (250, 749), (600, 1023)]
+        for low, high in intervals:
+            processor.process_interval("coverage", low, high)
+        coverage = np.zeros(1 << 10)
+        for low, high in intervals:
+            coverage[low : high + 1] += 1
+        truth = float(np.dot(coverage, coverage))
+        assert processor.answer(f2) == pytest.approx(truth, rel=0.4)
+
+    def test_deletions(self):
+        processor = StreamProcessor(medians=2, averages=4, seed=7)
+        processor.register_relation("r", 8)
+        processor.process_point("r", 3)
+        processor.process_point("r", 3, weight=-1.0)
+        assert np.allclose(processor.sketch_of("r").values(), 0.0)
+
+    def test_distributed_merge(self):
+        coordinator = StreamProcessor(medians=3, averages=50, seed=8)
+        coordinator.register_relation("r", 8)
+        coordinator.register_relation("s", 8)
+        join = coordinator.register_join("r", "s")
+
+        # A remote site sketches part of r under the SAME scheme.
+        remote = coordinator.scheme_of("r").sketch()
+        for item in (5, 5, 9):
+            remote.update_point(item)
+        coordinator.process_point("r", 9)
+        coordinator.merge_sketch("r", remote)
+        coordinator.process_point("s", 5)
+
+        # r holds {5:2, 9:2}; joining with s = {5:1} gives 2.
+        assert coordinator.answer(join) == pytest.approx(2.0, abs=1.5)
+
+    def test_stale_handle_rejected(self):
+        a = StreamProcessor(seed=9)
+        a.register_relation("r", 8)
+        handle = a.register_self_join("r")
+        b = StreamProcessor(seed=9)
+        b.register_relation("r", 8)
+        with pytest.raises(ValueError):
+            b.answer(handle)
+
+    def test_custom_generator_factory(self):
+        processor = StreamProcessor(
+            medians=2,
+            averages=3,
+            seed=10,
+            generator_factory=lambda bits, src: BCH5.from_source(
+                bits, src, mode="arithmetic"
+            ),
+        )
+        processor.register_relation("r", 8)
+        processor.process_point("r", 7)
+        cell = processor.scheme_of("r").channels[0][0]
+        assert isinstance(cell.generator, BCH5)

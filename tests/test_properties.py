@@ -1,0 +1,196 @@
+"""Cross-cutting property tests: invariants every component must share.
+
+These hypothesis suites cut across modules: any generator, any
+range-summable scheme, any channel -- if a new scheme is added and wired
+into the strategies here, it inherits the whole invariant battery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    BCH3,
+    BCH5,
+    EH3,
+    RM7,
+    PolynomialsOverPrimes,
+    SeedSource,
+    Toeplitz,
+)
+from repro.rangesum import (
+    bch3_range_sum,
+    bch5_range_sum,
+    brute_force_range_sum,
+    eh3_range_sum,
+    rm7_range_sum,
+)
+
+MAX_BITS = 10
+
+
+def any_generator(data, bits):
+    """Draw one generator of any scheme over a `bits`-wide domain."""
+    seed = data.draw(st.integers(min_value=0, max_value=100_000))
+    source = SeedSource(seed)
+    kind = data.draw(
+        st.sampled_from(["bch3", "eh3", "bch5g", "bch5a", "rm7", "poly", "toe"])
+    )
+    if kind == "bch3":
+        return BCH3.from_source(bits, source)
+    if kind == "eh3":
+        return EH3.from_source(bits, source)
+    if kind == "bch5g":
+        return BCH5.from_source(bits, source, mode="gf")
+    if kind == "bch5a":
+        return BCH5.from_source(bits, source, mode="arithmetic")
+    if kind == "rm7":
+        return RM7.from_source(bits, source)
+    if kind == "poly":
+        return PolynomialsOverPrimes.from_source(bits, source, k=3, p=2053)
+    return Toeplitz.from_source(bits, source)
+
+
+RANGE_SUMMERS = [
+    (BCH3, bch3_range_sum),
+    (EH3, eh3_range_sum),
+    (RM7, rm7_range_sum),
+]
+
+
+class TestGeneratorInvariants:
+    @given(st.data())
+    @settings(max_examples=150)
+    def test_values_are_plus_minus_one(self, data):
+        bits = data.draw(st.integers(min_value=2, max_value=MAX_BITS))
+        generator = any_generator(data, bits)
+        indices = np.arange(min(1 << bits, 128), dtype=np.uint64)
+        values = generator.values(indices)
+        assert set(np.unique(values)).issubset({-1, 1})
+
+    @given(st.data())
+    @settings(max_examples=150)
+    def test_bit_value_correspondence(self, data):
+        bits = data.draw(st.integers(min_value=2, max_value=MAX_BITS))
+        generator = any_generator(data, bits)
+        i = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        assert generator.value(i) == 1 - 2 * generator.bit(i)
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_determinism(self, data):
+        bits = data.draw(st.integers(min_value=2, max_value=MAX_BITS))
+        generator = any_generator(data, bits)
+        i = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        assert generator.value(i) == generator.value(i)
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_seed_bits_positive_and_consistent(self, data):
+        bits = data.draw(st.integers(min_value=2, max_value=MAX_BITS))
+        generator = any_generator(data, bits)
+        assert generator.seed_bits >= bits
+        assert generator.domain_size == 1 << bits
+
+
+class TestRangeSumInvariants:
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_additivity(self, data):
+        """sum[a, c] == sum[a, b] + sum[b+1, c] for every fast scheme."""
+        bits = data.draw(st.integers(min_value=2, max_value=MAX_BITS))
+        cls, summer = data.draw(st.sampled_from(RANGE_SUMMERS))
+        generator = cls.from_source(bits, SeedSource(data.draw(
+            st.integers(min_value=0, max_value=10_000))))
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 2))
+        c = data.draw(st.integers(min_value=a + 1, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=a, max_value=c - 1))
+        assert summer(generator, a, c) == summer(generator, a, b) + summer(
+            generator, b + 1, c
+        )
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_interval_size(self, data):
+        bits = data.draw(st.integers(min_value=2, max_value=MAX_BITS))
+        cls, summer = data.draw(st.sampled_from(RANGE_SUMMERS))
+        generator = cls.from_source(bits, SeedSource(data.draw(
+            st.integers(min_value=0, max_value=10_000))))
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=a, max_value=(1 << bits) - 1))
+        assert abs(summer(generator, a, b)) <= b - a + 1
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_parity_matches_interval_size(self, data):
+        """A sum of k +/-1 values has k's parity."""
+        bits = data.draw(st.integers(min_value=2, max_value=MAX_BITS))
+        cls, summer = data.draw(st.sampled_from(RANGE_SUMMERS))
+        generator = cls.from_source(bits, SeedSource(data.draw(
+            st.integers(min_value=0, max_value=10_000))))
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=a, max_value=(1 << bits) - 1))
+        assert (summer(generator, a, b) - (b - a + 1)) % 2 == 0
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_bch5_gf_summer_additivity(self, data):
+        bits = data.draw(st.integers(min_value=2, max_value=8))
+        generator = BCH5.from_source(
+            bits, SeedSource(data.draw(st.integers(0, 10_000))), mode="gf"
+        )
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 2))
+        c = data.draw(st.integers(min_value=a + 1, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=a, max_value=c - 1))
+        assert bch5_range_sum(generator, a, c) == bch5_range_sum(
+            generator, a, b
+        ) + bch5_range_sum(generator, b + 1, c)
+
+
+class TestSketchLinearity:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_updates_scale(self, data):
+        from repro.sketch.ams import SketchScheme
+
+        bits = 8
+        seed = data.draw(st.integers(min_value=0, max_value=10_000))
+        source = SeedSource(seed)
+        scheme = SketchScheme.from_generators(
+            lambda src: EH3.from_source(bits, src), 2, 2, source
+        )
+        item = data.draw(st.integers(min_value=0, max_value=255))
+        weight = data.draw(
+            st.floats(min_value=-10, max_value=10, allow_nan=False)
+        )
+        scaled = scheme.sketch()
+        scaled.update_point(item, weight)
+        unit = scheme.sketch()
+        unit.update_point(item, 1.0)
+        assert np.allclose(scaled.values(), weight * unit.values())
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_update_order_irrelevant(self, data):
+        from repro.sketch.ams import SketchScheme
+
+        seed = data.draw(st.integers(min_value=0, max_value=10_000))
+        source = SeedSource(seed)
+        scheme = SketchScheme.from_generators(
+            lambda src: EH3.from_source(8, src), 2, 2, source
+        )
+        items = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=255), min_size=1, max_size=12
+            )
+        )
+        forward = scheme.sketch()
+        backward = scheme.sketch()
+        for item in items:
+            forward.update_point(item)
+        for item in reversed(items):
+            backward.update_point(item)
+        assert np.allclose(forward.values(), backward.values())

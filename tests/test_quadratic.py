@@ -1,0 +1,120 @@
+"""Tests for GF(2) quadratic-form solution counting (2XOR-AND)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rangesum.quadratic import (
+    QuadraticPolynomial,
+    brute_force_counts,
+    count_values,
+    count_zeros,
+)
+
+
+def random_poly(data, max_vars: int = 10) -> QuadraticPolynomial:
+    l = data.draw(st.integers(min_value=0, max_value=max_vars))
+    constant = data.draw(st.integers(min_value=0, max_value=1))
+    linear = data.draw(st.integers(min_value=0, max_value=max((1 << l) - 1, 0)))
+    rows = []
+    for u in range(l):
+        width = l - u - 1
+        row = data.draw(st.integers(min_value=0, max_value=max((1 << width) - 1, 0)))
+        rows.append(row << (u + 1) if width > 0 else 0)
+    return QuadraticPolynomial.from_upper_rows(l, constant, linear, tuple(rows))
+
+
+class TestConstruction:
+    def test_symmetry_enforced(self):
+        with pytest.raises(ValueError):
+            QuadraticPolynomial(2, 0, 0, (0b10, 0b00))
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticPolynomial(2, 0, 0, (0b01, 0b10))
+
+    def test_from_upper_rows_builds_symmetric(self):
+        poly = QuadraticPolynomial.from_upper_rows(3, 0, 0, (0b110, 0b100, 0))
+        assert poly.adjacency == (0b110, 0b101, 0b011)
+
+    def test_constant_only(self):
+        poly = QuadraticPolynomial(0, 1, 0, ())
+        assert count_zeros(poly) == 0
+        poly = QuadraticPolynomial(0, 0, 0, ())
+        assert count_zeros(poly) == 1
+
+
+class TestEvaluate:
+    def test_known_function(self):
+        # Q = x0 x1 ^ x2
+        poly = QuadraticPolynomial.from_upper_rows(3, 0, 0b100, (0b010, 0, 0))
+        truth = [poly.evaluate(x) for x in range(8)]
+        expected = [((x & 1) & (x >> 1 & 1)) ^ (x >> 2 & 1) for x in range(8)]
+        assert truth == expected
+
+
+class TestCounting:
+    def test_single_hyperbolic_term(self):
+        # Q = x0 x1: one of four assignments gives 1.
+        poly = QuadraticPolynomial.from_upper_rows(2, 0, 0, (0b10, 0))
+        assert count_values(poly) == (3, 1)
+
+    def test_complemented_hyperbolic(self):
+        poly = QuadraticPolynomial.from_upper_rows(2, 1, 0, (0b10, 0))
+        assert count_values(poly) == (1, 3)
+
+    def test_pure_linear_balanced(self):
+        poly = QuadraticPolynomial.from_upper_rows(4, 0, 0b1010, (0, 0, 0, 0))
+        assert count_values(poly) == (8, 8)
+
+    def test_two_independent_hyperbolics(self):
+        # Q = x0 x1 ^ x2 x3: zeros = (16 + 4) / 2 = 10.
+        poly = QuadraticPolynomial.from_upper_rows(
+            4, 0, 0, (0b0010, 0, 0b1000, 0)
+        )
+        assert count_values(poly) == (10, 6)
+
+    def test_chain_requires_substitution(self):
+        # Q = x0 x1 ^ x1 x2: shares x1 -> the elimination must substitute.
+        poly = QuadraticPolynomial.from_upper_rows(3, 0, 0, (0b010, 0b100, 0))
+        assert count_values(poly) == brute_force_counts(poly)
+
+    def test_triangle(self):
+        # Q = x0 x1 ^ x0 x2 ^ x1 x2.
+        poly = QuadraticPolynomial.from_upper_rows(3, 0, 0, (0b110, 0b100, 0))
+        assert count_values(poly) == brute_force_counts(poly)
+
+    def test_complete_graph_k4_with_linear(self):
+        rows = (0b1110, 0b1100, 0b1000, 0)
+        poly = QuadraticPolynomial.from_upper_rows(4, 1, 0b0101, rows)
+        assert count_values(poly) == brute_force_counts(poly)
+
+    @given(st.data())
+    @settings(max_examples=300, deadline=None)
+    def test_matches_brute_force(self, data):
+        poly = random_poly(data)
+        assert count_values(poly) == brute_force_counts(poly)
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_complement_flips_counts(self, data):
+        poly = random_poly(data, max_vars=8)
+        flipped = QuadraticPolynomial(
+            poly.variables, poly.constant ^ 1, poly.linear, poly.adjacency
+        )
+        zeros, ones = count_values(poly)
+        assert count_values(flipped) == (ones, zeros)
+
+    def test_counts_total(self):
+        poly = QuadraticPolynomial.from_upper_rows(
+            5, 0, 0b10011, (0b00110, 0b01000, 0b11000, 0b10000, 0)
+        )
+        zeros, ones = count_values(poly)
+        assert zeros + ones == 32
+
+    def test_brute_force_guard(self):
+        poly = QuadraticPolynomial(25, 0, 0, tuple([0] * 25))
+        with pytest.raises(ValueError):
+            brute_force_counts(poly)

@@ -1,0 +1,88 @@
+"""Tests for the field-mode BCH5 2XOR-AND range-summation (extension).
+
+This algorithm goes beyond the paper: Theorem 3's degree argument rules
+out the arithmetic cube, but the extension-field cube is the quadratic
+Gold function, so the Ehrenfeucht-Karpinski counting applies.  See the
+module docstring of repro.rangesum.bch5_rangesum.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dyadic import DyadicInterval
+from repro.generators import BCH5, SeedSource
+from repro.rangesum import (
+    bch5_dyadic_sum,
+    bch5_quadratic_form,
+    bch5_range_sum,
+    brute_force_range_sum,
+)
+
+
+class TestQuadraticForm:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_form_reproduces_bits(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=8))
+        seed = data.draw(st.integers(min_value=0, max_value=5_000))
+        generator = BCH5.from_source(n, SeedSource(seed), mode="gf")
+        poly = bch5_quadratic_form(generator)
+        for i in range(1 << n):
+            assert poly.evaluate(i) == generator.bit(i)
+
+    def test_arithmetic_mode_rejected(self, source: SeedSource):
+        generator = BCH5.from_source(6, source, mode="arithmetic")
+        with pytest.raises(ValueError):
+            bch5_quadratic_form(generator)
+
+    def test_pure_linear_when_s3_zero(self, source: SeedSource):
+        generator = BCH5(6, 1, 0b101010, 0, mode="gf")
+        poly = bch5_quadratic_form(generator)
+        assert poly.adjacency == (0,) * 6
+        assert poly.linear == 0b101010
+        assert poly.constant == 1
+
+
+class TestRangeSums:
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_dyadic_matches_brute_force(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=10))
+        seed = data.draw(st.integers(min_value=0, max_value=5_000))
+        generator = BCH5.from_source(n, SeedSource(seed), mode="gf")
+        level = data.draw(st.integers(min_value=0, max_value=n))
+        offset = data.draw(
+            st.integers(min_value=0, max_value=(1 << (n - level)) - 1)
+        )
+        interval = DyadicInterval(level, offset)
+        assert bch5_dyadic_sum(generator, interval) == brute_force_range_sum(
+            generator, interval.low, interval.high - 1
+        )
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_general_matches_brute_force(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=9))
+        seed = data.draw(st.integers(min_value=0, max_value=5_000))
+        generator = BCH5.from_source(n, SeedSource(seed), mode="gf")
+        alpha = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        beta = data.draw(st.integers(min_value=alpha, max_value=(1 << n) - 1))
+        assert bch5_range_sum(generator, alpha, beta) == brute_force_range_sum(
+            generator, alpha, beta
+        )
+
+    def test_large_domain_additivity(self):
+        generator = BCH5.from_source(40, SeedSource(7), mode="gf")
+        a, b = 999, (1 << 39) + 777
+        mid = 1 << 30
+        assert bch5_range_sum(generator, a, b) == bch5_range_sum(
+            generator, a, mid
+        ) + bch5_range_sum(generator, mid + 1, b)
+
+    def test_out_of_domain_rejected(self, source: SeedSource):
+        generator = BCH5.from_source(4, source, mode="gf")
+        with pytest.raises(ValueError):
+            bch5_dyadic_sum(generator, DyadicInterval(5, 0))

@@ -1,0 +1,162 @@
+"""Tests for EH3 fast range-summation (Theorem 2 / Algorithm H3Interval)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dyadic import DyadicInterval
+from repro.generators import EH3
+from repro.rangesum import (
+    brute_force_range_sum,
+    eh3_dyadic_sum,
+    eh3_range_sum,
+    h3_interval,
+)
+
+
+class TestTheorem2:
+    @given(st.data())
+    @settings(max_examples=200)
+    def test_dyadic_closed_form_matches_brute_force(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=12))
+        s0 = data.draw(st.integers(min_value=0, max_value=1))
+        s1 = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        j = data.draw(st.integers(min_value=0, max_value=n // 2))
+        offset = data.draw(
+            st.integers(min_value=0, max_value=(1 << (n - 2 * j)) - 1)
+        )
+        generator = EH3(n, s0, s1)
+        interval = DyadicInterval(2 * j, offset)
+        assert eh3_dyadic_sum(generator, interval) == brute_force_range_sum(
+            generator, interval.low, interval.high - 1
+        )
+
+    def test_magnitude_is_2_to_j(self):
+        """Every quaternary dyadic sum has magnitude exactly 2^j."""
+        generator = EH3(8, 0, 184)
+        for j in range(5):
+            for offset in range(1 << (8 - 2 * j)):
+                total = eh3_dyadic_sum(generator, DyadicInterval(2 * j, offset))
+                assert abs(total) == 1 << j
+
+    def test_sign_flips_with_zero_or_pairs(self):
+        """#ZERO parity controls the sign (Theorem 2's (-1)^#ZERO)."""
+        # Seed pair (0,0) at the bottom -> one flip for every j >= 1.
+        generator = EH3(4, 0, 0b1100)
+        interval = DyadicInterval(2, 0)  # [0, 4): j = 1
+        assert eh3_dyadic_sum(generator, interval) == -2 * generator.value(0)
+        # Seed with no zero pairs -> positive sign.
+        generator = EH3(4, 0, 0b0101)
+        assert eh3_dyadic_sum(generator, interval) == 2 * generator.value(0)
+
+    def test_odd_level_rejected(self):
+        with pytest.raises(ValueError):
+            eh3_dyadic_sum(EH3(4, 0, 1), DyadicInterval(1, 0))
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            eh3_dyadic_sum(EH3(4, 0, 1), DyadicInterval(6, 0))
+
+
+class TestPaperExample1:
+    """Example 1: S = [s0, S1] = [0, 184], interval [124, 197]."""
+
+    def test_range_sum_value(self):
+        """Under Eq. 1's mapping xi = (-1)^f the example evaluates to -12.
+
+        The paper's worked arithmetic reports +12 because it maps bits to
+        signs the opposite way (f = 0 -> -1); the flip is global, so every
+        estimator (products of sketches) is unchanged.  We pin our
+        convention here and check the magnitude matches the paper.
+        """
+        generator = EH3(8, 0, 184)
+        total = eh3_range_sum(generator, 124, 197)
+        assert total == -12
+        assert total == brute_force_range_sum(generator, 124, 197)
+
+    def test_piecewise_magnitudes(self):
+        """|g| per dyadic piece: 2, 8, 2, 1, 1 as in the example."""
+        generator = EH3(8, 0, 184)
+        pieces = [
+            (124, 127, 2),
+            (128, 191, 8),
+            (192, 195, 2),
+            (196, 196, 1),
+            (197, 197, 1),
+        ]
+        for low, high, magnitude in pieces:
+            assert abs(eh3_range_sum(generator, low, high)) == magnitude
+
+
+class TestGeneralIntervals:
+    @given(st.data())
+    @settings(max_examples=300)
+    def test_matches_brute_force(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=13))
+        s0 = data.draw(st.integers(min_value=0, max_value=1))
+        s1 = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        alpha = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        beta = data.draw(st.integers(min_value=alpha, max_value=(1 << n) - 1))
+        generator = EH3(n, s0, s1)
+        assert eh3_range_sum(generator, alpha, beta) == brute_force_range_sum(
+            generator, alpha, beta
+        )
+
+    @given(st.data())
+    @settings(max_examples=150)
+    def test_fast_path_equals_cover_reference(self, data):
+        """The allocation-free walk equals the explicit-cover H3Interval."""
+        from repro.rangesum.eh3_rangesum import eh3_range_sum_via_cover
+
+        n = data.draw(st.integers(min_value=1, max_value=34))
+        s0 = data.draw(st.integers(min_value=0, max_value=1))
+        s1 = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        alpha = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        beta = data.draw(st.integers(min_value=alpha, max_value=(1 << n) - 1))
+        generator = EH3(n, s0, s1)
+        assert eh3_range_sum(generator, alpha, beta) == (
+            eh3_range_sum_via_cover(generator, alpha, beta)
+        )
+
+    def test_h3_interval_alias(self):
+        generator = EH3(10, 1, 0x2F1)
+        assert h3_interval(generator, 5, 900) == eh3_range_sum(generator, 5, 900)
+
+    def test_single_point(self):
+        generator = EH3(10, 0, 0x3A5)
+        for i in (0, 513, 1023):
+            assert eh3_range_sum(generator, i, i) == generator.value(i)
+
+    def test_generator_method_delegates(self):
+        generator = EH3(8, 0, 0xB4)
+        assert generator.range_sum(3, 200) == eh3_range_sum(generator, 3, 200)
+
+    def test_additivity_across_split(self):
+        generator = EH3(12, 1, 0xABC)
+        a, b, c = 100, 2000, 4000
+        assert eh3_range_sum(generator, a, c) == eh3_range_sum(
+            generator, a, b
+        ) + eh3_range_sum(generator, b + 1, c)
+
+    def test_empty_or_outside_rejected(self):
+        generator = EH3(4, 0, 1)
+        with pytest.raises(ValueError):
+            eh3_range_sum(generator, 5, 4)
+        with pytest.raises(ValueError):
+            eh3_range_sum(generator, 0, 16)
+
+    def test_large_domain_logarithmic_work(self):
+        """Sub-second on a 2^62 domain, self-consistent via additivity."""
+        generator = EH3(62, 0, (1 << 61) | 0xF0F0F0)
+        a, b = 123456789, (1 << 61) + 5
+        mid = 1 << 40
+        assert eh3_range_sum(generator, a, b) == eh3_range_sum(
+            generator, a, mid
+        ) + eh3_range_sum(generator, mid + 1, b)
+
+    def test_whole_quaternary_domain_single_piece(self):
+        generator = EH3(8, 0, 99)
+        sign = -1 if generator.zero_or_pairs_below(4) % 2 else 1
+        assert eh3_range_sum(generator, 0, 255) == sign * 16 * generator.value(0)

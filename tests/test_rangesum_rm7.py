@@ -1,0 +1,92 @@
+"""Tests for the RM7 range-summation via quadratic counting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dyadic import DyadicInterval
+from repro.generators import RM7, SeedSource
+from repro.rangesum import (
+    brute_force_range_sum,
+    rm7_dyadic_sum,
+    rm7_range_sum,
+    rm7_restrict_to_dyadic,
+)
+from repro.rangesum.quadratic import brute_force_counts
+
+
+class TestRestriction:
+    def test_restricted_poly_matches_generator(self, source: SeedSource):
+        """Q(x) over the free bits must equal f(S, high | x) everywhere."""
+        generator = RM7.from_source(8, source)
+        for level, offset in ((3, 5), (4, 2), (0, 77), (8, 0)):
+            interval = DyadicInterval(level, offset)
+            poly = rm7_restrict_to_dyadic(generator, interval)
+            assert poly.variables == level
+            for x in range(1 << level):
+                assert poly.evaluate(x) == generator.bit(interval.low | x)
+
+    def test_counts_match_enumeration(self, source: SeedSource):
+        generator = RM7.from_source(7, source)
+        interval = DyadicInterval(5, 2)
+        poly = rm7_restrict_to_dyadic(generator, interval)
+        zeros, ones = brute_force_counts(poly)
+        assert rm7_dyadic_sum(generator, interval) == zeros - ones
+
+    def test_out_of_domain_rejected(self, source: SeedSource):
+        generator = RM7.from_source(4, source)
+        with pytest.raises(ValueError):
+            rm7_restrict_to_dyadic(generator, DyadicInterval(5, 0))
+
+
+class TestDyadicSums:
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_brute_force(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=10))
+        seed = data.draw(st.integers(min_value=0, max_value=10_000))
+        generator = RM7.from_source(n, SeedSource(seed))
+        level = data.draw(st.integers(min_value=0, max_value=n))
+        offset = data.draw(
+            st.integers(min_value=0, max_value=(1 << (n - level)) - 1)
+        )
+        interval = DyadicInterval(level, offset)
+        assert rm7_dyadic_sum(generator, interval) == brute_force_range_sum(
+            generator, interval.low, interval.high - 1
+        )
+
+    def test_whole_domain(self, source: SeedSource):
+        generator = RM7.from_source(8, source)
+        assert rm7_dyadic_sum(
+            generator, DyadicInterval(8, 0)
+        ) == generator.total_sum()
+
+
+class TestGeneralIntervals:
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_brute_force(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=9))
+        seed = data.draw(st.integers(min_value=0, max_value=10_000))
+        generator = RM7.from_source(n, SeedSource(seed))
+        alpha = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        beta = data.draw(st.integers(min_value=alpha, max_value=(1 << n) - 1))
+        assert rm7_range_sum(generator, alpha, beta) == brute_force_range_sum(
+            generator, alpha, beta
+        )
+
+    def test_additivity_on_large_domain(self):
+        """Polynomial-time on a 2^32 domain where brute force is hopeless."""
+        generator = RM7.from_source(32, SeedSource(99))
+        a, b = 123_456, 3_000_000_000
+        mid = 1 << 28
+        assert rm7_range_sum(generator, a, b) == rm7_range_sum(
+            generator, a, mid
+        ) + rm7_range_sum(generator, mid + 1, b)
+
+    def test_single_points(self, source: SeedSource):
+        generator = RM7.from_source(6, source)
+        for i in (0, 17, 63):
+            assert rm7_range_sum(generator, i, i) == generator.value(i)

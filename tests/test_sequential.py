@@ -1,0 +1,80 @@
+"""Tests for incremental sequential generation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import BCH3, EH3, RM7, SeedSource, Toeplitz
+from repro.generators.sequential import sequential_bits, sequential_values
+
+
+class TestSequentialBits:
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_bch3_matches_direct(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=14))
+        s0 = data.draw(st.integers(min_value=0, max_value=1))
+        s1 = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        generator = BCH3(n, s0, s1)
+        start = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        count = data.draw(st.integers(min_value=1, max_value=(1 << n) - start))
+        scanned = list(sequential_bits(generator, start, count))
+        direct = [generator.bit(i) for i in range(start, start + count)]
+        assert scanned == direct
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_eh3_matches_direct(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=14))
+        s0 = data.draw(st.integers(min_value=0, max_value=1))
+        s1 = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        generator = EH3(n, s0, s1)
+        start = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        count = data.draw(st.integers(min_value=1, max_value=(1 << n) - start))
+        scanned = list(sequential_bits(generator, start, count))
+        direct = [generator.bit(i) for i in range(start, start + count)]
+        assert scanned == direct
+
+    def test_generic_fallback(self, source: SeedSource):
+        generator = RM7.from_source(6, source)
+        scanned = list(sequential_bits(generator, 10, 30))
+        assert scanned == [generator.bit(i) for i in range(10, 40)]
+
+    def test_values_mapping(self, source: SeedSource):
+        generator = EH3.from_source(8, source)
+        values = list(sequential_values(generator, 0, 256))
+        assert values == [generator.value(i) for i in range(256)]
+
+    def test_whole_domain_scan(self):
+        generator = EH3(8, 1, 0xB4)
+        assert sum(sequential_values(generator, 0, 256)) == generator.total_sum()
+
+    def test_bounds_checked(self, source: SeedSource):
+        generator = BCH3.from_source(4, source)
+        with pytest.raises(ValueError):
+            list(sequential_bits(generator, 10, 7))
+        with pytest.raises(ValueError):
+            list(sequential_bits(generator, 0, -1))
+
+    def test_empty_scan(self, source: SeedSource):
+        generator = BCH3.from_source(4, source)
+        assert list(sequential_bits(generator, 3, 0)) == []
+
+
+class TestToeplitzRangeSum:
+    def test_collapse_preserves_bits(self, source: SeedSource):
+        generator = Toeplitz.from_source(8, source)
+        collapsed = generator.as_bch3()
+        for i in range(256):
+            assert collapsed.bit(i) == generator.bit(i)
+
+    def test_range_sum_matches_brute_force(self, source: SeedSource):
+        from repro.rangesum import brute_force_range_sum
+
+        generator = Toeplitz.from_source(10, source)
+        for alpha, beta in ((0, 1023), (17, 900), (512, 513)):
+            assert generator.range_sum(alpha, beta) == brute_force_range_sum(
+                generator, alpha, beta
+            )

@@ -1,0 +1,102 @@
+"""Model-based stateful testing of the sketching machinery.
+
+A hypothesis state machine drives a SketchMatrix through arbitrary
+sequences of point updates, interval updates, weighted updates, merges
+and differences while maintaining an exact frequency-vector model; after
+every step the sketch's counters must equal the model's dot products with
+the generators' value vectors EXACTLY (sketching is deterministic given
+the seeds -- the randomness is only over seed choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.generators import EH3, SeedSource
+from repro.sketch.ams import SketchScheme
+
+BITS = 8
+SIZE = 1 << BITS
+
+
+class SketchModelMachine(RuleBasedStateMachine):
+    """Sketch vs exact-frequency-model equivalence under all operations."""
+
+    @initialize(seed=st.integers(min_value=0, max_value=10_000))
+    def setup(self, seed):
+        source = SeedSource(seed)
+        self.scheme = SketchScheme.from_generators(
+            lambda src: EH3.from_source(BITS, src), 2, 3, source
+        )
+        # Precompute each cell generator's full value vector once.
+        indices = np.arange(SIZE, dtype=np.uint64)
+        self.value_vectors = [
+            [
+                cell.generator.values(indices).astype(np.float64)
+                for cell in row
+            ]
+            for row in self.scheme.channels
+        ]
+        self.sketch = self.scheme.sketch()
+        self.model = np.zeros(SIZE)
+        self.spare = None  # a second (sketch, model) pair for merges
+
+    @rule(
+        item=st.integers(min_value=0, max_value=SIZE - 1),
+        weight=st.floats(
+            min_value=-4, max_value=4, allow_nan=False, allow_infinity=False
+        ),
+    )
+    def point_update(self, item, weight):
+        self.sketch.update_point(item, weight)
+        self.model[item] += weight
+
+    @rule(data=st.data())
+    def interval_update(self, data):
+        low = data.draw(st.integers(min_value=0, max_value=SIZE - 1))
+        high = data.draw(st.integers(min_value=low, max_value=SIZE - 1))
+        weight = data.draw(st.floats(min_value=-2, max_value=2,
+                                     allow_nan=False, allow_infinity=False))
+        self.sketch.update_interval((low, high), weight)
+        self.model[low : high + 1] += weight
+
+    @rule(item=st.integers(min_value=0, max_value=SIZE - 1))
+    def stash_and_merge(self, item):
+        """Build a second sketch, then fold it in via combined()."""
+        other = self.scheme.sketch()
+        other.update_point(item)
+        self.sketch = self.sketch.combined(other)
+        self.model[item] += 1
+
+    @rule(item=st.integers(min_value=0, max_value=SIZE - 1))
+    def subtract_singleton(self, item):
+        other = self.scheme.sketch()
+        other.update_point(item)
+        self.sketch = self.sketch.difference(other)
+        self.model[item] -= 1
+
+    @invariant()
+    def counters_match_model(self):
+        if not hasattr(self, "sketch"):
+            return
+        expected = np.array(
+            [
+                [float(np.dot(vector, self.model)) for vector in row]
+                for row in self.value_vectors
+            ]
+        )
+        assert np.allclose(self.sketch.values(), expected, atol=1e-6)
+
+
+TestSketchModel = SketchModelMachine.TestCase
+TestSketchModel.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)

@@ -1,0 +1,88 @@
+"""Tests for stream abstractions and frequency-vector reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.streams import (
+    IntervalStream,
+    IntervalUpdate,
+    PointStream,
+    PointUpdate,
+    frequency_vector,
+    stream_from_frequencies,
+)
+
+
+class TestUpdates:
+    def test_interval_update_size(self):
+        update = IntervalUpdate(3, 7)
+        assert update.size == 5
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalUpdate(5, 4)
+
+    def test_point_defaults(self):
+        update = PointUpdate(9)
+        assert update.weight == 1.0
+
+
+class TestPointStream:
+    def test_append_and_iterate(self):
+        stream = PointStream(4)
+        stream.append(3)
+        stream.append(7, weight=2.0)
+        assert len(stream) == 2
+        assert [u.item for u in stream] == [3, 7]
+
+    def test_domain_enforced(self):
+        stream = PointStream(4)
+        with pytest.raises(ValueError):
+            stream.append(16)
+
+    def test_frequency_vector(self):
+        stream = PointStream(3)
+        stream.append(1)
+        stream.append(1)
+        stream.append(5, weight=-1.0)
+        freq = frequency_vector(stream)
+        assert list(freq) == [0, 2, 0, 0, 0, -1, 0, 0]
+
+
+class TestIntervalStream:
+    def test_append_and_total(self):
+        stream = IntervalStream(4)
+        stream.append(0, 3)
+        stream.append(10, 10, weight=5.0)
+        assert len(stream) == 2
+        assert stream.total_points() == 4 + 5
+
+    def test_domain_enforced(self):
+        stream = IntervalStream(4)
+        with pytest.raises(ValueError):
+            stream.append(10, 16)
+
+    def test_frequency_vector_expands_intervals(self):
+        stream = IntervalStream(3)
+        stream.append(1, 3)
+        stream.append(2, 5, weight=2.0)
+        freq = frequency_vector(stream)
+        assert list(freq) == [0, 1, 3, 3, 2, 2, 0, 0]
+
+
+class TestRoundTrips:
+    def test_stream_from_frequencies(self):
+        freq = np.array([0, 2, 0, 1])
+        stream = stream_from_frequencies(freq, 2)
+        rebuilt = frequency_vector(stream)
+        assert list(rebuilt) == [0, 2, 0, 1]
+
+    def test_non_integer_counts_rejected(self):
+        with pytest.raises(ValueError):
+            stream_from_frequencies(np.array([0.5]), 2)
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            stream_from_frequencies(np.zeros(5), 2)

@@ -1,0 +1,161 @@
+"""Tests for the executable propositions of Section 5.3."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import BCH3, EH3
+from repro.sketch.variance import zy_counts
+from repro.theory.model import (
+    eh3_error_prediction,
+    expectation_over_seeds,
+    proposition1_value_counts,
+    proposition2_expectation,
+    proposition3_expectation,
+    proposition4_brute_counts,
+)
+
+N = 4
+
+
+class TestProposition1:
+    def test_balanced_when_any_parameter_set(self):
+        for params in (0b0001, 0b1000, 0b1111):
+            zeros, ones = proposition1_value_counts(params, 4, 0)
+            assert zeros == ones == 8
+
+    def test_degenerate_when_no_parameter(self):
+        assert proposition1_value_counts(0, 4, 0) == (16, 0)
+        assert proposition1_value_counts(0, 4, 1) == (0, 16)
+
+    def test_matches_enumeration(self):
+        for params in range(8):
+            for constant in (0, 1):
+                zeros = sum(
+                    1
+                    for x in range(8)
+                    if (constant ^ bin(params & x).count("1")) % 2 == 0
+                )
+                expected = proposition1_value_counts(params, 3, constant)
+                assert expected == (zeros, 8 - zeros)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            proposition1_value_counts(16, 4, 0)
+        with pytest.raises(ValueError):
+            proposition1_value_counts(0, 4, 2)
+
+
+class TestProposition2:
+    def test_matches_exact_expectation(self):
+        """BCH3's quadruple expectation, exact over the full seed space."""
+        quadruples = [
+            (0, 1, 2, 3),  # XOR = 0 -> expectation 1
+            (1, 2, 4, 7),  # XOR = 0 -> expectation 1
+            (0, 1, 2, 4),  # XOR = 7 -> expectation 0
+            (3, 5, 6, 9),  # XOR != 0 -> 0
+        ]
+        for quad in quadruples:
+            exact = expectation_over_seeds(
+                lambda s0, s1: BCH3(N, s0, s1), N, quad
+            )
+            assert exact == proposition2_expectation(N, *quad)
+
+    def test_distinctness_required(self):
+        with pytest.raises(ValueError):
+            proposition2_expectation(N, 1, 1, 2, 3)
+
+
+class TestProposition3:
+    def test_matches_exact_expectation(self):
+        quadruples = [
+            (0, 1, 2, 3),
+            (1, 2, 4, 7),
+            (0, 3, 12, 15),
+            (0, 1, 2, 4),
+            (2, 5, 8, 15),
+            (4, 8, 2, 14),
+        ]
+        for quad in quadruples:
+            exact = expectation_over_seeds(
+                lambda s0, s1: EH3(N, s0, s1), N, quad
+            )
+            assert exact == proposition3_expectation(N, *quad)
+
+    def test_negative_case_exists(self):
+        """Some XOR-zero quadruple must give -1 -- EH3's whole point."""
+        found = any(
+            proposition3_expectation(N, i, j, k, i ^ j ^ k) == -1
+            for i in range(16)
+            for j in range(i + 1, 16)
+            for k in range(j + 1, 16)
+            if (i ^ j ^ k) not in (i, j, k) and (i ^ j ^ k) > k
+        )
+        assert found
+
+
+class TestProposition4:
+    def test_brute_force_matches_recursion_n1(self):
+        assert proposition4_brute_counts(1) == zy_counts(1)
+
+    def test_brute_force_matches_recursion_n2(self):
+        assert proposition4_brute_counts(2) == zy_counts(2)
+
+    def test_brute_force_bounds(self):
+        with pytest.raises(ValueError):
+            proposition4_brute_counts(3)
+
+
+class TestErrorPrediction:
+    def test_uniform_data_prediction_is_zero(self):
+        """On uniform 4^n data the model variance collapses to ~0."""
+        r = np.full(16, 10.0)
+        assert eh3_error_prediction(r, r, 2, averages=10) < 0.05
+
+    def test_prediction_decreases_with_averages(self):
+        rng = np.random.default_rng(3)
+        r = rng.integers(1, 10, size=16).astype(float)
+        few = eh3_error_prediction(r, r, 2, averages=4)
+        many = eh3_error_prediction(r, r, 2, averages=64)
+        assert many < few
+
+
+class TestRaoBound:
+    def test_small_cases(self):
+        from repro.theory.model import rao_seed_lower_bound
+
+        # 1-wise over n bits: sample space >= 2 -> 1 seed bit.
+        assert rao_seed_lower_bound(1, 8) == 1
+        # 2-wise: >= 1 + n points.
+        assert rao_seed_lower_bound(2, 7) == 3  # log2(8) = 3
+        # Bounds grow with both k and n.
+        assert rao_seed_lower_bound(5, 16) > rao_seed_lower_bound(3, 16)
+        assert rao_seed_lower_bound(3, 32) > rao_seed_lower_bound(3, 8)
+
+    def test_schemes_respect_the_bound(self):
+        """Every scheme's seed meets Rao; BCH sits closest (paper §3.1)."""
+        from repro.experiments.table1 import scheme_seed_bits
+        from repro.theory.model import rao_seed_lower_bound
+
+        n = 32
+        sizes = scheme_seed_bits(n)
+        bounds = {
+            "BCH3": rao_seed_lower_bound(3, n),
+            "EH3": rao_seed_lower_bound(3, n),
+            "BCH5": rao_seed_lower_bound(5, n),
+            "RM7": rao_seed_lower_bound(7, n),
+        }
+        for scheme, bound in bounds.items():
+            assert sizes[scheme] >= bound, scheme
+        # BCH5 is closer to its bound than the polynomial scheme of the
+        # same independence level (Massdal4, 4-wise <= 5-wise seed sizes).
+        assert sizes["BCH5"] < sizes["Massdal4"]
+
+    def test_validation(self):
+        from repro.theory.model import rao_seed_lower_bound
+
+        with pytest.raises(ValueError):
+            rao_seed_lower_bound(0, 4)
+        with pytest.raises(ValueError):
+            rao_seed_lower_bound(3, 0)

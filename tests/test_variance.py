@@ -1,0 +1,188 @@
+"""Tests for the Section 5.3 variance formulas against exact enumeration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import BCH3, BCH5, EH3
+from repro.sketch.variance import (
+    delta_var_bch3_exact,
+    delta_var_eh3_exact,
+    eh3_expected_delta_var,
+    equal_triples,
+    predicted_relative_error,
+    var_bch3_exact,
+    var_bch5,
+    var_eh3_exact,
+    var_eh3_model,
+    zy_counts,
+)
+from repro.theory.model import exact_estimator_moments
+
+N = 4  # 16-point domain: full-seed-space enumeration is instant
+SIZE = 1 << N
+
+
+def random_freq(rng, scale=4) -> np.ndarray:
+    return rng.integers(0, scale, size=SIZE).astype(float)
+
+
+class TestEq11:
+    def test_closed_form(self):
+        r = np.array([1.0, 2.0, 0.0, 1.0])
+        s = np.array([1.0, 1.0, 3.0, 2.0])
+        expected = (
+            (r**2).sum() * (s**2).sum()
+            + np.dot(r, s) ** 2
+            - 2 * ((r * s) ** 2).sum()
+        )
+        assert var_bch5(r, s) == pytest.approx(expected)
+
+    def test_matches_bch5_seed_enumeration(self, rng):
+        """Eq. 11 equals the exact Var(X) over all GF-mode BCH5 seeds."""
+        r = random_freq(rng)
+        s = random_freq(rng)
+
+        indices = np.arange(SIZE, dtype=np.uint64)
+        first = second = 0.0
+        count = 0
+        for s0 in (0, 1):
+            for s1 in range(SIZE):
+                for s3 in range(SIZE):
+                    xi = BCH5(N, s0, s1, s3, mode="gf").values(indices)
+                    xi = xi.astype(np.float64)
+                    x = np.dot(r, xi) * np.dot(s, xi)
+                    first += x
+                    second += x * x
+                    count += 1
+        mean = first / count
+        variance = second / count - mean * mean
+        assert mean == pytest.approx(np.dot(r, s))  # unbiased
+        assert variance == pytest.approx(var_bch5(r, s), rel=1e-9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            var_bch5([1.0], [1.0, 2.0])
+
+
+class TestBCH3Delta:
+    def test_exact_variance_matches_enumeration(self, rng):
+        r = random_freq(rng)
+        s = random_freq(rng)
+        mean, variance = exact_estimator_moments(
+            lambda s0, s1: BCH3(N, s0, s1), N, r, s
+        )
+        assert mean == pytest.approx(np.dot(r, s))
+        assert variance == pytest.approx(var_bch3_exact(r, s), rel=1e-9)
+
+    def test_delta_nonnegative(self, rng):
+        """BCH3's extra quadruple terms are products of non-negative
+        frequencies -- the Delta can only inflate the variance."""
+        for _ in range(5):
+            r = random_freq(rng)
+            s = random_freq(rng)
+            assert delta_var_bch3_exact(r, s) >= 0
+
+    def test_domain_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            delta_var_bch3_exact(np.ones(3), np.ones(3))
+
+
+class TestEH3Delta:
+    def test_exact_variance_matches_enumeration(self, rng):
+        r = random_freq(rng)
+        s = random_freq(rng)
+        mean, variance = exact_estimator_moments(
+            lambda s0, s1: EH3(N, s0, s1), N, r, s
+        )
+        assert mean == pytest.approx(np.dot(r, s))
+        assert variance == pytest.approx(var_eh3_exact(r, s, N), rel=1e-9)
+
+    def test_eh3_delta_can_be_negative(self):
+        """The signed h-terms push EH3's variance BELOW Eq. 11's."""
+        r = np.ones(SIZE)
+        s = np.ones(SIZE)
+        assert delta_var_eh3_exact(r, s, N) < 0
+
+    def test_proposition5_zero_variance(self):
+        """Uniform r and s on a 4^n domain: Var(X)_EH3 == 0 exactly."""
+        r = np.full(SIZE, 3.0)
+        s = np.full(SIZE, 7.0)
+        assert var_eh3_exact(r, s, N) == pytest.approx(0.0, abs=1e-6)
+        __, variance = exact_estimator_moments(
+            lambda s0, s1: EH3(N, s0, s1), N, r, s
+        )
+        assert variance == pytest.approx(0.0, abs=1e-6)
+
+    def test_eh3_beats_bch3(self, rng):
+        """EH3's exact variance never exceeds BCH3's on average data."""
+        totals = {"eh3": 0.0, "bch3": 0.0}
+        for _ in range(5):
+            r = random_freq(rng)
+            s = random_freq(rng)
+            totals["eh3"] += var_eh3_exact(r, s, N)
+            totals["bch3"] += var_bch3_exact(r, s)
+        assert totals["eh3"] < totals["bch3"]
+
+
+class TestProposition4:
+    def test_base_case(self):
+        assert zy_counts(1) == (40, 24)
+
+    def test_recursion_totals(self):
+        for n in (1, 2, 3, 5):
+            z, y = zy_counts(n)
+            assert z + y == 64**n
+
+    def test_equal_triples_formula(self):
+        assert equal_triples(1) == 3 * 16 - 8
+        assert equal_triples(2) == 3 * 256 - 32
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            zy_counts(0)
+        with pytest.raises(ValueError):
+            equal_triples(0)
+
+
+class TestEq12Model:
+    def test_vector_length_checked(self):
+        with pytest.raises(ValueError):
+            eh3_expected_delta_var(np.ones(8), np.ones(8), 2)
+
+    def test_scaling_with_domain(self):
+        """The model's extra term shrinks ~1/4^n at fixed total mass."""
+        deltas = []
+        for n in (2, 3, 4):
+            size = 1 << (2 * n)
+            r = np.full(size, 64.0 / size)
+            deltas.append(abs(eh3_expected_delta_var(r, r, n)))
+        assert deltas[0] > deltas[1] > deltas[2]
+
+    def test_model_combines_terms(self):
+        r = np.ones(16)
+        assert var_eh3_model(r, r, 2) == pytest.approx(
+            var_bch5(r, r) + eh3_expected_delta_var(r, r, 2)
+        )
+
+
+class TestErrorPrediction:
+    def test_scales_with_averages(self):
+        e1 = predicted_relative_error(100.0, 10.0, averages=1)
+        e4 = predicted_relative_error(100.0, 10.0, averages=4)
+        assert e1 == pytest.approx(2 * e4)
+
+    def test_absolute_factor(self):
+        sigma = predicted_relative_error(100.0, 10.0, 1, absolute=False)
+        absolute = predicted_relative_error(100.0, 10.0, 1, absolute=True)
+        assert absolute == pytest.approx(sigma * np.sqrt(2 / np.pi))
+
+    def test_negative_variance_clamped(self):
+        assert predicted_relative_error(-5.0, 10.0, 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predicted_relative_error(1.0, 0.0, 1)
+        with pytest.raises(ValueError):
+            predicted_relative_error(1.0, 1.0, 0)

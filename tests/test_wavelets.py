@@ -1,0 +1,131 @@
+"""Tests for the sketch-based Haar wavelet synopsis application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.wavelets import (
+    HaarCoefficient,
+    estimate_coefficient,
+    estimate_top_synopsis,
+    exact_coefficient,
+    exact_haar_transform,
+    inverse_haar_transform,
+    reconstruct_from_synopsis,
+)
+from repro.generators import EH3, SeedSource
+from repro.sketch.ams import SketchScheme
+from repro.sketch.estimators import sketch_frequency_vector
+
+BITS = 6
+SIZE = 1 << BITS
+
+
+@pytest.fixture
+def piecewise_vector(rng):
+    """A piecewise-constant vector: few large Haar coefficients."""
+    vector = np.zeros(SIZE)
+    vector[:16] = 10.0
+    vector[16:32] = 2.0
+    vector[48:] = 6.0
+    vector += rng.normal(0, 0.2, size=SIZE)
+    return vector
+
+
+class TestExactTransform:
+    def test_transform_count(self, piecewise_vector):
+        coefficients = exact_haar_transform(piecewise_vector)
+        assert len(coefficients) == SIZE  # N-1 details + 1 scaling
+
+    def test_parseval(self, piecewise_vector):
+        coefficients = exact_haar_transform(piecewise_vector)
+        energy = sum(c.value**2 for c in coefficients)
+        assert energy == pytest.approx(float((piecewise_vector**2).sum()))
+
+    def test_perfect_reconstruction(self, piecewise_vector):
+        coefficients = exact_haar_transform(piecewise_vector)
+        rebuilt = inverse_haar_transform(coefficients, SIZE)
+        assert np.allclose(rebuilt, piecewise_vector)
+
+    def test_exact_coefficient_matches_transform(self, piecewise_vector):
+        coefficients = {
+            (c.level, c.offset): c.value
+            for c in exact_haar_transform(piecewise_vector)
+        }
+        for (level, offset), value in coefficients.items():
+            assert exact_coefficient(
+                piecewise_vector, level, offset
+            ) == pytest.approx(value)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            exact_haar_transform(np.zeros(12))
+        with pytest.raises(ValueError):
+            inverse_haar_transform([], 12)
+
+    def test_constant_vector_has_only_scaling(self):
+        coefficients = exact_haar_transform(np.full(16, 3.0))
+        details = [c for c in coefficients if not c.is_scaling]
+        assert all(c.value == pytest.approx(0.0) for c in details)
+        scaling = [c for c in coefficients if c.is_scaling][0]
+        assert scaling.value == pytest.approx(3.0 * 4)  # 3 * sqrt(16)
+
+
+class TestSketchEstimates:
+    def _scheme(self, source, medians=5, averages=300):
+        return SketchScheme.from_generators(
+            lambda src: EH3.from_source(BITS, src), medians, averages, source
+        )
+
+    def test_coefficient_estimates_close(self, piecewise_vector, source):
+        scheme = self._scheme(source)
+        data_sketch = sketch_frequency_vector(scheme, piecewise_vector)
+        # The three coarsest detail coefficients plus the scaling one.
+        targets = [(-1, 0), (BITS, 0), (BITS - 1, 0), (BITS - 1, 1)]
+        norm = float(np.linalg.norm(piecewise_vector))
+        for level, offset in targets:
+            estimate = estimate_coefficient(
+                data_sketch, scheme, level, offset, BITS
+            )
+            exact = exact_coefficient(piecewise_vector, level, offset)
+            assert abs(estimate - exact) < 0.25 * norm
+
+    def test_synopsis_beats_scaling_only(self, piecewise_vector, source):
+        scheme = self._scheme(source, medians=7, averages=500)
+        data_sketch = sketch_frequency_vector(scheme, piecewise_vector)
+        synopsis = estimate_top_synopsis(
+            data_sketch, scheme, BITS, keep=6, max_level=3
+        )
+        approx = reconstruct_from_synopsis(synopsis, BITS)
+        scaling_only = reconstruct_from_synopsis(synopsis[:1], BITS)
+        error_synopsis = float(((approx - piecewise_vector) ** 2).sum())
+        error_flat = float(((scaling_only - piecewise_vector) ** 2).sum())
+        assert error_synopsis < error_flat
+
+    def test_synopsis_structure(self, piecewise_vector, source):
+        scheme = self._scheme(source, medians=2, averages=20)
+        data_sketch = sketch_frequency_vector(scheme, piecewise_vector)
+        synopsis = estimate_top_synopsis(
+            data_sketch, scheme, BITS, keep=4, max_level=4
+        )
+        assert synopsis[0].is_scaling
+        assert len(synopsis) == 5
+        magnitudes = [abs(c.value) for c in synopsis[1:]]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_validation(self, source):
+        scheme = self._scheme(source, medians=1, averages=1)
+        data_sketch = scheme.sketch()
+        with pytest.raises(ValueError):
+            estimate_top_synopsis(data_sketch, scheme, BITS, keep=-1)
+        with pytest.raises(ValueError):
+            estimate_top_synopsis(
+                data_sketch, scheme, BITS, keep=1, max_level=0
+            )
+        with pytest.raises(ValueError):
+            estimate_coefficient(data_sketch, scheme, BITS + 1, 0, BITS)
+
+    def test_inverse_transform_level_bounds(self):
+        with pytest.raises(ValueError):
+            inverse_haar_transform([HaarCoefficient(9, 0, 1.0)], 16)

@@ -1,0 +1,174 @@
+"""Tests for the workload generators (Zipf, regions, spatial)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.regions import generate_region_dataset
+from repro.workloads.spatial import (
+    DATASET_SPECS,
+    SegmentDataset,
+    generate_segments,
+    landc,
+    lando,
+    soil,
+)
+from repro.workloads.zipf import (
+    sample_zipf_counts,
+    zipf_frequency_vector,
+    zipf_weights,
+)
+
+
+class TestZipf:
+    def test_weights_normalized(self):
+        for z in (0.0, 0.5, 1.0, 3.0):
+            assert zipf_weights(100, z).sum() == pytest.approx(1.0)
+
+    def test_zero_coefficient_is_uniform(self):
+        weights = zipf_weights(64, 0.0)
+        assert np.allclose(weights, 1.0 / 64)
+
+    def test_monotone_decreasing_in_rank(self):
+        weights = zipf_weights(100, 1.5)
+        assert (np.diff(weights) <= 0).all()
+
+    def test_skew_grows_with_z(self):
+        top_share = [zipf_weights(1000, z)[0] for z in (0.5, 1.0, 2.0, 4.0)]
+        assert top_share == sorted(top_share)
+
+    def test_frequency_vector_total_mass(self, rng):
+        freq = zipf_frequency_vector(256, 10_000, 1.2, rng=rng)
+        assert freq.sum() == pytest.approx(10_000)
+
+    def test_permute_requires_rng(self):
+        with pytest.raises(ValueError):
+            zipf_frequency_vector(16, 100, 1.0, rng=None, permute=True)
+
+    def test_unpermuted_is_rank_ordered(self):
+        freq = zipf_frequency_vector(16, 100, 1.0, permute=False)
+        assert (np.diff(freq) <= 0).all()
+
+    def test_sampled_counts_sum_exactly(self, rng):
+        counts = sample_zipf_counts(128, 5_000, 2.0, rng)
+        assert counts.sum() == 5_000
+        assert (counts >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+
+
+class TestRegions:
+    def test_point_budget_respected(self, rng):
+        dataset = generate_region_dataset(
+            domain_bits=(8, 8), regions=5, total_points=2_000, rng=rng
+        )
+        assert len(dataset.points) == 2_000
+        assert sum(r.points for r in dataset.regions) == 2_000
+
+    def test_points_inside_their_domain(self, rng):
+        dataset = generate_region_dataset(
+            domain_bits=(8, 8), regions=5, total_points=1_000, rng=rng
+        )
+        assert dataset.points.min() >= 0
+        assert dataset.points.max() < 256
+
+    def test_points_fall_inside_some_region(self, rng):
+        dataset = generate_region_dataset(
+            domain_bits=(8, 8), regions=3, total_points=500, rng=rng
+        )
+        for x, y in dataset.points[:100]:
+            inside = any(
+                r.bounds[0][0] <= x <= r.bounds[0][1]
+                and r.bounds[1][0] <= y <= r.bounds[1][1]
+                for r in dataset.regions
+            )
+            assert inside
+
+    def test_frequency_matrix_totals(self, rng):
+        dataset = generate_region_dataset(
+            domain_bits=(6, 6), regions=3, total_points=300, rng=rng,
+            min_side=4, max_side=16,
+        )
+        matrix = dataset.frequency_matrix()
+        assert matrix.shape == (64, 64)
+        assert matrix.sum() == 300
+
+    def test_skew_concentrates_points(self, rng):
+        flat = generate_region_dataset(
+            domain_bits=(8, 8), regions=1, total_points=5_000,
+            within_zipf=0.0, rng=np.random.default_rng(1),
+        )
+        skewed = generate_region_dataset(
+            domain_bits=(8, 8), regions=1, total_points=5_000,
+            within_zipf=2.5, rng=np.random.default_rng(1),
+        )
+
+        def top_cell(dataset):
+            __, counts = np.unique(dataset.points, axis=0, return_counts=True)
+            return counts.max()
+
+        assert top_cell(skewed) > 4 * top_cell(flat)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_region_dataset(regions=0, rng=rng)
+
+
+class TestSpatial:
+    def test_paper_object_counts(self):
+        assert len(lando(16)) == DATASET_SPECS["LANDO"][0]
+        assert len(landc(16)) == DATASET_SPECS["LANDC"][0]
+        assert len(soil(16)) == DATASET_SPECS["SOIL"][0]
+
+    def test_reproducible(self):
+        a = lando(16)
+        b = lando(16)
+        assert np.array_equal(a.segments, b.segments)
+
+    def test_segments_valid(self):
+        dataset = landc(16)
+        assert (dataset.segments[:, 0] <= dataset.segments[:, 1]).all()
+        assert dataset.segments.min() >= 0
+        assert dataset.segments.max() < (1 << 16)
+
+    def test_left_endpoints(self):
+        dataset = soil(16)
+        assert np.array_equal(dataset.left_endpoints(), dataset.segments[:, 0])
+
+    def test_coverage_vector_total(self):
+        dataset = generate_segments(
+            "TINY", 50, 10, 4, 3.0, np.random.default_rng(5)
+        )
+        coverage = dataset.coverage_vector()
+        lengths = dataset.segments[:, 1] - dataset.segments[:, 0] + 1
+        assert coverage.sum() == lengths.sum()
+
+    def test_heavy_tailed_lengths(self):
+        dataset = lando(20)
+        lengths = dataset.segments[:, 1] - dataset.segments[:, 0] + 1
+        # Log-normal lengths: the largest parcel dwarfs the median one.
+        assert lengths.max() > 8 * np.median(lengths)
+
+    def test_layers_share_geography(self):
+        """All three layers hot-spot in the same places (same state)."""
+        a = lando(16).coverage_vector()
+        b = landc(16).coverage_vector()
+        correlation = np.corrcoef(a, b)[0, 1]
+        assert correlation > 0.2
+
+    def test_invalid_segments_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentDataset("BAD", 4, np.array([[5, 3]]))
+        with pytest.raises(ValueError):
+            SegmentDataset("BAD", 4, np.array([[0, 16]]))
+        with pytest.raises(ValueError):
+            SegmentDataset("BAD", 4, np.array([1, 2, 3]))
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            generate_segments("X", 0, 10, 2, 3.0, np.random.default_rng(1))
