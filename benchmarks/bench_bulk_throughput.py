@@ -120,3 +120,44 @@ def test_bulk_equals_scalar(benchmark, workload, record_table):
         f"speedup {speedup:8.1f}x",
     )
     assert speedup > 3
+
+
+@pytest.mark.benchmark(group="bulk-plane")
+def test_plane_vs_percell_report(benchmark, record_table):
+    """The packed-plane report: writes BENCH_bulk.json at the repo root.
+
+    The headline number: the whole-grid plane kernel must beat the
+    per-cell `eh3_percell_interval_update` loop by at least 5x on the
+    paper's 7 x 100 grid, with bit-identical counters.
+    """
+    import json
+    import os
+
+    from repro.bench import run_bulk_bench
+
+    report = benchmark.pedantic(run_bulk_bench, rounds=1, iterations=1)
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_bulk.json",
+    )
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    lines = [
+        "Packed plane vs per-cell loops (7 x 100 grid, 2,000 intervals)",
+        "==============================================================",
+    ]
+    for name, row in report["workloads"].items():
+        lines.append(
+            f"{name:20s} scalar {row['scalar_ms']:8.1f} ms  "
+            f"plane {row['plane_ms']:8.1f} ms  "
+            f"speedup {row['speedup']:5.1f}x  identical={row['identical']}"
+        )
+    record_table("bulk_plane", "\n".join(lines))
+
+    intervals = report["workloads"]["eh3_interval_batch"]
+    assert intervals["identical"]
+    assert intervals["speedup"] >= 5
+    for row in report["workloads"].values():
+        assert row["identical"]

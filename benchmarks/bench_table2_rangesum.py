@@ -77,3 +77,41 @@ def test_table2_rows(benchmark, record_table):
     )
     assert times["RM7"] > 30 * times["EH3"]
     assert times["DMAP (point)"] > 5 * times["EH3 (point)"]
+
+
+@pytest.mark.benchmark(group="table2-batched")
+def test_batched_rangesum_report(benchmark, record_table):
+    """Batched vs scalar range-sums: writes BENCH_table2.json at the root.
+
+    Every batched kernel must agree element-for-element with the scalar
+    loop it replaces; on real batch sizes the batched paths should win.
+    """
+    import json
+    import os
+
+    from repro.bench import run_table2_bench
+
+    report = benchmark.pedantic(run_table2_bench, rounds=1, iterations=1)
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_table2.json",
+    )
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    lines = [
+        "Batched vs scalar range-sums (2,000 intervals, 2^32 domain)",
+        "===========================================================",
+    ]
+    for name, row in report["schemes"].items():
+        lines.append(
+            f"{name:18s} scalar {row['scalar_ns_per_op']:10.0f} ns/op  "
+            f"batched {row['batched_ns_per_op']:10.0f} ns/op  "
+            f"speedup {row['speedup']:5.1f}x  identical={row['identical']}"
+        )
+    record_table("table2_batched", "\n".join(lines))
+
+    for row in report["schemes"].values():
+        assert row["identical"]
+        assert row["speedup"] > 1

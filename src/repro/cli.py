@@ -5,9 +5,14 @@ Usage::
     repro-experiments table1
     repro-experiments fig2 --quick
     repro-experiments all
+    repro-experiments bench
 
 ``--quick`` shrinks trial counts for a fast sanity pass; the defaults match
 the benchmark harness (see EXPERIMENTS.md for recorded outputs).
+
+``bench`` measures the vectorized plane/batched kernels against their
+scalar counterparts and writes ``BENCH_bulk.json``/``BENCH_table2.json``
+(into ``--output-dir``, or the working directory).
 """
 
 from __future__ import annotations
@@ -63,8 +68,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all"],
-        help="which table/figure to regenerate",
+        choices=[*EXPERIMENTS, "all", "bench"],
+        help="which table/figure to regenerate (or 'bench' for the "
+        "vectorized-kernel benchmark reports)",
     )
     parser.add_argument(
         "--quick",
@@ -80,6 +86,22 @@ def main(argv: list[str] | None = None) -> int:
         help="also write each result as JSON into this directory",
     )
     args = parser.parse_args(argv)
+
+    if args.experiment == "bench":
+        from repro.bench import write_bench_files
+
+        overrides = {}
+        if args.quick:
+            overrides = {
+                "BENCH_bulk": {"intervals": 500, "points": 5_000, "repeats": 2},
+                "BENCH_table2": {"intervals": 500, "repeats": 2},
+            }
+        written = write_bench_files(args.output_dir or ".", **overrides)
+        for name, path in written.items():
+            print(f"{name}: {path}")
+            with open(path) as handle:
+                print(handle.read())
+        return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -10,12 +10,15 @@ from repro.core.bits import (
     trailing_zeros,
 )
 from repro.core.dyadic import (
+    CoverArrays,
     DyadicInterval,
     containing_intervals,
+    dyadic_cover_arrays,
     interval_from_id,
     interval_id,
     minimal_dyadic_cover,
     minimal_quaternary_cover,
+    quaternary_cover_arrays,
 )
 from repro.core.gf2 import GF2Field, field, is_irreducible
 from repro.core.primefield import (
@@ -35,12 +38,15 @@ __all__ = [
     "popcount",
     "popcount_array",
     "trailing_zeros",
+    "CoverArrays",
     "DyadicInterval",
     "containing_intervals",
+    "dyadic_cover_arrays",
     "interval_from_id",
     "interval_id",
     "minimal_dyadic_cover",
     "minimal_quaternary_cover",
+    "quaternary_cover_arrays",
     "GF2Field",
     "field",
     "is_irreducible",

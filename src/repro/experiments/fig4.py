@@ -53,6 +53,27 @@ def _dmap_scheme(
     )
 
 
+def _region_sketches(scheme: SketchScheme, rects) -> list:
+    """One region sketch per query rectangle, batched per cell.
+
+    Each cell computes its contributions to *all* rectangles in one
+    batched per-axis range-sum pass (:meth:`ProductGenerator.rect_sums` /
+    :meth:`ProductDMAP.rect_contributions`) instead of decomposing every
+    rectangle once per cell.
+    """
+    sketches = [scheme.sketch() for _ in rects]
+    grids = [[cell for row in sketch.cells for cell in row] for sketch in sketches]
+    channels = [channel for row in scheme.channels for channel in row]
+    for position, channel in enumerate(channels):
+        if isinstance(channel, ProductChannel):
+            values = channel.generator.rect_sums(rects)
+        else:
+            values = channel.dmap.rect_contributions(rects)
+        for sketch_index, value in enumerate(values):
+            grids[sketch_index][position].value = float(value)
+    return sketches
+
+
 def selectivity_errors(
     points: np.ndarray,
     rects,
@@ -63,12 +84,11 @@ def selectivity_errors(
     data_sketch = scheme.sketch()
     bulk_update(data_sketch, points)
     errors = []
-    for rect in rects:
+    region_sketches = _region_sketches(scheme, rects)
+    for rect, region_sketch in zip(rects, region_sketches):
         truth = region_frequency_sum(points, rect)
         if truth == 0:
             continue
-        region_sketch = scheme.sketch()
-        region_sketch.update_interval(rect)
         estimate = estimate_product(data_sketch, region_sketch)
         errors.append(abs(estimate - truth) / truth)
     if not errors:

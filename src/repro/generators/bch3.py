@@ -58,6 +58,26 @@ class BCH3(Generator):
             out ^= np.uint8(1)
         return out
 
+    def alive_level_array(self) -> np.ndarray:
+        """Per-level dyadic survival mask, cached on the instance.
+
+        Entry ``l`` is 1.0 when the low ``l`` seed bits vanish (the dyadic
+        sum at level ``l`` is ``2^l * xi(low)``) and 0.0 otherwise -- the
+        per-seed table behind the bulk/batched BCH3 range-sums.
+        """
+        cached = getattr(self, "_alive_level_array", None)
+        if cached is None:
+            levels = np.arange(self.domain_bits + 1, dtype=np.int64)
+            cached = (levels <= self.trailing_zero_bits()).astype(np.float64)
+            self._alive_level_array = cached
+        return cached
+
+    def trailing_zero_bits(self) -> int:
+        """Trailing zeros of ``S1`` (``domain_bits`` for the zero seed)."""
+        if self.s1 == 0:
+            return self.domain_bits
+        return (self.s1 & -self.s1).bit_length() - 1
+
     def restrict_low_bits(self, nbits: int) -> "BCH3":
         """The scheme induced on the low ``nbits`` of the index.
 
@@ -73,3 +93,9 @@ class BCH3(Generator):
         from repro.rangesum.bch3_rangesum import bch3_range_sum
 
         return bch3_range_sum(self, alpha, beta)
+
+    def range_sums(self, alphas, betas) -> np.ndarray:
+        """Batched :meth:`range_sum` over arrays of end-points."""
+        from repro.rangesum.batched import bch3_range_sums
+
+        return bch3_range_sums(self, alphas, betas)

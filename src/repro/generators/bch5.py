@@ -107,27 +107,41 @@ class BCH5(Generator):
         self._check_index(i)
         return self.s0 ^ parity(self.s1 & i) ^ parity(self.s3 & self.cube(i))
 
-    def bits(self, indices: np.ndarray) -> np.ndarray:
-        indices = self._check_indices(indices)
+    def cubes(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cube` over a ``uint64`` array."""
         if self.mode == "arithmetic":
             # uint64 products wrap mod 2^64; masking afterwards yields the
             # cube mod 2^n exactly because 2^n divides 2^64.
-            cubes = (indices * indices * indices) & np.uint64(self._mask)
-        elif self.domain_bits <= 16:
+            return (indices * indices * indices) & np.uint64(self._mask)
+        if self.domain_bits <= 16:
             # Small extension fields: one shared cube lookup table per
             # field keeps repeated vectorized calls O(1) per index.
             if self._cube_table is None:
                 self._cube_table = _gf_cube_table(self.domain_bits)
-            cubes = self._cube_table[indices.astype(np.int64)]
-        else:
-            gf = self._field
-            cubes = np.fromiter(
-                (gf.cube(int(i)) for i in indices.ravel()),
-                dtype=np.uint64,
-                count=indices.size,
-            ).reshape(indices.shape)
+            return self._cube_table[indices.astype(np.int64)]
+        gf = self._field
+        return np.fromiter(
+            (gf.cube(int(i)) for i in indices.ravel()),
+            dtype=np.uint64,
+            count=indices.size,
+        ).reshape(indices.shape)
+
+    def bits(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        cubes = self.cubes(indices)
         out = parity_array(indices & np.uint64(self.s1))
         out ^= parity_array(cubes & np.uint64(self.s3))
         if self.s0:
             out ^= np.uint8(1)
         return out
+
+    def range_sums(self, alphas, betas) -> np.ndarray:
+        """Batched field-mode range-sums (seed-level work shared).
+
+        BCH5 stays *not fast* range-summable (Theorem 3); this batch API
+        amortizes the one O(n^2) quadratic-form construction across the
+        whole batch instead of paying it per interval.
+        """
+        from repro.rangesum.batched import bch5_range_sums
+
+        return bch5_range_sums(self, alphas, betas)

@@ -83,6 +83,25 @@ class EH3(Generator):
                 count += 1
         return count
 
+    def signed_scale_array(self) -> np.ndarray:
+        """Theorem-2 signed scales ``(-1)^#ZERO_j * 2^j`` per half-level.
+
+        Built once per generator and cached on the instance: this table is
+        the per-seed substrate of every bulk/batched EH3 range-sum -- one
+        entry per quaternary level ``j`` of the domain.
+        """
+        cached = getattr(self, "_signed_scale_array", None)
+        if cached is None:
+            pairs = (self.domain_bits + 1) // 2
+            cached = np.empty(pairs + 1, dtype=np.float64)
+            zero_pairs = 0
+            for j in range(pairs + 1):
+                cached[j] = -(1 << j) if zero_pairs % 2 else (1 << j)
+                if j < pairs and (self.s1 >> (2 * j)) & 0b11 == 0:
+                    zero_pairs += 1
+            self._signed_scale_array = cached
+        return cached
+
     def zero_or_pairs_below(self, pair_count: int) -> int:
         """#ZERO restricted to the lowest ``pair_count`` seed-bit pairs."""
         if pair_count < 0:
@@ -111,3 +130,9 @@ class EH3(Generator):
         from repro.rangesum.eh3_rangesum import eh3_range_sum
 
         return eh3_range_sum(self, alpha, beta)
+
+    def range_sums(self, alphas, betas) -> np.ndarray:
+        """Batched :meth:`range_sum` over arrays of end-points."""
+        from repro.rangesum.batched import eh3_range_sums
+
+        return eh3_range_sums(self, alphas, betas)

@@ -17,6 +17,15 @@ from repro.rangesum.base import (
     brute_force_range_sum,
     range_sum_via_cover,
 )
+from repro.rangesum.batched import (
+    bch3_range_sums,
+    bch5_range_sums,
+    dmap_cover_ids,
+    dmap_interval_contributions,
+    dmap_point_contributions,
+    dmap_point_id_table,
+    eh3_range_sums,
+)
 from repro.rangesum.bch3_rangesum import bch3_dyadic_sum, bch3_range_sum
 from repro.rangesum.bch5_rangesum import (
     bch5_dyadic_sum,
@@ -47,9 +56,16 @@ __all__ = [
     "range_sum_via_cover",
     "bch3_dyadic_sum",
     "bch3_range_sum",
+    "bch3_range_sums",
     "bch5_dyadic_sum",
     "bch5_quadratic_form",
     "bch5_range_sum",
+    "bch5_range_sums",
+    "dmap_cover_ids",
+    "dmap_interval_contributions",
+    "dmap_point_contributions",
+    "dmap_point_id_table",
+    "eh3_range_sums",
     "DMAP",
     "DyadicMapper",
     "eh3_dyadic_sum",

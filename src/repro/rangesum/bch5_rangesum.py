@@ -45,12 +45,19 @@ __all__ = [
 
 
 def bch5_quadratic_form(generator: BCH5) -> QuadraticPolynomial:
-    """The exact degree-2 XOR-of-ANDs form of field-mode BCH5's bits."""
+    """The exact degree-2 XOR-of-ANDs form of field-mode BCH5's bits.
+
+    The O(n^2) construction runs once per generator and is cached on the
+    instance, so repeated (and batched) range-sums share it.
+    """
     if generator.mode != "gf":
         raise ValueError(
             "only the extension-field cube is quadratic; the arithmetic "
             "cube has degree >= 3 terms (Theorem 3 applies)"
         )
+    cached = getattr(generator, "_quadratic_form", None)
+    if cached is not None:
+        return cached
     gf = generator._field
     n = generator.domain_bits
     basis = [1 << u for u in range(n)]
@@ -71,9 +78,11 @@ def bch5_quadratic_form(generator: BCH5) -> QuadraticPolynomial:
             if parity(generator.s3 & coupling):
                 row |= 1 << v
         upper_rows.append(row)
-    return QuadraticPolynomial.from_upper_rows(
+    form = QuadraticPolynomial.from_upper_rows(
         n, generator.s0, linear, tuple(upper_rows)
     )
+    generator._quadratic_form = form
+    return form
 
 
 def bch5_dyadic_sum(generator: BCH5, interval: DyadicInterval) -> int:

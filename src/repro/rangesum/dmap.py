@@ -66,6 +66,18 @@ class DyadicMapper:
             for piece in containing_intervals(point, self.domain_bits)
         ]
 
+    def interval_id_arrays(self, alphas, betas):
+        """Batched :meth:`interval_ids`: ``(ids, owner index, intervals)``."""
+        from repro.rangesum.batched import dmap_cover_ids
+
+        return dmap_cover_ids(self, alphas, betas)
+
+    def point_id_table(self, points):
+        """Batched :meth:`point_ids` as an ``(n + 1, points)`` id matrix."""
+        from repro.rangesum.batched import dmap_point_id_table
+
+        return dmap_point_id_table(self, points)
+
 
 class DMAP:
     """DMAP sketching front-end: a generator over the dyadic-id domain.
@@ -113,3 +125,15 @@ class DMAP:
         return sum(
             self.generator.value(i) for i in self.mapper.point_ids(point)
         )
+
+    def interval_contributions(self, alphas, betas):
+        """Batched :meth:`interval_contribution` over end-point arrays."""
+        from repro.rangesum.batched import dmap_interval_contributions
+
+        return dmap_interval_contributions(self, alphas, betas)
+
+    def point_contributions(self, points):
+        """Batched :meth:`point_contribution` over a point array."""
+        from repro.rangesum.batched import dmap_point_contributions
+
+        return dmap_point_contributions(self, points)

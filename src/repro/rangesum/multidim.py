@@ -100,6 +100,31 @@ class ProductGenerator:
             result *= partial
         return result
 
+    def rect_sums(self, rects: Sequence[Rect]) -> np.ndarray:
+        """Per-rectangle sums for a whole batch, vectorized per axis.
+
+        One batched 1-D :meth:`range_sums` call per dimension replaces the
+        per-rectangle scalar decompositions of :meth:`rect_sum`; the
+        ``(len(rects),)`` int64 result matches it element-for-element.
+        """
+        rects = np.asarray(rects, dtype=np.uint64)
+        if rects.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if rects.ndim != 3 or rects.shape[1:] != (self.dimensions, 2):
+            raise ValueError(
+                "rects must have shape (batch, dimensions, 2); got "
+                f"{rects.shape}"
+            )
+        result = np.ones(rects.shape[0], dtype=np.int64)
+        for axis, factor in enumerate(self.factors):
+            range_sums = getattr(factor, "range_sums", None)
+            if range_sums is None:
+                raise TypeError(
+                    f"{type(factor).__name__} has no batched range_sums"
+                )
+            result *= range_sums(rects[:, axis, 0], rects[:, axis, 1])
+        return result
+
     def mixed_sum(self, spec: Sequence) -> int:
         """Sum over a mixed point/interval specification.
 
@@ -184,4 +209,25 @@ class ProductDMAP:
             if partial == 0:
                 return 0
             result *= partial
+        return result
+
+    def rect_contributions(self, rects: Sequence[Rect]) -> np.ndarray:
+        """Per-rectangle contributions for a whole batch, batched per axis.
+
+        The ``(len(rects),)`` int64 result matches
+        :meth:`rect_contribution` element-for-element.
+        """
+        rects = np.asarray(rects, dtype=np.uint64)
+        if rects.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if rects.ndim != 3 or rects.shape[1:] != (self.dimensions, 2):
+            raise ValueError(
+                "rects must have shape (batch, dimensions, 2); got "
+                f"{rects.shape}"
+            )
+        result = np.ones(rects.shape[0], dtype=np.int64)
+        for axis, dmap in enumerate(self.dmaps):
+            result *= dmap.interval_contributions(
+                rects[:, axis, 0], rects[:, axis, 1]
+            )
         return result

@@ -15,6 +15,13 @@ from repro.sketch.atomic import (
     ProductDMAPChannel,
 )
 from repro.sketch.multijoin import ChainJoinScheme, exact_chain_join
+from repro.sketch.plane import (
+    BCH3Plane,
+    BCH5Plane,
+    DMAPPlane,
+    EH3Plane,
+    counter_plane,
+)
 from repro.sketch.estimators import (
     estimate_join_size,
     estimate_self_join,
@@ -51,6 +58,11 @@ __all__ = [
     "ProductDMAPChannel",
     "ChainJoinScheme",
     "exact_chain_join",
+    "BCH3Plane",
+    "BCH5Plane",
+    "DMAPPlane",
+    "EH3Plane",
+    "counter_plane",
     "estimate_join_size",
     "estimate_self_join",
     "exact_join_size",

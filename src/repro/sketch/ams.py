@@ -104,6 +104,17 @@ class SketchScheme:
         """A fresh all-zero sketch of some relation under this scheme."""
         return SketchMatrix(self)
 
+    def plane(self):
+        """The packed structure-of-arrays plane of this grid's seeds.
+
+        Built lazily, cached on the scheme, shared by every sketch of it;
+        ``None`` when the grid mixes channel kinds the packed kernels do
+        not cover (see :func:`repro.sketch.plane.counter_plane`).
+        """
+        from repro.sketch.plane import counter_plane
+
+        return counter_plane(self)
+
 
 class SketchMatrix:
     """The grid of atomic counters summarizing one relation."""
@@ -116,16 +127,131 @@ class SketchMatrix:
         ]
 
     def update_point(self, item, weight: float = 1.0) -> None:
-        """Stream one point into every atomic counter."""
+        """Stream one point into every atomic counter.
+
+        When the scheme's packed plane covers the grid, all counters are
+        updated in one pass; the result is bit-for-bit what the per-cell
+        loop produces (the per-counter contribution is an exact integer,
+        scaled by ``weight`` exactly once either way).
+        """
+        if isinstance(item, (int, np.integer)):
+            plane = self.scheme.plane()
+            if plane is not None:
+                totals = plane.point_totals(np.asarray([item]))
+                self._add_scaled(totals, weight)
+                return
         for row in self.cells:
             for cell in row:
                 cell.update_point(item, weight)
 
     def update_interval(self, bounds, weight: float = 1.0) -> None:
-        """Stream one interval/rectangle into every atomic counter."""
+        """Stream one interval/rectangle into every atomic counter.
+
+        1-D intervals on plane-covered grids decompose once and update
+        every counter in one batched pass -- the fast path behind
+        ``StreamProcessor.process_interval``.  Bit-for-bit identical to
+        the per-cell loop: the plane returns exact integer range-sums,
+        scaled by ``weight`` exactly once, like the scalar channels.
+        """
+        totals = self._plane_interval_totals(bounds)
+        if totals is not None:
+            self._add_scaled(totals, weight)
+            return
         for row in self.cells:
             for cell in row:
                 cell.update_interval(bounds, weight)
+
+    def _plane_interval_totals(self, bounds):
+        """Unit-weight per-counter sums of one 1-D interval, or ``None``."""
+        from repro.core.dyadic import dyadic_cover_arrays, quaternary_cover_arrays
+        from repro.sketch.plane import BCH3Plane, DMAPPlane, EH3Plane
+
+        plane = self.scheme.plane()
+        if plane is None:
+            return None
+        try:
+            alpha, beta = bounds
+        except (TypeError, ValueError):
+            return None
+        if not isinstance(alpha, (int, np.integer)) or not isinstance(
+            beta, (np.integer, int)
+        ):
+            return None
+        if alpha < 0 or beta >= (1 << 63):
+            return None  # scalar path owns the error/exotic-domain cases
+        if isinstance(plane, EH3Plane):
+            cover = quaternary_cover_arrays([alpha], [beta])
+            return plane.interval_totals(cover.lows, cover.levels >> 1)
+        if isinstance(plane, BCH3Plane):
+            cover = dyadic_cover_arrays([alpha], [beta])
+            return plane.interval_totals(cover.lows, cover.levels)
+        if isinstance(plane, DMAPPlane):
+            return plane.interval_totals([alpha], [beta])
+        return None
+
+    def _add_scaled(self, totals: np.ndarray, weight: float) -> None:
+        position = 0
+        for row in self.cells:
+            for cell in row:
+                cell.value += weight * float(totals[position])
+                position += 1
+
+    def update_points(self, items, weights=None) -> None:
+        """Stream a whole point batch into the grid in one plane pass.
+
+        Falls back to per-cell vectorized updates (and, for product
+        channels, a per-point loop) when no plane covers the grid.
+        Equivalent to ``update_point`` per item; exact for integer
+        weights, within float64 rounding otherwise.
+        """
+        plane = self.scheme.plane()
+        if plane is not None:
+            from repro.sketch.plane import add_totals
+
+            add_totals(self, plane.point_totals(items, weights))
+            return
+        items = np.asarray(items)
+        if items.ndim == 1:
+            for row in self.cells:
+                for cell in row:
+                    cell.update_points(items, weights)
+            return
+        for position, item in enumerate(items):
+            scale = 1.0 if weights is None else float(weights[position])
+            self.update_point(tuple(int(x) for x in item), scale)
+
+    def update_intervals(self, intervals, weights=None) -> None:
+        """Stream a whole 1-D interval batch into the grid.
+
+        One batched decomposition plus one plane pass for the entire
+        ``intervals x counters`` workload; falls back to per-interval
+        updates otherwise.  Equivalent to ``update_interval`` per
+        interval; exact for integer weights.
+        """
+        from repro.sketch.plane import BCH3Plane, DMAPPlane, EH3Plane, add_totals
+
+        plane = self.scheme.plane()
+        if isinstance(plane, (EH3Plane, BCH3Plane)):
+            from repro.sketch import bulk
+
+            if isinstance(plane, EH3Plane):
+                bulk.eh3_bulk_interval_update(
+                    self, bulk.decompose_quaternary(intervals, weights)
+                )
+            else:
+                bulk.bch3_bulk_interval_update(
+                    self, bulk.decompose_binary(intervals, weights)
+                )
+            return
+        if isinstance(plane, DMAPPlane):
+            bounds = np.asarray(intervals, dtype=np.uint64).reshape(-1, 2)
+            add_totals(
+                self, plane.interval_totals(bounds[:, 0], bounds[:, 1], weights)
+            )
+            return
+        for position, bounds in enumerate(intervals):
+            scale = 1.0 if weights is None else float(weights[position])
+            self.update_interval(tuple(bounds), scale)
 
     def update_frequency_vector(self, frequencies: np.ndarray) -> None:
         """Bulk-load a full 1-D frequency vector (experiment fast path).

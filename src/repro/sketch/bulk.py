@@ -7,17 +7,24 @@ factorizations to keep everything in numpy:
 
 1. the *dyadic decomposition* of an interval (binary or quaternary cover,
    DMAP ids, containing ids) depends only on the interval -- never on the
-   seed -- so it is computed once and shared by every counter;
+   seed -- so it is computed once (by the batched cover kernels of
+   :mod:`repro.core.dyadic`) and shared by every counter;
 2. the per-piece closed forms are expressible over arrays:
 
    * EH3 (Theorem 2): ``sum_piece = sign_j * 2^j * xi(low)`` where
-     ``sign_j`` depends only on the seed and the level, so a 17-entry
-     per-generator sign table turns a batch of pieces into one fused
-     multiply-add;
+     ``sign_j`` depends only on the seed and the level;
    * BCH3: ``sum_piece = 2^level * xi(low)`` if the seed's low ``level``
-     bits vanish, else 0 -- a per-generator level mask;
+     bits vanish, else 0;
    * DMAP: a flat array of dyadic ids fed straight through
      ``Generator.values``.
+
+Since the structure-of-arrays planes of :mod:`repro.sketch.plane` pack all
+seeds of a grid into bit-sliced tables, the per-counter loop is gone too:
+each bulk function asks the scheme for its plane and updates the whole grid
+in one batched pass, falling back to the per-cell loop for grids the plane
+does not cover.  ``eh3_percell_interval_update`` preserves the per-cell
+loop explicitly -- it is the baseline the bulk benchmarks measure the plane
+against.
 
 Every bulk function is equivalent to a loop of scalar channel updates (the
 test-suite asserts this) -- they are pure fast paths.
@@ -29,10 +36,16 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.dyadic import minimal_dyadic_cover, minimal_quaternary_cover
+from repro.core.dyadic import (
+    dyadic_cover_arrays,
+    minimal_dyadic_cover,
+    minimal_quaternary_cover,
+    quaternary_cover_arrays,
+)
 from repro.generators.base import Generator
 from repro.generators.bch3 import BCH3
 from repro.generators.eh3 import EH3
+from repro.rangesum.batched import dmap_point_id_table
 from repro.rangesum.dmap import DyadicMapper
 from repro.sketch.ams import SketchMatrix
 from repro.sketch.atomic import (
@@ -41,6 +54,14 @@ from repro.sketch.atomic import (
     ProductChannel,
     ProductDMAPChannel,
 )
+from repro.sketch.plane import (
+    BCH3Plane,
+    BCH5Plane,
+    DMAPPlane,
+    EH3Plane,
+    add_totals,
+    counter_plane,
+)
 
 __all__ = [
     "QuaternaryPieces",
@@ -48,6 +69,7 @@ __all__ = [
     "BinaryPieces",
     "decompose_binary",
     "eh3_bulk_interval_update",
+    "eh3_percell_interval_update",
     "bch3_bulk_interval_update",
     "bulk_point_update",
     "dmap_ids_for_intervals",
@@ -78,7 +100,7 @@ class BinaryPieces:
         self.weights = weights
 
 
-def _piece_weights(weights, intervals, counts: list[int]) -> np.ndarray:
+def _piece_weights(weights, intervals, counts) -> np.ndarray:
     if weights is None:
         per_interval = np.ones(len(intervals), dtype=np.float64)
     else:
@@ -88,43 +110,81 @@ def _piece_weights(weights, intervals, counts: list[int]) -> np.ndarray:
     return np.repeat(per_interval, counts)
 
 
+def _interval_endpoints(
+    intervals: Sequence[tuple[int, int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    bounds = np.asarray(intervals, dtype=np.uint64)
+    if bounds.size == 0:
+        empty = np.zeros(0, dtype=np.uint64)
+        return empty, empty.copy()
+    if bounds.ndim != 2 or bounds.shape[1] != 2:
+        raise ValueError("intervals must be (low, high) pairs")
+    return bounds[:, 0], bounds[:, 1]
+
+
 def decompose_quaternary(
     intervals: Sequence[tuple[int, int]], weights=None
 ) -> QuaternaryPieces:
-    """Quaternary covers of all intervals, flattened into piece arrays."""
-    lows: list[int] = []
-    half_levels: list[int] = []
-    counts: list[int] = []
-    for low, high in intervals:
-        pieces = minimal_quaternary_cover(int(low), int(high))
-        counts.append(len(pieces))
-        for piece in pieces:
-            lows.append(piece.low)
-            half_levels.append(piece.level // 2)
+    """Quaternary covers of all intervals, flattened into piece arrays.
+
+    Runs on the batched cover kernel (no per-piece ``DyadicInterval``
+    allocation); end-points at or above 2^63 take the scalar route.
+    """
+    try:
+        alphas, betas = _interval_endpoints(intervals)
+        cover = quaternary_cover_arrays(alphas, betas)
+    except OverflowError:
+        lows: list[int] = []
+        half_levels: list[int] = []
+        counts: list[int] = []
+        for low, high in intervals:
+            pieces = minimal_quaternary_cover(int(low), int(high))
+            counts.append(len(pieces))
+            for piece in pieces:
+                lows.append(piece.low)
+                half_levels.append(piece.level // 2)
+        return QuaternaryPieces(
+            np.asarray(lows, dtype=np.uint64),
+            np.asarray(half_levels, dtype=np.int64),
+            _piece_weights(weights, intervals, counts),
+        )
     return QuaternaryPieces(
-        np.asarray(lows, dtype=np.uint64),
-        np.asarray(half_levels, dtype=np.int64),
-        _piece_weights(weights, intervals, counts),
+        cover.lows,
+        cover.levels >> 1,
+        _piece_weights(weights, intervals, cover.counts()),
     )
 
 
 def decompose_binary(
     intervals: Sequence[tuple[int, int]], weights=None
 ) -> BinaryPieces:
-    """Binary covers of all intervals, flattened into piece arrays."""
-    lows: list[int] = []
-    levels: list[int] = []
-    counts: list[int] = []
-    for low, high in intervals:
-        pieces = minimal_dyadic_cover(int(low), int(high))
-        counts.append(len(pieces))
-        for piece in pieces:
-            lows.append(piece.low)
-            levels.append(piece.level)
+    """Binary covers of all intervals, flattened into piece arrays.
+
+    Runs on the batched cover kernel; end-points at or above 2^63 take
+    the scalar route.
+    """
+    try:
+        alphas, betas = _interval_endpoints(intervals)
+        cover = dyadic_cover_arrays(alphas, betas)
+    except OverflowError:
+        lows: list[int] = []
+        levels: list[int] = []
+        counts: list[int] = []
+        for low, high in intervals:
+            pieces = minimal_dyadic_cover(int(low), int(high))
+            counts.append(len(pieces))
+            for piece in pieces:
+                lows.append(piece.low)
+                levels.append(piece.level)
+        return BinaryPieces(
+            np.asarray(lows, dtype=np.uint64),
+            np.asarray(levels, dtype=np.int64),
+            _piece_weights(weights, intervals, counts),
+        )
     return BinaryPieces(
-        np.asarray(lows, dtype=np.uint64),
-        np.asarray(levels, dtype=np.int64),
-        _piece_weights(weights, intervals, counts),
+        cover.lows,
+        cover.levels,
+        _piece_weights(weights, intervals, cover.counts()),
     )
 
 
@@ -141,35 +201,51 @@ def _consolidate(keys: np.ndarray, weights: np.ndarray):
     return unique, summed
 
 
+def _consolidate_pieces(
+    lows: np.ndarray, levels: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge duplicate ``(low, level)`` pieces, summing their weights.
+
+    Lexsort-based grouping works for the full 64-bit key range -- unlike
+    packing ``(low << 6) | level`` into one word, which silently stops
+    applying once ``low`` reaches 2^57.
+    """
+    if lows.size == 0:
+        return lows, levels, weights
+    order = np.lexsort((levels, lows))
+    lows = lows[order]
+    levels = levels[order]
+    weights = weights[order]
+    fresh = np.empty(lows.size, dtype=bool)
+    fresh[0] = True
+    fresh[1:] = (lows[1:] != lows[:-1]) | (levels[1:] != levels[:-1])
+    groups = np.cumsum(fresh) - 1
+    summed = np.bincount(groups, weights=weights)
+    keep = np.flatnonzero(fresh)
+    return lows[keep], levels[keep], summed
+
+
 def _eh3_piece_sums(generator: EH3, pieces: QuaternaryPieces) -> np.ndarray:
     """Per-piece Theorem-2 sums for one EH3 generator (vectorized)."""
-    max_half = (generator.domain_bits + 1) // 2
-    signs = np.empty(max_half + 1, dtype=np.float64)
-    for j in range(max_half + 1):
-        signs[j] = -1.0 if generator.zero_or_pairs_below(j) % 2 else 1.0
+    scales = generator.signed_scale_array()
     values = generator.values(pieces.lows).astype(np.float64)
-    scales = np.ldexp(signs[pieces.half_levels], pieces.half_levels)
-    return values * scales
+    return values * scales[pieces.half_levels]
 
 
-def eh3_bulk_interval_update(
+def eh3_percell_interval_update(
     sketch: SketchMatrix,
     pieces: QuaternaryPieces,
 ) -> None:
-    """Stream a pre-decomposed interval batch into every EH3 counter.
+    """The per-cell EH3 interval loop: one vectorized pass per counter.
 
-    Equivalent to calling ``update_interval`` per interval per cell, in a
-    handful of vectorized passes per cell.  Duplicate (low, level) pieces
-    are merged once, up front, for all counters.
+    Kept as the explicit counter-loop path the bulk benchmarks use as a
+    baseline; :func:`eh3_bulk_interval_update` supersedes it with the
+    whole-grid plane kernel.
     """
-    if pieces.lows.size and int(pieces.lows.max()) < (1 << 57):
-        keys = (pieces.lows.astype(np.int64) << 6) | pieces.half_levels
-        unique_keys, weights = _consolidate(keys, pieces.weights)
-        pieces = QuaternaryPieces(
-            (unique_keys >> 6).astype(np.uint64),
-            (unique_keys & 63).astype(np.int64),
-            weights,
-        )
+    lows, half_levels, weights = _consolidate_pieces(
+        pieces.lows, pieces.half_levels, pieces.weights
+    )
+    pieces = QuaternaryPieces(lows, half_levels, weights)
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
@@ -181,6 +257,33 @@ def eh3_bulk_interval_update(
             cell.value += float(np.dot(sums, pieces.weights))
 
 
+def eh3_bulk_interval_update(
+    sketch: SketchMatrix,
+    pieces: QuaternaryPieces,
+) -> None:
+    """Stream a pre-decomposed interval batch into every EH3 counter.
+
+    Equivalent to calling ``update_interval`` per interval per cell, in a
+    handful of batched passes for the *whole grid* (the packed plane of
+    :class:`repro.sketch.plane.EH3Plane`).  The plane kernel is linear in
+    the piece count with no per-counter term, so it skips the up-front
+    deduplication the per-cell loop relies on -- sorting the batch costs
+    more than the duplicates do.
+    """
+    plane = counter_plane(sketch.scheme)
+    if not isinstance(plane, EH3Plane):
+        eh3_percell_interval_update(sketch, pieces)
+        return
+    lows, half_levels, weights = pieces.lows, pieces.half_levels, pieces.weights
+    if plane.words > 1:
+        # Wide grids pay per-piece work per word, so the one sort of the
+        # dedup amortizes; single-word grids are cheaper without it.
+        lows, half_levels, weights = _consolidate_pieces(
+            lows, half_levels, weights
+        )
+    add_totals(sketch, plane.interval_totals(lows, half_levels, weights))
+
+
 def bch3_bulk_interval_update(
     sketch: SketchMatrix,
     pieces: BinaryPieces,
@@ -188,9 +291,17 @@ def bch3_bulk_interval_update(
     """Stream a pre-decomposed interval batch into every BCH3 counter.
 
     A binary dyadic sum is ``2^level * xi(low)`` when the seed's low
-    ``level`` bits are zero, else exactly 0 -- evaluated here with one
-    level-indexed mask table per generator.
+    ``level`` bits are zero, else exactly 0 -- evaluated with the grid's
+    packed plane when available, else one level-indexed mask table per
+    generator (cached on the generator instance).
     """
+    plane = counter_plane(sketch.scheme)
+    if isinstance(plane, BCH3Plane):
+        lows, levels, weights = pieces.lows, pieces.levels, pieces.weights
+        if plane.words > 1:
+            lows, levels, weights = _consolidate_pieces(lows, levels, weights)
+        add_totals(sketch, plane.interval_totals(lows, levels, weights))
+        return
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
@@ -199,10 +310,7 @@ def bch3_bulk_interval_update(
             ):
                 raise TypeError("bch3_bulk_interval_update needs BCH3 channels")
             generator = channel.generator
-            max_level = generator.domain_bits
-            alive = np.empty(max_level + 1, dtype=np.float64)
-            for level in range(max_level + 1):
-                alive[level] = 0.0 if generator.s1 & ((1 << level) - 1) else 1.0
+            alive = generator.alive_level_array()
             values = generator.values(pieces.lows).astype(np.float64)
             scales = np.ldexp(alive[pieces.levels], pieces.levels)
             cell.value += float(np.dot(values * scales, pieces.weights))
@@ -217,6 +325,10 @@ def bulk_point_update(
         weights = np.asarray(weights, dtype=np.float64)
         if weights.shape != items.shape:
             raise ValueError("weights must match items element-wise")
+    plane = counter_plane(sketch.scheme)
+    if isinstance(plane, (EH3Plane, BCH3Plane, BCH5Plane)):
+        add_totals(sketch, plane.point_totals(items, weights))
+        return
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
@@ -235,16 +347,16 @@ def dmap_ids_for_intervals(
     weights=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Flattened DMAP cover ids (and weights) of an interval batch."""
-    ids: list[int] = []
-    counts: list[int] = []
-    for low, high in intervals:
-        cover = mapper.interval_ids(int(low), int(high))
-        counts.append(len(cover))
-        ids.extend(cover)
-    return (
-        np.asarray(ids, dtype=np.uint64),
-        _piece_weights(weights, intervals, counts),
-    )
+    alphas, betas = _interval_endpoints(intervals)
+    ids, owner, _ = mapper.interval_id_arrays(alphas, betas)
+    if weights is None:
+        flat = np.ones(ids.shape, dtype=np.float64)
+    else:
+        per_interval = np.asarray(weights, dtype=np.float64)
+        if len(per_interval) != len(intervals):
+            raise ValueError("one weight per interval is required")
+        flat = per_interval[owner]
+    return ids, flat
 
 
 def dmap_ids_for_points(
@@ -256,19 +368,15 @@ def dmap_ids_for_points(
     ``2^(n - j) + (point >> j)``.
     """
     points = np.asarray(points, dtype=np.uint64)
-    n = mapper.domain_bits
-    per_level = [
-        (np.uint64(1 << (n - j)) + (points >> np.uint64(j)))
-        for j in range(n + 1)
-    ]
-    ids = np.concatenate(per_level)
+    table = dmap_point_id_table(mapper, points)
+    ids = table.ravel()
     if weights is None:
         flat = np.ones(ids.shape, dtype=np.float64)
     else:
         weights = np.asarray(weights, dtype=np.float64)
         if weights.shape != points.shape:
             raise ValueError("weights must match points element-wise")
-        flat = np.tile(weights, n + 1)
+        flat = np.tile(weights, table.shape[0])
     return ids, flat
 
 
@@ -281,6 +389,10 @@ def dmap_bulk_id_update(
     """
     ids, weights = _consolidate(np.asarray(ids, dtype=np.uint64), weights)
     ids = ids.astype(np.uint64)
+    plane = counter_plane(sketch.scheme)
+    if isinstance(plane, DMAPPlane):
+        add_totals(sketch, plane.id_totals(ids, weights))
+        return
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
@@ -325,15 +437,10 @@ def product_bulk_point_update(
 
 
 def _dmap_axis_contributions(
-    generator: Generator, mapper: DyadicMapper, column: np.ndarray
+    generator: Generator, id_table: np.ndarray
 ) -> np.ndarray:
-    """Per-point sums of xi over the containing-id set, one axis."""
-    n = mapper.domain_bits
-    totals = np.zeros(len(column), dtype=np.float64)
-    for j in range(n + 1):
-        ids = np.uint64(1 << (n - j)) + (column >> np.uint64(j))
-        totals += generator.values(ids).astype(np.float64)
-    return totals
+    """Per-point sums of xi over a precomputed containing-id table."""
+    return generator.values(id_table).astype(np.float64).sum(axis=0)
 
 
 def product_dmap_bulk_point_update(
@@ -342,8 +449,9 @@ def product_dmap_bulk_point_update(
     """Stream a d-dimensional point batch into product-DMAP counters.
 
     A d-dimensional point's contribution factorizes into per-axis sums
-    over the ``n + 1`` containing dyadic ids, so each cell costs
-    ``d * (n + 1)`` vectorized generator evaluations for the whole batch.
+    over the ``n + 1`` containing dyadic ids.  The id tables depend only
+    on the points, so they are built once per axis and shared by every
+    cell -- each cell then costs ``d`` vectorized generator sweeps.
     """
     points = np.asarray(points)
     if points.ndim != 2:
@@ -351,6 +459,7 @@ def product_dmap_bulk_point_update(
     columns = [points[:, k].astype(np.uint64) for k in range(points.shape[1])]
     if weights is not None:
         weights = np.asarray(weights, dtype=np.float64)
+    id_tables: dict[tuple[int, int], np.ndarray] = {}
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
@@ -362,9 +471,14 @@ def product_dmap_bulk_point_update(
             if len(dmaps) != points.shape[1]:
                 raise ValueError("point dimensionality mismatch")
             contribution = np.ones(len(points), dtype=np.float64)
-            for dmap, column in zip(dmaps, columns):
+            for axis, (dmap, column) in enumerate(zip(dmaps, columns)):
+                key = (axis, dmap.mapper.domain_bits)
+                table = id_tables.get(key)
+                if table is None:
+                    table = dmap_point_id_table(dmap.mapper, column)
+                    id_tables[key] = table
                 contribution *= _dmap_axis_contributions(
-                    dmap.generator, dmap.mapper, column
+                    dmap.generator, table
                 )
             if weights is None:
                 cell.value += float(contribution.sum())

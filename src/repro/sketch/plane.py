@@ -1,0 +1,444 @@
+"""Structure-of-arrays counter planes: one pass updates a whole grid.
+
+The scalar sketch plane (:mod:`repro.sketch.ams`) stores a ``medians x
+averages`` grid of *objects*, each holding its own seed, and every update
+loops over the grid in Python.  The bulk helpers of
+:mod:`repro.sketch.bulk` vectorize over the *batch* but still loop over
+counters.  This module removes that loop too: all seeds of a grid are
+transposed into bit-sliced numpy tables, so one batch of points or dyadic
+pieces updates every counter in a handful of fused passes.
+
+Bit-sliced layout
+-----------------
+Counter ``c`` of the grid (row-major) owns bit ``c mod 64`` of word
+``c // 64``.  A seed table such as EH3's ``S1`` becomes an
+``(n_bits, words)`` matrix ``S1T`` whose row ``j`` packs bit ``j`` of every
+counter's seed.  The GF(2) dot products that dominate every scheme then
+vectorize *across counters*: for index ``i``,
+
+    ``acc ^= (-(i >> j & 1)) & S1T[j]``        for each index bit ``j``
+
+accumulates ``parity(S1_c & i)`` for all counters at once -- ``n`` word
+passes instead of ``n``-bit parities per counter.  Batch-level terms that
+do not depend on the counter (EH3's nonlinear ``h(i)``, the piece weight
+and ``2^level`` scale, BCH5's cube) are computed once per batch element.
+
+The per-counter totals are recovered without unpacking: with
+``u_p = weight_p * scale_p`` and packed sign bits ``b_{p,c}``,
+
+    ``total_c = sum_p u_p (1 - 2 b_{p,c}) = sum_p u_p - 2 sum_p u_p b_{p,c}``
+
+and the weighted bit-sums come from eight per-byte ``bincount``
+histograms per word column -- O(8 * words) passes for the whole grid.
+
+All arithmetic is float64 over exact integers (every term is ``+-2^j``
+with ``j`` far below 53 bits), so plane updates are bit-for-bit identical
+to the scalar per-cell paths for integer weights, and agree to one
+multiplication rounding otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.bits import adjacent_pair_or_fold_array
+from repro.generators.bch3 import BCH3
+from repro.generators.bch5 import BCH5
+from repro.generators.eh3 import EH3
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sketch.ams import SketchMatrix, SketchScheme
+
+__all__ = [
+    "EH3Plane",
+    "BCH3Plane",
+    "BCH5Plane",
+    "DMAPPlane",
+    "counter_plane",
+    "pack_counter_bits",
+    "add_totals",
+]
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: ``_BYTE_BITS[v, k]`` is bit ``k`` of byte value ``v`` -- the unpacking
+#: matrix of the per-byte histogram finisher.
+_BYTE_BITS = (
+    (np.arange(256)[:, np.newaxis] >> np.arange(8)[np.newaxis, :]) & 1
+).astype(np.float64)
+
+
+def pack_counter_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack an ``(L, C)`` 0/1 matrix into ``(L, ceil(C / 64))`` words.
+
+    Column ``c`` lands in bit ``c mod 64`` of word ``c // 64`` -- the
+    counter layout every plane table uses.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError("bits must be a 2-D (levels, counters) matrix")
+    levels, counters = bits.shape
+    words = (counters + 63) // 64
+    padded = np.zeros((levels, words * 64), dtype=np.uint64)
+    padded[:, :counters] = bits.astype(np.uint64)
+    shifts = np.arange(64, dtype=np.uint64)
+    lanes = padded.reshape(levels, words, 64) << shifts
+    return np.bitwise_or.reduce(lanes, axis=2)
+
+
+def _packed_linear_parity(indices: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """``acc[p] = XOR_j (-(bit_j(indices[p]))) & table[j]`` -- packed parities.
+
+    Returns the ``(batch, words)`` matrix whose bit ``c`` is
+    ``parity(seed_c & indices[p])`` for the seeds packed into ``table``.
+    """
+    lane = np.empty(indices.size, dtype=np.uint64)
+    one = np.uint64(1)
+    if table.shape[1] == 1:
+        # Single-word grids stay 1-D: multiplying the 0/1 lane by the
+        # seed word selects it per element without any broadcasting.
+        acc = np.zeros(indices.size, dtype=np.uint64)
+        for j in range(table.shape[0]):
+            row = table[j, 0]
+            if not row:
+                continue
+            np.right_shift(indices, np.uint64(j), out=lane)
+            np.bitwise_and(lane, one, out=lane)
+            np.multiply(lane, row, out=lane)
+            np.bitwise_xor(acc, lane, out=acc)
+        return acc[:, np.newaxis]
+    acc = np.zeros((indices.size, table.shape[1]), dtype=np.uint64)
+    masked = np.empty_like(acc)
+    for j in range(table.shape[0]):
+        row = table[j]
+        if not row.any():
+            continue
+        np.right_shift(indices, np.uint64(j), out=lane)
+        np.bitwise_and(lane, one, out=lane)
+        np.multiply(lane[:, np.newaxis], row[np.newaxis, :], out=masked)
+        np.bitwise_xor(acc, masked, out=acc)
+    return acc
+
+
+def _weighted_bit_sums(packed: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """``out[c] = sum_p u[p] * bit_c(packed[p])`` via per-byte histograms."""
+    batch, words = packed.shape
+    out = np.zeros(words * 64, dtype=np.float64)
+    if batch == 0:
+        return out
+    if batch <= 32:
+        # Tiny batches (single-interval updates) unpack directly: the
+        # histogram set-up costs more than the counters themselves.
+        shifts = np.arange(64, dtype=np.uint64)
+        bits = ((packed[:, :, np.newaxis] >> shifts) & np.uint64(1)).astype(
+            np.float64
+        )
+        return np.tensordot(u, bits, axes=1).ravel()
+    byte = np.uint64(0xFF)
+    for w in range(words):
+        column = packed[:, w]
+        for k in range(8):
+            values = ((column >> np.uint64(8 * k)) & byte).astype(np.int64)
+            histogram = np.bincount(values, weights=u, minlength=256)
+            base = w * 64 + k * 8
+            out[base : base + 8] = histogram @ _BYTE_BITS
+    return out
+
+
+class _PackedPlane:
+    """Shared packed-seed scaffolding of the concrete planes."""
+
+    def __init__(self, domain_bits: int, counters: int) -> None:
+        if counters < 1:
+            raise ValueError("a plane needs at least one counter")
+        self.domain_bits = domain_bits
+        self.counters = counters
+        self.words = (counters + 63) // 64
+
+    def _check_points(self, points) -> np.ndarray:
+        points = np.asarray(points)
+        if points.dtype.kind == "i" and points.size and int(points.min()) < 0:
+            raise ValueError("negative index in plane update")
+        points = points.astype(np.uint64, copy=False).ravel()
+        if points.size and self.domain_bits < 64:
+            top = int(points.max())
+            if top >= (1 << self.domain_bits):
+                raise ValueError(
+                    f"index {top} outside domain of size 2^{self.domain_bits}"
+                )
+        return points
+
+    def _check_pieces(self, lows: np.ndarray, levels: np.ndarray) -> None:
+        """Reject dyadic pieces that spill past the domain's top index."""
+        if lows.size == 0 or self.domain_bits >= 64:
+            return
+        if int(levels.max()) > self.domain_bits:
+            raise ValueError(
+                f"dyadic level {int(levels.max())} outside domain "
+                f"2^{self.domain_bits}"
+            )
+        spans = (np.uint64(1) << levels.astype(np.uint64)) - np.uint64(1)
+        top = int((lows + spans).max())
+        if top >= (1 << self.domain_bits):
+            raise ValueError(
+                f"index {top} outside domain of size 2^{self.domain_bits}"
+            )
+
+    def _weights(self, weights, size: int) -> np.ndarray:
+        if weights is None:
+            return np.ones(size, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if weights.size != size:
+            raise ValueError("weights must match the batch element-wise")
+        return weights
+
+    def _signed_totals(self, acc: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Per-counter ``sum_p u_p * (-1)^{bit}`` from packed sign bits."""
+        bit_sums = _weighted_bit_sums(acc, u)[: self.counters]
+        return float(u.sum()) - 2.0 * bit_sums
+
+
+class EH3Plane(_PackedPlane):
+    """All EH3 seeds of a grid, packed for whole-grid batch updates."""
+
+    def __init__(self, generators: Sequence[EH3]) -> None:
+        bits = {g.domain_bits for g in generators}
+        if len(bits) != 1:
+            raise ValueError("plane generators must share a domain")
+        super().__init__(bits.pop(), len(generators))
+        n = self.domain_bits
+        s1 = np.array([g.s1 for g in generators], dtype=np.uint64)
+        seed_bits = (s1[np.newaxis, :] >> np.arange(n, dtype=np.uint64)[:, np.newaxis]) & np.uint64(1)
+        self.s1_table = pack_counter_bits(seed_bits)
+        self.s0_word = pack_counter_bits(
+            np.array([[g.s0 for g in generators]], dtype=np.uint64)
+        )[0]
+        # Row j packs (#ZERO pairs among the lowest j seed pairs) mod 2 --
+        # the Theorem-2 sign, ready to XOR per quaternary piece.
+        pairs = (n + 1) // 2
+        pair_shift = (2 * np.arange(pairs, dtype=np.uint64))[:, np.newaxis]
+        pair_zero = ((s1[np.newaxis, :] >> pair_shift) & np.uint64(3)) == 0
+        zero_parity = np.zeros((pairs + 1, self.counters), dtype=np.uint64)
+        zero_parity[1:] = np.cumsum(pair_zero, axis=0) & 1
+        self.zero_pair_parity = pack_counter_bits(zero_parity)
+
+    def _sign_bits(self, indices: np.ndarray) -> np.ndarray:
+        acc = _packed_linear_parity(indices, self.s1_table)
+        acc ^= self.s0_word[np.newaxis, :]
+        h = adjacent_pair_or_fold_array(indices, self.domain_bits)
+        acc ^= (h.astype(np.uint64) * _ALL_ONES)[:, np.newaxis]
+        return acc
+
+    def point_totals(self, points, weights=None) -> np.ndarray:
+        """Per-counter ``sum_p w_p * xi_c(p)`` for a point batch."""
+        points = self._check_points(points)
+        u = self._weights(weights, points.size)
+        return self._signed_totals(self._sign_bits(points), u)
+
+    def interval_totals(self, lows, half_levels, weights=None) -> np.ndarray:
+        """Per-counter Theorem-2 totals of a quaternary piece batch.
+
+        ``lows``/``half_levels`` describe pieces ``[low, low + 4^j)``;
+        each contributes ``w * (-1)^{#ZERO_j,c} * 2^j * xi_c(low)``.
+        """
+        lows = self._check_points(lows)
+        half_levels = np.asarray(half_levels, dtype=np.int64).ravel()
+        if half_levels.size != lows.size:
+            raise ValueError("one half-level per piece is required")
+        self._check_pieces(lows, 2 * half_levels)
+        u = self._weights(weights, lows.size)
+        acc = self._sign_bits(lows)
+        acc ^= self.zero_pair_parity[half_levels]
+        return self._signed_totals(acc, np.ldexp(u, half_levels))
+
+
+class BCH3Plane(_PackedPlane):
+    """All BCH3 seeds of a grid, packed for whole-grid batch updates."""
+
+    def __init__(self, generators: Sequence[BCH3]) -> None:
+        bits = {g.domain_bits for g in generators}
+        if len(bits) != 1:
+            raise ValueError("plane generators must share a domain")
+        super().__init__(bits.pop(), len(generators))
+        n = self.domain_bits
+        s1 = np.array([g.s1 for g in generators], dtype=np.uint64)
+        seed_bits = (s1[np.newaxis, :] >> np.arange(n, dtype=np.uint64)[:, np.newaxis]) & np.uint64(1)
+        self.s1_table = pack_counter_bits(seed_bits)
+        self.s0_word = pack_counter_bits(
+            np.array([[g.s0 for g in generators]], dtype=np.uint64)
+        )[0]
+        # Row l packs "level-l dyadic sums survive" (low l seed bits zero).
+        trailing = np.array(
+            [g.trailing_zero_bits() for g in generators], dtype=np.int64
+        )
+        alive = (
+            np.arange(n + 1, dtype=np.int64)[:, np.newaxis]
+            <= trailing[np.newaxis, :]
+        )
+        self.alive_table = pack_counter_bits(alive)
+
+    def _sign_bits(self, indices: np.ndarray) -> np.ndarray:
+        acc = _packed_linear_parity(indices, self.s1_table)
+        acc ^= self.s0_word[np.newaxis, :]
+        return acc
+
+    def point_totals(self, points, weights=None) -> np.ndarray:
+        """Per-counter ``sum_p w_p * xi_c(p)`` for a point batch."""
+        points = self._check_points(points)
+        u = self._weights(weights, points.size)
+        return self._signed_totals(self._sign_bits(points), u)
+
+    def interval_totals(self, lows, levels, weights=None) -> np.ndarray:
+        """Per-counter totals of a binary dyadic piece batch.
+
+        A piece ``[low, low + 2^l)`` contributes ``w * 2^l * xi_c(low)``
+        where the counter's low ``l`` seed bits vanish and 0 elsewhere, so
+        the signed histogram is masked by the packed alive table:
+        ``u * alive * (1 - 2 b) = u * alive - 2 u * (alive & b)``.
+        """
+        lows = self._check_points(lows)
+        levels = np.asarray(levels, dtype=np.int64).ravel()
+        if levels.size != lows.size:
+            raise ValueError("one level per piece is required")
+        self._check_pieces(lows, levels)
+        u = np.ldexp(self._weights(weights, lows.size), levels)
+        acc = self._sign_bits(lows)
+        alive = self.alive_table[levels]
+        alive_sums = _weighted_bit_sums(alive, u)[: self.counters]
+        signed_sums = _weighted_bit_sums(alive & acc, u)[: self.counters]
+        return alive_sums - 2.0 * signed_sums
+
+
+class BCH5Plane(_PackedPlane):
+    """All BCH5 seeds of a grid, packed for whole-grid point batches.
+
+    The cube ``i^3`` (arithmetic or extension-field) is seed-independent,
+    so the batch pays it once; both GF(2) dot products then run packed.
+    """
+
+    def __init__(self, generators: Sequence[BCH5]) -> None:
+        bits = {g.domain_bits for g in generators}
+        modes = {g.mode for g in generators}
+        if len(bits) != 1 or len(modes) != 1:
+            raise ValueError("plane generators must share a domain and mode")
+        super().__init__(bits.pop(), len(generators))
+        self._representative = generators[0]
+        n = self.domain_bits
+        shifts = np.arange(n, dtype=np.uint64)[:, np.newaxis]
+        s1 = np.array([g.s1 for g in generators], dtype=np.uint64)
+        s3 = np.array([g.s3 for g in generators], dtype=np.uint64)
+        self.s1_table = pack_counter_bits((s1[np.newaxis, :] >> shifts) & np.uint64(1))
+        self.s3_table = pack_counter_bits((s3[np.newaxis, :] >> shifts) & np.uint64(1))
+        self.s0_word = pack_counter_bits(
+            np.array([[g.s0 for g in generators]], dtype=np.uint64)
+        )[0]
+
+    def point_totals(self, points, weights=None) -> np.ndarray:
+        """Per-counter ``sum_p w_p * xi_c(p)`` for a point batch."""
+        points = self._check_points(points)
+        u = self._weights(weights, points.size)
+        cubes = self._representative.cubes(points)
+        acc = _packed_linear_parity(points, self.s1_table)
+        acc ^= _packed_linear_parity(cubes, self.s3_table)
+        acc ^= self.s0_word[np.newaxis, :]
+        return self._signed_totals(acc, u)
+
+
+class DMAPPlane:
+    """A packed BCH5 plane over the dyadic-id domain of a DMAP grid."""
+
+    def __init__(self, dmaps: Sequence) -> None:
+        bits = {d.mapper.domain_bits for d in dmaps}
+        if len(bits) != 1:
+            raise ValueError("plane DMAPs must share a domain")
+        self.domain_bits = bits.pop()
+        self.mapper = dmaps[0].mapper
+        self.inner = BCH5Plane([d.generator for d in dmaps])
+        self.counters = self.inner.counters
+
+    def id_totals(self, ids, weights=None) -> np.ndarray:
+        """Per-counter totals of a pre-mapped dyadic-id batch."""
+        return self.inner.point_totals(ids, weights)
+
+    def interval_totals(self, alphas, betas, weights=None) -> np.ndarray:
+        """Per-counter ``sum_k w_k * interval_contribution_c(a_k, b_k)``."""
+        from repro.rangesum.batched import dmap_cover_ids
+
+        ids, owner, intervals = dmap_cover_ids(self.mapper, alphas, betas)
+        if weights is None:
+            piece_weights = None
+        else:
+            weights = np.asarray(weights, dtype=np.float64).ravel()
+            if weights.size != intervals:
+                raise ValueError("one weight per interval is required")
+            piece_weights = weights[owner]
+        return self.inner.point_totals(ids, piece_weights)
+
+    def point_totals(self, points, weights=None) -> np.ndarray:
+        """Per-counter ``sum_p w_p * point_contribution_c(p)``."""
+        from repro.rangesum.batched import dmap_point_id_table
+
+        ids = dmap_point_id_table(self.mapper, np.asarray(points, dtype=np.uint64))
+        if weights is None:
+            flat_weights = None
+        else:
+            weights = np.asarray(weights, dtype=np.float64).ravel()
+            if weights.size != ids.shape[1]:
+                raise ValueError("weights must match points element-wise")
+            flat_weights = np.tile(weights, ids.shape[0])
+        return self.inner.point_totals(ids.ravel(), flat_weights)
+
+
+_UNBUILT = object()
+
+
+def _build_plane(scheme: "SketchScheme"):
+    """Pack a scheme's grid into the matching plane, or ``None``."""
+    from repro.sketch.atomic import DMAPChannel, GeneratorChannel
+
+    channels = [channel for row in scheme.channels for channel in row]
+    if all(isinstance(c, GeneratorChannel) for c in channels):
+        generators = [c.generator for c in channels]
+        try:
+            if all(isinstance(g, EH3) for g in generators):
+                return EH3Plane(generators)
+            if all(isinstance(g, BCH3) for g in generators):
+                return BCH3Plane(generators)
+            if all(isinstance(g, BCH5) for g in generators):
+                return BCH5Plane(generators)
+        except ValueError:
+            return None
+        return None
+    if all(isinstance(c, DMAPChannel) for c in channels):
+        dmaps = [c.dmap for c in channels]
+        try:
+            if all(isinstance(d.generator, BCH5) for d in dmaps):
+                return DMAPPlane(dmaps)
+        except ValueError:
+            return None
+    return None
+
+
+def counter_plane(scheme: "SketchScheme"):
+    """The packed plane of a scheme's seeds, built once and cached.
+
+    Returns ``None`` for grids the packed kernels do not cover (mixed or
+    product channels, RM7, ...); callers fall back to the scalar path.
+    """
+    cached = getattr(scheme, "_counter_plane", _UNBUILT)
+    if cached is _UNBUILT:
+        cached = _build_plane(scheme)
+        scheme._counter_plane = cached
+    return cached
+
+
+def add_totals(sketch: "SketchMatrix", totals: np.ndarray) -> None:
+    """Scatter per-counter totals back onto the grid, row-major."""
+    flat = totals.ravel()
+    position = 0
+    for row in sketch.cells:
+        for cell in row:
+            cell.value += float(flat[position])
+            position += 1

@@ -128,9 +128,23 @@ class StreamProcessor:
     def process_interval(
         self, relation: str, low: int, high: int, weight: float = 1.0
     ) -> None:
-        """One arriving interval, sketched in sub-linear time."""
+        """One arriving interval, sketched in sub-linear time.
+
+        On plane-covered schemes (the EH3 default) the interval is
+        decomposed once and lands on every counter in one batched pass.
+        """
         self._require(relation)
         self._sketches[relation].update_interval((low, high), weight)
+
+    def process_points(self, relation: str, items, weights=None) -> None:
+        """A batch of arriving tuples, one plane pass for the whole grid."""
+        self._require(relation)
+        self._sketches[relation].update_points(items, weights)
+
+    def process_intervals(self, relation: str, intervals, weights=None) -> None:
+        """A batch of arriving intervals: one decomposition, one plane pass."""
+        self._require(relation)
+        self._sketches[relation].update_intervals(intervals, weights)
 
     def merge_sketch(self, relation: str, other: SketchMatrix) -> None:
         """Fold in a remote site's sketch of the same relation."""

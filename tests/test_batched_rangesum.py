@@ -1,0 +1,242 @@
+"""Tests: batched range-sum kernels equal their scalar counterparts.
+
+Every batched kernel must be *bit-identical* to a Python loop over the
+scalar algorithm it vectorizes -- including empty batches, singleton
+intervals, and full-domain intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import BCH3, EH3, SeedSource
+from repro.generators.bch5 import BCH5
+from repro.rangesum import (
+    DMAP,
+    bch3_range_sum,
+    bch3_range_sums,
+    bch5_range_sum,
+    bch5_range_sums,
+    eh3_range_sum,
+    eh3_range_sums,
+)
+
+
+def _intervals_strategy(domain_bits: int, max_size: int = 12):
+    top = (1 << domain_bits) - 1
+    return st.lists(
+        st.tuples(st.integers(0, top), st.integers(0, top)),
+        max_size=max_size,
+    ).map(lambda raw: [(min(a, b), max(a, b)) for a, b in raw])
+
+
+def _arrays(intervals):
+    alphas = np.array([a for a, _ in intervals], dtype=np.uint64)
+    betas = np.array([b for _, b in intervals], dtype=np.uint64)
+    return alphas, betas
+
+
+class TestEH3Batched:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        bits=st.integers(1, 62),
+        data=st.data(),
+    )
+    def test_matches_scalar(self, bits, data):
+        intervals = data.draw(_intervals_strategy(bits))
+        generator = EH3.from_source(bits, SeedSource(bits))
+        alphas, betas = _arrays(intervals)
+        expected = [eh3_range_sum(generator, a, b) for a, b in intervals]
+        got = eh3_range_sums(generator, alphas, betas)
+        assert got.dtype == np.int64
+        assert got.tolist() == expected
+
+    def test_full_domain_and_singletons(self):
+        for bits in (1, 5, 32, 62):
+            generator = EH3.from_source(bits, SeedSource(7 * bits))
+            top = (1 << bits) - 1
+            cases = [(0, top), (0, 0), (top, top)]
+            alphas, betas = _arrays(cases)
+            expected = [eh3_range_sum(generator, a, b) for a, b in cases]
+            assert eh3_range_sums(generator, alphas, betas).tolist() == expected
+
+    def test_empty_batch(self):
+        generator = EH3.from_source(16, SeedSource(1))
+        out = eh3_range_sums(generator, [], [])
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+
+    def test_reversed_interval_rejected(self):
+        generator = EH3.from_source(8, SeedSource(1))
+        with pytest.raises(ValueError):
+            eh3_range_sums(generator, [5], [3])
+
+    def test_out_of_domain_rejected(self):
+        generator = EH3.from_source(8, SeedSource(1))
+        with pytest.raises(ValueError):
+            eh3_range_sums(generator, [0], [1 << 8])
+
+
+class TestBCH3Batched:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        bits=st.integers(1, 62),
+        seed=st.integers(0, 5),
+        data=st.data(),
+    )
+    def test_matches_scalar(self, bits, seed, data):
+        intervals = data.draw(_intervals_strategy(bits))
+        generator = BCH3.from_source(bits, SeedSource(seed))
+        alphas, betas = _arrays(intervals)
+        expected = [bch3_range_sum(generator, a, b) for a, b in intervals]
+        got = bch3_range_sums(generator, alphas, betas)
+        assert got.dtype == np.int64
+        assert got.tolist() == expected
+
+    def test_zero_s1_seed(self):
+        # s1 == 0 makes every value equal: the count short-circuit path.
+        generator = BCH3(8, s0=1, s1=0)
+        cases = [(0, 255), (3, 3), (10, 200)]
+        alphas, betas = _arrays(cases)
+        expected = [bch3_range_sum(generator, a, b) for a, b in cases]
+        assert bch3_range_sums(generator, alphas, betas).tolist() == expected
+
+    def test_full_domain_and_singletons(self):
+        for bits in (1, 9, 33, 62):
+            generator = BCH3.from_source(bits, SeedSource(bits))
+            top = (1 << bits) - 1
+            cases = [(0, top), (0, 0), (top, top)]
+            alphas, betas = _arrays(cases)
+            expected = [bch3_range_sum(generator, a, b) for a, b in cases]
+            assert (
+                bch3_range_sums(generator, alphas, betas).tolist() == expected
+            )
+
+    def test_empty_batch(self):
+        generator = BCH3.from_source(16, SeedSource(1))
+        assert bch3_range_sums(generator, [], []).shape == (0,)
+
+
+class TestBCH5Batched:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        bits=st.integers(2, 9),
+        data=st.data(),
+    )
+    def test_matches_scalar(self, bits, data):
+        intervals = data.draw(_intervals_strategy(bits, max_size=6))
+        generator = BCH5.from_source(bits, SeedSource(bits), mode="gf")
+        alphas, betas = _arrays(intervals)
+        expected = [bch5_range_sum(generator, a, b) for a, b in intervals]
+        got = bch5_range_sums(generator, alphas, betas)
+        assert got.tolist() == expected
+
+    def test_empty_batch(self):
+        generator = BCH5.from_source(6, SeedSource(3), mode="gf")
+        assert bch5_range_sums(generator, [], []).shape == (0,)
+
+    def test_quadratic_form_cached_on_generator(self):
+        generator = BCH5.from_source(6, SeedSource(3), mode="gf")
+        bch5_range_sums(generator, [0], [5])
+        form = generator._quadratic_form
+        assert form is not None
+        bch5_range_sums(generator, [1], [4])
+        assert generator._quadratic_form is form
+
+
+class TestDMAPBatched:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        bits=st.integers(1, 24),
+        data=st.data(),
+    )
+    def test_interval_contributions_match_scalar(self, bits, data):
+        intervals = data.draw(_intervals_strategy(bits, max_size=8))
+        dmap = DMAP.from_source(bits, SeedSource(bits))
+        alphas, betas = _arrays(intervals)
+        expected = [dmap.interval_contribution(a, b) for a, b in intervals]
+        got = dmap.interval_contributions(alphas, betas)
+        assert got.tolist() == expected
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        bits=st.integers(1, 24),
+        data=st.data(),
+    )
+    def test_point_contributions_match_scalar(self, bits, data):
+        points = data.draw(
+            st.lists(st.integers(0, (1 << bits) - 1), max_size=10)
+        )
+        dmap = DMAP.from_source(bits, SeedSource(bits))
+        expected = [dmap.point_contribution(p) for p in points]
+        got = dmap.point_contributions(np.array(points, dtype=np.uint64))
+        assert got.tolist() == expected
+
+    def test_empty_batches(self):
+        dmap = DMAP.from_source(10, SeedSource(2))
+        assert dmap.interval_contributions([], []).shape == (0,)
+        assert dmap.point_contributions(np.zeros(0, np.uint64)).shape == (0,)
+
+
+class TestGeneratorMethodDelegation:
+    def test_generators_expose_range_sums(self):
+        source = SeedSource(11)
+        eh3 = EH3.from_source(12, source)
+        bch3 = BCH3.from_source(12, source)
+        bch5 = BCH5.from_source(8, source, mode="gf")
+        cases = [(0, 100), (5, 5), (0, (1 << 12) - 1)]
+        alphas, betas = _arrays(cases)
+        assert eh3.range_sums(alphas, betas).tolist() == [
+            eh3_range_sum(eh3, a, b) for a, b in cases
+        ]
+        assert bch3.range_sums(alphas, betas).tolist() == [
+            bch3_range_sum(bch3, a, b) for a, b in cases
+        ]
+        small = [(0, 100), (5, 5), (0, 255)]
+        alphas, betas = _arrays(small)
+        assert bch5.range_sums(alphas, betas).tolist() == [
+            bch5_range_sum(bch5, a, b) for a, b in small
+        ]
+
+
+class TestProductBatched:
+    def test_rect_sums_match_scalar(self, rng):
+        from repro.rangesum.multidim import ProductGenerator
+
+        dims_bits = (8, 6)
+        generator = ProductGenerator.eh3(dims_bits, SeedSource(5))
+        rects = []
+        for _ in range(20):
+            rect = []
+            for bits in dims_bits:
+                a, b = sorted(rng.integers(0, 1 << bits, 2).tolist())
+                rect.append((int(a), int(b)))
+            rects.append(tuple(rect))
+        expected = [generator.rect_sum(rect) for rect in rects]
+        assert generator.rect_sums(rects).tolist() == expected
+
+    def test_rect_contributions_match_scalar(self, rng):
+        from repro.rangesum.multidim import ProductDMAP
+
+        dims_bits = (8, 6)
+        product = ProductDMAP.from_source(dims_bits, SeedSource(5))
+        rects = []
+        for _ in range(20):
+            rect = []
+            for bits in dims_bits:
+                a, b = sorted(rng.integers(0, 1 << bits, 2).tolist())
+                rect.append((int(a), int(b)))
+            rects.append(tuple(rect))
+        expected = [product.rect_contribution(rect) for rect in rects]
+        assert product.rect_contributions(rects).tolist() == expected
+
+    def test_empty_and_bad_shapes(self):
+        from repro.rangesum.multidim import ProductGenerator
+
+        generator = ProductGenerator.eh3((4, 4), SeedSource(1))
+        assert generator.rect_sums([]).shape == (0,)
+        with pytest.raises(ValueError):
+            generator.rect_sums([[(0, 1)]])  # wrong rank

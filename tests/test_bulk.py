@@ -225,3 +225,84 @@ class TestProductBulk:
             product_bulk_point_update(
                 scheme.sketch(), rng.integers(0, 64, size=(5, 3))
             )
+
+
+class TestConsolidation:
+    """Duplicate-piece merging must work over the full 64-bit key range."""
+
+    def test_high_lows_still_consolidate(self):
+        # Regression: the old packed-key dedup ((low << 6) | level) wrapped
+        # once low reached 2^57 and silently stopped merging duplicates.
+        from repro.sketch.bulk import _consolidate_pieces
+
+        low = np.uint64((1 << 61) + 64)
+        lows = np.array([low, low, low + np.uint64(256)], dtype=np.uint64)
+        levels = np.array([3, 3, 3], dtype=np.int64)
+        weights = np.array([2.0, 5.0, 1.0])
+        out_lows, out_levels, out_weights = _consolidate_pieces(
+            lows, levels, weights
+        )
+        assert out_lows.tolist() == [int(low), int(low) + 256]
+        assert out_levels.tolist() == [3, 3]
+        assert out_weights.tolist() == [7.0, 1.0]
+
+    def test_distinct_levels_not_merged(self):
+        from repro.sketch.bulk import _consolidate_pieces
+
+        low = np.uint64(1 << 60)
+        lows = np.array([low, low], dtype=np.uint64)
+        levels = np.array([2, 4], dtype=np.int64)
+        weights = np.array([1.0, 1.0])
+        out_lows, out_levels, out_weights = _consolidate_pieces(
+            lows, levels, weights
+        )
+        assert len(out_lows) == 2
+
+    def test_62_bit_bulk_update_matches_scalar(self, source):
+        # End-to-end at domain_bits=62: repeated high intervals exercise
+        # consolidation beyond 2^57 and must still match the scalar loop.
+        bits = 62
+        scheme = SketchScheme.from_factory(
+            lambda src: GeneratorChannel(EH3.from_source(bits, src)),
+            2,
+            3,
+            source,
+        )
+        base = (1 << 61) + (1 << 58)
+        intervals = [
+            (base, base + 1023),
+            (base, base + 1023),  # duplicate: weights must merge
+            (base + 4096, base + 8191),
+        ]
+        weights = [2.0, 3.0, 1.0]
+        bulk = scheme.sketch()
+        eh3_bulk_interval_update(
+            bulk, decompose_quaternary(intervals, weights)
+        )
+        scalar = scheme.sketch()
+        for bounds, weight in zip(intervals, weights):
+            for row in scalar.cells:
+                for cell in row:
+                    cell.update_interval(bounds, weight)
+        assert np.array_equal(bulk.values(), scalar.values())
+
+    def test_62_bit_percell_update_matches_scalar(self, source):
+        from repro.sketch.bulk import eh3_percell_interval_update
+
+        bits = 62
+        scheme = SketchScheme.from_factory(
+            lambda src: GeneratorChannel(EH3.from_source(bits, src)),
+            2,
+            3,
+            source,
+        )
+        base = (1 << 61) + (1 << 58)
+        intervals = [(base, base + 255), (base, base + 255)]
+        bulk = scheme.sketch()
+        eh3_percell_interval_update(bulk, decompose_quaternary(intervals))
+        scalar = scheme.sketch()
+        for bounds in intervals:
+            for row in scalar.cells:
+                for cell in row:
+                    cell.update_interval(bounds, 1.0)
+        assert np.array_equal(bulk.values(), scalar.values())

@@ -218,3 +218,101 @@ class TestEnumerationAndRendering:
     def test_render_rejects_large_domains(self):
         with pytest.raises(ValueError):
             render_dyadic_tree(10)
+
+
+class TestCoverArrays:
+    """Batched covers must equal the scalar covers piece for piece."""
+
+    @staticmethod
+    def _intervals(raw):
+        return [(min(a, b), max(a, b)) for a, b in raw]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, (1 << 62) - 1), st.integers(0, (1 << 62) - 1)
+            ),
+            max_size=10,
+        )
+    )
+    def test_dyadic_matches_scalar(self, raw):
+        from repro.core.dyadic import dyadic_cover_arrays
+
+        intervals = self._intervals(raw)
+        cover = dyadic_cover_arrays(
+            [a for a, _ in intervals], [b for _, b in intervals]
+        )
+        expected = [
+            (position, piece.low, piece.level)
+            for position, (alpha, beta) in enumerate(intervals)
+            for piece in minimal_dyadic_cover(alpha, beta)
+        ]
+        got = list(
+            zip(
+                cover.index.tolist(),
+                cover.lows.tolist(),
+                cover.levels.tolist(),
+            )
+        )
+        assert got == expected
+        assert cover.intervals == len(intervals)
+        assert cover.counts().tolist() == [
+            len(minimal_dyadic_cover(a, b)) for a, b in intervals
+        ]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, (1 << 62) - 1), st.integers(0, (1 << 62) - 1)
+            ),
+            max_size=10,
+        )
+    )
+    def test_quaternary_matches_scalar(self, raw):
+        from repro.core.dyadic import quaternary_cover_arrays
+
+        intervals = self._intervals(raw)
+        cover = quaternary_cover_arrays(
+            [a for a, _ in intervals], [b for _, b in intervals]
+        )
+        expected = [
+            (position, piece.low, piece.level)
+            for position, (alpha, beta) in enumerate(intervals)
+            for piece in minimal_quaternary_cover(alpha, beta)
+        ]
+        got = list(
+            zip(
+                cover.index.tolist(),
+                cover.lows.tolist(),
+                cover.levels.tolist(),
+            )
+        )
+        assert got == expected
+        assert not any(level % 2 for level in cover.levels.tolist())
+
+    def test_empty_batch(self):
+        from repro.core.dyadic import dyadic_cover_arrays
+
+        cover = dyadic_cover_arrays([], [])
+        assert cover.intervals == 0
+        assert cover.lows.size == 0
+        assert cover.counts().tolist() == []
+
+    def test_full_domain_single_piece(self):
+        from repro.core.dyadic import dyadic_cover_arrays
+
+        cover = dyadic_cover_arrays([0], [(1 << 62) - 1])
+        assert cover.lows.tolist() == [0]
+        assert cover.levels.tolist() == [62]
+
+    def test_reversed_interval_rejected(self):
+        from repro.core.dyadic import dyadic_cover_arrays
+
+        with pytest.raises(ValueError):
+            dyadic_cover_arrays([5], [4])
+
+    def test_beyond_63_bits_overflows(self):
+        from repro.core.dyadic import dyadic_cover_arrays
+
+        with pytest.raises(OverflowError):
+            dyadic_cover_arrays([0], [1 << 63])

@@ -1,0 +1,316 @@
+"""Tests: the packed structure-of-arrays counter plane.
+
+The plane collapses a whole ``medians x averages`` grid into bit-sliced
+seed tables; every batched total it produces must be bit-for-bit what the
+per-cell scalar loop computes (within float64's exact-integer range).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dyadic import dyadic_cover_arrays, quaternary_cover_arrays
+from repro.generators import BCH3, EH3, SeedSource
+from repro.generators.bch5 import BCH5
+from repro.rangesum.dmap import DMAP
+from repro.rangesum.multidim import ProductGenerator
+from repro.sketch.ams import SketchScheme
+from repro.sketch.atomic import DMAPChannel, GeneratorChannel, ProductChannel
+from repro.sketch.plane import (
+    BCH3Plane,
+    BCH5Plane,
+    DMAPPlane,
+    EH3Plane,
+    add_totals,
+    counter_plane,
+    pack_counter_bits,
+)
+
+BITS = 10
+
+
+def _scheme(channel_factory, medians=2, averages=3, seed=0xDEADBEEF):
+    return SketchScheme.from_factory(
+        channel_factory, medians, averages, SeedSource(seed)
+    )
+
+
+def eh3_channels(bits=BITS):
+    return lambda src: GeneratorChannel(EH3.from_source(bits, src))
+
+
+def bch3_channels(bits=BITS):
+    return lambda src: GeneratorChannel(BCH3.from_source(bits, src))
+
+
+def bch5_channels(bits=8):
+    return lambda src: GeneratorChannel(
+        BCH5.from_source(bits, src, mode="gf")
+    )
+
+
+def dmap_channels(bits=BITS):
+    return lambda src: DMAPChannel(DMAP.from_source(bits, src))
+
+
+def _scalar_point_values(scheme, points, weights):
+    """Per-counter totals via the per-cell scalar loop."""
+    totals = []
+    for row in scheme.channels:
+        for channel in row:
+            total = 0.0
+            for point, weight in zip(points, weights):
+                total += weight * channel.point(int(point))
+            totals.append(total)
+    return np.array(totals)
+
+
+class TestPlaneConstruction:
+    def test_plane_types(self):
+        assert isinstance(counter_plane(_scheme(eh3_channels())), EH3Plane)
+        assert isinstance(counter_plane(_scheme(bch3_channels())), BCH3Plane)
+        assert isinstance(counter_plane(_scheme(bch5_channels())), BCH5Plane)
+        assert isinstance(counter_plane(_scheme(dmap_channels())), DMAPPlane)
+
+    def test_product_grid_has_no_plane(self):
+        scheme = _scheme(
+            lambda src: ProductChannel(ProductGenerator.eh3((4, 4), src))
+        )
+        assert counter_plane(scheme) is None
+
+    def test_plane_cached_on_scheme(self):
+        scheme = _scheme(eh3_channels())
+        assert counter_plane(scheme) is counter_plane(scheme)
+        assert scheme.plane() is counter_plane(scheme)
+
+    def test_pack_counter_bits_roundtrip(self, rng):
+        bits = rng.integers(0, 2, size=(5, 130), dtype=np.uint64)
+        packed = pack_counter_bits(bits)
+        assert packed.shape == (5, 3)
+        unpacked = (
+            packed[:, :, None] >> np.arange(64, dtype=np.uint64)
+        ) & np.uint64(1)
+        assert np.array_equal(
+            unpacked.reshape(5, -1)[:, : bits.shape[1]], bits
+        )
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [eh3_channels(), bch3_channels(), bch5_channels(), dmap_channels()],
+    ids=["eh3", "bch3", "bch5", "dmap"],
+)
+class TestPointTotals:
+    def test_matches_scalar_small_batch(self, factory, rng):
+        scheme = _scheme(factory)
+        plane = counter_plane(scheme)
+        bits = plane.domain_bits if hasattr(plane, "domain_bits") else BITS
+        points = rng.integers(0, 1 << min(bits, BITS), size=7, dtype=np.uint64)
+        weights = rng.integers(-5, 6, size=7).astype(np.float64)
+        got = plane.point_totals(points, weights)
+        expected = _scalar_point_values(scheme, points, weights)
+        assert np.array_equal(got, expected)
+
+    def test_matches_scalar_histogram_batch(self, factory, rng):
+        # Batches above 32 take the per-byte histogram path.
+        scheme = _scheme(factory, medians=2, averages=40)
+        plane = counter_plane(scheme)
+        points = rng.integers(0, 1 << 8, size=200, dtype=np.uint64)
+        weights = rng.integers(1, 4, size=200).astype(np.float64)
+        got = plane.point_totals(points, weights)
+        expected = _scalar_point_values(scheme, points, weights)
+        assert np.array_equal(got, expected)
+
+    def test_out_of_domain_rejected(self, factory):
+        scheme = _scheme(factory)
+        plane = counter_plane(scheme)
+        bits = plane.domain_bits
+        with pytest.raises(ValueError):
+            plane.point_totals(np.array([1 << bits], dtype=np.uint64))
+
+
+class TestIntervalTotals:
+    def _scalar_interval_values(self, scheme, intervals, weights):
+        totals = []
+        for row in scheme.channels:
+            for channel in row:
+                total = 0.0
+                for bounds, weight in zip(intervals, weights):
+                    total += weight * channel.interval(bounds)
+                totals.append(total)
+        return np.array(totals)
+
+    def test_eh3_pieces_match_scalar(self, rng):
+        scheme = _scheme(eh3_channels())
+        plane = counter_plane(scheme)
+        lows = rng.integers(0, 1 << BITS, size=20)
+        highs = rng.integers(0, 1 << BITS, size=20)
+        intervals = [
+            (int(min(a, b)), int(max(a, b))) for a, b in zip(lows, highs)
+        ]
+        weights = rng.integers(1, 5, size=20).astype(np.float64)
+        cover = quaternary_cover_arrays(
+            [a for a, _ in intervals], [b for _, b in intervals]
+        )
+        got = plane.interval_totals(
+            cover.lows, cover.levels >> 1, weights[cover.index]
+        )
+        expected = self._scalar_interval_values(scheme, intervals, weights)
+        assert np.array_equal(got, expected)
+
+    def test_bch3_pieces_match_scalar(self, rng):
+        scheme = _scheme(bch3_channels())
+        plane = counter_plane(scheme)
+        lows = rng.integers(0, 1 << BITS, size=20)
+        highs = rng.integers(0, 1 << BITS, size=20)
+        intervals = [
+            (int(min(a, b)), int(max(a, b))) for a, b in zip(lows, highs)
+        ]
+        weights = rng.integers(1, 5, size=20).astype(np.float64)
+        cover = dyadic_cover_arrays(
+            [a for a, _ in intervals], [b for _, b in intervals]
+        )
+        got = plane.interval_totals(
+            cover.lows, cover.levels, weights[cover.index]
+        )
+        expected = self._scalar_interval_values(scheme, intervals, weights)
+        assert np.array_equal(got, expected)
+
+    def test_dmap_intervals_match_scalar(self, rng):
+        scheme = _scheme(dmap_channels())
+        plane = counter_plane(scheme)
+        lows = rng.integers(0, 1 << BITS, size=15)
+        highs = rng.integers(0, 1 << BITS, size=15)
+        alphas = np.minimum(lows, highs).astype(np.uint64)
+        betas = np.maximum(lows, highs).astype(np.uint64)
+        weights = rng.integers(1, 5, size=15).astype(np.float64)
+        got = plane.interval_totals(alphas, betas, weights)
+        intervals = list(zip(alphas.tolist(), betas.tolist()))
+        expected = self._scalar_interval_values(scheme, intervals, weights)
+        assert np.array_equal(got, expected)
+
+    def test_piece_outside_domain_rejected(self):
+        plane = counter_plane(_scheme(eh3_channels()))
+        with pytest.raises(ValueError):
+            plane.interval_totals(
+                np.array([1 << BITS], dtype=np.uint64), np.array([0])
+            )
+
+
+class TestSketchMatrixPlanePath:
+    @pytest.mark.parametrize(
+        "factory",
+        [eh3_channels(), bch3_channels(), bch5_channels(), dmap_channels()],
+        ids=["eh3", "bch3", "bch5", "dmap"],
+    )
+    def test_update_point_bit_identical(self, factory, rng):
+        scheme = _scheme(factory)
+        fast = scheme.sketch()
+        slow = scheme.sketch()
+        for point in rng.integers(0, 1 << 8, size=10).tolist():
+            weight = float(rng.integers(-3, 4))
+            fast.update_point(int(point), weight)
+            for row in slow.cells:
+                for cell in row:
+                    cell.update_point(int(point), weight)
+        assert np.array_equal(fast.values(), slow.values())
+
+    @pytest.mark.parametrize(
+        "factory",
+        [eh3_channels(), bch3_channels(), dmap_channels()],
+        ids=["eh3", "bch3", "dmap"],
+    )
+    def test_update_interval_bit_identical(self, factory, rng):
+        scheme = _scheme(factory)
+        fast = scheme.sketch()
+        slow = scheme.sketch()
+        for _ in range(10):
+            a, b = sorted(rng.integers(0, 1 << BITS, size=2).tolist())
+            weight = float(rng.integers(1, 5))
+            fast.update_interval((int(a), int(b)), weight)
+            for row in slow.cells:
+                for cell in row:
+                    cell.update_interval((int(a), int(b)), weight)
+        assert np.array_equal(fast.values(), slow.values())
+
+    def test_update_points_and_intervals_batch(self, rng):
+        scheme = _scheme(eh3_channels(), medians=2, averages=40)
+        points = rng.integers(0, 1 << BITS, size=100, dtype=np.uint64)
+        point_weights = rng.integers(1, 4, size=100).astype(np.float64)
+        lows = rng.integers(0, 1 << BITS, size=50)
+        highs = rng.integers(0, 1 << BITS, size=50)
+        intervals = [
+            (int(min(a, b)), int(max(a, b))) for a, b in zip(lows, highs)
+        ]
+        interval_weights = rng.integers(1, 4, size=50).astype(np.float64)
+
+        fast = scheme.sketch()
+        fast.update_points(points, point_weights)
+        fast.update_intervals(intervals, interval_weights)
+
+        slow = scheme.sketch()
+        for point, weight in zip(points.tolist(), point_weights):
+            for row in slow.cells:
+                for cell in row:
+                    cell.update_point(int(point), float(weight))
+        for bounds, weight in zip(intervals, interval_weights):
+            for row in slow.cells:
+                for cell in row:
+                    cell.update_interval(bounds, float(weight))
+        assert np.array_equal(fast.values(), slow.values())
+
+    def test_exotic_bounds_fall_back_to_scalar(self):
+        # Non-integer bounds must keep raising exactly as the scalar
+        # channels do, not be swallowed by the plane path.
+        scheme = _scheme(eh3_channels())
+        sketch = scheme.sketch()
+        with pytest.raises(TypeError):
+            sketch.update_interval(((0, 1), (0, 1)))
+
+    def test_wide_domain_updates_close(self):
+        # At 62 bits BCH3 totals exceed float64's exact-integer range, so
+        # the plane and scalar paths may differ in the last ulp only.
+        scheme = SketchScheme.from_factory(
+            lambda src: GeneratorChannel(BCH3.from_source(62, src)),
+            2,
+            3,
+            SeedSource(1),
+        )
+        fast = scheme.sketch()
+        slow = scheme.sketch()
+        top = (1 << 62) - 1
+        for bounds in [(0, top), (123, top - 5), (1 << 57, 1 << 61)]:
+            fast.update_interval(bounds, 3.0)
+            for row in slow.cells:
+                for cell in row:
+                    cell.update_interval(bounds, 3.0)
+        assert np.allclose(fast.values(), slow.values(), rtol=1e-12)
+
+    def test_wide_domain_eh3_bit_identical(self):
+        scheme = SketchScheme.from_factory(
+            lambda src: GeneratorChannel(EH3.from_source(62, src)),
+            2,
+            3,
+            SeedSource(1),
+        )
+        fast = scheme.sketch()
+        slow = scheme.sketch()
+        top = (1 << 62) - 1
+        for bounds in [(0, top), (123, top - 5), (1 << 57, 1 << 61)]:
+            fast.update_interval(bounds, 2.0)
+            for row in slow.cells:
+                for cell in row:
+                    cell.update_interval(bounds, 2.0)
+        assert np.array_equal(fast.values(), slow.values())
+
+
+class TestAddTotals:
+    def test_row_major_scatter(self):
+        scheme = _scheme(eh3_channels(), medians=2, averages=3)
+        sketch = scheme.sketch()
+        totals = np.arange(6, dtype=np.float64)
+        add_totals(sketch, totals)
+        assert np.array_equal(
+            sketch.values(), totals.reshape(2, 3)
+        )
