@@ -24,7 +24,12 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["run_bulk_bench", "run_table2_bench", "write_bench_files"]
+__all__ = [
+    "run_bulk_bench",
+    "run_table2_bench",
+    "run_durability_bench",
+    "write_bench_files",
+]
 
 
 def _best_seconds(operation: Callable[[], object], repeats: int) -> float:
@@ -267,8 +272,126 @@ def run_table2_bench(
     return report
 
 
+def run_durability_bench(
+    medians: int = 7,
+    averages: int = 100,
+    domain_bits: int = 20,
+    points: int = 20_000,
+    intervals: int = 2_000,
+    batch: int = 500,
+    seed: int = 3,
+    repeats: int = 3,
+    sync: str = "flush",
+) -> dict:
+    """WAL-on vs WAL-off ingestion cost on the paper's 7 x 100 grid.
+
+    Measures :class:`~repro.stream.processor.StreamProcessor` end to end
+    (validation front door included) with and without a write-ahead log,
+    on batched point and interval workloads plus the per-record single
+    point path.  Batched appends are group-committed -- one framed write
+    and one flush per batch -- which is what keeps the durable overhead
+    low.  Reports ns per elementary update and the WAL-on/WAL-off
+    overhead ratio.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.stream.durability import DurabilityConfig
+    from repro.stream.processor import StreamProcessor
+
+    rng = np.random.default_rng(seed)
+    point_batches = [
+        rng.integers(0, 1 << domain_bits, size=batch, dtype=np.uint64)
+        for _ in range(points // batch)
+    ]
+    interval_batches = []
+    for _ in range(intervals // batch + 1):
+        lows = rng.integers(0, 1 << domain_bits, size=batch, dtype=np.uint64)
+        highs = rng.integers(0, 1 << domain_bits, size=batch, dtype=np.uint64)
+        interval_batches.append(
+            np.stack(
+                [np.minimum(lows, highs), np.maximum(lows, highs)], axis=1
+            )
+        )
+    single_points = [
+        int(p) for p in rng.integers(0, 1 << domain_bits, size=500)
+    ]
+
+    base = tempfile.mkdtemp(prefix="repro-durability-bench-")
+
+    def fresh(durable: bool, tag: str) -> StreamProcessor:
+        config = None
+        if durable:
+            directory = os.path.join(base, tag)
+            shutil.rmtree(directory, ignore_errors=True)
+            config = DurabilityConfig(directory=directory, sync=sync)
+        processor = StreamProcessor(
+            medians=medians, averages=averages, seed=seed, durability=config
+        )
+        processor.register_relation("r", domain_bits)
+        return processor
+
+    def feed_points(processor):
+        for batch_items in point_batches:
+            processor.process_points("r", batch_items)
+        processor.close()
+
+    def feed_intervals(processor):
+        for batch_intervals in interval_batches:
+            processor.process_intervals("r", batch_intervals)
+        processor.close()
+
+    def feed_singles(processor):
+        for item in single_points:
+            processor.process_point("r", item)
+        processor.close()
+
+    workloads = {
+        "point_batches": (feed_points, len(point_batches) * batch),
+        "interval_batches": (
+            feed_intervals,
+            len(interval_batches) * batch,
+        ),
+        "single_points": (feed_singles, len(single_points)),
+    }
+    report: dict = {
+        "config": {
+            "medians": medians,
+            "averages": averages,
+            "domain_bits": domain_bits,
+            "batch": batch,
+            "sync": sync,
+            "repeats": repeats,
+        },
+        "workloads": {},
+    }
+    try:
+        counter = [0]
+
+        def timed(durable: bool, feeder) -> float:
+            def run():
+                counter[0] += 1
+                feeder(fresh(durable, f"run-{counter[0]}"))
+
+            return _best_seconds(run, repeats)
+
+        for name, (feeder, operations) in workloads.items():
+            off = timed(False, feeder)
+            on = timed(True, feeder)
+            report["workloads"][name] = {
+                "wal_off_ns_per_op": off / operations * 1e9,
+                "wal_on_ns_per_op": on / operations * 1e9,
+                "overhead": on / off,
+            }
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return report
+
+
 def write_bench_files(output_dir: str = ".", **overrides) -> dict[str, str]:
-    """Run both benches and write ``BENCH_bulk.json``/``BENCH_table2.json``.
+    """Run the benches and write ``BENCH_bulk.json`` / ``BENCH_table2.json``
+    / ``BENCH_durability.json``.
 
     Returns the written paths keyed by report name.
     """
@@ -279,6 +402,7 @@ def write_bench_files(output_dir: str = ".", **overrides) -> dict[str, str]:
     for name, runner in (
         ("BENCH_bulk", run_bulk_bench),
         ("BENCH_table2", run_table2_bench),
+        ("BENCH_durability", run_durability_bench),
     ):
         report = runner(**overrides.get(name, {}))
         path = os.path.join(output_dir, f"{name}.json")

@@ -6,13 +6,20 @@ Usage::
     repro-experiments fig2 --quick
     repro-experiments all
     repro-experiments bench
+    repro-experiments faults
 
 ``--quick`` shrinks trial counts for a fast sanity pass; the defaults match
 the benchmark harness (see EXPERIMENTS.md for recorded outputs).
 
 ``bench`` measures the vectorized plane/batched kernels against their
-scalar counterparts and writes ``BENCH_bulk.json``/``BENCH_table2.json``
-(into ``--output-dir``, or the working directory).
+scalar counterparts and writes ``BENCH_bulk.json``/``BENCH_table2.json``/
+``BENCH_durability.json`` (into ``--output-dir``, or the working
+directory).
+
+``faults`` runs the deterministic fault-injection suite
+(:mod:`repro.stream.faults`): torn WAL tails, corrupted sealed segments,
+partial snapshots, and mid-batch plane failures, verifying the recovery
+invariants end to end.  Exits non-zero if any scenario fails.
 """
 
 from __future__ import annotations
@@ -68,9 +75,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "bench"],
-        help="which table/figure to regenerate (or 'bench' for the "
-        "vectorized-kernel benchmark reports)",
+        choices=[*EXPERIMENTS, "all", "bench", "faults"],
+        help="which table/figure to regenerate ('bench' for the "
+        "vectorized-kernel benchmark reports, 'faults' for the "
+        "fault-injection suite)",
     )
     parser.add_argument(
         "--quick",
@@ -87,6 +95,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.experiment == "faults":
+        from repro.stream.faults import run_fault_suite
+
+        results = run_fault_suite(seed=args.seed)
+        width = max(len(result.name) for result in results)
+        for result in results:
+            status = "PASS" if result.passed else "FAIL"
+            print(f"{status}  {result.name:<{width}}  {result.detail}")
+        failed = sum(1 for result in results if not result.passed)
+        print(
+            f"\n{len(results) - failed}/{len(results)} fault scenarios passed"
+        )
+        return 1 if failed else 0
+
     if args.experiment == "bench":
         from repro.bench import write_bench_files
 
@@ -95,6 +117,11 @@ def main(argv: list[str] | None = None) -> int:
             overrides = {
                 "BENCH_bulk": {"intervals": 500, "points": 5_000, "repeats": 2},
                 "BENCH_table2": {"intervals": 500, "repeats": 2},
+                "BENCH_durability": {
+                    "points": 5_000,
+                    "intervals": 500,
+                    "repeats": 2,
+                },
             }
         written = write_bench_files(args.output_dir or ".", **overrides)
         for name, path in written.items():

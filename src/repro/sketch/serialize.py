@@ -8,11 +8,29 @@ with explicit seed material, round-trippable bit-for-bit.
 
 Supported channel kinds: direct generators (all six schemes), DMAP, and
 their d-dimensional products.
+
+Wire-format integrity (the durability layer builds on these guarantees):
+
+* scheme and sketch envelopes carry ``"version"`` (currently 1; absent
+  means the pre-versioned v0 format, still accepted);
+* :func:`scheme_fingerprint` derives a stable content hash of a scheme's
+  seed material, shipped inside every sketch so a receiver can refuse to
+  merge counters built under different seeds
+  (:meth:`repro.stream.processor.StreamProcessor.merge_sketch` enforces
+  this);
+* sketches carry a CRC32 ``"checksum"`` over their canonical counter
+  values, and :func:`sketch_from_dict` rejects non-finite counters -- a
+  corrupted shipped sketch cannot poison a merge.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import zlib
 from typing import Any
+
+import numpy as np
 
 from repro.generators.base import Generator
 from repro.generators.bch3 import BCH3
@@ -33,15 +51,41 @@ from repro.sketch.atomic import (
 )
 
 __all__ = [
+    "SERIALIZE_VERSION",
     "generator_to_dict",
     "generator_from_dict",
     "channel_to_dict",
     "channel_from_dict",
     "scheme_to_dict",
     "scheme_from_dict",
+    "scheme_fingerprint",
     "sketch_to_dict",
     "sketch_from_dict",
+    "values_checksum",
 ]
+
+#: Current wire-format version of scheme/sketch envelopes.  Absent
+#: version fields mean the pre-versioned v0 format and are accepted;
+#: versions newer than this are rejected with a descriptive error.
+SERIALIZE_VERSION = 1
+
+
+def _check_version(data: dict[str, Any], what: str) -> None:
+    version = data.get("version", 0)
+    if not isinstance(version, int) or version > SERIALIZE_VERSION:
+        raise ValueError(
+            f"serialized {what} has version {version!r}; this build reads "
+            f"up to version {SERIALIZE_VERSION}"
+        )
+
+
+def values_checksum(values: Any) -> int:
+    """CRC32 over the canonical JSON of a counter-value grid."""
+    canonical = json.dumps(
+        np.asarray(values, dtype=np.float64).tolist(),
+        separators=(",", ":"),
+    )
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
 
 
 def generator_to_dict(generator: Generator) -> dict[str, Any]:
@@ -192,10 +236,12 @@ def scheme_to_dict(scheme: SketchScheme) -> dict[str, Any]:
     """Serialize a full medians x averages scheme (all seeds)."""
     return {
         "kind": "sketch_scheme",
+        "version": SERIALIZE_VERSION,
         "channels": [
             [channel_to_dict(channel) for channel in row]
             for row in scheme.channels
         ],
+        "fingerprint": scheme_fingerprint(scheme),
     }
 
 
@@ -204,12 +250,44 @@ def scheme_from_dict(data: dict[str, Any]) -> SketchScheme:
     processes because the seeds are identical."""
     if data.get("kind") != "sketch_scheme":
         raise ValueError("not a serialized sketch scheme")
-    return SketchScheme(
+    _check_version(data, "scheme")
+    scheme = SketchScheme(
         [
             [channel_from_dict(channel) for channel in row]
             for row in data["channels"]
         ]
     )
+    recorded = data.get("fingerprint")
+    if recorded is not None and recorded != scheme_fingerprint(scheme):
+        raise ValueError(
+            "scheme fingerprint mismatch: the serialized seed material "
+            "does not hash to the recorded fingerprint (corrupt wire data)"
+        )
+    return scheme
+
+
+def scheme_fingerprint(scheme: SketchScheme) -> str:
+    """A stable content hash of a scheme's full seed material.
+
+    Two scheme objects fingerprint identically exactly when every channel
+    serializes identically -- i.e. when sketches built under them are
+    legitimately combinable.  The hash is cached on the scheme object (the
+    channel grid is immutable after construction).
+    """
+    cached = getattr(scheme, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    canonical = json.dumps(
+        [
+            [channel_to_dict(channel) for channel in row]
+            for row in scheme.channels
+        ],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    scheme._fingerprint = digest
+    return digest
 
 
 def sketch_to_dict(
@@ -220,11 +298,18 @@ def sketch_to_dict(
     With ``include_scheme=False`` only the numeric counters are shipped --
     the right choice when the receiver already holds the scheme (it
     distributed the seeds in the first place), since the counters are the
-    whole point of sketch-sized communication.
+    whole point of sketch-sized communication.  The envelope always
+    carries the scheme's fingerprint and a CRC32 checksum of the counter
+    values, so the receiver can verify provenance and integrity either
+    way.
     """
+    values = [[cell.value for cell in row] for row in sketch.cells]
     data: dict[str, Any] = {
         "kind": "sketch",
-        "values": [[cell.value for cell in row] for row in sketch.cells],
+        "version": SERIALIZE_VERSION,
+        "values": values,
+        "checksum": values_checksum(values),
+        "fingerprint": scheme_fingerprint(sketch.scheme),
     }
     if include_scheme:
         data["scheme"] = scheme_to_dict(sketch.scheme)
@@ -234,27 +319,55 @@ def sketch_to_dict(
 def sketch_from_dict(
     data: dict[str, Any], scheme: SketchScheme | None = None
 ) -> SketchMatrix:
-    """Rebuild a sketch.
+    """Rebuild a sketch, verifying integrity along the way.
 
     Pass the receiver's ``scheme`` to attach the counters to an existing
     scheme object (required for combining with locally-built sketches);
-    otherwise a fresh equivalent scheme is reconstructed.
+    otherwise a fresh equivalent scheme is reconstructed.  Rejects
+    shape mismatches, checksum failures, fingerprint mismatches against
+    the provided scheme, and non-finite counter values -- each with a
+    descriptive :class:`ValueError` -- so a corrupted shipped sketch can
+    never poison a merge.
     """
     if data.get("kind") != "sketch":
         raise ValueError("not a serialized sketch")
+    _check_version(data, "sketch")
+    recorded_fingerprint = data.get("fingerprint")
     if scheme is None:
         if "scheme" not in data:
             raise ValueError(
                 "sketch was serialized without its scheme; pass scheme="
             )
         scheme = scheme_from_dict(data["scheme"])
-    sketch = SketchMatrix(scheme)
+    if recorded_fingerprint is not None:
+        if recorded_fingerprint != scheme_fingerprint(scheme):
+            raise ValueError(
+                "sketch was built under a different scheme than the one "
+                "provided (fingerprint mismatch); merging would combine "
+                "incomparable counters"
+            )
     values = data["values"]
     if len(values) != scheme.medians or any(
         len(row) != scheme.averages for row in values
     ):
         raise ValueError("serialized values do not match the scheme shape")
-    for cells_row, values_row in zip(sketch.cells, values):
+    grid = np.asarray(values, dtype=np.float64)
+    if not np.isfinite(grid).all():
+        bad = int(np.count_nonzero(~np.isfinite(grid)))
+        raise ValueError(
+            f"serialized sketch contains {bad} non-finite counter value(s) "
+            "(NaN/Inf); refusing to deserialize a corrupted sketch"
+        )
+    recorded_checksum = data.get("checksum")
+    if recorded_checksum is not None and recorded_checksum != values_checksum(
+        values
+    ):
+        raise ValueError(
+            "sketch counter checksum mismatch: the values were corrupted "
+            "in transit or at rest"
+        )
+    sketch = SketchMatrix(scheme)
+    for cells_row, values_row in zip(sketch.cells, grid):
         for cell, value in zip(cells_row, values_row):
             cell.value = float(value)
     return sketch

@@ -1,5 +1,17 @@
-"""Stream abstractions and exact reference aggregates."""
+"""Stream abstractions, exact reference aggregates, and durable ingestion."""
 
+from repro.stream.durability import DurabilityConfig, WriteAheadLog
+from repro.stream.errors import (
+    DurabilityError,
+    InjectedFault,
+    InvalidUpdateError,
+    RecoveryError,
+    SchemeMismatchError,
+    SnapshotCorruptionError,
+    StreamError,
+    UnknownRelationError,
+    WALCorruptionError,
+)
 from repro.stream.exact import (
     join_size,
     l1_difference,
@@ -16,6 +28,12 @@ from repro.stream.streams import (
     frequency_vector,
     stream_from_frequencies,
 )
+from repro.stream.validation import (
+    POLICIES,
+    DeadLetterBuffer,
+    Incident,
+    QuarantinedRecord,
+)
 
 __all__ = [
     "join_size",
@@ -31,4 +49,19 @@ __all__ = [
     "PointUpdate",
     "frequency_vector",
     "stream_from_frequencies",
+    "DurabilityConfig",
+    "WriteAheadLog",
+    "StreamError",
+    "InvalidUpdateError",
+    "UnknownRelationError",
+    "SchemeMismatchError",
+    "DurabilityError",
+    "WALCorruptionError",
+    "SnapshotCorruptionError",
+    "RecoveryError",
+    "InjectedFault",
+    "POLICIES",
+    "DeadLetterBuffer",
+    "Incident",
+    "QuarantinedRecord",
 ]

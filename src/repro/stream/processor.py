@@ -10,11 +10,30 @@ that story behind one object:
   registration (EH3 generator channels by default, so interval updates
   are O(log range));
 * **updates** -- points, intervals, weighted, deletions -- stream in via
-  :meth:`process_point` / :meth:`process_interval`;
+  :meth:`process_point` / :meth:`process_interval`, screened by the
+  validation front door (:mod:`repro.stream.validation`) under a
+  configurable ``raise`` / ``quarantine`` / ``clamp`` policy so malformed
+  records can never reach the plane kernels;
 * **queries** -- size-of-join between two relations, self-join size of
   one -- are registered up front (the sketches must share seeds to be
   comparable, so relations joined together are placed on a shared scheme)
   and answered on demand with :meth:`answer`.
+
+Because the sketches are the *only* state, the processor can make them
+durable: pass a :class:`~repro.stream.durability.DurabilityConfig` (or a
+directory path) and every admitted update is written ahead to a
+CRC-framed, segmented log before it touches a counter;
+:meth:`checkpoint` persists an atomic CRC-verified snapshot and prunes
+the log; :meth:`StreamProcessor.recover` restores the latest valid
+snapshot and replays the WAL tail exactly once (idempotent via sequence
+numbers, tolerant of a torn final record).  See ``docs/operations.md``
+for the operational lifecycle.
+
+The batched ingestion paths degrade gracefully: if the packed plane
+kernels raise mid-batch, the touched counters are rolled back and the
+batch re-runs on the per-cell scalar path (bit-identical by the plane's
+property tests), recording an :class:`~repro.stream.validation.Incident`
+instead of failing the stream.
 
 The processor is deliberately memory-honest: :meth:`memory_words` reports
 exactly how many counters it holds, the number the paper's Figures 5-7
@@ -23,16 +42,52 @@ sweep on their x-axis.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
+
+import numpy as np
 
 from repro.generators.base import Generator
 from repro.generators.eh3 import EH3
 from repro.generators.seeds import SeedSource
 from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
 from repro.sketch.atomic import GeneratorChannel
+from repro.sketch.serialize import (
+    scheme_fingerprint,
+    sketch_from_dict,
+    sketch_to_dict,
+)
+from repro.stream.durability import (
+    DurabilityConfig,
+    WriteAheadLog,
+    canonical_json,
+    list_snapshots,
+    load_latest_snapshot,
+    write_snapshot,
+)
+from repro.stream.errors import (
+    DurabilityError,
+    InvalidUpdateError,
+    RecoveryError,
+    SchemeMismatchError,
+    UnknownRelationError,
+)
+from repro.stream.validation import (
+    POLICIES,
+    DeadLetterBuffer,
+    Incident,
+    QuarantinedRecord,
+    screen_interval,
+    screen_intervals,
+    screen_point,
+    screen_points,
+)
 
 __all__ = ["StreamProcessor", "QueryHandle"]
+
+_MANIFEST = "manifest.json"
 
 
 @dataclass(frozen=True)
@@ -54,21 +109,412 @@ class StreamProcessor:
         averages: int = 100,
         seed: int | SeedSource = 0,
         generator_factory: Callable[[int, SeedSource], Generator] | None = None,
+        policy: str = "raise",
+        quarantine_capacity: int = 1024,
+        durability: DurabilityConfig | str | None = None,
     ) -> None:
         if medians < 1 or averages < 1:
             raise ValueError("medians and averages must be positive")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; expected one of {POLICIES}"
+            )
         self._medians = medians
         self._averages = averages
+        self._seed_config = seed if isinstance(seed, int) else None
         self._source = seed if isinstance(seed, SeedSource) else SeedSource(seed)
         self._factory = generator_factory or (
             lambda bits, src: EH3.from_source(bits, src)
         )
+        self.policy = policy
+        self.dead_letters = DeadLetterBuffer(quarantine_capacity)
+        self.incidents: list[Incident] = []
         self._domain_bits: dict[str, int] = {}
+        self._registration_order: list[str] = []
         self._schemes: dict[str, SketchScheme] = {}  # per domain-group
         self._sketches: dict[str, SketchMatrix] = {}
         self._groups: dict[str, str] = {}  # relation -> scheme key
         self._queries: dict[int, QueryHandle] = {}
         self._next_query = 0
+        # -- durability state -------------------------------------------
+        self._durability = self._normalize_durability(durability)
+        self._wal: WriteAheadLog | None = None
+        self._applied_seq = 0
+        self._records_since_checkpoint = 0
+        self._replaying = False
+        if self._durability is not None:
+            self._attach_durability(self._durability, fresh=True)
+
+    # -- durability plumbing ---------------------------------------------
+
+    @staticmethod
+    def _normalize_durability(
+        durability: DurabilityConfig | str | None,
+    ) -> DurabilityConfig | None:
+        if durability is None or isinstance(durability, DurabilityConfig):
+            return durability
+        return DurabilityConfig(directory=os.fspath(durability))
+
+    def _attach_durability(self, config: DurabilityConfig, fresh: bool) -> None:
+        os.makedirs(config.directory, exist_ok=True)
+        manifest_path = os.path.join(config.directory, _MANIFEST)
+        if fresh:
+            if os.path.exists(manifest_path):
+                raise DurabilityError(
+                    f"{config.directory} already holds durable stream state; "
+                    "use StreamProcessor.recover() to resume it (or point at "
+                    "an empty directory to start fresh)"
+                )
+            manifest = {
+                "version": 1,
+                "medians": self._medians,
+                "averages": self._averages,
+                "seed": self._seed_config,
+                "policy": self.policy,
+            }
+            with open(manifest_path, "w") as handle:
+                json.dump(manifest, handle)
+        self._durability = config
+        self._wal = WriteAheadLog(config.directory, config)
+
+    def checkpoint(self) -> str:
+        """Snapshot all state and prune the WAL; returns the path written.
+
+        The snapshot is CRC-guarded and written atomically, so a crash
+        *during* a checkpoint leaves the previous snapshot (and the full
+        WAL tail) intact.  WAL segments wholly covered by the oldest
+        retained snapshot are deleted.
+        """
+        if self._wal is None or self._durability is None:
+            raise DurabilityError("durability is not enabled on this processor")
+        self._wal.flush(force=True)
+        state = {
+            "registrations": [
+                [name, self._domain_bits[name]]
+                for name in self._registration_order
+            ],
+            "queries": [
+                [h.kind, h.left, h.right, h.identifier]
+                for h in self._queries.values()
+            ],
+            "sketches": {
+                name: sketch_to_dict(sketch, include_scheme=False)
+                for name, sketch in self._sketches.items()
+            },
+            "quarantine_counts": dict(self.dead_letters.counts),
+            "incident_count": len(self.incidents),
+        }
+        path = write_snapshot(
+            self._durability.directory,
+            self._applied_seq,
+            state,
+            keep=self._durability.snapshots_keep,
+        )
+        # Prune only past the *oldest retained* snapshot, so recovery can
+        # still fall back to it if the newest one is damaged.
+        retained = list_snapshots(self._durability.directory)
+        oldest_seq = min(
+            int(os.path.basename(p)[5:-5], 16) for p in retained
+        )
+        self._wal.prune(oldest_seq)
+        self._records_since_checkpoint = 0
+        return path
+
+    def close(self) -> None:
+        """Flush and close the WAL (no-op without durability)."""
+        if self._wal is not None:
+            self._wal.close()
+
+    def __enter__(self) -> "StreamProcessor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @classmethod
+    def recover(
+        cls,
+        durability: DurabilityConfig | str,
+        generator_factory: Callable[[int, SeedSource], Generator] | None = None,
+        policy: str | None = None,
+        quarantine_capacity: int = 1024,
+    ) -> "StreamProcessor":
+        """Rebuild a processor from its durability directory.
+
+        Restores the newest valid snapshot (a corrupted or partially
+        written one falls back to its predecessor) and replays every WAL
+        record past the snapshot's sequence number exactly once.  The
+        schemes are re-derived from the manifest's master seed by
+        replaying registrations in their original order; the result is
+        verified against the scheme fingerprints recorded at checkpoint
+        time, so a wrong seed or ``generator_factory`` fails loudly
+        instead of silently producing incomparable sketches.
+        """
+        config = cls._normalize_durability(durability)
+        assert config is not None
+        manifest_path = os.path.join(config.directory, _MANIFEST)
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RecoveryError(
+                f"cannot read durability manifest {manifest_path}: {exc}"
+            ) from exc
+        seed = manifest.get("seed")
+        if seed is None:
+            raise RecoveryError(
+                "the original processor was seeded with a live SeedSource; "
+                "its schemes cannot be re-derived from the manifest"
+            )
+        processor = cls(
+            medians=manifest["medians"],
+            averages=manifest["averages"],
+            seed=seed,
+            generator_factory=generator_factory,
+            policy=policy or manifest.get("policy", "raise"),
+            quarantine_capacity=quarantine_capacity,
+            durability=None,
+        )
+        processor._replaying = True
+        snapshot = load_latest_snapshot(config.directory)
+        applied = 0
+        if snapshot is not None:
+            applied, state, _failures = snapshot
+            processor._restore_snapshot(state)
+            processor._applied_seq = applied
+        processor._attach_durability(config, fresh=False)
+        expected = applied + 1
+        assert processor._wal is not None
+        for seq, payload in processor._wal.replay(after_seq=applied):
+            if seq != expected:
+                raise RecoveryError(
+                    f"WAL gap after snapshot: expected record {expected}, "
+                    f"found {seq} (segments pruned too far?)"
+                )
+            expected = seq + 1
+            processor._apply(json.loads(payload.decode("utf-8")))
+            processor._applied_seq = seq
+        processor._replaying = False
+        return processor
+
+    def _restore_snapshot(self, state: dict[str, Any]) -> None:
+        """Re-derive schemes, reattach counters, verify fingerprints."""
+        for name, domain_bits in state["registrations"]:
+            self._do_register(name, int(domain_bits))
+        sketches = state.get("sketches", {})
+        for name, data in sketches.items():
+            if name not in self._sketches:
+                raise RecoveryError(
+                    f"snapshot holds a sketch for unregistered relation "
+                    f"{name!r}"
+                )
+            scheme = self._schemes[self._groups[name]]
+            recorded = data.get("fingerprint")
+            if recorded is not None and recorded != scheme_fingerprint(scheme):
+                raise RecoveryError(
+                    f"relation {name!r}: re-derived scheme does not match "
+                    "the checkpointed fingerprint -- wrong master seed or "
+                    "generator_factory passed to recover()"
+                )
+            try:
+                self._sketches[name] = sketch_from_dict(data, scheme=scheme)
+            except ValueError as exc:
+                raise RecoveryError(
+                    f"relation {name!r}: checkpointed counters are "
+                    f"corrupted: {exc}"
+                ) from exc
+        max_id = -1
+        for kind, left, right, identifier in state.get("queries", []):
+            identifier = int(identifier)
+            self._queries[identifier] = QueryHandle(
+                kind, left, right, identifier
+            )
+            max_id = max(max_id, identifier)
+        self._next_query = max_id + 1
+
+    # -- WAL commit path -------------------------------------------------
+
+    def _commit(self, op: dict[str, Any]) -> None:
+        """Log one admitted operation (write-ahead), then apply it."""
+        seq = 0
+        if self._wal is not None and not self._replaying:
+            seq = self._wal.append(canonical_json(op).encode("utf-8"))
+        self._apply(op)
+        if seq:
+            self._applied_seq = seq
+            self._records_since_checkpoint += 1
+            if (
+                self._durability is not None
+                and self._durability.checkpoint_every
+                and self._records_since_checkpoint
+                >= self._durability.checkpoint_every
+            ):
+                self.checkpoint()
+
+    def _apply(self, op: dict[str, Any]) -> None:
+        """Apply one (already validated) operation to in-memory state.
+
+        This is the single dispatch both live ingestion and WAL replay
+        run through, which is what makes recovery bit-identical to an
+        uninterrupted run.
+        """
+        kind = op["op"]
+        if kind == "register":
+            self._do_register(op["name"], op["domain_bits"])
+        elif kind == "register_join":
+            self._do_register_query("join", op["left"], op["right"])
+        elif kind == "register_self_join":
+            self._do_register_query("self_join", op["relation"], op["relation"])
+        elif kind == "point":
+            self._guarded_update(
+                op["relation"],
+                "point",
+                1,
+                fast=lambda s: s.update_point(op["item"], op["weight"]),
+                scalar=lambda s: self._scalar_point(
+                    s, op["item"], op["weight"]
+                ),
+                payload=(op["item"], op["weight"]),
+            )
+        elif kind == "interval":
+            self._guarded_update(
+                op["relation"],
+                "interval",
+                1,
+                fast=lambda s: s.update_interval(
+                    (op["low"], op["high"]), op["weight"]
+                ),
+                scalar=lambda s: self._scalar_interval(
+                    s, op["low"], op["high"], op["weight"]
+                ),
+                payload=(op["low"], op["high"], op["weight"]),
+            )
+        elif kind == "points":
+            items = np.asarray(op["items"], dtype=np.uint64)
+            weights = (
+                None
+                if op["weights"] is None
+                else np.asarray(op["weights"], dtype=np.float64)
+            )
+            self._guarded_update(
+                op["relation"],
+                "points",
+                int(items.size),
+                fast=lambda s: s.update_points(items, weights),
+                scalar=lambda s: self._scalar_points(s, items, weights),
+                payload={"items": op["items"], "weights": op["weights"]},
+            )
+        elif kind == "intervals":
+            intervals = np.asarray(op["intervals"], dtype=np.uint64).reshape(
+                -1, 2
+            )
+            weights = (
+                None
+                if op["weights"] is None
+                else np.asarray(op["weights"], dtype=np.float64)
+            )
+            self._guarded_update(
+                op["relation"],
+                "intervals",
+                int(intervals.shape[0]),
+                fast=lambda s: s.update_intervals(intervals, weights),
+                scalar=lambda s: self._scalar_intervals(s, intervals, weights),
+                payload={"intervals": op["intervals"], "weights": op["weights"]},
+            )
+        elif kind == "merge":
+            self._do_merge(op["relation"], op["values"])
+        else:
+            raise RecoveryError(f"unknown WAL operation {kind!r}")
+
+    # -- graceful degradation --------------------------------------------
+
+    def _guarded_update(
+        self,
+        relation: str,
+        operation: str,
+        batch_size: int,
+        fast: Callable[[SketchMatrix], None],
+        scalar: Callable[[SketchMatrix], None],
+        payload: Any,
+    ) -> None:
+        """Run the fast path; on failure roll back and degrade to scalar.
+
+        The plane kernels compute per-counter totals before touching any
+        cell, but a failure *during* the scatter would leave the grid
+        half-updated -- so the counter values are saved up front (a few
+        hundred floats) and restored before the scalar retry.  If the
+        scalar path fails too, the record is re-raised under the
+        ``raise`` policy and quarantined otherwise: no exception escapes
+        the ingestion path under ``quarantine``/``clamp``.
+        """
+        sketch = self._sketches[relation]
+        saved = [cell.value for row in sketch.cells for cell in row]
+        try:
+            fast(sketch)
+            return
+        except Exception as exc:  # noqa: BLE001 -- degradation boundary
+            self._restore_values(sketch, saved)
+            first_error = exc
+        try:
+            scalar(sketch)
+        except Exception as exc:  # noqa: BLE001 -- both paths down
+            self._restore_values(sketch, saved)
+            self.incidents.append(
+                Incident(operation, relation, repr(exc), batch_size, False)
+            )
+            if self.policy == "raise":
+                raise
+            self.dead_letters.add(
+                QuarantinedRecord(
+                    relation,
+                    operation,
+                    payload,
+                    "apply-failed",
+                    f"both fast and scalar paths failed: {exc!r}",
+                )
+            )
+            return
+        self.incidents.append(
+            Incident(operation, relation, repr(first_error), batch_size, True)
+        )
+
+    @staticmethod
+    def _restore_values(sketch: SketchMatrix, saved: list[float]) -> None:
+        position = 0
+        for row in sketch.cells:
+            for cell in row:
+                cell.value = saved[position]
+                position += 1
+
+    @staticmethod
+    def _scalar_point(sketch: SketchMatrix, item: int, weight: float) -> None:
+        for row in sketch.cells:
+            for cell in row:
+                cell.update_point(item, weight)
+
+    @staticmethod
+    def _scalar_interval(
+        sketch: SketchMatrix, low: int, high: int, weight: float
+    ) -> None:
+        for row in sketch.cells:
+            for cell in row:
+                cell.update_interval((low, high), weight)
+
+    @staticmethod
+    def _scalar_points(sketch: SketchMatrix, items, weights) -> None:
+        items = np.asarray(items)
+        for row in sketch.cells:
+            for cell in row:
+                cell.update_points(items, weights)
+
+    @staticmethod
+    def _scalar_intervals(sketch: SketchMatrix, intervals, weights) -> None:
+        for position, bounds in enumerate(np.asarray(intervals).reshape(-1, 2)):
+            scale = 1.0 if weights is None else float(weights[position])
+            low, high = int(bounds[0]), int(bounds[1])
+            for row in sketch.cells:
+                for cell in row:
+                    cell.update_interval((low, high), scale)
 
     # -- registration ----------------------------------------------------
 
@@ -82,6 +528,9 @@ class StreamProcessor:
             raise ValueError(f"relation {name!r} already registered")
         if domain_bits < 1:
             raise ValueError("domain_bits must be positive")
+        self._commit({"op": "register", "name": name, "domain_bits": domain_bits})
+
+    def _do_register(self, name: str, domain_bits: int) -> None:
         group = f"domain:{domain_bits}"
         if group not in self._schemes:
             bits = domain_bits
@@ -92,6 +541,7 @@ class StreamProcessor:
                 self._source,
             )
         self._domain_bits[name] = domain_bits
+        self._registration_order.append(name)
         self._groups[name] = group
         self._sketches[name] = self._schemes[group].sketch()
 
@@ -103,18 +553,19 @@ class StreamProcessor:
             raise ValueError(
                 "joined relations must share a domain width (and thus seeds)"
             )
-        handle = QueryHandle("join", left, right, self._next_query)
-        self._queries[self._next_query] = handle
-        self._next_query += 1
-        return handle
+        self._commit({"op": "register_join", "left": left, "right": right})
+        return self._queries[self._next_query - 1]
 
     def register_self_join(self, relation: str) -> QueryHandle:
         """Continuous self-join size (F2) query."""
         self._require(relation)
-        handle = QueryHandle("self_join", relation, relation, self._next_query)
+        self._commit({"op": "register_self_join", "relation": relation})
+        return self._queries[self._next_query - 1]
+
+    def _do_register_query(self, kind: str, left: str, right: str) -> None:
+        handle = QueryHandle(kind, left, right, self._next_query)
         self._queries[self._next_query] = handle
         self._next_query += 1
-        return handle
 
     # -- streaming -------------------------------------------------------
 
@@ -123,7 +574,17 @@ class StreamProcessor:
     ) -> None:
         """One arriving tuple (negative weight = deletion)."""
         self._require(relation)
-        self._sketches[relation].update_point(item, weight)
+        outcome = screen_point(
+            item, weight, self._domain_bits[relation], self.policy
+        )
+        if isinstance(outcome, QuarantinedRecord):
+            self._quarantine(relation, outcome)
+            return
+        item, weight = outcome
+        self._commit(
+            {"op": "point", "relation": relation, "item": item,
+             "weight": weight}
+        )
 
     def process_interval(
         self, relation: str, low: int, high: int, weight: float = 1.0
@@ -132,24 +593,117 @@ class StreamProcessor:
 
         On plane-covered schemes (the EH3 default) the interval is
         decomposed once and lands on every counter in one batched pass.
+        Invalid intervals (``low > high``, out-of-domain endpoints,
+        non-finite weights) are rejected with
+        :class:`~repro.stream.errors.InvalidUpdateError` before they can
+        reach the kernels (or quarantined/clamped per policy).
         """
         self._require(relation)
-        self._sketches[relation].update_interval((low, high), weight)
+        outcome = screen_interval(
+            low, high, weight, self._domain_bits[relation], self.policy
+        )
+        if isinstance(outcome, QuarantinedRecord):
+            self._quarantine(relation, outcome)
+            return
+        low, high, weight = outcome
+        self._commit(
+            {"op": "interval", "relation": relation, "low": low,
+             "high": high, "weight": weight}
+        )
 
     def process_points(self, relation: str, items, weights=None) -> None:
         """A batch of arriving tuples, one plane pass for the whole grid."""
         self._require(relation)
-        self._sketches[relation].update_points(items, weights)
+        screened = screen_points(
+            items, weights, self._domain_bits[relation], self.policy
+        )
+        for record in screened.rejected:
+            self._quarantine(relation, record)
+        if screened.items.size == 0:
+            return
+        self._commit(
+            {
+                "op": "points",
+                "relation": relation,
+                "items": [int(i) for i in screened.items],
+                "weights": (
+                    None
+                    if screened.weights is None
+                    else [float(w) for w in screened.weights]
+                ),
+            }
+        )
 
     def process_intervals(self, relation: str, intervals, weights=None) -> None:
         """A batch of arriving intervals: one decomposition, one plane pass."""
         self._require(relation)
-        self._sketches[relation].update_intervals(intervals, weights)
+        screened = screen_intervals(
+            intervals, weights, self._domain_bits[relation], self.policy
+        )
+        for record in screened.rejected:
+            self._quarantine(relation, record)
+        if screened.items.shape[0] == 0:
+            return
+        self._commit(
+            {
+                "op": "intervals",
+                "relation": relation,
+                "intervals": [
+                    [int(a), int(b)] for a, b in screened.items
+                ],
+                "weights": (
+                    None
+                    if screened.weights is None
+                    else [float(w) for w in screened.weights]
+                ),
+            }
+        )
+
+    def _quarantine(self, relation: str, record: QuarantinedRecord) -> None:
+        self.dead_letters.add(
+            QuarantinedRecord(
+                relation, record.kind, record.payload, record.code,
+                record.reason,
+            )
+        )
 
     def merge_sketch(self, relation: str, other: SketchMatrix) -> None:
-        """Fold in a remote site's sketch of the same relation."""
+        """Fold in a remote site's sketch of the same relation.
+
+        The remote sketch must have been built under the *same seeds*:
+        scheme fingerprints are compared and a mismatch raises
+        :class:`~repro.stream.errors.SchemeMismatchError` instead of
+        silently combining incomparable counters.  Non-finite remote
+        counters are rejected as :class:`InvalidUpdateError`.
+        """
         self._require(relation)
-        self._sketches[relation] = self._sketches[relation].combined(other)
+        mine = self._sketches[relation].scheme
+        if other.scheme is not mine and scheme_fingerprint(
+            other.scheme
+        ) != scheme_fingerprint(mine):
+            raise SchemeMismatchError(
+                f"remote sketch for {relation!r} was built under different "
+                "seeds (scheme fingerprint mismatch); merging would corrupt "
+                "every future estimate"
+            )
+        values = other.values()
+        if not np.isfinite(values).all():
+            raise InvalidUpdateError(
+                f"remote sketch for {relation!r} contains non-finite "
+                "counters; refusing to merge",
+                "non-finite-counter",
+            )
+        self._commit(
+            {"op": "merge", "relation": relation, "values": values.tolist()}
+        )
+
+    def _do_merge(self, relation: str, values: list[list[float]]) -> None:
+        scheme = self._sketches[relation].scheme
+        incoming = SketchMatrix(scheme)
+        for cells_row, values_row in zip(incoming.cells, values):
+            for cell, value in zip(cells_row, values_row):
+                cell.value = float(value)
+        self._sketches[relation] = self._sketches[relation].combined(incoming)
 
     # -- answers ---------------------------------------------------------
 
@@ -160,6 +714,11 @@ class StreamProcessor:
         return estimate_product(
             self._sketches[handle.left], self._sketches[handle.right]
         )
+
+    def query_handles(self) -> list[QueryHandle]:
+        """The live handles of every registered query (fresh after
+        :meth:`recover`, since handles from the dead process are gone)."""
+        return list(self._queries.values())
 
     def sketch_of(self, relation: str) -> SketchMatrix:
         """The relation's live sketch (e.g. to ship to a coordinator)."""
@@ -181,6 +740,17 @@ class StreamProcessor:
         """Registered relation names."""
         return list(self._domain_bits)
 
+    def stats(self) -> dict[str, Any]:
+        """Operational counters: quarantine, incidents, durability."""
+        return {
+            "policy": self.policy,
+            "quarantined_total": self.dead_letters.total,
+            "quarantine_counts": dict(self.dead_letters.counts),
+            "incidents": len(self.incidents),
+            "applied_seq": self._applied_seq,
+            "durable": self._wal is not None,
+        }
+
     def _require(self, relation: str) -> None:
         if relation not in self._domain_bits:
-            raise ValueError(f"unknown relation {relation!r}")
+            raise UnknownRelationError(f"unknown relation {relation!r}")

@@ -1,0 +1,33 @@
+"""The fault-injection harness, importable from the test-suite.
+
+The injectors and the scenario suite live in :mod:`repro.stream.faults`
+(library code, so the ``repro-experiments faults`` CLI can run them from
+an installed package); this module is the test-suite's front door to the
+same machinery.  ``tests/test_faults.py`` drives each scenario as a
+pytest case, and other test modules import the low-level injectors
+(:func:`truncate_tail`, :func:`corrupt_byte`, :func:`breaking_plane`,
+:func:`write_partial_snapshot`) from here to compose their own failure
+shapes.
+"""
+
+from __future__ import annotations
+
+from repro.stream.faults import (
+    ScenarioResult,
+    breaking_plane,
+    corrupt_byte,
+    run_fault_suite,
+    truncate_tail,
+    wal_segments,
+    write_partial_snapshot,
+)
+
+__all__ = [
+    "ScenarioResult",
+    "breaking_plane",
+    "corrupt_byte",
+    "run_fault_suite",
+    "truncate_tail",
+    "wal_segments",
+    "write_partial_snapshot",
+]

@@ -6,6 +6,11 @@ import numpy as np
 import pytest
 
 from repro.generators import BCH5, SeedSource
+from repro.stream import (
+    InvalidUpdateError,
+    SchemeMismatchError,
+    UnknownRelationError,
+)
 from repro.stream.processor import StreamProcessor
 
 
@@ -135,3 +140,94 @@ class TestContinuousQueries:
         processor.process_point("r", 7)
         cell = processor.scheme_of("r").channels[0][0]
         assert isinstance(cell.generator, BCH5)
+
+
+class TestTypedIngestionErrors:
+    """The validation front door, seen through the processor API."""
+
+    def _processor(self, **kwargs):
+        processor = StreamProcessor(medians=2, averages=4, seed=21, **kwargs)
+        processor.register_relation("r", 8)
+        return processor
+
+    def test_unknown_relation_typed(self):
+        processor = self._processor()
+        with pytest.raises(UnknownRelationError, match="ghost"):
+            processor.process_interval("ghost", 1, 2)
+
+    def test_inverted_interval_rejected(self):
+        processor = self._processor()
+        with pytest.raises(InvalidUpdateError, match="inverted-interval"):
+            processor.process_interval("r", 9, 3)
+
+    @pytest.mark.parametrize("low, high", [(0, 256), (-1, 5), (300, 400)])
+    def test_out_of_domain_interval_rejected(self, low, high):
+        processor = self._processor()
+        with pytest.raises(InvalidUpdateError, match="out-of-domain"):
+            processor.process_interval("r", low, high)
+
+    def test_negative_point_rejected(self):
+        processor = self._processor()
+        with pytest.raises(InvalidUpdateError, match="negative-item"):
+            processor.process_point("r", -1)
+
+    def test_overflow_point_rejected(self):
+        processor = self._processor()
+        with pytest.raises(InvalidUpdateError, match="out-of-domain"):
+            processor.process_point("r", 1 << 20)
+
+    def test_nan_weight_rejected(self):
+        processor = self._processor()
+        with pytest.raises(InvalidUpdateError, match="non-finite-weight"):
+            processor.process_point("r", 3, weight=float("nan"))
+
+    def test_rejection_leaves_counters_untouched(self):
+        processor = self._processor()
+        processor.process_point("r", 3)
+        before = processor.sketch_of("r").values().copy()
+        for bad in (lambda: processor.process_point("r", -1),
+                    lambda: processor.process_interval("r", 9, 3)):
+            with pytest.raises(InvalidUpdateError):
+                bad()
+        assert np.array_equal(processor.sketch_of("r").values(), before)
+
+    def test_quarantine_policy_keeps_serving(self):
+        processor = self._processor(policy="quarantine")
+        processor.process_point("r", -1)
+        processor.process_point("r", 3)
+        assert processor.stats()["quarantined_total"] == 1
+        assert processor.sketch_of("r").values().any()
+
+    def test_merge_scheme_mismatch_typed(self):
+        mine = self._processor()
+        theirs = StreamProcessor(medians=2, averages=4, seed=22)
+        theirs.register_relation("r", 8)
+        with pytest.raises(SchemeMismatchError, match="fingerprint"):
+            mine.merge_sketch("r", theirs.sketch_of("r"))
+
+    def test_merge_same_seed_foreign_object_accepted(self):
+        # A sketch from a different process (different scheme OBJECT,
+        # same seed material) must merge: fingerprints decide.
+        mine = self._processor()
+        twin = StreamProcessor(medians=2, averages=4, seed=21)
+        twin.register_relation("r", 8)
+        twin.process_point("r", 5)
+        mine.merge_sketch("r", twin.sketch_of("r"))
+        assert np.array_equal(
+            mine.sketch_of("r").values(), twin.sketch_of("r").values()
+        )
+
+    def test_merge_non_finite_counters_rejected(self):
+        processor = self._processor()
+        remote = processor.scheme_of("r").sketch()
+        remote.cells[0][0].value = float("inf")
+        with pytest.raises(InvalidUpdateError, match="non-finite"):
+            processor.merge_sketch("r", remote)
+
+    def test_typed_errors_still_value_errors(self):
+        # Pre-taxonomy callers catch ValueError; that contract holds.
+        processor = self._processor()
+        with pytest.raises(ValueError):
+            processor.process_point("r", -1)
+        with pytest.raises(ValueError):
+            processor.process_point("ghost", 1)

@@ -1,0 +1,242 @@
+"""Tests for the ingestion front door: screening, policies, quarantine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream import (
+    DeadLetterBuffer,
+    InvalidUpdateError,
+    QuarantinedRecord,
+    StreamProcessor,
+    UnknownRelationError,
+)
+from repro.stream.validation import (
+    POLICIES,
+    screen_interval,
+    screen_intervals,
+    screen_point,
+    screen_points,
+)
+
+BITS = 8  # domain [0, 256)
+
+
+class TestScreenPoint:
+    def test_clean_passes_through(self):
+        assert screen_point(5, 2.0, BITS, "raise") == (5, 2.0)
+
+    def test_integral_float_item_accepted(self):
+        assert screen_point(5.0, 1.0, BITS, "raise") == (5, 1.0)
+
+    @pytest.mark.parametrize(
+        "item, weight, code",
+        [
+            (2.5, 1.0, "non-integral-item"),
+            (True, 1.0, "non-integral-item"),
+            ("7", 1.0, "non-integral-item"),
+            (-1, 1.0, "negative-item"),
+            (256, 1.0, "item-out-of-domain"),
+            (3, float("nan"), "non-finite-weight"),
+            (3, float("inf"), "non-finite-weight"),
+            (3, "heavy", "non-numeric-weight"),
+        ],
+    )
+    def test_raise_policy(self, item, weight, code):
+        with pytest.raises(InvalidUpdateError) as info:
+            screen_point(item, weight, BITS, "raise")
+        assert info.value.code == code
+        assert code in str(info.value)
+
+    def test_invalid_update_is_a_value_error(self):
+        # Callers that predate the taxonomy catch ValueError.
+        with pytest.raises(ValueError):
+            screen_point(-1, 1.0, BITS, "raise")
+
+    def test_quarantine_policy_returns_record(self):
+        outcome = screen_point(-1, 1.0, BITS, "quarantine")
+        assert isinstance(outcome, QuarantinedRecord)
+        assert outcome.code == "negative-item"
+        assert outcome.payload == (-1, 1.0)
+
+    def test_clamp_repairs_out_of_domain(self):
+        assert screen_point(999, 1.0, BITS, "clamp") == (255, 1.0)
+        assert screen_point(-3, 1.0, BITS, "clamp") == (0, 1.0)
+
+    def test_clamp_cannot_repair_bad_weight(self):
+        outcome = screen_point(3, float("nan"), BITS, "clamp")
+        assert isinstance(outcome, QuarantinedRecord)
+        assert outcome.code == "non-finite-weight"
+
+
+class TestScreenInterval:
+    def test_clean_passes_through(self):
+        assert screen_interval(3, 9, 1.5, BITS, "raise") == (3, 9, 1.5)
+
+    @pytest.mark.parametrize(
+        "low, high, code",
+        [
+            (9, 3, "inverted-interval"),
+            (0, 256, "interval-out-of-domain"),
+            (-1, 5, "interval-out-of-domain"),
+            (300, 400, "interval-out-of-domain"),
+            (1.5, 3, "non-integral-bound"),
+        ],
+    )
+    def test_raise_policy(self, low, high, code):
+        with pytest.raises(InvalidUpdateError) as info:
+            screen_interval(low, high, 1.0, BITS, "raise")
+        assert info.value.code == code
+
+    def test_clamp_swaps_inverted(self):
+        assert screen_interval(9, 3, 1.0, BITS, "clamp") == (3, 9, 1.0)
+
+    def test_clamp_clips_partial_overlap(self):
+        assert screen_interval(200, 400, 1.0, BITS, "clamp") == (200, 255, 1.0)
+
+    def test_clamp_quarantines_fully_outside(self):
+        # Clipping an interval wholly outside the domain would invent
+        # points that never arrived.
+        outcome = screen_interval(300, 400, 1.0, BITS, "clamp")
+        assert isinstance(outcome, QuarantinedRecord)
+        assert outcome.code == "interval-out-of-domain"
+
+
+class TestBatchScreening:
+    def test_clean_int_batch_fast_path(self):
+        items = np.arange(100, dtype=np.int64)
+        screened = screen_points(items, None, BITS, "raise")
+        assert screened.items.dtype == np.uint64
+        assert screened.rejected == []
+        assert np.array_equal(screened.items, items.astype(np.uint64))
+
+    def test_dirty_batch_attributes_reasons(self):
+        screened = screen_points(
+            [5, -1, 999, 9], None, BITS, "quarantine"
+        )
+        assert [int(i) for i in screened.items] == [5, 9]
+        assert [r.code for r in screened.rejected] == [
+            "negative-item", "item-out-of-domain",
+        ]
+
+    def test_float_batch_with_integral_values_kept(self):
+        screened = screen_points(
+            np.array([1.0, 2.0, 3.0]), None, BITS, "raise"
+        )
+        assert [int(i) for i in screened.items] == [1, 2, 3]
+
+    def test_nan_weight_dirties_batch(self):
+        weights = np.array([1.0, float("nan"), 1.0])
+        screened = screen_points([1, 2, 3], weights, BITS, "quarantine")
+        assert [int(i) for i in screened.items] == [1, 3]
+        assert screened.rejected[0].code == "non-finite-weight"
+
+    def test_weight_shape_mismatch(self):
+        with pytest.raises(InvalidUpdateError, match="3 weights for 2"):
+            screen_points([1, 2], [1.0, 2.0, 3.0], BITS, "quarantine")
+
+    def test_bad_shape(self):
+        with pytest.raises(InvalidUpdateError, match="1-D"):
+            screen_points([[1, 2], [3, 4]], None, BITS, "raise")
+        with pytest.raises(InvalidUpdateError, match=r"\(n, 2\)"):
+            screen_intervals([1, 2, 3], None, BITS, "raise")
+
+    def test_empty_batches(self):
+        assert screen_points([], None, BITS, "raise").items.size == 0
+        assert screen_intervals([], None, BITS, "raise").items.shape == (0, 2)
+
+    def test_clean_interval_batch_fast_path(self):
+        intervals = np.array([[0, 10], [20, 255]], dtype=np.int64)
+        screened = screen_intervals(intervals, None, BITS, "raise")
+        assert screened.rejected == []
+        assert screened.items.shape == (2, 2)
+
+    def test_dirty_interval_batch(self):
+        screened = screen_intervals(
+            [[3, 9], [12, 2], [0, 999]], None, BITS, "quarantine"
+        )
+        assert screened.items.tolist() == [[3, 9]]
+        assert [r.code for r in screened.rejected] == [
+            "inverted-interval", "interval-out-of-domain",
+        ]
+
+    def test_clamp_batch_repairs(self):
+        screened = screen_intervals(
+            [[12, 2], [200, 400]], None, BITS, "clamp"
+        )
+        assert screened.items.tolist() == [[2, 12], [200, 255]]
+        assert screened.rejected == []
+
+
+class TestDeadLetterBuffer:
+    def _record(self, code="negative-item"):
+        return QuarantinedRecord("r", "point", (-1, 1.0), code, "bad")
+
+    def test_capacity_bounds_records_not_counts(self):
+        buffer = DeadLetterBuffer(capacity=3)
+        for _ in range(10):
+            buffer.add(self._record())
+        assert len(buffer) == 3
+        assert buffer.total == 10
+        assert buffer.counts["negative-item"] == 10
+
+    def test_clear_keeps_counters(self):
+        buffer = DeadLetterBuffer(capacity=4)
+        buffer.add(self._record())
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.total == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            DeadLetterBuffer(capacity=0)
+
+
+class TestProcessorPolicies:
+    def _processor(self, policy):
+        processor = StreamProcessor(
+            medians=2, averages=8, seed=3, policy=policy
+        )
+        processor.register_relation("r", BITS)
+        return processor
+
+    def test_policies_tuple_is_exhaustive(self):
+        assert POLICIES == ("raise", "quarantine", "clamp")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            StreamProcessor(policy="ignore")
+
+    def test_unknown_relation_typed(self):
+        processor = self._processor("raise")
+        with pytest.raises(UnknownRelationError):
+            processor.process_point("ghost", 1)
+        # Still a ValueError for pre-taxonomy callers.
+        with pytest.raises(ValueError):
+            processor.process_point("ghost", 1)
+
+    def test_raise_rejects_before_counters_move(self):
+        processor = self._processor("raise")
+        with pytest.raises(InvalidUpdateError):
+            processor.process_interval("r", 9, 3)
+        assert not processor.sketch_of("r").values().any()
+
+    def test_quarantine_absorbs_everything(self):
+        processor = self._processor("quarantine")
+        processor.process_point("r", -1)
+        processor.process_interval("r", 0, 1 << 30)
+        processor.process_points("r", [1, -1, 2])
+        processor.process_intervals("r", [[5, 1]])
+        stats = processor.stats()
+        assert stats["quarantined_total"] == 4
+        assert stats["quarantine_counts"]["negative-item"] == 2
+
+    def test_clamp_policy_applies_repaired_records(self):
+        clamped = self._processor("clamp")
+        direct = self._processor("clamp")
+        clamped.process_interval("r", 12, 2)
+        direct.process_interval("r", 2, 12)
+        assert np.array_equal(
+            clamped.sketch_of("r").values(), direct.sketch_of("r").values()
+        )
