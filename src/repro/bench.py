@@ -58,17 +58,30 @@ def run_bulk_bench(
     points: int = 20_000,
     seed: int = 3,
     repeats: int = 3,
+    schemes=None,
 ) -> dict:
     """Plane kernels vs the per-cell loops, on one sketch grid.
 
     The grid defaults to the paper's ``7 x 100`` stream-processor shape.
     Every comparison first asserts the two paths produce identical
     counters, then reports best-of-``repeats`` timings.
+
+    ``schemes`` names registered schemes to bench (default: the paper's
+    ``eh3``/``bch3`` comparison).  Workloads follow each scheme's
+    declared capabilities: an interval batch when it has an
+    ``interval_kind``, a point batch when its grid has a packed plane.
+    Schemes with neither are reported under ``"skipped"`` with the
+    plane's recorded reason instead of being silently dropped.
     """
-    from repro.generators import BCH3, EH3, SeedSource
+    from repro.generators import SeedSource
+    from repro.schemes import get_spec
     from repro.sketch import bulk
     from repro.sketch.ams import SketchScheme
     from repro.sketch.atomic import GeneratorChannel
+    from repro.sketch.plane import plane_decision
+
+    default = schemes is None
+    names = ("eh3", "bch3") if default else tuple(schemes)
 
     rng = np.random.default_rng(seed)
     interval_batch = _random_intervals(rng, domain_bits, intervals)
@@ -88,6 +101,7 @@ def run_bulk_bench(
         },
         "workloads": {},
     }
+    skipped: dict = {}
 
     def record(name, scalar_seconds, plane_seconds, operations, identical):
         report["workloads"][name] = {
@@ -99,101 +113,100 @@ def run_bulk_bench(
             "identical": bool(identical),
         }
 
-    # -- EH3 interval batch: plane vs the per-cell counter loop ----------
-    eh3_scheme = SketchScheme.from_factory(
-        lambda src: GeneratorChannel(EH3.from_source(domain_bits, src)),
-        medians,
-        averages,
-        SeedSource(seed),
-    )
-    pieces = bulk.decompose_quaternary(interval_batch, weights)
-    report["config"]["quaternary_pieces"] = int(pieces.lows.size)
-    percell = eh3_scheme.sketch()
-    bulk.eh3_percell_interval_update(percell, pieces)
-    plane = eh3_scheme.sketch()
-    bulk.eh3_bulk_interval_update(plane, pieces)
-    identical = np.array_equal(percell.values(), plane.values())
-    record(
-        "eh3_interval_batch",
-        _best_seconds(
-            lambda: bulk.eh3_percell_interval_update(
-                eh3_scheme.sketch(), pieces
-            ),
-            repeats,
-        ),
-        _best_seconds(
-            lambda: bulk.eh3_bulk_interval_update(eh3_scheme.sketch(), pieces),
-            repeats,
-        ),
-        intervals,
-        identical,
-    )
+    def compare(name, percell_fn, plane_fn, grid, operations):
+        baseline = grid.sketch()
+        percell_fn(baseline)
+        fast = grid.sketch()
+        plane_fn(fast)
+        identical = np.array_equal(baseline.values(), fast.values())
+        record(
+            name,
+            _best_seconds(lambda: percell_fn(grid.sketch()), repeats),
+            _best_seconds(lambda: plane_fn(grid.sketch()), repeats),
+            operations,
+            identical,
+        )
 
-    # -- EH3 point batch: plane vs the per-cell vectorized loop ----------
-    def percell_points(sketch):
-        for row in sketch.cells:
-            for cell in row:
-                cell.update_points(point_batch)
+    for scheme_name in names:
+        spec = get_spec(scheme_name)
+        grid = SketchScheme.from_factory(
+            lambda src: GeneratorChannel(spec.factory(domain_bits, src)),
+            medians,
+            averages,
+            SeedSource(seed),
+        )
+        decision = plane_decision(grid)
+        ran_any = False
 
-    percell = eh3_scheme.sketch()
-    percell_points(percell)
-    plane = eh3_scheme.sketch()
-    bulk.bulk_point_update(plane, point_batch)
-    identical = np.array_equal(percell.values(), plane.values())
-    record(
-        "eh3_point_batch",
-        _best_seconds(lambda: percell_points(eh3_scheme.sketch()), repeats),
-        _best_seconds(
-            lambda: bulk.bulk_point_update(eh3_scheme.sketch(), point_batch),
-            repeats,
-        ),
-        points,
-        identical,
-    )
+        # -- interval batch: plane vs the per-cell counter loop ----------
+        if spec.interval_kind == "quaternary":
+            pieces = bulk.decompose_quaternary(interval_batch, weights)
+            report["config"]["quaternary_pieces"] = int(pieces.lows.size)
+            compare(
+                f"{scheme_name}_interval_batch",
+                lambda s: bulk.eh3_percell_interval_update(s, pieces),
+                lambda s: bulk.eh3_bulk_interval_update(s, pieces),
+                grid,
+                intervals,
+            )
+            ran_any = True
+        elif spec.interval_kind == "binary":
+            binary_pieces = bulk.decompose_binary(interval_batch, weights)
 
-    # -- BCH3 interval batch ---------------------------------------------
-    bch3_scheme = SketchScheme.from_factory(
-        lambda src: GeneratorChannel(BCH3.from_source(domain_bits, src)),
-        medians,
-        averages,
-        SeedSource(seed),
-    )
-    binary_pieces = bulk.decompose_binary(interval_batch, weights)
+            def percell_binary(sketch):
+                # Mirrors the module's own per-cell fallback loop.
+                for row in sketch.cells:
+                    for cell in row:
+                        generator = cell.channel.generator
+                        alive = generator.alive_level_array()
+                        values = generator.values(binary_pieces.lows)
+                        scales = np.ldexp(
+                            alive[binary_pieces.levels], binary_pieces.levels
+                        )
+                        cell.value += float(
+                            np.dot(
+                                values.astype(np.float64) * scales,
+                                binary_pieces.weights,
+                            )
+                        )
 
-    def percell_bch3(sketch):
-        # Mirrors the module's own per-cell fallback loop.
-        for row in sketch.cells:
-            for cell in row:
-                generator = cell.channel.generator
-                alive = generator.alive_level_array()
-                values = generator.values(binary_pieces.lows)
-                scales = np.ldexp(
-                    alive[binary_pieces.levels], binary_pieces.levels
-                )
-                cell.value += float(
-                    np.dot(
-                        values.astype(np.float64) * scales,
-                        binary_pieces.weights,
-                    )
-                )
+            compare(
+                f"{scheme_name}_interval_batch",
+                percell_binary,
+                lambda s: bulk.bch3_bulk_interval_update(s, binary_pieces),
+                grid,
+                intervals,
+            )
+            ran_any = True
 
-    percell = bch3_scheme.sketch()
-    percell_bch3(percell)
-    plane = bch3_scheme.sketch()
-    bulk.bch3_bulk_interval_update(plane, binary_pieces)
-    identical = np.array_equal(percell.values(), plane.values())
-    record(
-        "bch3_interval_batch",
-        _best_seconds(lambda: percell_bch3(bch3_scheme.sketch()), repeats),
-        _best_seconds(
-            lambda: bulk.bch3_bulk_interval_update(
-                bch3_scheme.sketch(), binary_pieces
-            ),
-            repeats,
-        ),
-        intervals,
-        identical,
-    )
+        # -- point batch: plane vs the per-cell vectorized loop ----------
+        # The default report keeps the seed benchmark's shape: one point
+        # workload (EH3's) alongside the two interval workloads.
+        if decision.plane is not None and (
+            not default or scheme_name == "eh3"
+        ):
+            def percell_points(sketch):
+                for row in sketch.cells:
+                    for cell in row:
+                        cell.update_points(point_batch)
+
+            compare(
+                f"{scheme_name}_point_batch",
+                percell_points,
+                lambda s: bulk.bulk_point_update(s, point_batch),
+                grid,
+                points,
+            )
+            ran_any = True
+
+        if not ran_any:
+            skipped[scheme_name] = (
+                decision.reason
+                or "no interval decomposition and no packed plane"
+            )
+
+    if skipped:
+        report["skipped"] = skipped
     return report
 
 
@@ -202,21 +215,23 @@ def run_table2_bench(
     intervals: int = 2_000,
     seed: int = 20060627,
     repeats: int = 3,
+    schemes=None,
 ) -> dict:
     """Batched range-sum kernels vs scalar loops, per scheme.
 
     The Table 2 setting (random intervals over ``2^domain_bits``), but
     measuring this implementation's batched numpy kernels against the
     scalar per-interval algorithms they vectorize.
+
+    By default the report covers the seed benchmark's four cases (EH3,
+    BCH3, and the DMAP interval/point baselines).  Pass ``schemes`` to
+    bench explicit registered schemes instead: each needs both a scalar
+    ``range_sum`` and a batched ``range_sums`` capability; schemes
+    without them land in ``"skipped"`` with the missing capability named.
     """
-    from repro.generators import BCH3, EH3, SeedSource
-    from repro.rangesum import (
-        DMAP,
-        bch3_range_sum,
-        bch3_range_sums,
-        eh3_range_sum,
-        eh3_range_sums,
-    )
+    from repro.generators import SeedSource
+    from repro.rangesum import DMAP
+    from repro.schemes import get_spec
 
     source = SeedSource(seed)
     rng = np.random.default_rng(seed)
@@ -228,29 +243,6 @@ def run_table2_bench(
     )
     points = [int(p) for p in point_batch]
 
-    eh3 = EH3.from_source(domain_bits, source)
-    bch3 = BCH3.from_source(domain_bits, source)
-    dmap = DMAP.from_source(domain_bits, source)
-
-    cases = {
-        "EH3 (interval)": (
-            lambda: [eh3_range_sum(eh3, a, b) for a, b in batch],
-            lambda: eh3_range_sums(eh3, alphas, betas),
-        ),
-        "BCH3 (interval)": (
-            lambda: [bch3_range_sum(bch3, a, b) for a, b in batch],
-            lambda: bch3_range_sums(bch3, alphas, betas),
-        ),
-        "DMAP (interval)": (
-            lambda: [dmap.interval_contribution(a, b) for a, b in batch],
-            lambda: dmap.interval_contributions(alphas, betas),
-        ),
-        "DMAP (point)": (
-            lambda: [dmap.point_contribution(p) for p in points],
-            lambda: dmap.point_contributions(point_batch),
-        ),
-    }
-
     report: dict = {
         "config": {
             "domain_bits": domain_bits,
@@ -259,6 +251,52 @@ def run_table2_bench(
         },
         "schemes": {},
     }
+    skipped: dict = {}
+    cases: dict = {}
+
+    if schemes is None:
+        eh3_spec = get_spec("eh3")
+        bch3_spec = get_spec("bch3")
+        eh3 = eh3_spec.factory(domain_bits, source)
+        bch3 = bch3_spec.factory(domain_bits, source)
+        dmap = DMAP.from_source(domain_bits, source)
+        cases["EH3 (interval)"] = (
+            lambda: [eh3_spec.range_sum(eh3, a, b) for a, b in batch],
+            lambda: eh3_spec.range_sums(eh3, alphas, betas),
+        )
+        cases["BCH3 (interval)"] = (
+            lambda: [bch3_spec.range_sum(bch3, a, b) for a, b in batch],
+            lambda: bch3_spec.range_sums(bch3, alphas, betas),
+        )
+        cases["DMAP (interval)"] = (
+            lambda: [dmap.interval_contribution(a, b) for a, b in batch],
+            lambda: dmap.interval_contributions(alphas, betas),
+        )
+        cases["DMAP (point)"] = (
+            lambda: [dmap.point_contribution(p) for p in points],
+            lambda: dmap.point_contributions(point_batch),
+        )
+    else:
+        for scheme_name in schemes:
+            spec = get_spec(scheme_name)
+            if spec.range_sum is None or spec.range_sums is None:
+                missing = (
+                    "range_sum" if spec.range_sum is None else "range_sums"
+                )
+                skipped[scheme_name] = (
+                    f"scheme {scheme_name!r} declares no {missing} capability"
+                )
+                continue
+            generator = spec.factory(domain_bits, source)
+
+            def scalar(spec=spec, generator=generator):
+                return [spec.range_sum(generator, a, b) for a, b in batch]
+
+            def batched(spec=spec, generator=generator):
+                return spec.range_sums(generator, alphas, betas)
+
+            cases[f"{scheme_name} (interval)"] = (scalar, batched)
+
     for name, (scalar, batched) in cases.items():
         identical = list(scalar()) == list(batched())
         scalar_seconds = _best_seconds(scalar, repeats)
@@ -269,6 +307,8 @@ def run_table2_bench(
             "speedup": scalar_seconds / batched_seconds,
             "identical": bool(identical),
         }
+    if skipped:
+        report["skipped"] = skipped
     return report
 
 
@@ -282,6 +322,7 @@ def run_durability_bench(
     seed: int = 3,
     repeats: int = 3,
     sync: str = "flush",
+    scheme: str | None = None,
 ) -> dict:
     """WAL-on vs WAL-off ingestion cost on the paper's 7 x 100 grid.
 
@@ -292,13 +333,23 @@ def run_durability_bench(
     and one flush per batch -- which is what keeps the durable overhead
     low.  Reports ns per elementary update and the WAL-on/WAL-off
     overhead ratio.
+
+    ``scheme`` selects any registered scheme (default ``eh3``).  Interval
+    workloads only run for schemes that can range-sum an interval in
+    sub-linear time (a declared ``interval_kind`` or ``fast_range_sum``);
+    otherwise they land in ``"skipped"`` rather than timing a brute-force
+    enumeration of the domain.
     """
     import os
     import shutil
     import tempfile
 
+    from repro.schemes import get_spec
     from repro.stream.durability import DurabilityConfig
     from repro.stream.processor import StreamProcessor
+
+    spec = get_spec(scheme or "eh3")
+    fast_intervals = spec.interval_kind is not None or spec.fast_range_sum
 
     rng = np.random.default_rng(seed)
     point_batches = [
@@ -327,7 +378,11 @@ def run_durability_bench(
             shutil.rmtree(directory, ignore_errors=True)
             config = DurabilityConfig(directory=directory, sync=sync)
         processor = StreamProcessor(
-            medians=medians, averages=averages, seed=seed, durability=config
+            medians=medians,
+            averages=averages,
+            seed=seed,
+            durability=config,
+            scheme=scheme,
         )
         processor.register_relation("r", domain_bits)
         return processor
@@ -355,6 +410,8 @@ def run_durability_bench(
         ),
         "single_points": (feed_singles, len(single_points)),
     }
+    if not fast_intervals:
+        del workloads["interval_batches"]
     report: dict = {
         "config": {
             "medians": medians,
@@ -366,6 +423,13 @@ def run_durability_bench(
         },
         "workloads": {},
     }
+    if not fast_intervals:
+        report["skipped"] = {
+            "interval_batches": (
+                f"scheme {spec.name!r} cannot range-sum an interval in "
+                "sub-linear time (no interval_kind, no fast_range_sum)"
+            )
+        }
     try:
         counter = [0]
 

@@ -14,7 +14,9 @@ the benchmark harness (see EXPERIMENTS.md for recorded outputs).
 ``bench`` measures the vectorized plane/batched kernels against their
 scalar counterparts and writes ``BENCH_bulk.json``/``BENCH_table2.json``/
 ``BENCH_durability.json`` (into ``--output-dir``, or the working
-directory).
+directory).  ``--scheme NAME`` benches any single registered scheme
+(``repro.schemes.registered_schemes()``) instead of the defaults,
+exercising whichever capabilities it declares.
 
 ``faults`` runs the deterministic fault-injection suite
 (:mod:`repro.stream.faults`): torn WAL tails, corrupted sealed segments,
@@ -93,7 +95,23 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write each result as JSON into this directory",
     )
+    parser.add_argument(
+        "--scheme",
+        default=None,
+        help="bench only: a registered scheme name to bench instead of "
+        "the defaults (see repro.schemes.registered_schemes())",
+    )
     args = parser.parse_args(argv)
+
+    if args.scheme is not None and args.experiment != "bench":
+        parser.error("--scheme only applies to the 'bench' experiment")
+    if args.scheme is not None:
+        from repro.schemes import get_spec
+
+        try:
+            get_spec(args.scheme)
+        except Exception as exc:  # UnknownSchemeError lists the registry
+            parser.error(str(exc))
 
     if args.experiment == "faults":
         from repro.stream.faults import run_fault_suite
@@ -112,7 +130,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "bench":
         from repro.bench import write_bench_files
 
-        overrides = {}
+        overrides: dict = {}
         if args.quick:
             overrides = {
                 "BENCH_bulk": {"intervals": 500, "points": 5_000, "repeats": 2},
@@ -123,6 +141,12 @@ def main(argv: list[str] | None = None) -> int:
                     "repeats": 2,
                 },
             }
+        if args.scheme is not None:
+            # Any registered scheme is bench-selectable; each report
+            # exercises whichever capabilities the scheme declares.
+            overrides.setdefault("BENCH_bulk", {})["schemes"] = (args.scheme,)
+            overrides.setdefault("BENCH_table2", {})["schemes"] = (args.scheme,)
+            overrides.setdefault("BENCH_durability", {})["scheme"] = args.scheme
         written = write_bench_files(args.output_dir or ".", **overrides)
         for name, path in written.items():
             print(f"{name}: {path}")

@@ -18,6 +18,7 @@ from repro.rangesum.base import (
     range_sum_via_cover,
 )
 from repro.rangesum.batched import (
+    batched_range_sums,
     bch3_range_sums,
     bch5_range_sums,
     dmap_cover_ids,
@@ -54,6 +55,7 @@ __all__ = [
     "RangeSummable",
     "brute_force_range_sum",
     "range_sum_via_cover",
+    "batched_range_sums",
     "bch3_dyadic_sum",
     "bch3_range_sum",
     "bch3_range_sums",

@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.rangesum.dmap import DMAP, DyadicMapper
 
 __all__ = [
+    "batched_range_sums",
     "eh3_range_sums",
     "bch3_range_sums",
     "bch5_range_sums",
@@ -48,6 +49,34 @@ __all__ = [
     "dmap_interval_contributions",
     "dmap_point_contributions",
 ]
+
+
+def batched_range_sums(
+    generator,
+    alphas: Sequence[int] | np.ndarray,
+    betas: Sequence[int] | np.ndarray,
+) -> np.ndarray:
+    """Batched range-sums of any registered scheme, by declared capability.
+
+    Looks up the generator's :class:`repro.schemes.SchemeSpec` and calls
+    its registered ``range_sums`` kernel; a scheme without one (or an
+    unregistered generator) raises
+    :class:`repro.schemes.UnsupportedSchemeError` naming the scheme, so
+    callers never silently fall back to a slow path.
+    """
+    from repro.schemes import UnsupportedSchemeError, spec_for
+
+    spec = spec_for(generator)
+    if spec is None:
+        raise UnsupportedSchemeError(
+            f"{type(generator).__name__} is not a registered scheme; "
+            "register a SchemeSpec with repro.schemes.register"
+        )
+    if spec.range_sums is None:
+        raise UnsupportedSchemeError(
+            f"scheme {spec.name!r} declares no batched range_sums capability"
+        )
+    return spec.range_sums(generator, alphas, betas)
 
 def _check_batch(
     domain_bits: int,

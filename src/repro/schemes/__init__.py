@@ -1,0 +1,66 @@
+"""The scheme capability registry (see :mod:`repro.schemes.registry`).
+
+Each +/-1 generating scheme is described once by a
+:class:`~repro.schemes.registry.SchemeSpec` -- construction,
+capabilities, serialization codec -- and every consumer (plane kernels,
+serialization, batched range-sums, bench, CLI, stream processor)
+dispatches through this registry instead of hand-wired ``isinstance`` or
+``kind ==`` ladders.  Importing the package registers the paper's six
+built-in schemes (:mod:`repro.schemes.builtin`).
+"""
+
+from repro.schemes.errors import (
+    SchemeError,
+    SerializationError,
+    UnknownSchemeError,
+    UnsupportedSchemeError,
+)
+from repro.schemes.registry import (
+    ChannelCodec,
+    SchemeCodec,
+    SchemeSpec,
+    all_specs,
+    decode_channel,
+    decode_generator,
+    encode_channel,
+    encode_generator,
+    get_spec,
+    register,
+    register_channel_codec,
+    registered_channel_kinds,
+    registered_kinds,
+    registered_schemes,
+    spec_for,
+)
+
+# Populate the registry with the paper's built-in schemes.  Must come
+# after the registry re-exports above: ``builtin`` (and the modules it
+# pulls in, e.g. ``repro.sketch.serialize``) may import back into this
+# partially-initialized package and needs those names bound already.
+from repro.schemes import builtin as _builtin  # noqa: E402
+from repro.schemes.builtin import PolyPrimePlane
+
+__all__ = [
+    "SchemeError",
+    "UnknownSchemeError",
+    "UnsupportedSchemeError",
+    "SerializationError",
+    "SchemeSpec",
+    "SchemeCodec",
+    "ChannelCodec",
+    "PolyPrimePlane",
+    "register",
+    "get_spec",
+    "spec_for",
+    "registered_schemes",
+    "all_specs",
+    "registered_kinds",
+    "encode_generator",
+    "decode_generator",
+    "register_channel_codec",
+    "encode_channel",
+    "decode_channel",
+    "registered_channel_kinds",
+]
+
+del _builtin

@@ -1,0 +1,32 @@
+"""Typed errors of the scheme registry.
+
+Every error subclasses :class:`SchemeError` plus the builtin exception the
+pre-registry code paths raised (``TypeError`` for unsupported objects,
+``ValueError`` for undecodable wire data), so existing ``except`` clauses
+and tests keep working while new code can catch the precise type.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SchemeError",
+    "UnknownSchemeError",
+    "UnsupportedSchemeError",
+    "SerializationError",
+]
+
+
+class SchemeError(Exception):
+    """Base class of every scheme-registry error."""
+
+
+class UnknownSchemeError(SchemeError, ValueError):
+    """A scheme name that is not in the registry."""
+
+
+class UnsupportedSchemeError(SchemeError, TypeError):
+    """A scheme (or object) lacks the capability an operation requires."""
+
+
+class SerializationError(SchemeError, ValueError):
+    """Wire data whose ``kind`` tag matches no registered codec."""

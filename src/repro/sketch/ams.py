@@ -162,12 +162,19 @@ class SketchMatrix:
                 cell.update_interval(bounds, weight)
 
     def _plane_interval_totals(self, bounds):
-        """Unit-weight per-counter sums of one 1-D interval, or ``None``."""
+        """Unit-weight per-counter sums of one 1-D interval, or ``None``.
+
+        Dispatches on the plane's declared ``interval_kind`` -- the piece
+        shape its ``interval_totals`` consumes -- so any registered
+        scheme's kernel participates without this module knowing it.
+        """
         from repro.core.dyadic import dyadic_cover_arrays, quaternary_cover_arrays
-        from repro.sketch.plane import BCH3Plane, DMAPPlane, EH3Plane
 
         plane = self.scheme.plane()
         if plane is None:
+            return None
+        kind = getattr(plane, "interval_kind", None)
+        if kind is None:
             return None
         try:
             alpha, beta = bounds
@@ -179,13 +186,13 @@ class SketchMatrix:
             return None
         if alpha < 0 or beta >= (1 << 63):
             return None  # scalar path owns the error/exotic-domain cases
-        if isinstance(plane, EH3Plane):
+        if kind == "quaternary":
             cover = quaternary_cover_arrays([alpha], [beta])
             return plane.interval_totals(cover.lows, cover.levels >> 1)
-        if isinstance(plane, BCH3Plane):
+        if kind == "binary":
             cover = dyadic_cover_arrays([alpha], [beta])
             return plane.interval_totals(cover.lows, cover.levels)
-        if isinstance(plane, DMAPPlane):
+        if kind == "endpoints":
             return plane.interval_totals([alpha], [beta])
         return None
 
@@ -228,13 +235,14 @@ class SketchMatrix:
         updates otherwise.  Equivalent to ``update_interval`` per
         interval; exact for integer weights.
         """
-        from repro.sketch.plane import BCH3Plane, DMAPPlane, EH3Plane, add_totals
+        from repro.sketch.plane import add_totals
 
         plane = self.scheme.plane()
-        if isinstance(plane, (EH3Plane, BCH3Plane)):
+        kind = getattr(plane, "interval_kind", None)
+        if kind in ("quaternary", "binary"):
             from repro.sketch import bulk
 
-            if isinstance(plane, EH3Plane):
+            if kind == "quaternary":
                 bulk.eh3_bulk_interval_update(
                     self, bulk.decompose_quaternary(intervals, weights)
                 )
@@ -243,7 +251,7 @@ class SketchMatrix:
                     self, bulk.decompose_binary(intervals, weights)
                 )
             return
-        if isinstance(plane, DMAPPlane):
+        if kind == "endpoints":
             bounds = np.asarray(intervals, dtype=np.uint64).reshape(-1, 2)
             add_totals(
                 self, plane.interval_totals(bounds[:, 0], bounds[:, 1], weights)

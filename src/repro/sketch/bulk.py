@@ -43,10 +43,9 @@ from repro.core.dyadic import (
     quaternary_cover_arrays,
 )
 from repro.generators.base import Generator
-from repro.generators.bch3 import BCH3
-from repro.generators.eh3 import EH3
 from repro.rangesum.batched import dmap_point_id_table
 from repro.rangesum.dmap import DyadicMapper
+from repro.schemes import UnsupportedSchemeError, spec_for
 from repro.sketch.ams import SketchMatrix
 from repro.sketch.atomic import (
     DMAPChannel,
@@ -54,14 +53,7 @@ from repro.sketch.atomic import (
     ProductChannel,
     ProductDMAPChannel,
 )
-from repro.sketch.plane import (
-    BCH3Plane,
-    BCH5Plane,
-    DMAPPlane,
-    EH3Plane,
-    add_totals,
-    counter_plane,
-)
+from repro.sketch.plane import add_totals, counter_plane
 
 __all__ = [
     "QuaternaryPieces",
@@ -225,7 +217,29 @@ def _consolidate_pieces(
     return lows[keep], levels[keep], summed
 
 
-def _eh3_piece_sums(generator: EH3, pieces: QuaternaryPieces) -> np.ndarray:
+def _require_interval_kind(channel, kind: str, caller: str) -> None:
+    """Reject a channel whose scheme does not decompose into ``kind`` pieces.
+
+    The registry, not a hard-coded generator list, decides eligibility:
+    a channel qualifies when its generator's registered spec declares the
+    matching ``interval_kind``.
+    """
+    spec = (
+        spec_for(channel.generator)
+        if isinstance(channel, GeneratorChannel)
+        else None
+    )
+    if spec is None or spec.interval_kind != kind:
+        got = type(channel).__name__
+        if isinstance(channel, GeneratorChannel):
+            got = type(channel.generator).__name__
+        raise UnsupportedSchemeError(
+            f"{caller} needs channels over a scheme with "
+            f"{kind!r} interval decomposition; got {got}"
+        )
+
+
+def _eh3_piece_sums(generator, pieces: QuaternaryPieces) -> np.ndarray:
     """Per-piece Theorem-2 sums for one EH3 generator (vectorized)."""
     scales = generator.signed_scale_array()
     values = generator.values(pieces.lows).astype(np.float64)
@@ -249,10 +263,9 @@ def eh3_percell_interval_update(
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
-            if not isinstance(channel, GeneratorChannel) or not isinstance(
-                channel.generator, EH3
-            ):
-                raise TypeError("eh3_bulk_interval_update needs EH3 channels")
+            _require_interval_kind(
+                channel, "quaternary", "eh3_bulk_interval_update"
+            )
             sums = _eh3_piece_sums(channel.generator, pieces)
             cell.value += float(np.dot(sums, pieces.weights))
 
@@ -271,7 +284,7 @@ def eh3_bulk_interval_update(
     more than the duplicates do.
     """
     plane = counter_plane(sketch.scheme)
-    if not isinstance(plane, EH3Plane):
+    if getattr(plane, "interval_kind", None) != "quaternary":
         eh3_percell_interval_update(sketch, pieces)
         return
     lows, half_levels, weights = pieces.lows, pieces.half_levels, pieces.weights
@@ -296,7 +309,7 @@ def bch3_bulk_interval_update(
     generator (cached on the generator instance).
     """
     plane = counter_plane(sketch.scheme)
-    if isinstance(plane, BCH3Plane):
+    if getattr(plane, "interval_kind", None) == "binary":
         lows, levels, weights = pieces.lows, pieces.levels, pieces.weights
         if plane.words > 1:
             lows, levels, weights = _consolidate_pieces(lows, levels, weights)
@@ -305,10 +318,9 @@ def bch3_bulk_interval_update(
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
-            if not isinstance(channel, GeneratorChannel) or not isinstance(
-                channel.generator, BCH3
-            ):
-                raise TypeError("bch3_bulk_interval_update needs BCH3 channels")
+            _require_interval_kind(
+                channel, "binary", "bch3_bulk_interval_update"
+            )
             generator = channel.generator
             alive = generator.alive_level_array()
             values = generator.values(pieces.lows).astype(np.float64)
@@ -326,7 +338,7 @@ def bulk_point_update(
         if weights.shape != items.shape:
             raise ValueError("weights must match items element-wise")
     plane = counter_plane(sketch.scheme)
-    if isinstance(plane, (EH3Plane, BCH3Plane, BCH5Plane)):
+    if getattr(plane, "plane_kind", None) == "generator":
         add_totals(sketch, plane.point_totals(items, weights))
         return
     for row in sketch.cells:
@@ -390,7 +402,7 @@ def dmap_bulk_id_update(
     ids, weights = _consolidate(np.asarray(ids, dtype=np.uint64), weights)
     ids = ids.astype(np.uint64)
     plane = counter_plane(sketch.scheme)
-    if isinstance(plane, DMAPPlane):
+    if getattr(plane, "plane_kind", None) == "dmap":
         add_totals(sketch, plane.id_totals(ids, weights))
         return
     for row in sketch.cells:

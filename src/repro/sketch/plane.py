@@ -39,7 +39,8 @@ multiplication rounding otherwise.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -52,12 +53,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sketch.ams import SketchMatrix, SketchScheme
 
 __all__ = [
+    "PackedPlane",
     "EH3Plane",
     "BCH3Plane",
     "BCH5Plane",
     "DMAPPlane",
+    "PlaneDecision",
+    "plane_decision",
     "counter_plane",
+    "require_plane",
     "pack_counter_bits",
+    "weighted_bit_sums",
     "add_totals",
 ]
 
@@ -122,7 +128,7 @@ def _packed_linear_parity(indices: np.ndarray, table: np.ndarray) -> np.ndarray:
     return acc
 
 
-def _weighted_bit_sums(packed: np.ndarray, u: np.ndarray) -> np.ndarray:
+def weighted_bit_sums(packed: np.ndarray, u: np.ndarray) -> np.ndarray:
     """``out[c] = sum_p u[p] * bit_c(packed[p])`` via per-byte histograms."""
     batch, words = packed.shape
     out = np.zeros(words * 64, dtype=np.float64)
@@ -147,8 +153,23 @@ def _weighted_bit_sums(packed: np.ndarray, u: np.ndarray) -> np.ndarray:
     return out
 
 
-class _PackedPlane:
-    """Shared packed-seed scaffolding of the concrete planes."""
+class PackedPlane:
+    """Shared packed-seed scaffolding of the concrete planes.
+
+    External plane kernels (registered through
+    :mod:`repro.schemes`; see :class:`repro.schemes.PolyPrimePlane`)
+    subclass this for the input checks and the histogram finisher, and
+    set two class attributes the dispatch layers read:
+
+    * ``plane_kind`` -- ``"generator"`` for planes over plain generator
+      channels, ``"dmap"`` for planes over DMAP channels;
+    * ``interval_kind`` -- the piece shape ``interval_totals`` consumes
+      (``"quaternary"``, ``"binary"``, ``"endpoints"``), or ``None``
+      when the plane only supports point batches.
+    """
+
+    plane_kind = "generator"
+    interval_kind: str | None = None
 
     def __init__(self, domain_bits: int, counters: int) -> None:
         if counters < 1:
@@ -196,12 +217,14 @@ class _PackedPlane:
 
     def _signed_totals(self, acc: np.ndarray, u: np.ndarray) -> np.ndarray:
         """Per-counter ``sum_p u_p * (-1)^{bit}`` from packed sign bits."""
-        bit_sums = _weighted_bit_sums(acc, u)[: self.counters]
+        bit_sums = weighted_bit_sums(acc, u)[: self.counters]
         return float(u.sum()) - 2.0 * bit_sums
 
 
-class EH3Plane(_PackedPlane):
+class EH3Plane(PackedPlane):
     """All EH3 seeds of a grid, packed for whole-grid batch updates."""
+
+    interval_kind = "quaternary"
 
     def __init__(self, generators: Sequence[EH3]) -> None:
         bits = {g.domain_bits for g in generators}
@@ -254,8 +277,10 @@ class EH3Plane(_PackedPlane):
         return self._signed_totals(acc, np.ldexp(u, half_levels))
 
 
-class BCH3Plane(_PackedPlane):
+class BCH3Plane(PackedPlane):
     """All BCH3 seeds of a grid, packed for whole-grid batch updates."""
+
+    interval_kind = "binary"
 
     def __init__(self, generators: Sequence[BCH3]) -> None:
         bits = {g.domain_bits for g in generators}
@@ -306,12 +331,12 @@ class BCH3Plane(_PackedPlane):
         u = np.ldexp(self._weights(weights, lows.size), levels)
         acc = self._sign_bits(lows)
         alive = self.alive_table[levels]
-        alive_sums = _weighted_bit_sums(alive, u)[: self.counters]
-        signed_sums = _weighted_bit_sums(alive & acc, u)[: self.counters]
+        alive_sums = weighted_bit_sums(alive, u)[: self.counters]
+        signed_sums = weighted_bit_sums(alive & acc, u)[: self.counters]
         return alive_sums - 2.0 * signed_sums
 
 
-class BCH5Plane(_PackedPlane):
+class BCH5Plane(PackedPlane):
     """All BCH5 seeds of a grid, packed for whole-grid point batches.
 
     The cube ``i^3`` (arithmetic or extension-field) is seed-independent,
@@ -347,15 +372,33 @@ class BCH5Plane(_PackedPlane):
 
 
 class DMAPPlane:
-    """A packed BCH5 plane over the dyadic-id domain of a DMAP grid."""
+    """A packed generator plane over the dyadic-id domain of a DMAP grid.
 
-    def __init__(self, dmaps: Sequence) -> None:
+    Any scheme whose registry spec declares ``dmap_inner`` (i.e. ships a
+    packed plane kernel) can back the inner plane -- the dyadic-id batch
+    is just a point batch over the inner generators' domain.  The
+    default DMAP construction uses BCH5.
+    """
+
+    plane_kind = "dmap"
+    interval_kind = "endpoints"
+
+    def __init__(self, dmaps: Sequence, inner: Any | None = None) -> None:
         bits = {d.mapper.domain_bits for d in dmaps}
         if len(bits) != 1:
             raise ValueError("plane DMAPs must share a domain")
         self.domain_bits = bits.pop()
         self.mapper = dmaps[0].mapper
-        self.inner = BCH5Plane([d.generator for d in dmaps])
+        if inner is None:
+            decision = _generator_plane([d.generator for d in dmaps])
+            if decision.plane is None:
+                from repro.schemes import UnsupportedSchemeError
+
+                raise UnsupportedSchemeError(
+                    f"DMAP grid has no packed inner plane: {decision.reason}"
+                )
+            inner = decision.plane
+        self.inner = inner
         self.counters = self.inner.counters
 
     def id_totals(self, ids, weights=None) -> np.ndarray:
@@ -391,34 +434,114 @@ class DMAPPlane:
         return self.inner.point_totals(ids.ravel(), flat_weights)
 
 
-_UNBUILT = object()
+@dataclass(frozen=True)
+class PlaneDecision:
+    """Whether a grid has a packed plane -- and if not, why.
+
+    ``plane`` is the kernel instance or ``None``; ``reason`` is a
+    human-readable explanation of the miss (scheme name plus the missing
+    capability), surfaced by :meth:`StreamProcessor.stats` telemetry and
+    :func:`require_plane`.
+    """
+
+    plane: Any | None
+    reason: str | None = None
 
 
-def _build_plane(scheme: "SketchScheme"):
-    """Pack a scheme's grid into the matching plane, or ``None``."""
+def _generator_plane(generators: Sequence) -> PlaneDecision:
+    """Decide the packed plane of a plain generator grid via the registry."""
+    from repro.schemes import spec_for
+
+    specs = [spec_for(g) for g in generators]
+    if any(spec is None for spec in specs):
+        unknown = sorted(
+            {
+                type(g).__name__
+                for g, spec in zip(generators, specs)
+                if spec is None
+            }
+        )
+        return PlaneDecision(
+            None,
+            f"unregistered generator type(s): {', '.join(unknown)}",
+        )
+    names = sorted({spec.name for spec in specs})
+    if len(names) != 1:
+        return PlaneDecision(
+            None, f"grid mixes schemes: {', '.join(names)}"
+        )
+    spec = specs[0]
+    if spec.plane is None:
+        return PlaneDecision(
+            None,
+            f"scheme {spec.name!r} declares no packed plane kernel "
+            "(capability 'plane' missing)",
+        )
+    try:
+        return PlaneDecision(spec.plane(list(generators)))
+    except ValueError as exc:
+        return PlaneDecision(
+            None, f"scheme {spec.name!r} plane kernel rejected the grid: {exc}"
+        )
+
+
+def _dmap_plane(dmaps: Sequence) -> PlaneDecision:
+    """Decide the packed plane of a DMAP grid via the inner generators."""
+    from repro.schemes import spec_for
+
+    inner_generators = [d.generator for d in dmaps]
+    specs = [spec_for(g) for g in inner_generators]
+    if all(spec is not None for spec in specs):
+        names = {spec.name for spec in specs}
+        if len(names) == 1 and not specs[0].dmap_inner:
+            return PlaneDecision(
+                None,
+                f"DMAP inner scheme {specs[0].name!r} is not declared "
+                "DMAP-compatible (capability 'dmap_inner' missing)",
+            )
+    inner = _generator_plane(inner_generators)
+    if inner.plane is None:
+        return PlaneDecision(
+            None, f"DMAP grid has no packed inner plane: {inner.reason}"
+        )
+    bits = {d.mapper.domain_bits for d in dmaps}
+    if len(bits) != 1:
+        return PlaneDecision(None, "plane DMAPs must share a domain")
+    return PlaneDecision(DMAPPlane(dmaps, inner.plane))
+
+
+def _decide_plane(scheme: "SketchScheme") -> PlaneDecision:
+    """Pack a scheme's grid into the matching plane, with a reason on miss."""
     from repro.sketch.atomic import DMAPChannel, GeneratorChannel
 
     channels = [channel for row in scheme.channels for channel in row]
     if all(isinstance(c, GeneratorChannel) for c in channels):
-        generators = [c.generator for c in channels]
-        try:
-            if all(isinstance(g, EH3) for g in generators):
-                return EH3Plane(generators)
-            if all(isinstance(g, BCH3) for g in generators):
-                return BCH3Plane(generators)
-            if all(isinstance(g, BCH5) for g in generators):
-                return BCH5Plane(generators)
-        except ValueError:
-            return None
-        return None
+        return _generator_plane([c.generator for c in channels])
     if all(isinstance(c, DMAPChannel) for c in channels):
-        dmaps = [c.dmap for c in channels]
-        try:
-            if all(isinstance(d.generator, BCH5) for d in dmaps):
-                return DMAPPlane(dmaps)
-        except ValueError:
-            return None
-    return None
+        return _dmap_plane([c.dmap for c in channels])
+    kinds = sorted({type(c).__name__ for c in channels})
+    return PlaneDecision(
+        None,
+        f"no packed plane covers channel kind(s): {', '.join(kinds)}",
+    )
+
+
+_UNBUILT = object()
+
+
+def plane_decision(scheme: "SketchScheme") -> PlaneDecision:
+    """The grid's packed-plane decision, built once and cached.
+
+    Unlike :func:`counter_plane` this keeps the *reason* when no kernel
+    covers the grid, so callers (telemetry, :func:`require_plane`) can
+    name the scheme and the missing capability instead of reporting an
+    opaque ``None``.
+    """
+    cached = getattr(scheme, "_plane_decision", _UNBUILT)
+    if cached is _UNBUILT:
+        cached = _decide_plane(scheme)
+        scheme._plane_decision = cached
+    return cached
 
 
 def counter_plane(scheme: "SketchScheme"):
@@ -426,12 +549,28 @@ def counter_plane(scheme: "SketchScheme"):
 
     Returns ``None`` for grids the packed kernels do not cover (mixed or
     product channels, RM7, ...); callers fall back to the scalar path.
+    Use :func:`plane_decision` to learn *why* a grid is uncovered, or
+    :func:`require_plane` to fail loudly instead.
     """
-    cached = getattr(scheme, "_counter_plane", _UNBUILT)
-    if cached is _UNBUILT:
-        cached = _build_plane(scheme)
-        scheme._counter_plane = cached
-    return cached
+    return plane_decision(scheme).plane
+
+
+def require_plane(scheme: "SketchScheme"):
+    """The grid's packed plane, or a typed error naming what is missing.
+
+    Raises :class:`repro.schemes.UnsupportedSchemeError` (a
+    ``TypeError``) carrying the decision's reason when no kernel covers
+    the grid -- for callers that must not silently degrade to the
+    scalar path.
+    """
+    decision = plane_decision(scheme)
+    if decision.plane is None:
+        from repro.schemes import UnsupportedSchemeError
+
+        raise UnsupportedSchemeError(
+            f"no packed plane covers this grid: {decision.reason}"
+        )
+    return decision.plane
 
 
 def add_totals(sketch: "SketchMatrix", totals: np.ndarray) -> None:

@@ -33,25 +33,19 @@ from typing import Any
 import numpy as np
 
 from repro.generators.base import Generator
-from repro.generators.bch3 import BCH3
-from repro.generators.bch5 import BCH5
-from repro.generators.eh3 import EH3
-from repro.generators.polyprime import PolynomialsOverPrimes
-from repro.generators.rm7 import RM7
-from repro.generators.toeplitz import Toeplitz, ToeplitzHash
-from repro.rangesum.dmap import DMAP
-from repro.rangesum.multidim import ProductDMAP, ProductGenerator
-from repro.sketch.ams import SketchMatrix, SketchScheme
-from repro.sketch.atomic import (
-    AtomicChannel,
-    DMAPChannel,
-    GeneratorChannel,
-    ProductChannel,
-    ProductDMAPChannel,
+from repro.schemes import (
+    SerializationError,
+    decode_channel,
+    decode_generator,
+    encode_channel,
+    encode_generator,
 )
+from repro.sketch.ams import SketchMatrix, SketchScheme
+from repro.sketch.atomic import AtomicChannel
 
 __all__ = [
     "SERIALIZE_VERSION",
+    "SerializationError",
     "generator_to_dict",
     "generator_from_dict",
     "channel_to_dict",
@@ -89,147 +83,40 @@ def values_checksum(values: Any) -> int:
 
 
 def generator_to_dict(generator: Generator) -> dict[str, Any]:
-    """Serialize a generator's seed material to a JSON-compatible dict."""
-    if isinstance(generator, EH3):
-        return {
-            "kind": "eh3",
-            "domain_bits": generator.domain_bits,
-            "s0": generator.s0,
-            "s1": generator.s1,
-        }
-    if isinstance(generator, BCH3):
-        return {
-            "kind": "bch3",
-            "domain_bits": generator.domain_bits,
-            "s0": generator.s0,
-            "s1": generator.s1,
-        }
-    if isinstance(generator, BCH5):
-        return {
-            "kind": "bch5",
-            "domain_bits": generator.domain_bits,
-            "s0": generator.s0,
-            "s1": generator.s1,
-            "s3": generator.s3,
-            "mode": generator.mode,
-        }
-    if isinstance(generator, RM7):
-        return {
-            "kind": "rm7",
-            "domain_bits": generator.domain_bits,
-            "s0": generator.s0,
-            "s1": generator.s1,
-            "q_rows": list(generator.q_rows),
-        }
-    if isinstance(generator, PolynomialsOverPrimes):
-        return {
-            "kind": "polyprime",
-            "domain_bits": generator.domain_bits,
-            "coefficients": list(generator.coefficients),
-            "p": generator.p,
-        }
-    if isinstance(generator, Toeplitz):
-        hash_function = generator.hash_function
-        return {
-            "kind": "toeplitz",
-            "domain_bits": generator.domain_bits,
-            "m": hash_function.m,
-            "diagonal_bits": hash_function.diagonal_bits,
-            "offset": hash_function.offset,
-        }
-    raise TypeError(f"cannot serialize generator {type(generator).__name__}")
+    """Serialize a generator's seed material to a JSON-compatible dict.
+
+    Dispatches through the codec each scheme registered with
+    :mod:`repro.schemes`; an unregistered generator type raises
+    :class:`repro.schemes.UnsupportedSchemeError` (a ``TypeError``).
+    """
+    return encode_generator(generator)
 
 
 def generator_from_dict(data: dict[str, Any]) -> Generator:
-    """Rebuild a generator from :func:`generator_to_dict` output."""
-    kind = data["kind"]
-    if kind == "eh3":
-        return EH3(data["domain_bits"], data["s0"], data["s1"])
-    if kind == "bch3":
-        return BCH3(data["domain_bits"], data["s0"], data["s1"])
-    if kind == "bch5":
-        return BCH5(
-            data["domain_bits"], data["s0"], data["s1"], data["s3"],
-            mode=data["mode"],
-        )
-    if kind == "rm7":
-        return RM7(data["domain_bits"], data["s0"], data["s1"], data["q_rows"])
-    if kind == "polyprime":
-        return PolynomialsOverPrimes(
-            data["domain_bits"], tuple(data["coefficients"]), p=data["p"]
-        )
-    if kind == "toeplitz":
-        hash_function = ToeplitzHash(
-            data["domain_bits"], data["m"], data["diagonal_bits"],
-            data["offset"],
-        )
-        return Toeplitz(data["domain_bits"], hash_function)
-    raise ValueError(f"unknown generator kind {kind!r}")
+    """Rebuild a generator from :func:`generator_to_dict` output.
+
+    An unrecognized ``kind`` raises :class:`SerializationError` (a
+    ``ValueError``) naming the kind and listing the registered kinds.
+    """
+    return decode_generator(data)
 
 
 def channel_to_dict(channel: AtomicChannel) -> dict[str, Any]:
-    """Serialize an update channel (generator, DMAP, or product)."""
-    if isinstance(channel, GeneratorChannel):
-        return {
-            "kind": "generator",
-            "generator": generator_to_dict(channel.generator),
-        }
-    if isinstance(channel, DMAPChannel):
-        return {
-            "kind": "dmap",
-            "domain_bits": channel.dmap.domain_bits,
-            "generator": generator_to_dict(channel.dmap.generator),
-        }
-    if isinstance(channel, ProductChannel):
-        return {
-            "kind": "product",
-            "factors": [
-                generator_to_dict(factor)
-                for factor in channel.generator.factors
-            ],
-        }
-    if isinstance(channel, ProductDMAPChannel):
-        return {
-            "kind": "product_dmap",
-            "axes": [
-                {
-                    "domain_bits": dmap.domain_bits,
-                    "generator": generator_to_dict(dmap.generator),
-                }
-                for dmap in channel.dmap.dmaps
-            ],
-        }
-    raise TypeError(f"cannot serialize channel {type(channel).__name__}")
+    """Serialize an update channel (generator, DMAP, or product).
+
+    Dispatches through the channel codecs registered with
+    :mod:`repro.schemes`.
+    """
+    return encode_channel(channel)
 
 
 def channel_from_dict(data: dict[str, Any]) -> AtomicChannel:
-    """Rebuild a channel from :func:`channel_to_dict` output."""
-    kind = data["kind"]
-    if kind == "generator":
-        return GeneratorChannel(generator_from_dict(data["generator"]))
-    if kind == "dmap":
-        return DMAPChannel(
-            DMAP(data["domain_bits"], generator_from_dict(data["generator"]))
-        )
-    if kind == "product":
-        return ProductChannel(
-            ProductGenerator(
-                [generator_from_dict(f) for f in data["factors"]]
-            )
-        )
-    if kind == "product_dmap":
-        return ProductDMAPChannel(
-            ProductDMAP(
-                [
-                    DMAP(
-                        axis["domain_bits"],
-                        generator_from_dict(axis["generator"]),
-                    )
-                    for axis in data["axes"]
-                ]
-            )
-        )
-    raise ValueError(f"unknown channel kind {kind!r}")
+    """Rebuild a channel from :func:`channel_to_dict` output.
+
+    An unrecognized ``kind`` raises :class:`SerializationError` (a
+    ``ValueError``) naming the kind and listing the registered kinds.
+    """
+    return decode_channel(data)
 
 
 def scheme_to_dict(scheme: SketchScheme) -> dict[str, Any]:

@@ -50,10 +50,11 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.generators.base import Generator
-from repro.generators.eh3 import EH3
 from repro.generators.seeds import SeedSource
+from repro.schemes import get_spec
 from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
 from repro.sketch.atomic import GeneratorChannel
+from repro.sketch.plane import plane_decision
 from repro.sketch.serialize import (
     scheme_fingerprint,
     sketch_from_dict,
@@ -112,6 +113,7 @@ class StreamProcessor:
         policy: str = "raise",
         quarantine_capacity: int = 1024,
         durability: DurabilityConfig | str | None = None,
+        scheme: str | None = None,
     ) -> None:
         if medians < 1 or averages < 1:
             raise ValueError("medians and averages must be positive")
@@ -119,13 +121,23 @@ class StreamProcessor:
             raise ValueError(
                 f"unknown policy {policy!r}; expected one of {POLICIES}"
             )
+        if scheme is not None and generator_factory is not None:
+            raise ValueError(
+                "pass either scheme= (a registered scheme name) or "
+                "generator_factory=, not both"
+            )
         self._medians = medians
         self._averages = averages
         self._seed_config = seed if isinstance(seed, int) else None
         self._source = seed if isinstance(seed, SeedSource) else SeedSource(seed)
-        self._factory = generator_factory or (
-            lambda bits, src: EH3.from_source(bits, src)
-        )
+        if generator_factory is not None:
+            # A custom factory cannot be named in the durability manifest;
+            # recover() must be handed the same factory again.
+            self._scheme_name: str | None = None
+            self._factory = generator_factory
+        else:
+            self._scheme_name = scheme or "eh3"
+            self._factory = get_spec(self._scheme_name).factory
         self.policy = policy
         self.dead_letters = DeadLetterBuffer(quarantine_capacity)
         self.incidents: list[Incident] = []
@@ -171,6 +183,7 @@ class StreamProcessor:
                 "averages": self._averages,
                 "seed": self._seed_config,
                 "policy": self.policy,
+                "scheme": self._scheme_name,
             }
             with open(manifest_path, "w") as handle:
                 json.dump(manifest, handle)
@@ -274,6 +287,10 @@ class StreamProcessor:
             policy=policy or manifest.get("policy", "raise"),
             quarantine_capacity=quarantine_capacity,
             durability=None,
+            scheme=(
+                None if generator_factory is not None
+                else manifest.get("scheme")
+            ),
         )
         processor._replaying = True
         snapshot = load_latest_snapshot(config.directory)
@@ -741,7 +758,13 @@ class StreamProcessor:
         return list(self._domain_bits)
 
     def stats(self) -> dict[str, Any]:
-        """Operational counters: quarantine, incidents, durability."""
+        """Operational counters: quarantine, incidents, durability, planes.
+
+        ``"planes"`` reports, per scheme group, whether the packed plane
+        kernels cover its grid -- and, when they do not, the recorded
+        reason (scheme name plus the missing capability) so a silent
+        per-cell slowdown is visible in telemetry instead of opaque.
+        """
         return {
             "policy": self.policy,
             "quarantined_total": self.dead_letters.total,
@@ -749,6 +772,21 @@ class StreamProcessor:
             "incidents": len(self.incidents),
             "applied_seq": self._applied_seq,
             "durable": self._wal is not None,
+            "scheme": self._scheme_name,
+            "planes": {
+                group: {
+                    "plane": (
+                        None
+                        if decision.plane is None
+                        else type(decision.plane).__name__
+                    ),
+                    "reason": decision.reason,
+                }
+                for group, decision in (
+                    (group, plane_decision(scheme))
+                    for group, scheme in self._schemes.items()
+                )
+            },
         }
 
     def _require(self, relation: str) -> None:

@@ -12,9 +12,9 @@ import pytest
 
 from repro.core.dyadic import dyadic_cover_arrays, quaternary_cover_arrays
 from repro.generators import BCH3, EH3, SeedSource
-from repro.generators.bch5 import BCH5
 from repro.rangesum.dmap import DMAP
 from repro.rangesum.multidim import ProductGenerator
+from repro.schemes import PolyPrimePlane, all_specs, get_spec
 from repro.sketch.ams import SketchScheme
 from repro.sketch.atomic import DMAPChannel, GeneratorChannel, ProductChannel
 from repro.sketch.plane import (
@@ -29,11 +29,22 @@ from repro.sketch.plane import (
 
 BITS = 10
 
+# Domains narrower than the default where a scheme's test grid wants one
+# (BCH5's O(n^2) per-bit work is the only such case today).
+_SCHEME_BITS = {"bch5": 8}
+
 
 def _scheme(channel_factory, medians=2, averages=3, seed=0xDEADBEEF):
     return SketchScheme.from_factory(
         channel_factory, medians, averages, SeedSource(seed)
     )
+
+
+def scheme_channels(name):
+    """Generator-channel factory for a registered scheme, by name."""
+    spec = get_spec(name)
+    bits = _SCHEME_BITS.get(name, BITS)
+    return lambda src: GeneratorChannel(spec.factory(bits, src))
 
 
 def eh3_channels(bits=BITS):
@@ -44,14 +55,26 @@ def bch3_channels(bits=BITS):
     return lambda src: GeneratorChannel(BCH3.from_source(bits, src))
 
 
-def bch5_channels(bits=8):
-    return lambda src: GeneratorChannel(
-        BCH5.from_source(bits, src, mode="gf")
-    )
-
-
 def dmap_channels(bits=BITS):
     return lambda src: DMAPChannel(DMAP.from_source(bits, src))
+
+
+# Every registered scheme that declares a plane kernel participates in
+# the parametrized bit-identity suites below -- registering a new scheme
+# with a plane (e.g. polyprime) adds it here with no test edit.
+PLANE_SCHEMES = [spec.name for spec in all_specs() if spec.plane is not None]
+INTERVAL_SCHEMES = [
+    spec.name for spec in all_specs() if spec.interval_kind is not None
+]
+
+POINT_FACTORIES = [
+    *((name, scheme_channels(name)) for name in PLANE_SCHEMES),
+    ("dmap", dmap_channels()),
+]
+INTERVAL_FACTORIES = [
+    *((name, scheme_channels(name)) for name in INTERVAL_SCHEMES),
+    ("dmap", dmap_channels()),
+]
 
 
 def _scalar_point_values(scheme, points, weights):
@@ -70,7 +93,13 @@ class TestPlaneConstruction:
     def test_plane_types(self):
         assert isinstance(counter_plane(_scheme(eh3_channels())), EH3Plane)
         assert isinstance(counter_plane(_scheme(bch3_channels())), BCH3Plane)
-        assert isinstance(counter_plane(_scheme(bch5_channels())), BCH5Plane)
+        assert isinstance(
+            counter_plane(_scheme(scheme_channels("bch5"))), BCH5Plane
+        )
+        assert isinstance(
+            counter_plane(_scheme(scheme_channels("polyprime"))),
+            PolyPrimePlane,
+        )
         assert isinstance(counter_plane(_scheme(dmap_channels())), DMAPPlane)
 
     def test_product_grid_has_no_plane(self):
@@ -98,8 +127,8 @@ class TestPlaneConstruction:
 
 @pytest.mark.parametrize(
     "factory",
-    [eh3_channels(), bch3_channels(), bch5_channels(), dmap_channels()],
-    ids=["eh3", "bch3", "bch5", "dmap"],
+    [factory for _, factory in POINT_FACTORIES],
+    ids=[name for name, _ in POINT_FACTORIES],
 )
 class TestPointTotals:
     def test_matches_scalar_small_batch(self, factory, rng):
@@ -201,8 +230,8 @@ class TestIntervalTotals:
 class TestSketchMatrixPlanePath:
     @pytest.mark.parametrize(
         "factory",
-        [eh3_channels(), bch3_channels(), bch5_channels(), dmap_channels()],
-        ids=["eh3", "bch3", "bch5", "dmap"],
+        [factory for _, factory in POINT_FACTORIES],
+        ids=[name for name, _ in POINT_FACTORIES],
     )
     def test_update_point_bit_identical(self, factory, rng):
         scheme = _scheme(factory)
@@ -218,8 +247,8 @@ class TestSketchMatrixPlanePath:
 
     @pytest.mark.parametrize(
         "factory",
-        [eh3_channels(), bch3_channels(), dmap_channels()],
-        ids=["eh3", "bch3", "dmap"],
+        [factory for _, factory in INTERVAL_FACTORIES],
+        ids=[name for name, _ in INTERVAL_FACTORIES],
     )
     def test_update_interval_bit_identical(self, factory, rng):
         scheme = _scheme(factory)

@@ -1,0 +1,339 @@
+"""Tests: the scheme capability registry (:mod:`repro.schemes`).
+
+The registry is the single description of every generating scheme --
+construction, capabilities, serialization codec -- and the consumers
+(plane, serialization, batched range-sums, bench, stream processor)
+dispatch through it.  These tests pin the registry's contents and error
+contracts, and prove the one-file extension story end to end on the
+``polyprime`` scheme (generator + packed plane + codec registered in
+``repro.schemes.builtin`` alone).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.generators import EH3, SeedSource, Toeplitz
+from repro.rangesum import batched_range_sums, eh3_range_sums
+from repro.rangesum.dmap import DMAP
+from repro.schemes import (
+    PolyPrimePlane,
+    SchemeCodec,
+    SchemeSpec,
+    SerializationError,
+    UnknownSchemeError,
+    UnsupportedSchemeError,
+    all_specs,
+    decode_generator,
+    get_spec,
+    register,
+    registered_kinds,
+    registered_schemes,
+    spec_for,
+)
+from repro.sketch.ams import SketchScheme
+from repro.sketch.atomic import DMAPChannel, GeneratorChannel, ProductChannel
+from repro.sketch.plane import (
+    DMAPPlane,
+    counter_plane,
+    plane_decision,
+    require_plane,
+)
+from repro.sketch.serialize import generator_to_dict, scheme_fingerprint
+
+
+def _grid(factory, medians=2, averages=4, seed=7):
+    return SketchScheme.from_factory(factory, medians, averages, SeedSource(seed))
+
+
+class TestRegistryContents:
+    def test_builtin_schemes_registered(self):
+        assert registered_schemes() == (
+            "eh3", "bch3", "bch5", "rm7", "polyprime", "toeplitz",
+        )
+
+    def test_every_scheme_declares_a_codec(self):
+        """CI guard: a registered scheme without a codec would make its
+        sketches unshippable -- the registry must never hold one."""
+        for spec in all_specs():
+            assert isinstance(spec.codec, SchemeCodec), spec.name
+            assert spec.codec.kind, spec.name
+            assert callable(spec.codec.encode), spec.name
+            assert callable(spec.codec.decode), spec.name
+
+    def test_codec_kinds_unique_and_listed(self):
+        kinds = registered_kinds()
+        assert len(kinds) == len(set(kinds))
+        assert set(kinds) == {spec.codec.kind for spec in all_specs()}
+
+    def test_capability_table_shape(self):
+        for spec in all_specs():
+            capabilities = spec.capabilities()
+            assert set(capabilities) == {
+                "fast_range_sum", "range_sum", "range_sums",
+                "plane", "fast_intervals", "dmap_inner",
+            }
+            assert all(isinstance(v, bool) for v in capabilities.values())
+
+    def test_unknown_scheme_lists_registry(self):
+        with pytest.raises(UnknownSchemeError, match="registered schemes"):
+            get_spec("nope")
+
+    def test_unknown_kind_lists_registered_kinds(self):
+        with pytest.raises(SerializationError, match="registered kinds"):
+            decode_generator({"kind": "mystery"})
+
+    def test_duplicate_name_rejected(self):
+        spec = get_spec("eh3")
+        with pytest.raises(ValueError, match="already registered"):
+            register(spec)
+
+    def test_spec_for_resolves_subclasses(self, source):
+        # ToeplitzHash subclasses Toeplitz; the most derived registered
+        # ancestor owns it.
+        generator = Toeplitz.from_source(8, source)
+        assert spec_for(generator) is get_spec("toeplitz")
+        assert spec_for(type(generator)) is get_spec("toeplitz")
+        assert spec_for(int) is None
+
+
+class TestBatchedRangeSumDispatch:
+    def test_dispatches_to_registered_kernel(self, source, rng):
+        generator = EH3.from_source(10, source)
+        lows = rng.integers(0, 1 << 10, size=20, dtype=np.uint64)
+        highs = rng.integers(0, 1 << 10, size=20, dtype=np.uint64)
+        alphas, betas = np.minimum(lows, highs), np.maximum(lows, highs)
+        assert np.array_equal(
+            batched_range_sums(generator, alphas, betas),
+            eh3_range_sums(generator, alphas, betas),
+        )
+
+    def test_missing_capability_is_typed(self, source):
+        generator = get_spec("polyprime").factory(10, source)
+        with pytest.raises(UnsupportedSchemeError, match="polyprime"):
+            batched_range_sums(generator, [0], [5])
+
+    def test_unregistered_generator_is_typed(self):
+        class Custom:
+            pass
+
+        with pytest.raises(UnsupportedSchemeError, match="not a registered"):
+            batched_range_sums(Custom(), [0], [5])
+
+
+class TestPlaneDecisions:
+    def test_covered_grid_has_no_reason(self):
+        decision = plane_decision(
+            _grid(lambda src: GeneratorChannel(EH3.from_source(8, src)))
+        )
+        assert decision.plane is not None
+        assert decision.reason is None
+
+    def test_planeless_scheme_reason_names_capability(self, source):
+        grid = _grid(
+            lambda src: GeneratorChannel(Toeplitz.from_source(8, src))
+        )
+        decision = plane_decision(grid)
+        assert decision.plane is None
+        assert "toeplitz" in decision.reason
+        assert "plane" in decision.reason
+        assert counter_plane(grid) is None  # the None contract survives
+
+    def test_mixed_channel_grid_reason(self, source):
+        from repro.rangesum.multidim import ProductGenerator
+
+        decision = plane_decision(
+            _grid(
+                lambda src: ProductChannel(ProductGenerator.eh3((4, 4), src))
+            )
+        )
+        assert decision.plane is None
+        assert decision.reason is not None
+
+    def test_require_plane_raises_typed_error(self, source):
+        grid = _grid(
+            lambda src: GeneratorChannel(Toeplitz.from_source(8, src))
+        )
+        with pytest.raises(UnsupportedSchemeError, match="toeplitz"):
+            require_plane(grid)
+
+    def test_dmap_incompatible_inner_scheme_reason(self, source):
+        # DMAP over toeplitz: the inner scheme never declared dmap_inner,
+        # and the decision says so instead of silently returning None.
+        grid = _grid(
+            lambda src: DMAPChannel(
+                DMAP(8, Toeplitz.from_source(9, src))
+            )
+        )
+        decision = plane_decision(grid)
+        assert decision.plane is None
+        assert "dmap_inner" in decision.reason
+        assert "toeplitz" in decision.reason
+
+    def test_dmap_over_eh3_gains_a_plane(self, source, rng):
+        # The registry generalized DMAPPlane beyond its old hand-wired
+        # BCH5 inner scheme: any dmap_inner-capable scheme now packs.
+        grid = _grid(
+            lambda src: DMAPChannel(DMAP(8, EH3.from_source(9, src)))
+        )
+        plane = counter_plane(grid)
+        assert isinstance(plane, DMAPPlane)
+        fast = grid.sketch()
+        slow = grid.sketch()
+        for _ in range(8):
+            a, b = sorted(rng.integers(0, 1 << 8, size=2).tolist())
+            fast.update_interval((a, b), 2.0)
+            for row in slow.cells:
+                for cell in row:
+                    cell.update_interval((a, b), 2.0)
+        assert np.array_equal(fast.values(), slow.values())
+
+
+class TestPolyprimeEndToEnd:
+    """The one-file extension story, proven on every capability path."""
+
+    def test_plane_bit_identical_to_scalar(self, source, rng):
+        grid = _grid(
+            lambda src: GeneratorChannel(get_spec("polyprime").factory(10, src)),
+            medians=2,
+            averages=70,  # > 64 counters: exercises the multi-word path
+        )
+        plane = counter_plane(grid)
+        assert isinstance(plane, PolyPrimePlane)
+        points = rng.integers(0, 1 << 10, size=3000, dtype=np.uint64)
+        weights = rng.integers(-4, 5, size=3000).astype(np.float64)
+        totals = plane.point_totals(points, weights)
+        scalar = np.zeros(grid.counters)
+        position = 0
+        for row in grid.channels:
+            for channel in row:
+                values = channel.generator.values(points).astype(np.float64)
+                scalar[position] = float(np.dot(values, weights))
+                position += 1
+        assert np.array_equal(totals, scalar)
+
+    def test_serialize_roundtrip_fingerprint_identity(self, source):
+        grid = _grid(
+            lambda src: GeneratorChannel(get_spec("polyprime").factory(8, src))
+        )
+        from repro.sketch.serialize import scheme_from_dict, scheme_to_dict
+
+        rebuilt = scheme_from_dict(json.loads(json.dumps(scheme_to_dict(grid))))
+        assert scheme_fingerprint(rebuilt) == scheme_fingerprint(grid)
+
+    def test_bench_selectable(self):
+        from repro.bench import run_bulk_bench
+
+        report = run_bulk_bench(
+            medians=2,
+            averages=8,
+            domain_bits=10,
+            intervals=8,
+            points=400,
+            repeats=1,
+            schemes=("polyprime",),
+        )
+        workload = report["workloads"]["polyprime_point_batch"]
+        assert workload["identical"] is True
+        assert "skipped" not in report
+
+    def test_processor_scheme_and_wal_recovery(self, tmp_path, rng):
+        from repro.stream.processor import StreamProcessor
+
+        directory = str(tmp_path / "durable")
+        with StreamProcessor(
+            medians=2,
+            averages=6,
+            seed=11,
+            scheme="polyprime",
+            durability=directory,
+        ) as processor:
+            processor.register_relation("r", 10)
+            handle = processor.register_self_join("r")
+            points = rng.integers(0, 1 << 10, size=200, dtype=np.uint64)
+            processor.process_points("r", points)
+            before = processor.answer(handle)
+            fingerprint = scheme_fingerprint(processor.scheme_of("r"))
+            processor.checkpoint()
+
+        manifest = json.loads(
+            (tmp_path / "durable" / "manifest.json").read_text()
+        )
+        assert manifest["scheme"] == "polyprime"
+
+        recovered = StreamProcessor.recover(directory)
+        assert (
+            scheme_fingerprint(recovered.scheme_of("r")) == fingerprint
+        )
+        [handle] = recovered.query_handles()
+        assert recovered.answer(handle) == before
+        recovered.close()
+
+    def test_stats_report_plane_coverage(self):
+        from repro.stream.processor import StreamProcessor
+
+        covered = StreamProcessor(medians=2, averages=4, scheme="polyprime")
+        covered.register_relation("r", 10)
+        planes = covered.stats()["planes"]
+        assert planes["domain:10"]["plane"] == "PolyPrimePlane"
+        assert planes["domain:10"]["reason"] is None
+
+        uncovered = StreamProcessor(medians=2, averages=4, scheme="toeplitz")
+        uncovered.register_relation("r", 10)
+        planes = uncovered.stats()["planes"]
+        assert planes["domain:10"]["plane"] is None
+        assert "toeplitz" in planes["domain:10"]["reason"]
+
+
+class TestProcessorSchemeParameter:
+    def test_scheme_and_factory_mutually_exclusive(self):
+        from repro.stream.processor import StreamProcessor
+
+        with pytest.raises(ValueError, match="not both"):
+            StreamProcessor(
+                scheme="eh3",
+                generator_factory=lambda bits, src: EH3.from_source(bits, src),
+            )
+
+    def test_unknown_scheme_name_lists_registry(self):
+        from repro.stream.processor import StreamProcessor
+
+        with pytest.raises(UnknownSchemeError, match="registered schemes"):
+            StreamProcessor(scheme="nope")
+
+    def test_default_manifest_records_eh3(self, tmp_path):
+        from repro.stream.processor import StreamProcessor
+
+        directory = str(tmp_path / "d")
+        with StreamProcessor(
+            medians=2, averages=3, seed=5, durability=directory
+        ) as processor:
+            processor.register_relation("r", 8)
+        manifest = json.loads((tmp_path / "d" / "manifest.json").read_text())
+        assert manifest["scheme"] == "eh3"
+
+
+class TestNewRegistrationContract:
+    def test_register_requires_unique_kind(self):
+        eh3 = get_spec("eh3")
+        clashing = SchemeSpec(
+            name="eh3-clone",
+            cls=eh3.cls,
+            summary="clone",
+            independence=3,
+            seed_bits="n + 1",
+            factory=eh3.factory,
+            codec=eh3.codec,  # same kind string -> wire-format clash
+        )
+        with pytest.raises(ValueError, match="kind"):
+            register(clashing)
+
+    def test_unsupported_generator_serialization_is_typed(self):
+        class Custom:
+            pass
+
+        with pytest.raises(UnsupportedSchemeError):
+            generator_to_dict(Custom())
