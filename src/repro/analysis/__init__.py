@@ -1,0 +1,42 @@
+"""Domain-aware static analysis for the reproduction's invariants.
+
+The generic toolchain (ruff, mypy) cannot see what makes *this* codebase
+correct: exact modular arithmetic that a platform-default dtype corrupts
+silently, a capability registry that an ``isinstance`` ladder bypasses,
+seeded randomness that one stray ``default_rng()`` breaks.  This package
+is a small AST-based framework encoding those invariants as named rules
+(R001-R004, :mod:`repro.analysis.rules`), with inline suppressions that
+require a written reason and a checked-in violation baseline.
+
+Run it as ``repro-experiments analyze --strict`` (the CI gate) or
+programmatically through :func:`analyze_paths`.  ``docs/static-analysis.md``
+documents every rule and the suppression workflow.
+"""
+
+from repro.analysis.cli import BASELINE_FILENAME, run_analyze
+from repro.analysis.engine import (
+    AnalysisReport,
+    analyze_paths,
+    analyze_source,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.rules import ALL_RULES, Rule, rule_by_id
+from repro.analysis.suppressions import Suppression, collect_suppressions
+from repro.analysis.violations import Violation
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisReport",
+    "BASELINE_FILENAME",
+    "run_analyze",
+    "Rule",
+    "Suppression",
+    "Violation",
+    "analyze_paths",
+    "analyze_source",
+    "collect_suppressions",
+    "load_baseline",
+    "rule_by_id",
+    "write_baseline",
+]

@@ -1,0 +1,92 @@
+"""``repro-experiments analyze``: the CI gate over the domain rules.
+
+Scans ``src/repro`` (or explicit ``--path`` targets), prints every
+finding, and in ``--strict`` mode exits non-zero when any violation is
+not covered by the checked-in baseline.  ``--write-baseline`` refreshes
+the baseline from the current scan (for landing a new rule before its
+last offender is migrated).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+import repro
+from repro.analysis.engine import (
+    AnalysisReport,
+    analyze_paths,
+    load_baseline,
+    write_baseline,
+)
+
+__all__ = ["run_analyze", "BASELINE_FILENAME", "default_scan_target"]
+
+BASELINE_FILENAME = "analysis-baseline.json"
+
+
+def default_scan_target() -> tuple[list[Path], Path]:
+    """(paths to scan, repo root) when none are given explicitly.
+
+    Prefers ``src/repro`` under the current directory (the checkout
+    layout CI runs from); falls back to the installed package directory.
+    """
+    cwd = Path.cwd()
+    checkout = cwd / "src" / "repro"
+    if checkout.is_dir():
+        return [checkout], cwd
+    package_dir = Path(repro.__file__).resolve().parent
+    return [package_dir], package_dir.parent.parent
+
+
+def run_analyze(
+    paths: Sequence[str] | None = None,
+    strict: bool = False,
+    refresh_baseline: bool = False,
+    baseline_path: str | None = None,
+    stream: TextIO = sys.stdout,
+) -> int:
+    """Run the scan and report; returns the process exit code."""
+    if paths:
+        targets = [Path(p) for p in paths]
+        root = Path.cwd()
+    else:
+        targets, root = default_scan_target()
+    resolved_baseline = (
+        Path(baseline_path)
+        if baseline_path is not None
+        else root / BASELINE_FILENAME
+    )
+
+    violations = analyze_paths(targets, root=root)
+    if refresh_baseline:
+        write_baseline(resolved_baseline, violations)
+        print(
+            f"wrote {len(violations)} violation(s) to {resolved_baseline}",
+            file=stream,
+        )
+        return 0
+
+    report = AnalysisReport(
+        violations=violations, baseline=load_baseline(resolved_baseline)
+    )
+    for violation in report.fresh:
+        print(violation.render(), file=stream)
+    for violation in report.baselined:
+        print(f"{violation.render()} [baselined]", file=stream)
+    scanned = ", ".join(str(t) for t in targets)
+    print(
+        f"analyze: {scanned}: {report.summary()}"
+        f" ({len(report.fresh)} fresh, {len(report.baselined)} baselined)",
+        file=stream,
+    )
+    if strict and report.fresh:
+        print(
+            "strict mode: fix the findings above, or suppress a true "
+            "structural check inline with '# repro: allow[R00x] reason' "
+            "(see docs/static-analysis.md)",
+            file=stream,
+        )
+        return 1
+    return 0

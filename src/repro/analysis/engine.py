@@ -1,0 +1,191 @@
+"""The analysis engine: scan, suppress, baseline, report.
+
+``analyze_paths`` walks the given files/directories, parses each Python
+file once, runs every in-scope rule (:mod:`repro.analysis.rules`), and
+filters findings through the inline suppressions
+(:mod:`repro.analysis.suppressions`).  A suppression with an empty
+reason suppresses nothing and is itself reported as ``R000``.
+
+The *baseline* is a checked-in JSON file of violation fingerprints that
+are tolerated (grandfathered) for now.  ``--strict`` fails on any
+violation outside the baseline; the shipped baseline is empty -- every
+historical finding was fixed or suppressed-with-reason -- but the
+mechanism lets a future rule land before its last offender is migrated.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.suppressions import Suppression, collect_suppressions
+from repro.analysis.violations import Violation
+
+__all__ = [
+    "AnalysisReport",
+    "analyze_source",
+    "analyze_paths",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one scan produced, split against a baseline."""
+
+    violations: list[Violation]
+    baseline: frozenset[str]
+
+    @property
+    def fresh(self) -> list[Violation]:
+        """Violations not covered by the baseline.
+
+        The baseline stores fingerprints without multiplicity; if a file
+        gains a *second* copy of a baselined snippet, both share one
+        fingerprint and stay baselined -- an accepted imprecision kept in
+        exchange for line-number-free stability.
+        """
+        return [
+            v for v in self.violations if v.fingerprint() not in self.baseline
+        ]
+
+    @property
+    def baselined(self) -> list[Violation]:
+        """Violations tolerated by the baseline file."""
+        return [
+            v for v in self.violations if v.fingerprint() in self.baseline
+        ]
+
+    def summary(self) -> str:
+        """One-line totals by rule, e.g. ``R001 x2, R003 x1``."""
+        counts = Counter(v.rule for v in self.violations)
+        if not counts:
+            return "clean"
+        return ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(counts.items())
+        )
+
+
+def _reasonless(suppression: Suppression, path: str) -> Violation:
+    return Violation(
+        rule="R000",
+        path=path,
+        line=suppression.line,
+        column=1,
+        message=(
+            "suppression without a reason: '# repro: allow[...]' must "
+            "carry a justification after the bracket "
+            f"(rules {', '.join(suppression.rules)})"
+        ),
+        snippet=f"repro: allow[{', '.join(suppression.rules)}]",
+    )
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> list[Violation]:
+    """All violations in one file's source text.
+
+    ``path`` is the repo-relative posix path used for rule scoping and
+    reporting.  Unparseable sources are reported as ``R000`` rather than
+    crashing the scan.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule="R000",
+                path=path,
+                line=exc.lineno or 1,
+                column=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+                snippet="<syntax error>",
+            )
+        ]
+    lines = source.splitlines()
+    suppressions = collect_suppressions(lines)
+    findings: list[Violation] = []
+    for suppression in suppressions:
+        if not suppression.reason:
+            findings.append(_reasonless(suppression, path))
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for violation in rule.check(tree, lines, path):
+            if any(
+                s.covers(violation.rule, violation.line)
+                for s in suppressions
+            ):
+                continue
+            findings.append(violation)
+    findings.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
+    return findings
+
+
+def _python_files(paths: Iterable[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    root: Path | str | None = None,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> list[Violation]:
+    """Scan files/directories; paths in reports are relative to ``root``.
+
+    ``root`` defaults to the current directory; files outside it keep
+    their absolute path in reports.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    findings: list[Violation] = []
+    for file_path in _python_files(Path(p) for p in paths):
+        try:
+            relative = file_path.resolve().relative_to(base.resolve())
+            report_path = relative.as_posix()
+        except ValueError:
+            report_path = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(analyze_source(source, report_path, rules))
+    findings.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
+    return findings
+
+
+def load_baseline(path: Path | str) -> frozenset[str]:
+    """The fingerprint set of a baseline file (empty if absent)."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return frozenset()
+    data = json.loads(baseline_path.read_text(encoding="utf-8"))
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {baseline_path} has version {version!r}; this "
+            f"analyzer reads version {BASELINE_VERSION}"
+        )
+    return frozenset(data.get("violations", []))
+
+
+def write_baseline(path: Path | str, violations: Iterable[Violation]) -> None:
+    """Write the fingerprints of ``violations`` as the new baseline."""
+    fingerprints = sorted({v.fingerprint() for v in violations})
+    payload = {"version": BASELINE_VERSION, "violations": fingerprints}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )

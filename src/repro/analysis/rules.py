@@ -1,0 +1,421 @@
+"""The domain-specific rules (R001-R004).
+
+Each rule encodes an invariant the generic linters cannot see because it
+is about *this* codebase's arithmetic and architecture:
+
+R001  scheme dispatch goes through the capability registry, never through
+      ``isinstance`` ladders over generator/channel classes;
+R002  kernel modules pin every numpy dtype -- the exact bit-level
+      arithmetic (Mersenne reduction, GF(2) products, packed uint64
+      planes) breaks silently under platform-default integer widths;
+R003  nothing on an estimator or generator path consumes unseeded
+      randomness or wall-clock time -- reproducibility is a paper-level
+      invariant (every figure must replay bit-identically from a seed);
+R004  broad exception handlers in the durability layer are deliberate,
+      documented boundaries, never accidental swallows.
+
+Rules see one parsed file at a time and yield :class:`Violation` records;
+suppression filtering happens in :mod:`repro.analysis.engine`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.violations import Violation
+
+__all__ = ["Rule", "ALL_RULES", "rule_by_id"]
+
+#: Generator/channel classes owned by the scheme registry.  ``isinstance``
+#: against any of these outside ``repro.schemes`` is hand-wired dispatch
+#: that a new scheme registration would silently miss (R001).
+DISPATCH_TYPES = frozenset(
+    {
+        "Generator",
+        "EH3",
+        "BCH",
+        "BCH3",
+        "BCH5",
+        "RM7",
+        "PolynomialsOverPrimes",
+        "Toeplitz",
+        "ToeplitzHash",
+        "DMAP",
+        "DyadicMapper",
+        "RangeSummable",
+        "ProductGenerator",
+        "ProductDMAP",
+        "AtomicChannel",
+        "GeneratorChannel",
+        "DMAPChannel",
+        "ProductChannel",
+        "ProductDMAPChannel",
+    }
+)
+
+#: numpy array constructors whose platform-default dtype (``intp`` --
+#: int32 on 64-bit Windows) silently narrows kernel arithmetic, plus the
+#: positional index at which each accepts ``dtype``.
+_CONSTRUCTOR_DTYPE_POS = {
+    "arange": 3,
+    "zeros": 1,
+    "ones": 1,
+    "empty": 1,
+    "full": 2,
+}
+
+#: numpy reductions whose *accumulator* dtype defaults to the platform
+#: integer for integer inputs -- the classic silent-overflow vector.
+_ACCUMULATORS = frozenset({"sum", "prod", "cumsum", "cumprod"})
+
+#: Legacy global-state numpy RNG entry points (unseedable per call site).
+_GLOBAL_RNG_ATTRS = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "seed",
+        "uniform",
+        "normal",
+        "zipf",
+        "exponential",
+        "poisson",
+    }
+)
+
+#: stdlib ``random`` module functions that draw from hidden global state.
+_STDLIB_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "seed",
+    }
+)
+
+_BLE_BOUNDARY_RE = re.compile(r"#\s*noqa:\s*BLE001\s*--\s*\S")
+
+
+def _segments(path: str) -> tuple[str, ...]:
+    return tuple(path.replace("\\", "/").split("/"))
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _snippet(lines: list[str], lineno: int) -> str:
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()
+    return ""
+
+
+class Rule:
+    """One named invariant checked over a parsed source file."""
+
+    id: str = ""
+    title: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Is ``path`` (posix-relative) inside this rule's scope?"""
+        raise NotImplementedError
+
+    def check(
+        self, tree: ast.AST, lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        """Yield every violation of this rule in one parsed file."""
+        raise NotImplementedError
+
+    def _violation(
+        self, path: str, node: ast.AST, message: str, lines: list[str]
+    ) -> Violation:
+        lineno = getattr(node, "lineno", 1)
+        return Violation(
+            rule=self.id,
+            path=path,
+            line=lineno,
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            snippet=_snippet(lines, lineno),
+        )
+
+
+class RegistryBypass(Rule):
+    """R001: ``isinstance``/``issubclass`` over scheme-owned classes."""
+
+    id = "R001"
+    title = "registry-bypass dispatch"
+
+    def applies_to(self, path: str) -> bool:
+        segments = _segments(path)
+        # repro.schemes owns the one blessed set of structural checks
+        # (the registered channel codecs); the analyzer itself is meta.
+        return "schemes" not in segments and "analysis" not in segments
+
+    def _class_names(self, node: ast.expr) -> Iterable[str]:
+        candidates = (
+            node.elts if isinstance(node, ast.Tuple) else [node]
+        )
+        for candidate in candidates:
+            dotted = _dotted(candidate)
+            if dotted is None:
+                continue
+            if dotted.startswith(("np.", "numpy.")):
+                # numpy's own types (np.integer, np.random.Generator, ...)
+                # are structural value checks, not scheme dispatch.
+                continue
+            name = dotted.rsplit(".", 1)[-1]
+            if name in DISPATCH_TYPES:
+                yield name
+
+    def check(
+        self, tree: ast.AST, lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Name)
+                and func.id in ("isinstance", "issubclass")
+            ):
+                continue
+            if len(node.args) < 2:
+                continue
+            for name in self._class_names(node.args[1]):
+                yield self._violation(
+                    path,
+                    node,
+                    f"{func.id} dispatch on scheme-owned class {name!r}; "
+                    "use the capability registry (repro.schemes.spec_for / "
+                    "channel_kind) so new scheme registrations are not "
+                    "silently skipped",
+                    lines,
+                )
+
+
+class IntegerWidthHazard(Rule):
+    """R002: numpy calls in kernel modules must pin their dtype."""
+
+    id = "R002"
+    title = "unpinned numpy dtype in kernel module"
+
+    def applies_to(self, path: str) -> bool:
+        segments = _segments(path)
+        if "core" in segments or "rangesum" in segments:
+            return True
+        return path.replace("\\", "/").endswith("sketch/plane.py")
+
+    def check(
+        self, tree: ast.AST, lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None or "." not in dotted:
+                continue
+            prefix, attr = dotted.rsplit(".", 1)
+            if prefix not in ("np", "numpy"):
+                continue
+            has_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+            if attr in _CONSTRUCTOR_DTYPE_POS:
+                positional = len(node.args) > _CONSTRUCTOR_DTYPE_POS[attr]
+                if not has_dtype and not positional:
+                    yield self._violation(
+                        path,
+                        node,
+                        f"np.{attr} without an explicit dtype in a kernel "
+                        "module; the platform-default integer (int32 on "
+                        "64-bit Windows) silently narrows exact bit-level "
+                        "arithmetic -- pin dtype=np.uint64/np.int64",
+                        lines,
+                    )
+            elif attr in _ACCUMULATORS and not has_dtype:
+                yield self._violation(
+                    path,
+                    node,
+                    f"np.{attr} without an explicit accumulator dtype in a "
+                    "kernel module; integer reductions accumulate in the "
+                    "platform default width and can overflow silently",
+                    lines,
+                )
+
+
+class DeterminismGuard(Rule):
+    """R003: no unseeded or global-state randomness, no wall-clock."""
+
+    id = "R003"
+    title = "non-deterministic source"
+
+    def applies_to(self, path: str) -> bool:
+        return "analysis" not in _segments(path)
+
+    def _random_aliases(self, tree: ast.AST) -> tuple[set[str], set[str]]:
+        """(module aliases of ``random``, names imported from it)."""
+        modules: set[str] = set()
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        modules.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in _STDLIB_RANDOM_FUNCS:
+                        names.add(alias.asname or alias.name)
+        return modules, names
+
+    def check(
+        self, tree: ast.AST, lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        random_modules, random_names = self._random_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is not None:
+                if dotted.endswith("random.default_rng") and not (
+                    node.args or node.keywords
+                ):
+                    yield self._violation(
+                        path,
+                        node,
+                        "unseeded np.random.default_rng(); every figure and "
+                        "estimate must replay bit-identically from an "
+                        "explicit seed -- thread a seed or Generator in",
+                        lines,
+                    )
+                    continue
+                head, _, attr = dotted.rpartition(".")
+                if (
+                    head in ("np.random", "numpy.random")
+                    and attr in _GLOBAL_RNG_ATTRS
+                ):
+                    yield self._violation(
+                        path,
+                        node,
+                        f"legacy global-state np.random.{attr}; use an "
+                        "explicitly seeded np.random.Generator",
+                        lines,
+                    )
+                    continue
+                if dotted in ("time.time", "time.time_ns"):
+                    yield self._violation(
+                        path,
+                        node,
+                        "wall-clock time on a deterministic path; use "
+                        "time.perf_counter for measurement or pass "
+                        "timestamps in",
+                        lines,
+                    )
+                    continue
+                if (
+                    "." in dotted
+                    and dotted.split(".", 1)[0] in random_modules
+                    and dotted.rsplit(".", 1)[-1] in _STDLIB_RANDOM_FUNCS
+                ):
+                    yield self._violation(
+                        path,
+                        node,
+                        f"stdlib {dotted} draws from hidden global state; "
+                        "use an explicitly seeded np.random.Generator",
+                        lines,
+                    )
+                    continue
+                if "." not in dotted and dotted in random_names:
+                    yield self._violation(
+                        path,
+                        node,
+                        f"stdlib random.{dotted} draws from hidden global "
+                        "state; use an explicitly seeded np.random.Generator",
+                        lines,
+                    )
+
+
+class ExceptionBoundaryAudit(Rule):
+    """R004: broad handlers in the durability layer carry a boundary note."""
+
+    id = "R004"
+    title = "undocumented broad exception handler"
+
+    def applies_to(self, path: str) -> bool:
+        return "stream" in _segments(path)
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for entry in types:
+            dotted = _dotted(entry)
+            if dotted is not None and dotted.rsplit(".", 1)[-1] in (
+                "Exception",
+                "BaseException",
+            ):
+                return True
+        return False
+
+    def check(
+        self, tree: ast.AST, lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node):
+                continue
+            if _BLE_BOUNDARY_RE.search(_snippet(lines, node.lineno)):
+                continue
+            yield self._violation(
+                path,
+                node,
+                "broad exception handler in the durability layer without a "
+                "'# noqa: BLE001 -- reason' boundary comment; swallowed "
+                "errors here can silently drop acknowledged updates",
+                lines,
+            )
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    RegistryBypass(),
+    IntegerWidthHazard(),
+    DeterminismGuard(),
+    ExceptionBoundaryAudit(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """The rule instance registered under ``rule_id``."""
+    for rule in ALL_RULES:
+        if rule.id == rule_id:
+            return rule
+    known = ", ".join(rule.id for rule in ALL_RULES)
+    raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}")

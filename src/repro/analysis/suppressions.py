@@ -1,0 +1,68 @@
+"""Inline suppression comments: ``# repro: allow[R00x] reason``.
+
+A suppression silences one or more rules on the line it annotates.  It
+may share the flagged line or stand alone on the line directly above
+(for lines too long to carry a trailing comment).  The reason string is
+mandatory: a reasonless ``allow`` does not suppress anything and is
+itself reported (rule ``R000``), so every silenced finding documents why
+it is safe.
+
+:mod:`repro.analysis.rules` additionally recognizes the repo's
+established ``# noqa: BLE001 -- reason`` convention for broad exception
+handlers (rule R004); that parsing lives with the rule, not here.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Suppression", "collect_suppressions"]
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[\s*([A-Z][0-9]{3}(?:\s*,\s*[A-Z][0-9]{3})*)\s*\]"
+    r"\s*(.*?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``repro: allow`` comment: which rules, where, and why."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    #: True when the comment is the line's only content, so it covers the
+    #: *next* line instead of its own.
+    standalone: bool
+
+    @property
+    def covered_line(self) -> int:
+        """The source line this suppression silences."""
+        return self.line + 1 if self.standalone else self.line
+
+    def covers(self, rule: str, line: int) -> bool:
+        """Does this suppression silence ``rule`` at ``line``?"""
+        return bool(self.reason) and rule in self.rules and (
+            line == self.covered_line
+        )
+
+
+def collect_suppressions(source_lines: list[str]) -> list[Suppression]:
+    """Every ``repro: allow`` comment in a file, 1-indexed by line."""
+    found = []
+    for number, text in enumerate(source_lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        reason = match.group(2).strip()
+        standalone = text[: match.start()].strip() == ""
+        found.append(
+            Suppression(
+                line=number, rules=rules, reason=reason, standalone=standalone
+            )
+        )
+    return found

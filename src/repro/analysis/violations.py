@@ -1,0 +1,38 @@
+"""Violation records and baseline fingerprints.
+
+A violation is one rule firing at one source location.  The baseline file
+stores *fingerprints* -- ``rule::path::snippet`` -- rather than line
+numbers, so unrelated edits above a baselined site do not churn the
+baseline.  Two identical snippets in one file share a fingerprint; the
+engine counts occurrences so a second copy of a baselined violation still
+fails strict mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    snippet: str
+
+    def fingerprint(self) -> str:
+        """The line-number-free identity used by the baseline file."""
+        return f"{self.rule}::{self.path}::{self.snippet}"
+
+    def render(self) -> str:
+        """Human-readable one-line report."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} {self.message}"
+        )

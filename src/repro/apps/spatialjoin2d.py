@@ -29,8 +29,8 @@ from itertools import product as cartesian_product
 
 import numpy as np
 
+from repro.schemes import channel_kind
 from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
-from repro.sketch.atomic import ProductChannel
 
 __all__ = [
     "RectDataset",
@@ -92,7 +92,7 @@ def sketch_rect_dataset(
     evaluations.
     """
     if not all(
-        isinstance(channel, ProductChannel)
+        channel_kind(channel) == "product"
         for row in scheme.channels
         for channel in row
     ):

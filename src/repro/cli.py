@@ -7,6 +7,7 @@ Usage::
     repro-experiments all
     repro-experiments bench
     repro-experiments faults
+    repro-experiments analyze --strict
 
 ``--quick`` shrinks trial counts for a fast sanity pass; the defaults match
 the benchmark harness (see EXPERIMENTS.md for recorded outputs).
@@ -22,6 +23,11 @@ exercising whichever capabilities it declares.
 (:mod:`repro.stream.faults`): torn WAL tails, corrupted sealed segments,
 partial snapshots, and mid-batch plane failures, verifying the recovery
 invariants end to end.  Exits non-zero if any scenario fails.
+
+``analyze`` runs the domain-aware static-analysis rules
+(:mod:`repro.analysis`, rules R001-R004) over ``src/repro``; with
+``--strict`` it exits non-zero on any violation outside the checked-in
+baseline (``analysis-baseline.json``).  See ``docs/static-analysis.md``.
 """
 
 from __future__ import annotations
@@ -77,10 +83,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "bench", "faults"],
+        choices=[*EXPERIMENTS, "all", "bench", "faults", "analyze"],
         help="which table/figure to regenerate ('bench' for the "
         "vectorized-kernel benchmark reports, 'faults' for the "
-        "fault-injection suite)",
+        "fault-injection suite, 'analyze' for the static-analysis gate)",
     )
     parser.add_argument(
         "--quick",
@@ -101,7 +107,38 @@ def main(argv: list[str] | None = None) -> int:
         help="bench only: a registered scheme name to bench instead of "
         "the defaults (see repro.schemes.registered_schemes())",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="analyze only: exit non-zero on any non-baselined violation",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="analyze only: refresh analysis-baseline.json from this scan",
+    )
+    parser.add_argument(
+        "--path",
+        action="append",
+        default=None,
+        help="analyze only: file/directory to scan (repeatable; defaults "
+        "to src/repro)",
+    )
     args = parser.parse_args(argv)
+
+    analyze_flags = args.strict or args.write_baseline or args.path
+    if analyze_flags and args.experiment != "analyze":
+        parser.error(
+            "--strict/--write-baseline/--path only apply to 'analyze'"
+        )
+    if args.experiment == "analyze":
+        from repro.analysis.cli import run_analyze
+
+        return run_analyze(
+            paths=args.path,
+            strict=args.strict,
+            refresh_baseline=args.write_baseline,
+        )
 
     if args.scheme is not None and args.experiment != "bench":
         parser.error("--scheme only applies to the 'bench' experiment")
@@ -110,7 +147,7 @@ def main(argv: list[str] | None = None) -> int:
 
         try:
             get_spec(args.scheme)
-        except Exception as exc:  # UnknownSchemeError lists the registry
+        except Exception as exc:  # noqa: BLE001 -- UnknownSchemeError lists the registry
             parser.error(str(exc))
 
     if args.experiment == "faults":

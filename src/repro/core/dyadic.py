@@ -259,8 +259,10 @@ def quaternary_cover_arrays(
     lows = np.repeat(cover.lows, repeats)
     index = np.repeat(cover.index, repeats)
     # Mark the second child of each split piece and advance its low end.
-    starts = np.cumsum(repeats) - repeats
-    is_second = np.arange(len(lows)) - np.repeat(starts, repeats)
+    starts = np.cumsum(repeats, dtype=np.int64) - repeats
+    is_second = np.arange(len(lows), dtype=np.int64) - np.repeat(
+        starts, repeats
+    )
     lows = lows + (is_second.astype(np.uint64) << levels.astype(np.uint64))
     return CoverArrays(lows, levels, index, cover.intervals)
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from math import gcd
 
 __all__ = [
     "GF2Field",
@@ -252,7 +251,7 @@ class GF2Field:
             raise ZeroDivisionError("0 has no inverse in GF(2^k)")
         return self.pow(a, self.order - 2)
 
-    def elements(self):
+    def elements(self) -> range:
         """Iterate over all field elements (small fields only)."""
         return range(self.order)
 

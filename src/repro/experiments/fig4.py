@@ -19,6 +19,7 @@ from repro.apps.histograms import random_query_rects
 from repro.experiments.runner import ExperimentResult
 from repro.generators import SeedSource
 from repro.rangesum.multidim import ProductDMAP, ProductGenerator
+from repro.schemes import channel_kind
 from repro.sketch.ams import SketchScheme, estimate_product
 from repro.sketch.atomic import ProductChannel, ProductDMAPChannel
 from repro.sketch.bulk import (
@@ -65,7 +66,7 @@ def _region_sketches(scheme: SketchScheme, rects) -> list:
     grids = [[cell for row in sketch.cells for cell in row] for sketch in sketches]
     channels = [channel for row in scheme.channels for channel in row]
     for position, channel in enumerate(channels):
-        if isinstance(channel, ProductChannel):
+        if channel_kind(channel) == "product":
             values = channel.generator.rect_sums(rects)
         else:
             values = channel.dmap.rect_contributions(rects)

@@ -26,10 +26,15 @@ from repro.generators.base import Generator
 from repro.generators.bch3 import BCH3
 from repro.generators.eh3 import EH3
 
-__all__ = ["sequential_values", "sequential_bits"]
+__all__ = [
+    "sequential_values",
+    "sequential_bits",
+    "bch3_sequential_bits",
+    "eh3_sequential_bits",
+]
 
 
-def _bch3_bits(generator: BCH3, start: int, count: int) -> Iterator[int]:
+def bch3_sequential_bits(generator: BCH3, start: int, count: int) -> Iterator[int]:
     bit = generator.bit(start)
     yield bit
     i = start
@@ -41,7 +46,7 @@ def _bch3_bits(generator: BCH3, start: int, count: int) -> Iterator[int]:
         yield bit
 
 
-def _eh3_bits(generator: EH3, start: int, count: int) -> Iterator[int]:
+def eh3_sequential_bits(generator: EH3, start: int, count: int) -> Iterator[int]:
     bit = generator.bit(start)
     yield bit
     i = start
@@ -76,10 +81,14 @@ def sequential_bits(
         return iter(())
     if start < 0 or start + count > generator.domain_size:
         raise ValueError("scan range outside the generator domain")
-    if isinstance(generator, EH3):
-        return _eh3_bits(generator, start, count)
-    if isinstance(generator, BCH3):
-        return _bch3_bits(generator, start, count)
+    # Late import: repro.schemes registers the built-in specs (whose
+    # extras name the kernels below) by importing this module.
+    from repro.schemes import spec_for
+
+    spec = spec_for(generator)
+    kernel = spec.extras.get("sequential_bits") if spec is not None else None
+    if kernel is not None:
+        return kernel(generator, start, count)
     return (generator.bit(i) for i in range(start, start + count))
 
 

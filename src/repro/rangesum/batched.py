@@ -27,7 +27,7 @@ over the batch (enforced by the equivalence suite in
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -52,7 +52,7 @@ __all__ = [
 
 
 def batched_range_sums(
-    generator,
+    generator: Any,
     alphas: Sequence[int] | np.ndarray,
     betas: Sequence[int] | np.ndarray,
 ) -> np.ndarray:

@@ -23,6 +23,10 @@ smeared over ``n + 1`` sketch updates.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.core.dyadic import (
     containing_intervals,
     interval_id,
@@ -66,13 +70,19 @@ class DyadicMapper:
             for piece in containing_intervals(point, self.domain_bits)
         ]
 
-    def interval_id_arrays(self, alphas, betas):
+    def interval_id_arrays(
+        self,
+        alphas: Sequence[int] | np.ndarray,
+        betas: Sequence[int] | np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
         """Batched :meth:`interval_ids`: ``(ids, owner index, intervals)``."""
         from repro.rangesum.batched import dmap_cover_ids
 
         return dmap_cover_ids(self, alphas, betas)
 
-    def point_id_table(self, points):
+    def point_id_table(
+        self, points: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
         """Batched :meth:`point_ids` as an ``(n + 1, points)`` id matrix."""
         from repro.rangesum.batched import dmap_point_id_table
 
@@ -126,13 +136,19 @@ class DMAP:
             self.generator.value(i) for i in self.mapper.point_ids(point)
         )
 
-    def interval_contributions(self, alphas, betas):
+    def interval_contributions(
+        self,
+        alphas: Sequence[int] | np.ndarray,
+        betas: Sequence[int] | np.ndarray,
+    ) -> np.ndarray:
         """Batched :meth:`interval_contribution` over end-point arrays."""
         from repro.rangesum.batched import dmap_interval_contributions
 
         return dmap_interval_contributions(self, alphas, betas)
 
-    def point_contributions(self, points):
+    def point_contributions(
+        self, points: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
         """Batched :meth:`point_contribution` over a point array."""
         from repro.rangesum.batched import dmap_point_contributions
 

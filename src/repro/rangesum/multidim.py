@@ -43,6 +43,28 @@ def _check_rank(expected: int, got: int, what: str) -> None:
         raise ValueError(f"{what} has {got} dimensions, expected {expected}")
 
 
+def _factor_range_sum(factor: Generator, low: int, high: int) -> int:
+    """One factor's 1-D range-sum, dispatched through the registry.
+
+    A registered scheme qualifies through its declared *fast* range-sum
+    capability -- the product factorization only pays off when each axis
+    is sub-linear, so schemes that are range-summable in principle but
+    impractically slow (RM7) are rejected, matching the paper.  An
+    unregistered factor may still qualify structurally through the
+    :class:`RangeSummable` protocol (ad-hoc generators in tests and
+    applications).
+    """
+    from repro.schemes import spec_for
+
+    spec = spec_for(factor)
+    if spec is not None and spec.fast_range_sum and spec.range_sum is not None:
+        return int(spec.range_sum(factor, low, high))
+    # repro: allow[R001] Protocol fallback for factors no scheme registers
+    if isinstance(factor, RangeSummable):
+        return int(factor.range_sum(low, high))
+    raise TypeError(f"{type(factor).__name__} is not range-summable")
+
+
 class ProductGenerator:
     """Product of independent per-dimension +/-1 generators."""
 
@@ -90,11 +112,7 @@ class ProductGenerator:
         _check_rank(self.dimensions, len(rect), "rectangle")
         result = 1
         for factor, (low, high) in zip(self.factors, rect):
-            if not isinstance(factor, RangeSummable):
-                raise TypeError(
-                    f"{type(factor).__name__} is not range-summable"
-                )
-            partial = factor.range_sum(low, high)
+            partial = _factor_range_sum(factor, low, high)
             if partial == 0:
                 return 0
             result *= partial
@@ -141,11 +159,7 @@ class ProductGenerator:
                 partial = factor.value(int(entry))
             else:
                 low, high = entry
-                if not isinstance(factor, RangeSummable):
-                    raise TypeError(
-                        f"{type(factor).__name__} is not range-summable"
-                    )
-                partial = factor.range_sum(int(low), int(high))
+                partial = _factor_range_sum(factor, int(low), int(high))
             if partial == 0:
                 return 0
             result *= partial

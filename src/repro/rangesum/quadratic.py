@@ -38,6 +38,7 @@ is O(l^2) words -- comfortably inside the paper's O(l^3) bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.bits import parity
 
@@ -136,7 +137,7 @@ class QuadraticPolynomial:
         return cls(variables, constant, linear, tuple(adjacency))
 
 
-def _bits_of(x: int):
+def _bits_of(x: int) -> Iterator[int]:
     """Yield the set bit positions of ``x``."""
     while x:
         low = x & -x

@@ -17,6 +17,7 @@ from repro.schemes.errors import (
 )
 from repro.schemes.registry import (
     ChannelCodec,
+    channel_kind,
     SchemeCodec,
     SchemeSpec,
     all_specs,
@@ -60,6 +61,7 @@ __all__ = [
     "register_channel_codec",
     "encode_channel",
     "decode_channel",
+    "channel_kind",
     "registered_channel_kinds",
 ]
 

@@ -26,6 +26,10 @@ from repro.generators.bch5 import BCH5
 from repro.generators.eh3 import EH3
 from repro.generators.polyprime import PolynomialsOverPrimes, massdal2
 from repro.generators.rm7 import RM7
+from repro.generators.sequential import (
+    bch3_sequential_bits,
+    eh3_sequential_bits,
+)
 from repro.generators.toeplitz import Toeplitz, ToeplitzHash
 from repro.schemes.registry import (
     ChannelCodec,
@@ -104,7 +108,11 @@ class PolyPrimePlane(PackedPlane):
             ) % p
         return pack_counter_bits((residues & np.uint64(1)).T)
 
-    def point_totals(self, points, weights=None) -> np.ndarray:
+    def point_totals(
+        self,
+        points: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> np.ndarray:
         """Per-counter ``sum_p w_p * xi_c(p)`` for a point batch."""
         points = self._check_points(points)
         u = self._weights(weights, points.size)
@@ -185,6 +193,7 @@ register(
         plane=lambda generators: EH3Plane(generators),
         interval_kind="quaternary",
         dmap_inner=True,
+        extras={"sequential_bits": eh3_sequential_bits},
     )
 )
 
@@ -212,6 +221,7 @@ register(
         plane=lambda generators: BCH3Plane(generators),
         interval_kind="binary",
         dmap_inner=True,
+        extras={"sequential_bits": bch3_sequential_bits},
     )
 )
 

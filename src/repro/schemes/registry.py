@@ -40,6 +40,7 @@ __all__ = [
     "register_channel_codec",
     "encode_channel",
     "decode_channel",
+    "channel_kind",
     "registered_channel_kinds",
 ]
 
@@ -248,6 +249,21 @@ def decode_channel(data: Mapping[str, Any]) -> Any:
             f"unknown channel kind {kind!r}; registered kinds: {known}"
         )
     return codec.decode(data)
+
+
+def channel_kind(channel: Any) -> str | None:
+    """The registered kind claiming ``channel``, or ``None``.
+
+    The structural-dispatch primitive for consumers that branch on what a
+    channel *is* (generator / dmap / product / product_dmap): one lookup
+    against the registered codecs' ``matches`` predicates replaces
+    hand-wired ``isinstance`` ladders, so a newly registered channel kind
+    is seen by every consumer at once.
+    """
+    for codec in _CHANNEL_CODECS.values():
+        if codec.matches(channel):
+            return codec.kind
+    return None
 
 
 def registered_channel_kinds() -> tuple[str, ...]:

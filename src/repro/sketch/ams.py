@@ -14,7 +14,7 @@ implements the median-of-averages combination of ``X_R * X_S``.
 from __future__ import annotations
 
 import math
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -104,7 +104,7 @@ class SketchScheme:
         """A fresh all-zero sketch of some relation under this scheme."""
         return SketchMatrix(self)
 
-    def plane(self):
+    def plane(self) -> Any:
         """The packed structure-of-arrays plane of this grid's seeds.
 
         Built lazily, cached on the scheme, shared by every sketch of it;
@@ -126,7 +126,7 @@ class SketchMatrix:
             for row in scheme.channels
         ]
 
-    def update_point(self, item, weight: float = 1.0) -> None:
+    def update_point(self, item: Any, weight: float = 1.0) -> None:
         """Stream one point into every atomic counter.
 
         When the scheme's packed plane covers the grid, all counters are
@@ -144,7 +144,7 @@ class SketchMatrix:
             for cell in row:
                 cell.update_point(item, weight)
 
-    def update_interval(self, bounds, weight: float = 1.0) -> None:
+    def update_interval(self, bounds: Any, weight: float = 1.0) -> None:
         """Stream one interval/rectangle into every atomic counter.
 
         1-D intervals on plane-covered grids decompose once and update
@@ -161,7 +161,7 @@ class SketchMatrix:
             for cell in row:
                 cell.update_interval(bounds, weight)
 
-    def _plane_interval_totals(self, bounds):
+    def _plane_interval_totals(self, bounds: Any) -> np.ndarray | None:
         """Unit-weight per-counter sums of one 1-D interval, or ``None``.
 
         Dispatches on the plane's declared ``interval_kind`` -- the piece
@@ -203,7 +203,11 @@ class SketchMatrix:
                 cell.value += weight * float(totals[position])
                 position += 1
 
-    def update_points(self, items, weights=None) -> None:
+    def update_points(
+        self,
+        items: Any,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> None:
         """Stream a whole point batch into the grid in one plane pass.
 
         Falls back to per-cell vectorized updates (and, for product
@@ -227,7 +231,11 @@ class SketchMatrix:
             scale = 1.0 if weights is None else float(weights[position])
             self.update_point(tuple(int(x) for x in item), scale)
 
-    def update_intervals(self, intervals, weights=None) -> None:
+    def update_intervals(
+        self,
+        intervals: Any,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> None:
         """Stream a whole 1-D interval batch into the grid.
 
         One batched decomposition plus one plane pass for the entire
@@ -268,6 +276,8 @@ class SketchMatrix:
         computed as one dot product per generator cell; only available when
         every channel is a plain :class:`GeneratorChannel`.
         """
+        from repro.schemes import channel_kind
+
         frequencies = np.asarray(frequencies, dtype=np.float64)
         nonzero = np.flatnonzero(frequencies)
         indices = nonzero.astype(np.uint64)
@@ -275,7 +285,7 @@ class SketchMatrix:
         for row in self.cells:
             for cell in row:
                 channel = cell.channel
-                if not isinstance(channel, GeneratorChannel):
+                if channel_kind(channel) != "generator":
                     raise TypeError(
                         "update_frequency_vector requires GeneratorChannel cells"
                     )

@@ -26,7 +26,7 @@ interval contributes to it, so the same estimator code runs over:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -49,11 +49,11 @@ class AtomicChannel(ABC):
     """How a single point or interval contributes to one atomic counter."""
 
     @abstractmethod
-    def point(self, item) -> int:
+    def point(self, item: Any) -> int:
         """Contribution of one point item."""
 
     @abstractmethod
-    def interval(self, bounds) -> int:
+    def interval(self, bounds: Any) -> int:
         """Contribution of one interval (1-D pair or d-D rectangle)."""
 
     def points(self, items: np.ndarray) -> np.ndarray:
@@ -115,7 +115,7 @@ class ProductChannel(AtomicChannel):
     def point(self, item: Sequence[int]) -> int:
         return self.generator.value(item)
 
-    def interval(self, bounds) -> int:
+    def interval(self, bounds: Sequence[Any]) -> int:
         return self.generator.mixed_sum(bounds)
 
 
@@ -144,15 +144,19 @@ class AtomicSketch:
         self.channel = channel
         self.value = value
 
-    def update_point(self, item, weight: float = 1.0) -> None:
+    def update_point(self, item: Any, weight: float = 1.0) -> None:
         """Add one (possibly weighted) point to the sketched relation."""
         self.value += weight * self.channel.point(item)
 
-    def update_interval(self, bounds, weight: float = 1.0) -> None:
+    def update_interval(self, bounds: Any, weight: float = 1.0) -> None:
         """Add every point of an interval/rectangle, in sub-linear time."""
         self.value += weight * self.channel.interval(bounds)
 
-    def update_points(self, items: np.ndarray, weights=None) -> None:
+    def update_points(
+        self,
+        items: np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> None:
         """Bulk point update (vectorized when the channel supports it)."""
         contributions = self.channel.points(items)
         if weights is None:

@@ -32,7 +32,7 @@ test-suite asserts this) -- they are pure fast paths.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -45,14 +45,8 @@ from repro.core.dyadic import (
 from repro.generators.base import Generator
 from repro.rangesum.batched import dmap_point_id_table
 from repro.rangesum.dmap import DyadicMapper
-from repro.schemes import UnsupportedSchemeError, spec_for
+from repro.schemes import UnsupportedSchemeError, channel_kind, spec_for
 from repro.sketch.ams import SketchMatrix
-from repro.sketch.atomic import (
-    DMAPChannel,
-    GeneratorChannel,
-    ProductChannel,
-    ProductDMAPChannel,
-)
 from repro.sketch.plane import add_totals, counter_plane
 
 __all__ = [
@@ -92,7 +86,11 @@ class BinaryPieces:
         self.weights = weights
 
 
-def _piece_weights(weights, intervals, counts) -> np.ndarray:
+def _piece_weights(
+    weights: Sequence[float] | np.ndarray | None,
+    intervals: Sequence[tuple[int, int]],
+    counts: np.ndarray | Sequence[int],
+) -> np.ndarray:
     if weights is None:
         per_interval = np.ones(len(intervals), dtype=np.float64)
     else:
@@ -115,7 +113,8 @@ def _interval_endpoints(
 
 
 def decompose_quaternary(
-    intervals: Sequence[tuple[int, int]], weights=None
+    intervals: Sequence[tuple[int, int]],
+    weights: Sequence[float] | np.ndarray | None = None,
 ) -> QuaternaryPieces:
     """Quaternary covers of all intervals, flattened into piece arrays.
 
@@ -148,7 +147,8 @@ def decompose_quaternary(
 
 
 def decompose_binary(
-    intervals: Sequence[tuple[int, int]], weights=None
+    intervals: Sequence[tuple[int, int]],
+    weights: Sequence[float] | np.ndarray | None = None,
 ) -> BinaryPieces:
     """Binary covers of all intervals, flattened into piece arrays.
 
@@ -180,7 +180,9 @@ def decompose_binary(
     )
 
 
-def _consolidate(keys: np.ndarray, weights: np.ndarray):
+def _consolidate(
+    keys: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     """Aggregate duplicate keys, summing their weights.
 
     Bulk batches repeat dyadic ids and cover pieces heavily (points share
@@ -217,21 +219,18 @@ def _consolidate_pieces(
     return lows[keep], levels[keep], summed
 
 
-def _require_interval_kind(channel, kind: str, caller: str) -> None:
+def _require_interval_kind(channel: Any, kind: str, caller: str) -> None:
     """Reject a channel whose scheme does not decompose into ``kind`` pieces.
 
     The registry, not a hard-coded generator list, decides eligibility:
     a channel qualifies when its generator's registered spec declares the
     matching ``interval_kind``.
     """
-    spec = (
-        spec_for(channel.generator)
-        if isinstance(channel, GeneratorChannel)
-        else None
-    )
+    is_generator_channel = channel_kind(channel) == "generator"
+    spec = spec_for(channel.generator) if is_generator_channel else None
     if spec is None or spec.interval_kind != kind:
         got = type(channel).__name__
-        if isinstance(channel, GeneratorChannel):
+        if is_generator_channel:
             got = type(channel.generator).__name__
         raise UnsupportedSchemeError(
             f"{caller} needs channels over a scheme with "
@@ -239,7 +238,9 @@ def _require_interval_kind(channel, kind: str, caller: str) -> None:
         )
 
 
-def _eh3_piece_sums(generator, pieces: QuaternaryPieces) -> np.ndarray:
+def _eh3_piece_sums(
+    generator: Any, pieces: QuaternaryPieces
+) -> np.ndarray:
     """Per-piece Theorem-2 sums for one EH3 generator (vectorized)."""
     scales = generator.signed_scale_array()
     values = generator.values(pieces.lows).astype(np.float64)
@@ -329,7 +330,9 @@ def bch3_bulk_interval_update(
 
 
 def bulk_point_update(
-    sketch: SketchMatrix, items: np.ndarray, weights=None
+    sketch: SketchMatrix,
+    items: np.ndarray,
+    weights: Sequence[float] | np.ndarray | None = None,
 ) -> None:
     """Stream a 1-D point batch into every generator-channel counter."""
     items = np.asarray(items, dtype=np.uint64)
@@ -344,7 +347,7 @@ def bulk_point_update(
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
-            if not isinstance(channel, GeneratorChannel):
+            if channel_kind(channel) != "generator":
                 raise TypeError("bulk_point_update needs generator channels")
             values = channel.generator.values(items).astype(np.float64)
             if weights is None:
@@ -356,7 +359,7 @@ def bulk_point_update(
 def dmap_ids_for_intervals(
     mapper: DyadicMapper,
     intervals: Sequence[tuple[int, int]],
-    weights=None,
+    weights: Sequence[float] | np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Flattened DMAP cover ids (and weights) of an interval batch."""
     alphas, betas = _interval_endpoints(intervals)
@@ -372,7 +375,9 @@ def dmap_ids_for_intervals(
 
 
 def dmap_ids_for_points(
-    mapper: DyadicMapper, points: np.ndarray, weights=None
+    mapper: DyadicMapper,
+    points: np.ndarray,
+    weights: Sequence[float] | np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Flattened DMAP containing-ids of a point batch (vectorized).
 
@@ -408,7 +413,7 @@ def dmap_bulk_id_update(
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
-            if not isinstance(channel, DMAPChannel):
+            if channel_kind(channel) != "dmap":
                 raise TypeError("dmap_bulk_id_update needs DMAP channels")
             generator: Generator = channel.dmap.generator
             values = generator.values(ids).astype(np.float64)
@@ -416,7 +421,9 @@ def dmap_bulk_id_update(
 
 
 def product_bulk_point_update(
-    sketch: SketchMatrix, points: np.ndarray, weights=None
+    sketch: SketchMatrix,
+    points: np.ndarray,
+    weights: Sequence[float] | np.ndarray | None = None,
 ) -> None:
     """Stream a d-dimensional point batch into product-generator counters.
 
@@ -432,7 +439,7 @@ def product_bulk_point_update(
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
-            if not isinstance(channel, ProductChannel):
+            if channel_kind(channel) != "product":
                 raise TypeError(
                     "product_bulk_point_update needs product channels"
                 )
@@ -456,7 +463,9 @@ def _dmap_axis_contributions(
 
 
 def product_dmap_bulk_point_update(
-    sketch: SketchMatrix, points: np.ndarray, weights=None
+    sketch: SketchMatrix,
+    points: np.ndarray,
+    weights: Sequence[float] | np.ndarray | None = None,
 ) -> None:
     """Stream a d-dimensional point batch into product-DMAP counters.
 
@@ -475,7 +484,7 @@ def product_dmap_bulk_point_update(
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
-            if not isinstance(channel, ProductDMAPChannel):
+            if channel_kind(channel) != "product_dmap":
                 raise TypeError(
                     "product_dmap_bulk_point_update needs product-DMAP channels"
                 )

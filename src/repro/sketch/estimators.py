@@ -8,7 +8,7 @@ second frequency moment F2), and relative estimation errors.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -26,7 +26,9 @@ __all__ = [
 ]
 
 
-def exact_join_size(r, s) -> float:
+def exact_join_size(
+    r: Sequence[float] | np.ndarray, s: Sequence[float] | np.ndarray
+) -> float:
     """Ground truth ``|R join S| = sum_i r_i s_i`` from frequency vectors."""
     r = np.asarray(r, dtype=np.float64)
     s = np.asarray(s, dtype=np.float64)
@@ -35,20 +37,22 @@ def exact_join_size(r, s) -> float:
     return float(np.dot(r, s))
 
 
-def exact_self_join(r) -> float:
+def exact_self_join(r: Sequence[float] | np.ndarray) -> float:
     """Ground truth self-join size ``F2 = sum_i r_i^2``."""
     r = np.asarray(r, dtype=np.float64)
     return float(np.dot(r, r))
 
 
-def sketch_frequency_vector(scheme: SketchScheme, frequencies) -> SketchMatrix:
+def sketch_frequency_vector(
+    scheme: SketchScheme, frequencies: Sequence[float] | np.ndarray
+) -> SketchMatrix:
     """Sketch a relation given directly as a 1-D frequency vector."""
     sketch = scheme.sketch()
     sketch.update_frequency_vector(np.asarray(frequencies, dtype=np.float64))
     return sketch
 
 
-def sketch_points(scheme: SketchScheme, points: Iterable) -> SketchMatrix:
+def sketch_points(scheme: SketchScheme, points: Iterable[Any]) -> SketchMatrix:
     """Sketch a relation streamed point by point."""
     sketch = scheme.sketch()
     for point in points:
@@ -57,7 +61,7 @@ def sketch_points(scheme: SketchScheme, points: Iterable) -> SketchMatrix:
 
 
 def sketch_intervals(
-    scheme: SketchScheme, intervals: Iterable[Sequence]
+    scheme: SketchScheme, intervals: Iterable[Sequence[Any]]
 ) -> SketchMatrix:
     """Sketch a relation streamed as intervals/rectangles.
 

@@ -27,7 +27,7 @@ evaluation on that attribute, exactly as in the binary case.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -51,7 +51,7 @@ class _ChainRelationChannel(AtomicChannel):
             raise ValueError("chain relations touch one or two attributes")
         self.generators = tuple(generators)
 
-    def point(self, item) -> int:
+    def point(self, item: Any) -> int:
         values = np.atleast_1d(np.asarray(item))
         if len(values) != len(self.generators):
             raise ValueError(
@@ -63,7 +63,7 @@ class _ChainRelationChannel(AtomicChannel):
             result *= generator.value(int(value))
         return result
 
-    def interval(self, bounds) -> int:
+    def interval(self, bounds: Any) -> int:
         """Mixed update: ints are point attributes, pairs are ranges."""
         if len(self.generators) == 1:
             bounds = (bounds,)
@@ -126,7 +126,9 @@ class ChainJoinScheme:
                 grid.append(row)
             self._schemes.append(SketchScheme(grid))
 
-    def _generators_for(self, position: int, cell: Sequence[Generator]):
+    def _generators_for(
+        self, position: int, cell: Sequence[Generator]
+    ) -> tuple[Generator, ...]:
         if position == 0:
             return (cell[0],)
         if position == self.relations - 1:
@@ -141,7 +143,9 @@ class ChainJoinScheme:
             )
         return self._schemes[position]
 
-    def sketch_relation(self, position: int, tuples) -> SketchMatrix:
+    def sketch_relation(
+        self, position: int, tuples: Iterable[Any]
+    ) -> SketchMatrix:
         """Sketch one relation's tuples (ints for ends, pairs inside)."""
         sketch = self.scheme_for(position).sketch()
         for item in tuples:
@@ -167,7 +171,7 @@ class ChainJoinScheme:
         return float(np.median(row_means))
 
 
-def exact_chain_join(relations: Sequence[Sequence]) -> int:
+def exact_chain_join(relations: Sequence[Sequence[Any]]) -> int:
     """Reference chain-join size by dynamic programming over attributes.
 
     ``relations[0]`` and ``relations[-1]`` hold single values; middle

@@ -72,7 +72,11 @@ _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 #: ``_BYTE_BITS[v, k]`` is bit ``k`` of byte value ``v`` -- the unpacking
 #: matrix of the per-byte histogram finisher.
 _BYTE_BITS = (
-    (np.arange(256)[:, np.newaxis] >> np.arange(8)[np.newaxis, :]) & 1
+    (
+        np.arange(256, dtype=np.int64)[:, np.newaxis]
+        >> np.arange(8, dtype=np.int64)[np.newaxis, :]
+    )
+    & 1
 ).astype(np.float64)
 
 
@@ -178,7 +182,7 @@ class PackedPlane:
         self.counters = counters
         self.words = (counters + 63) // 64
 
-    def _check_points(self, points) -> np.ndarray:
+    def _check_points(self, points: Sequence[int] | np.ndarray) -> np.ndarray:
         points = np.asarray(points)
         if points.dtype.kind == "i" and points.size and int(points.min()) < 0:
             raise ValueError("negative index in plane update")
@@ -207,7 +211,11 @@ class PackedPlane:
                 f"index {top} outside domain of size 2^{self.domain_bits}"
             )
 
-    def _weights(self, weights, size: int) -> np.ndarray:
+    def _weights(
+        self,
+        weights: Sequence[float] | np.ndarray | None,
+        size: int,
+    ) -> np.ndarray:
         if weights is None:
             return np.ones(size, dtype=np.float64)
         weights = np.asarray(weights, dtype=np.float64).ravel()
@@ -244,7 +252,7 @@ class EH3Plane(PackedPlane):
         pair_shift = (2 * np.arange(pairs, dtype=np.uint64))[:, np.newaxis]
         pair_zero = ((s1[np.newaxis, :] >> pair_shift) & np.uint64(3)) == 0
         zero_parity = np.zeros((pairs + 1, self.counters), dtype=np.uint64)
-        zero_parity[1:] = np.cumsum(pair_zero, axis=0) & 1
+        zero_parity[1:] = np.cumsum(pair_zero, axis=0, dtype=np.int64) & 1
         self.zero_pair_parity = pack_counter_bits(zero_parity)
 
     def _sign_bits(self, indices: np.ndarray) -> np.ndarray:
@@ -254,13 +262,22 @@ class EH3Plane(PackedPlane):
         acc ^= (h.astype(np.uint64) * _ALL_ONES)[:, np.newaxis]
         return acc
 
-    def point_totals(self, points, weights=None) -> np.ndarray:
+    def point_totals(
+        self,
+        points: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> np.ndarray:
         """Per-counter ``sum_p w_p * xi_c(p)`` for a point batch."""
         points = self._check_points(points)
         u = self._weights(weights, points.size)
         return self._signed_totals(self._sign_bits(points), u)
 
-    def interval_totals(self, lows, half_levels, weights=None) -> np.ndarray:
+    def interval_totals(
+        self,
+        lows: Sequence[int] | np.ndarray,
+        half_levels: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> np.ndarray:
         """Per-counter Theorem-2 totals of a quaternary piece batch.
 
         ``lows``/``half_levels`` describe pieces ``[low, low + 4^j)``;
@@ -309,13 +326,22 @@ class BCH3Plane(PackedPlane):
         acc ^= self.s0_word[np.newaxis, :]
         return acc
 
-    def point_totals(self, points, weights=None) -> np.ndarray:
+    def point_totals(
+        self,
+        points: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> np.ndarray:
         """Per-counter ``sum_p w_p * xi_c(p)`` for a point batch."""
         points = self._check_points(points)
         u = self._weights(weights, points.size)
         return self._signed_totals(self._sign_bits(points), u)
 
-    def interval_totals(self, lows, levels, weights=None) -> np.ndarray:
+    def interval_totals(
+        self,
+        lows: Sequence[int] | np.ndarray,
+        levels: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> np.ndarray:
         """Per-counter totals of a binary dyadic piece batch.
 
         A piece ``[low, low + 2^l)`` contributes ``w * 2^l * xi_c(low)``
@@ -360,7 +386,11 @@ class BCH5Plane(PackedPlane):
             np.array([[g.s0 for g in generators]], dtype=np.uint64)
         )[0]
 
-    def point_totals(self, points, weights=None) -> np.ndarray:
+    def point_totals(
+        self,
+        points: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> np.ndarray:
         """Per-counter ``sum_p w_p * xi_c(p)`` for a point batch."""
         points = self._check_points(points)
         u = self._weights(weights, points.size)
@@ -401,11 +431,20 @@ class DMAPPlane:
         self.inner = inner
         self.counters = self.inner.counters
 
-    def id_totals(self, ids, weights=None) -> np.ndarray:
+    def id_totals(
+        self,
+        ids: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> np.ndarray:
         """Per-counter totals of a pre-mapped dyadic-id batch."""
         return self.inner.point_totals(ids, weights)
 
-    def interval_totals(self, alphas, betas, weights=None) -> np.ndarray:
+    def interval_totals(
+        self,
+        alphas: Sequence[int] | np.ndarray,
+        betas: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> np.ndarray:
         """Per-counter ``sum_k w_k * interval_contribution_c(a_k, b_k)``."""
         from repro.rangesum.batched import dmap_cover_ids
 
@@ -419,7 +458,11 @@ class DMAPPlane:
             piece_weights = weights[owner]
         return self.inner.point_totals(ids, piece_weights)
 
-    def point_totals(self, points, weights=None) -> np.ndarray:
+    def point_totals(
+        self,
+        points: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> np.ndarray:
         """Per-counter ``sum_p w_p * point_contribution_c(p)``."""
         from repro.rangesum.batched import dmap_point_id_table
 
@@ -511,18 +554,24 @@ def _dmap_plane(dmaps: Sequence) -> PlaneDecision:
 
 
 def _decide_plane(scheme: "SketchScheme") -> PlaneDecision:
-    """Pack a scheme's grid into the matching plane, with a reason on miss."""
-    from repro.sketch.atomic import DMAPChannel, GeneratorChannel
+    """Pack a scheme's grid into the matching plane, with a reason on miss.
+
+    The grid's channel shape is read off the registry's channel codecs
+    (:func:`repro.schemes.channel_kind`), so the plane layer needs no
+    hard-wired channel classes.
+    """
+    from repro.schemes import channel_kind
 
     channels = [channel for row in scheme.channels for channel in row]
-    if all(isinstance(c, GeneratorChannel) for c in channels):
+    kinds = {channel_kind(c) for c in channels}
+    if kinds == {"generator"}:
         return _generator_plane([c.generator for c in channels])
-    if all(isinstance(c, DMAPChannel) for c in channels):
+    if kinds == {"dmap"}:
         return _dmap_plane([c.dmap for c in channels])
-    kinds = sorted({type(c).__name__ for c in channels})
+    names = sorted({type(c).__name__ for c in channels})
     return PlaneDecision(
         None,
-        f"no packed plane covers channel kind(s): {', '.join(kinds)}",
+        f"no packed plane covers channel kind(s): {', '.join(names)}",
     )
 
 
@@ -544,7 +593,7 @@ def plane_decision(scheme: "SketchScheme") -> PlaneDecision:
     return cached
 
 
-def counter_plane(scheme: "SketchScheme"):
+def counter_plane(scheme: "SketchScheme") -> Any | None:
     """The packed plane of a scheme's seeds, built once and cached.
 
     Returns ``None`` for grids the packed kernels do not cover (mixed or
@@ -555,7 +604,7 @@ def counter_plane(scheme: "SketchScheme"):
     return plane_decision(scheme).plane
 
 
-def require_plane(scheme: "SketchScheme"):
+def require_plane(scheme: "SketchScheme") -> Any:
     """The grid's packed plane, or a typed error naming what is missing.
 
     Raises :class:`repro.schemes.UnsupportedSchemeError` (a

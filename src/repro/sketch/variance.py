@@ -19,6 +19,8 @@ experiment evaluates at scale.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.bits import adjacent_pair_or_fold
@@ -37,14 +39,14 @@ __all__ = [
 ]
 
 
-def _as_freq(vector) -> np.ndarray:
+def _as_freq(vector: Sequence[float] | np.ndarray) -> np.ndarray:
     v = np.asarray(vector, dtype=np.float64)
     if v.ndim != 1:
         raise ValueError("frequency vectors must be one-dimensional")
     return v
 
 
-def var_bch5(r, s) -> float:
+def var_bch5(r: Sequence[float] | np.ndarray, s: Sequence[float] | np.ndarray) -> float:
     """Eq. 11: the 4-wise-independent variance of ``X = X_R X_S``.
 
     ``Var = (sum r^2)(sum s^2) + (sum r s)^2 - 2 sum r^2 s^2``.
@@ -60,7 +62,7 @@ def var_bch5(r, s) -> float:
     )
 
 
-def delta_var_bch3_exact(r, s) -> float:
+def delta_var_bch3_exact(r: Sequence[float] | np.ndarray, s: Sequence[float] | np.ndarray) -> float:
     """Section 5.3.2's extra term, by direct O(|I|^3) enumeration.
 
     ``sum over distinct i, j, k (and l = i^j^k also distinct) of
@@ -86,7 +88,9 @@ def delta_var_bch3_exact(r, s) -> float:
     return total
 
 
-def delta_var_eh3_exact(r, s, domain_bits: int) -> float:
+def delta_var_eh3_exact(
+    r: Sequence[float] | np.ndarray, s: Sequence[float] | np.ndarray, domain_bits: int
+) -> float:
     """EH3's exact extra term: the BCH3 quadruples, signed by h-parity."""
     r = _as_freq(r)
     s = _as_freq(s)
@@ -110,12 +114,12 @@ def delta_var_eh3_exact(r, s, domain_bits: int) -> float:
     return total
 
 
-def var_bch3_exact(r, s) -> float:
+def var_bch3_exact(r: Sequence[float] | np.ndarray, s: Sequence[float] | np.ndarray) -> float:
     """Exact size-of-join variance under BCH3: Eq. 11 plus its Delta."""
     return var_bch5(r, s) + delta_var_bch3_exact(r, s)
 
 
-def var_eh3_exact(r, s, domain_bits: int) -> float:
+def var_eh3_exact(r: Sequence[float] | np.ndarray, s: Sequence[float] | np.ndarray, domain_bits: int) -> float:
     """Exact size-of-join variance under EH3: Eq. 11 plus its signed Delta."""
     return var_bch5(r, s) + delta_var_eh3_exact(r, s, domain_bits)
 
@@ -144,7 +148,7 @@ def equal_triples(n: int) -> int:
     return 3 * domain * domain - 2 * domain
 
 
-def eh3_expected_delta_var(r, s, n: int) -> float:
+def eh3_expected_delta_var(r: Sequence[float] | np.ndarray, s: Sequence[float] | np.ndarray, n: int) -> float:
     """Eq. 12's model of EH3's expected extra variance term.
 
     ``(1 / 4^n) (sum r)^2 (sum s)^2 (z - eq - y) / (z - eq + y)`` under the
@@ -164,7 +168,7 @@ def eh3_expected_delta_var(r, s, n: int) -> float:
     return float(r.sum() ** 2 * s.sum() ** 2 * factor / domain)
 
 
-def var_eh3_model(r, s, n: int) -> float:
+def var_eh3_model(r: Sequence[float] | np.ndarray, s: Sequence[float] | np.ndarray, n: int) -> float:
     """Eq. 12: the average-case EH3 variance model."""
     return var_bch5(r, s) + eh3_expected_delta_var(r, s, n)
 

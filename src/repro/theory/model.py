@@ -13,9 +13,7 @@ from itertools import product
 
 import numpy as np
 
-from repro.core.bits import adjacent_pair_or_fold, parity
-from repro.generators.bch3 import BCH3
-from repro.generators.eh3 import EH3
+from repro.core.bits import adjacent_pair_or_fold
 from repro.sketch.variance import predicted_relative_error, var_eh3_model
 
 __all__ = [

@@ -1,0 +1,435 @@
+"""The static-analysis framework: rules, suppressions, baseline, CLI gate.
+
+Each rule is exercised on small source fixtures at paths inside and
+outside its scope; the final meta-test pins the shipped baseline to a
+fresh scan of ``src/repro`` so the tree can never drift dirty silently.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    AnalysisReport,
+    Violation,
+    analyze_paths,
+    analyze_source,
+    collect_suppressions,
+    load_baseline,
+    rule_by_id,
+    run_analyze,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def scan(source: str, path: str) -> list[Violation]:
+    return analyze_source(textwrap.dedent(source), path)
+
+
+def rule_ids(violations: list[Violation]) -> list[str]:
+    return [v.rule for v in violations]
+
+
+# ---------------------------------------------------------------------------
+# R001: registry-bypass dispatch.
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryBypass:
+    def test_isinstance_on_scheme_class_flagged(self) -> None:
+        found = scan(
+            """\
+            def f(g):
+                return isinstance(g, EH3)
+            """,
+            "src/repro/sketch/thing.py",
+        )
+        assert rule_ids(found) == ["R001"]
+        assert "EH3" in found[0].message
+        assert found[0].line == 2
+
+    def test_tuple_and_dotted_classes_flagged(self) -> None:
+        found = scan(
+            """\
+            def f(c):
+                return isinstance(c, (GeneratorChannel, atomic.DMAPChannel))
+            """,
+            "src/repro/experiments/thing.py",
+        )
+        assert rule_ids(found) == ["R001", "R001"]
+
+    def test_issubclass_flagged(self) -> None:
+        found = scan(
+            "ok = issubclass(cls, Generator)\n",
+            "src/repro/apps/thing.py",
+        )
+        assert rule_ids(found) == ["R001"]
+
+    def test_structural_checks_not_flagged(self) -> None:
+        found = scan(
+            """\
+            def f(x):
+                if isinstance(x, (int, float, str)):
+                    return isinstance(x, np.integer)
+                return isinstance(x, numpy.random.Generator)
+            """,
+            "src/repro/sketch/thing.py",
+        )
+        assert found == []
+
+    def test_schemes_and_analysis_out_of_scope(self) -> None:
+        source = "ok = isinstance(g, EH3)\n"
+        assert scan(source, "src/repro/schemes/builtin.py") == []
+        assert scan(source, "src/repro/analysis/rules.py") == []
+
+    def test_suppression_with_reason_covers(self) -> None:
+        found = scan(
+            """\
+            def f(x):
+                # repro: allow[R001] protocol fallback for ad-hoc factors
+                return isinstance(x, RangeSummable)
+            """,
+            "src/repro/rangesum/thing.py",
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R002: integer-width hazards in kernel modules.
+# ---------------------------------------------------------------------------
+
+
+class TestIntegerWidthHazard:
+    def test_unpinned_constructors_flagged(self) -> None:
+        found = scan(
+            """\
+            import numpy as np
+            a = np.arange(10)
+            b = np.zeros(4)
+            c = np.full((2, 2), 7)
+            """,
+            "src/repro/rangesum/thing.py",
+        )
+        assert rule_ids(found) == ["R002", "R002", "R002"]
+
+    def test_pinned_constructors_clean(self) -> None:
+        found = scan(
+            """\
+            import numpy as np
+            a = np.arange(10, dtype=np.uint64)
+            b = np.zeros(4, np.int64)
+            c = np.arange(0, 10, 1, np.int64)
+            """,
+            "src/repro/core/thing.py",
+        )
+        assert found == []
+
+    def test_unpinned_accumulator_flagged(self) -> None:
+        found = scan(
+            """\
+            import numpy as np
+            total = np.cumsum(values) & 1
+            ok = np.sum(values, dtype=np.int64)
+            """,
+            "src/repro/sketch/plane.py",
+        )
+        assert rule_ids(found) == ["R002"]
+        assert "cumsum" in found[0].message
+
+    def test_non_kernel_modules_out_of_scope(self) -> None:
+        source = "import numpy as np\na = np.arange(10)\n"
+        assert scan(source, "src/repro/experiments/fig4.py") == []
+        assert scan(source, "src/repro/sketch/ams.py") == []
+
+    def test_non_numpy_calls_ignored(self) -> None:
+        found = scan(
+            "a = arange(10)\nb = mymod.zeros(3)\n",
+            "src/repro/core/thing.py",
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R003: determinism guards.
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminismGuard:
+    def test_unseeded_default_rng_flagged(self) -> None:
+        found = scan(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            "src/repro/workloads/thing.py",
+        )
+        assert rule_ids(found) == ["R003"]
+
+    def test_seeded_default_rng_clean(self) -> None:
+        found = scan(
+            """\
+            import numpy as np
+            a = np.random.default_rng(0)
+            b = np.random.default_rng(seed)
+            """,
+            "src/repro/workloads/thing.py",
+        )
+        assert found == []
+
+    def test_legacy_global_numpy_rng_flagged(self) -> None:
+        found = scan(
+            "import numpy as np\nx = np.random.randint(0, 10)\n",
+            "src/repro/experiments/thing.py",
+        )
+        assert rule_ids(found) == ["R003"]
+
+    def test_wall_clock_flagged_perf_counter_clean(self) -> None:
+        found = scan(
+            """\
+            import time
+            stamp = time.time()
+            tick = time.perf_counter()
+            """,
+            "src/repro/stream/thing.py",
+        )
+        assert rule_ids(found) == ["R003"]
+        assert "wall-clock" in found[0].message
+
+    def test_stdlib_random_module_and_names_flagged(self) -> None:
+        found = scan(
+            """\
+            import random
+            from random import randint as ri
+            a = random.random()
+            b = ri(0, 5)
+            """,
+            "src/repro/apps/thing.py",
+        )
+        assert rule_ids(found) == ["R003", "R003"]
+
+    def test_unrelated_random_attribute_clean(self) -> None:
+        found = scan(
+            "value = source.random_word()\nx = rng.random()\n",
+            "src/repro/apps/thing.py",
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R004: exception boundaries in the durability layer.
+# ---------------------------------------------------------------------------
+
+
+class TestExceptionBoundaryAudit:
+    def test_undocumented_broad_handler_flagged(self) -> None:
+        found = scan(
+            """\
+            try:
+                work()
+            except Exception:
+                pass
+            """,
+            "src/repro/stream/processor.py",
+        )
+        assert rule_ids(found) == ["R004"]
+
+    def test_bare_except_flagged(self) -> None:
+        found = scan(
+            "try:\n    work()\nexcept:\n    pass\n",
+            "src/repro/stream/wal.py",
+        )
+        assert rule_ids(found) == ["R004"]
+
+    def test_documented_boundary_clean(self) -> None:
+        found = scan(
+            """\
+            try:
+                work()
+            except Exception as exc:  # noqa: BLE001 -- degradation boundary
+                log(exc)
+            """,
+            "src/repro/stream/processor.py",
+        )
+        assert found == []
+
+    def test_narrow_handler_clean(self) -> None:
+        found = scan(
+            """\
+            try:
+                work()
+            except (ValueError, OSError):
+                pass
+            """,
+            "src/repro/stream/wal.py",
+        )
+        assert found == []
+
+    def test_outside_stream_out_of_scope(self) -> None:
+        found = scan(
+            "try:\n    work()\nexcept Exception:\n    pass\n",
+            "src/repro/experiments/thing.py",
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions and R000.
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_reasonless_suppression_reported_and_inert(self) -> None:
+        found = scan(
+            """\
+            def f(g):
+                return isinstance(g, EH3)  # repro: allow[R001]
+            """,
+            "src/repro/sketch/thing.py",
+        )
+        assert sorted(rule_ids(found)) == ["R000", "R001"]
+
+    def test_standalone_comment_covers_next_line(self) -> None:
+        found = scan(
+            """\
+            # repro: allow[R001] the blessed fallback
+            ok = isinstance(g, EH3)
+            """,
+            "src/repro/sketch/thing.py",
+        )
+        assert found == []
+
+    def test_wrong_rule_does_not_cover(self) -> None:
+        found = scan(
+            "ok = isinstance(g, EH3)  # repro: allow[R002] wrong rule\n",
+            "src/repro/sketch/thing.py",
+        )
+        assert rule_ids(found) == ["R001"]
+
+    def test_multiple_rules_in_one_marker(self) -> None:
+        lines = ["x = 1  # repro: allow[R001, R002] shared justification"]
+        (suppression,) = collect_suppressions(lines)
+        assert suppression.rules == ("R001", "R002")
+        assert suppression.covers("R001", 1)
+        assert suppression.covers("R002", 1)
+        assert not suppression.covers("R003", 1)
+
+    def test_syntax_error_reported_as_r000(self) -> None:
+        found = scan("def broken(:\n", "src/repro/core/thing.py")
+        assert rule_ids(found) == ["R000"]
+        assert "does not parse" in found[0].message
+
+
+# ---------------------------------------------------------------------------
+# Baseline mechanics and the CLI gate.
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_round_trip_and_report_split(self, tmp_path: Path) -> None:
+        old = scan(
+            "a = isinstance(g, EH3)\n", "src/repro/sketch/thing.py"
+        )
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, old)
+        baseline = load_baseline(baseline_file)
+        fresh_and_old = scan(
+            "a = isinstance(g, EH3)\nb = isinstance(g, BCH3)\n",
+            "src/repro/sketch/thing.py",
+        )
+        report = AnalysisReport(violations=fresh_and_old, baseline=baseline)
+        assert [v.snippet for v in report.baselined] == [
+            "a = isinstance(g, EH3)"
+        ]
+        assert [v.snippet for v in report.fresh] == [
+            "b = isinstance(g, BCH3)"
+        ]
+        assert report.summary() == "R001 x2"
+
+    def test_missing_baseline_is_empty(self, tmp_path: Path) -> None:
+        assert load_baseline(tmp_path / "absent.json") == frozenset()
+
+    def test_version_mismatch_rejected(self, tmp_path: Path) -> None:
+        stale = tmp_path / "baseline.json"
+        stale.write_text(json.dumps({"version": 99, "violations": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(stale)
+
+    def test_strict_gate_fails_then_baseline_clears(
+        self, tmp_path: Path
+    ) -> None:
+        kernel = tmp_path / "repro" / "rangesum"
+        kernel.mkdir(parents=True)
+        (kernel / "bad.py").write_text(
+            "import numpy as np\na = np.arange(10)\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        out = io.StringIO()
+        assert (
+            run_analyze(
+                paths=[str(kernel)],
+                strict=True,
+                baseline_path=str(baseline),
+                stream=out,
+            )
+            == 1
+        )
+        assert "R002" in out.getvalue()
+        assert (
+            run_analyze(
+                paths=[str(kernel)],
+                refresh_baseline=True,
+                baseline_path=str(baseline),
+                stream=io.StringIO(),
+            )
+            == 0
+        )
+        assert (
+            run_analyze(
+                paths=[str(kernel)],
+                strict=True,
+                baseline_path=str(baseline),
+                stream=io.StringIO(),
+            )
+            == 0
+        )
+
+    def test_rule_lookup(self) -> None:
+        assert rule_by_id("R001").id == "R001"
+        with pytest.raises(KeyError, match="R001"):
+            rule_by_id("R999")
+        assert [rule.id for rule in ALL_RULES] == [
+            "R001",
+            "R002",
+            "R003",
+            "R004",
+        ]
+
+
+class TestShippedBaseline:
+    """The tree itself must scan clean against the checked-in baseline."""
+
+    def test_fresh_scan_matches_shipped_baseline(self) -> None:
+        violations = analyze_paths(
+            [REPO_ROOT / "src" / "repro"], root=REPO_ROOT
+        )
+        baseline = load_baseline(REPO_ROOT / "analysis-baseline.json")
+        report = AnalysisReport(violations=violations, baseline=baseline)
+        assert report.fresh == [], "\n".join(
+            v.render() for v in report.fresh
+        )
+        # Every baselined fingerprint must still exist somewhere, or the
+        # baseline has gone stale and should be refreshed.
+        live = {v.fingerprint() for v in violations}
+        stale = baseline - live
+        assert stale == set(), f"stale baseline entries: {sorted(stale)}"
+
+    def test_shipped_baseline_is_empty(self) -> None:
+        # PR 4 fixed or suppressed-with-reason every historical finding;
+        # keep it that way -- new violations need a fix or an inline
+        # '# repro: allow[R00x] reason', not a baseline entry.
+        assert load_baseline(REPO_ROOT / "analysis-baseline.json") == frozenset()

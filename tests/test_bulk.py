@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.generators import BCH3, EH3, SeedSource
+from repro.generators import BCH3, EH3
 from repro.rangesum.dmap import DMAP, DyadicMapper
 from repro.rangesum.multidim import ProductDMAP, ProductGenerator
 from repro.sketch.ams import SketchScheme

@@ -7,8 +7,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.bits import adjacent_pair_or_fold, parity
-from repro.generators import BCH3, EH3, SeedSource
+from repro.core.bits import adjacent_pair_or_fold
+from repro.generators import BCH3, EH3
 
 
 class TestConstruction:

@@ -4,8 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.bits import popcount
-from repro.generators import BCH3, BCH5, EH3, PolynomialsOverPrimes, RM7, SeedSource
+from repro.generators import BCH3, EH3, PolynomialsOverPrimes, RM7, SeedSource
 from repro.rangesum.hardness import (
     algebraic_normal_form,
     anf_terms,

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from itertools import combinations
 
-import numpy as np
 import pytest
 
 from repro.generators import BCH3, BCH5, EH3, RM7, SeedSource, Toeplitz

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.generators import BCH3, EH3, SeedSource
+from repro.generators import BCH3, SeedSource
 from repro.rangesum.multidim import ProductDMAP, ProductGenerator
 
 

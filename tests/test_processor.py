@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.generators import BCH5, SeedSource
+from repro.generators import BCH5
 from repro.stream import (
     InvalidUpdateError,
     SchemeMismatchError,

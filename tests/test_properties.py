@@ -8,7 +8,6 @@ into the strategies here, it inherits the whole invariant battery.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -24,7 +23,6 @@ from repro.generators import (
 from repro.rangesum import (
     bch3_range_sum,
     bch5_range_sum,
-    brute_force_range_sum,
     eh3_range_sum,
     rm7_range_sum,
 )

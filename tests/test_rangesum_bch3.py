@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.dyadic import DyadicInterval, minimal_dyadic_cover
-from repro.generators import BCH3, SeedSource
+from repro.generators import BCH3
 from repro.rangesum import bch3_dyadic_sum, bch3_range_sum, brute_force_range_sum
 
 

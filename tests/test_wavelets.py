@@ -14,7 +14,7 @@ from repro.apps.wavelets import (
     inverse_haar_transform,
     reconstruct_from_synopsis,
 )
-from repro.generators import EH3, SeedSource
+from repro.generators import EH3
 from repro.sketch.ams import SketchScheme
 from repro.sketch.estimators import sketch_frequency_vector
 
