@@ -1,4 +1,4 @@
-"""The domain-specific rules (R001-R004).
+"""The domain-specific rules (R001-R005).
 
 Each rule encodes an invariant the generic linters cannot see because it
 is about *this* codebase's arithmetic and architecture:
@@ -12,7 +12,12 @@ R003  nothing on an estimator or generator path consumes unseeded
       randomness or wall-clock time -- reproducibility is a paper-level
       invariant (every figure must replay bit-identically from a seed);
 R004  broad exception handlers in the durability layer are deliberate,
-      documented boundaries, never accidental swallows.
+      documented boundaries, never accidental swallows;
+R005  all timing flows through the observability layer's injected clock
+      (``repro.obs.monotonic``) -- direct ``time.monotonic()`` /
+      ``time.perf_counter()`` calls outside ``repro.obs`` and
+      ``repro.bench`` make recorded durations impossible to replay
+      deterministically under a fake clock.
 
 Rules see one parsed file at a time and yield :class:`Violation` records;
 suppression filtering happens in :mod:`repro.analysis.engine`.
@@ -330,8 +335,8 @@ class DeterminismGuard(Rule):
                         path,
                         node,
                         "wall-clock time on a deterministic path; use "
-                        "time.perf_counter for measurement or pass "
-                        "timestamps in",
+                        "the injected clock (repro.obs.monotonic) for "
+                        "measurement or pass timestamps in",
                         lines,
                     )
                     continue
@@ -404,11 +409,75 @@ class ExceptionBoundaryAudit(Rule):
             )
 
 
+#: ``time`` module functions R005 reserves for the observability layer.
+_MONOTONIC_FUNCS = frozenset(
+    {"monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+
+
+class ClockInjectionGuard(Rule):
+    """R005: timing goes through the injected clock, not ``time.*``."""
+
+    id = "R005"
+    title = "direct monotonic clock call"
+
+    def applies_to(self, path: str) -> bool:
+        # repro.obs owns the injected clock and repro.bench is the one
+        # blessed raw-timing harness (its numbers *should* be wall time).
+        segments = _segments(path)
+        if "obs" in segments:
+            return False
+        return not path.replace("\\", "/").endswith("repro/bench.py")
+
+    def _time_aliases(self, tree: ast.AST) -> tuple[set[str], set[str]]:
+        """(module aliases of ``time``, names imported from it)."""
+        modules: set[str] = set()
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        modules.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _MONOTONIC_FUNCS:
+                        names.add(alias.asname or alias.name)
+        return modules, names
+
+    def check(
+        self, tree: ast.AST, lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        time_modules, time_names = self._time_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            if "." in dotted:
+                head, _, attr = dotted.rpartition(".")
+                flagged = head in time_modules and attr in _MONOTONIC_FUNCS
+            else:
+                attr = dotted
+                flagged = dotted in time_names
+            if flagged:
+                yield self._violation(
+                    path,
+                    node,
+                    f"direct time.{attr}() outside repro.obs/repro.bench; "
+                    "read the injected clock (repro.obs.monotonic / "
+                    "obs.span) so recorded durations replay "
+                    "deterministically under a fake clock",
+                    lines,
+                )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     RegistryBypass(),
     IntegerWidthHazard(),
     DeterminismGuard(),
     ExceptionBoundaryAudit(),
+    ClockInjectionGuard(),
 )
 
 

@@ -232,6 +232,7 @@ def run_table2_bench(
     from repro.generators import SeedSource
     from repro.rangesum import DMAP
     from repro.schemes import get_spec
+    from repro.schemes import range_sums as dispatch_range_sums
 
     source = SeedSource(seed)
     rng = np.random.default_rng(seed)
@@ -253,6 +254,7 @@ def run_table2_bench(
     }
     skipped: dict = {}
     cases: dict = {}
+    dispatch_generators: dict = {}
 
     if schemes is None:
         eh3_spec = get_spec("eh3")
@@ -268,6 +270,8 @@ def run_table2_bench(
             lambda: [bch3_spec.range_sum(bch3, a, b) for a, b in batch],
             lambda: bch3_spec.range_sums(bch3, alphas, betas),
         )
+        dispatch_generators["EH3 (interval)"] = eh3
+        dispatch_generators["BCH3 (interval)"] = bch3
         cases["DMAP (interval)"] = (
             lambda: [dmap.interval_contribution(a, b) for a, b in batch],
             lambda: dmap.interval_contributions(alphas, betas),
@@ -296,9 +300,20 @@ def run_table2_bench(
                 return spec.range_sums(generator, alphas, betas)
 
             cases[f"{scheme_name} (interval)"] = (scalar, batched)
+            dispatch_generators[f"{scheme_name} (interval)"] = generator
 
     for name, (scalar, batched) in cases.items():
         identical = list(scalar()) == list(batched())
+        generator = dispatch_generators.get(name)
+        if generator is not None:
+            # The public dispatch path must agree with the raw kernels
+            # timed below; going through it here also lands the
+            # schemes.dispatch.* counters in the report's metrics
+            # snapshot without touching the timed loops.
+            identical = identical and (
+                list(dispatch_range_sums(generator, alphas, betas))
+                == list(batched())
+            )
         scalar_seconds = _best_seconds(scalar, repeats)
         batched_seconds = _best_seconds(batched, repeats)
         report["schemes"][name] = {
@@ -458,8 +473,17 @@ def write_bench_files(output_dir: str = ".", **overrides) -> dict[str, str]:
     / ``BENCH_durability.json``.
 
     Returns the written paths keyed by report name.
+
+    Each report carries a schema-versioned ``"metrics"`` key: the
+    observability registry snapshot accumulated by that bench run alone
+    (the registry is reset before each runner), so the reports record
+    *what the benchmark actually exercised* -- covers decomposed, pieces
+    deduplicated, WAL appends/fsyncs, plane-vs-fallback path counts --
+    alongside its timings.
     """
     import os
+
+    from repro import obs
 
     os.makedirs(output_dir, exist_ok=True)
     written = {}
@@ -468,7 +492,12 @@ def write_bench_files(output_dir: str = ".", **overrides) -> dict[str, str]:
         ("BENCH_table2", run_table2_bench),
         ("BENCH_durability", run_durability_bench),
     ):
+        obs.reset_metrics()
         report = runner(**overrides.get(name, {}))
+        report["metrics"] = {
+            "schema_version": 1,
+            "instruments": obs.snapshot(),
+        }
         path = os.path.join(output_dir, f"{name}.json")
         with open(path, "w") as handle:
             json.dump(report, handle, indent=2)

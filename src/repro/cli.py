@@ -25,9 +25,17 @@ partial snapshots, and mid-batch plane failures, verifying the recovery
 invariants end to end.  Exits non-zero if any scenario fails.
 
 ``analyze`` runs the domain-aware static-analysis rules
-(:mod:`repro.analysis`, rules R001-R004) over ``src/repro``; with
+(:mod:`repro.analysis`, rules R001-R005) over ``src/repro``; with
 ``--strict`` it exits non-zero on any violation outside the checked-in
 baseline (``analysis-baseline.json``).  See ``docs/static-analysis.md``.
+
+``metrics`` runs a small deterministic workload through every
+instrumented layer and prints the resulting registry snapshot
+(``--format json`` or ``--format prometheus``); ``--require-golden
+PATH`` exits non-zero when any instrument named in the golden list is
+missing.  ``--trace out.jsonl`` (on ``bench``, ``faults``, and
+``metrics``) writes Chrome-trace span events, one JSON object per line.
+See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -83,10 +91,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "bench", "faults", "analyze"],
+        choices=[*EXPERIMENTS, "all", "bench", "faults", "analyze", "metrics"],
         help="which table/figure to regenerate ('bench' for the "
         "vectorized-kernel benchmark reports, 'faults' for the "
-        "fault-injection suite, 'analyze' for the static-analysis gate)",
+        "fault-injection suite, 'analyze' for the static-analysis gate, "
+        "'metrics' for the observability snapshot)",
     )
     parser.add_argument(
         "--quick",
@@ -124,6 +133,28 @@ def main(argv: list[str] | None = None) -> int:
         help="analyze only: file/directory to scan (repeatable; defaults "
         "to src/repro)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("json", "prometheus"),
+        default=None,
+        dest="metrics_format",
+        help="metrics only: exposition format for the registry snapshot "
+        "(default: json)",
+    )
+    parser.add_argument(
+        "--require-golden",
+        default=None,
+        metavar="PATH",
+        help="metrics only: exit non-zero if any instrument named in "
+        "this golden list (one name per line, '#' comments) is missing",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="bench/faults/metrics: write Chrome-trace span events to "
+        "this JSONL file",
+    )
     args = parser.parse_args(argv)
 
     analyze_flags = args.strict or args.write_baseline or args.path
@@ -131,6 +162,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             "--strict/--write-baseline/--path only apply to 'analyze'"
         )
+    if (
+        args.metrics_format or args.require_golden
+    ) and args.experiment != "metrics":
+        parser.error("--format/--require-golden only apply to 'metrics'")
+    if args.trace and args.experiment not in ("bench", "faults", "metrics"):
+        parser.error("--trace only applies to 'bench', 'faults' and 'metrics'")
     if args.experiment == "analyze":
         from repro.analysis.cli import run_analyze
 
@@ -139,6 +176,56 @@ def main(argv: list[str] | None = None) -> int:
             strict=args.strict,
             refresh_baseline=args.write_baseline,
         )
+
+    collector = None
+    if args.trace:
+        from repro import obs
+
+        collector = obs.TraceCollector()
+        obs.set_trace_collector(collector)
+
+    def _finish_trace() -> None:
+        if collector is None:
+            return
+        from repro import obs
+
+        obs.set_trace_collector(None)
+        count = collector.write_jsonl(args.trace)
+        print(f"trace: {args.trace} ({count} span events)", file=sys.stderr)
+
+    if args.experiment == "metrics":
+        import json as json_module
+
+        from repro import obs
+        from repro.obs.exposition import (
+            exercise_all_layers,
+            missing_instruments,
+            read_golden_list,
+        )
+
+        snapshot = exercise_all_layers(seed=args.seed)
+        _finish_trace()
+        if (args.metrics_format or "json") == "prometheus":
+            print(obs.snapshot_to_prometheus(snapshot), end="")
+        else:
+            print(
+                json_module.dumps(
+                    {"schema_version": 1, "instruments": snapshot},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        if args.require_golden:
+            missing = missing_instruments(
+                snapshot, read_golden_list(args.require_golden)
+            )
+            if missing:
+                print(
+                    "missing golden instruments: " + ", ".join(missing),
+                    file=sys.stderr,
+                )
+                return 1
+        return 0
 
     if args.scheme is not None and args.experiment != "bench":
         parser.error("--scheme only applies to the 'bench' experiment")
@@ -154,6 +241,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.stream.faults import run_fault_suite
 
         results = run_fault_suite(seed=args.seed)
+        _finish_trace()
         width = max(len(result.name) for result in results)
         for result in results:
             status = "PASS" if result.passed else "FAIL"
@@ -185,6 +273,7 @@ def main(argv: list[str] | None = None) -> int:
             overrides.setdefault("BENCH_table2", {})["schemes"] = (args.scheme,)
             overrides.setdefault("BENCH_durability", {})["scheme"] = args.scheme
         written = write_bench_files(args.output_dir or ".", **overrides)
+        _finish_trace()
         for name, path in written.items():
             print(f"{name}: {path}")
             with open(path) as handle:

@@ -8,9 +8,10 @@ any paper-reported reference values.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
+
+from repro import obs
 
 __all__ = ["ExperimentResult", "time_per_op", "format_number"]
 
@@ -111,8 +112,8 @@ def time_per_op(
     calls = 0
     elapsed = 0.0
     while (elapsed < min_seconds or calls < 2) and calls < max_calls:
-        start = time.perf_counter()
+        start = obs.monotonic()
         operation()
-        elapsed += time.perf_counter() - start
+        elapsed += obs.monotonic() - start
         calls += 1
     return elapsed / (calls * operations_per_call) * 1e9

@@ -1,0 +1,275 @@
+"""``repro.obs``: dependency-free metrics and tracing for the hot paths.
+
+One process-wide :class:`~repro.obs.metrics.MetricsRegistry` (typed
+counters, gauges, fixed-bucket histograms, EWMA rates), nestable trace
+spans with Chrome-trace export, and a module switch that swaps the whole
+subsystem for shared no-op singletons -- so a disabled build pays one
+boolean check per instrument call (budget asserted in
+``tests/test_obs.py``).
+
+Call sites use the module-level helpers::
+
+    from repro import obs
+
+    obs.counter("stream.ingest.points_total").inc(batch.size)
+    obs.histogram("stream.ingest.batch_size", obs.DEFAULT_SIZE_EDGES)\\
+        .observe(batch.size)
+    with obs.span("sketch.plane.interval_totals", scheme="eh3"):
+        ...kernel...
+
+All timing flows through the registry's injected monotonic clock
+(:func:`monotonic` / :func:`set_clock`); rule R005 bans direct
+``time.monotonic()``/``time.perf_counter()`` calls outside this package
+and ``repro.bench``, so swapping the clock makes every recorded duration
+deterministic.  See ``docs/observability.md`` for the instrument
+catalogue and exposition formats.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.obs.metrics import (
+    DEFAULT_SIZE_EDGES,
+    DEFAULT_TIMING_EDGES,
+    Clock,
+    Counter,
+    EWMARate,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+    NullRate,
+    NullRegistry,
+    snapshot_to_prometheus,
+)
+from repro.obs.tracing import TraceCollector
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EWMARate",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRate",
+    "TraceCollector",
+    "DEFAULT_TIMING_EDGES",
+    "DEFAULT_SIZE_EDGES",
+    "snapshot_to_prometheus",
+    "enabled",
+    "set_enabled",
+    "registry",
+    "set_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "rate",
+    "span",
+    "monotonic",
+    "set_clock",
+    "snapshot",
+    "to_prometheus",
+    "reset_metrics",
+    "trace_collector",
+    "set_trace_collector",
+]
+
+_REGISTRY = MetricsRegistry()
+_NULL = NullRegistry()
+_ENABLED = True
+_COLLECTOR: TraceCollector | None = None
+
+
+# -- module switch -------------------------------------------------------
+
+
+def enabled() -> bool:
+    """Is the live registry active (vs the no-op registry)?"""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Flip the module switch; returns the previous setting.
+
+    While disabled, :func:`registry` hands out the shared
+    :class:`NullRegistry` and :func:`span` returns a stateless no-op
+    context manager -- the live registry keeps its accumulated state and
+    resumes untouched when re-enabled.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+def registry() -> MetricsRegistry | NullRegistry:
+    """The active registry: the live one, or the no-op when disabled."""
+    return _REGISTRY if _ENABLED else _NULL
+
+
+def set_registry(target: MetricsRegistry) -> MetricsRegistry:
+    """Swap the live registry (tests isolate state); returns the old one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = target
+    return previous
+
+
+# -- instrument helpers --------------------------------------------------
+
+
+def counter(name: str, description: str = "") -> Counter | NullCounter:
+    """The named counter of the active registry."""
+    return registry().counter(name, description)
+
+
+def gauge(name: str, description: str = "") -> Gauge | NullGauge:
+    """The named gauge of the active registry."""
+    return registry().gauge(name, description)
+
+
+def histogram(
+    name: str,
+    edges: Iterable[float] = DEFAULT_TIMING_EDGES,
+    description: str = "",
+) -> Histogram | NullHistogram:
+    """The named histogram of the active registry."""
+    return registry().histogram(name, edges, description)
+
+
+def rate(
+    name: str, halflife: float = 5.0, description: str = ""
+) -> EWMARate | NullRate:
+    """The named EWMA rate of the active registry."""
+    return registry().rate(name, halflife, description)
+
+
+# -- clock ---------------------------------------------------------------
+
+
+def monotonic() -> float:
+    """The injected monotonic clock's reading (seconds).
+
+    The single blessed timing source outside :mod:`repro.bench` -- rule
+    R005 flags any direct ``time.monotonic()``/``time.perf_counter()``
+    call elsewhere.  Works whether or not the registry is enabled.
+    """
+    return _REGISTRY.now()
+
+
+def set_clock(clock: Clock) -> Clock:
+    """Inject a monotonic clock into the live registry; returns the old.
+
+    Existing :class:`EWMARate` instruments keep the clock they were
+    created with; call :func:`reset_metrics` first when a test needs the
+    whole registry on the fake clock.
+    """
+    return _REGISTRY.set_clock(clock)
+
+
+# -- spans ---------------------------------------------------------------
+
+
+class _NullSpan:
+    """Stateless no-op span: reused when metrics and tracing are off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One timed region: histogram observation + optional trace event."""
+
+    __slots__ = ("name", "attrs", "_start")
+
+    def __init__(self, name: str, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        if _COLLECTOR is not None:
+            _COLLECTOR.open_span(self.name)
+        self._start = _REGISTRY.now()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        duration = _REGISTRY.now() - self._start
+        if _ENABLED:
+            _REGISTRY.histogram(
+                self.name + ".seconds", DEFAULT_TIMING_EDGES
+            ).observe(duration)
+        if _COLLECTOR is not None:
+            _COLLECTOR.close_span(
+                self.name,
+                self._start,
+                duration,
+                self.attrs,
+                None if exc_type is None else exc_type.__name__,
+            )
+        return None
+
+
+def span(name: str, **attrs: Any) -> _Span | _NullSpan:
+    """A context manager timing one region of a hot path.
+
+    On exit the duration lands in histogram ``<name>.seconds`` (when the
+    registry is enabled) and, when a trace collector is installed, one
+    Chrome-trace complete event carrying ``attrs``.  With both off this
+    returns a shared stateless no-op, so an always-on ``with
+    obs.span(...)`` costs almost nothing in a disabled build.
+    """
+    if not _ENABLED and _COLLECTOR is None:
+        return _NULL_SPAN
+    return _Span(name, attrs)
+
+
+# -- tracing -------------------------------------------------------------
+
+
+def trace_collector() -> TraceCollector | None:
+    """The installed trace collector, or ``None``."""
+    return _COLLECTOR
+
+
+def set_trace_collector(
+    collector: TraceCollector | None,
+) -> TraceCollector | None:
+    """Install (or remove, with ``None``) the span trace collector."""
+    global _COLLECTOR
+    previous = _COLLECTOR
+    _COLLECTOR = collector
+    return previous
+
+
+# -- snapshots -----------------------------------------------------------
+
+
+def snapshot() -> dict[str, dict[str, Any]]:
+    """The active registry's full state, keyed by instrument name."""
+    return registry().snapshot()
+
+
+def to_prometheus() -> str:
+    """The active registry's state as Prometheus text exposition."""
+    return registry().to_prometheus()
+
+
+def reset_metrics() -> None:
+    """Drop every instrument of the live registry (scope a fresh run)."""
+    _REGISTRY.reset()

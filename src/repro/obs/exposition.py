@@ -1,0 +1,114 @@
+"""Exposition support: the exercise workload and golden-list checks.
+
+Instruments are created lazily, on first use -- an idle process exposes
+an empty registry.  The ``repro-experiments metrics`` subcommand
+therefore runs :func:`exercise_all_layers` first: a small, deterministic
+workload that drives every instrumented layer (stream ingestion and
+validation, graceful degradation, WAL + snapshot durability, recovery,
+the packed plane kernels, and scheme range-sum dispatch) so the snapshot
+it prints covers the full instrument catalogue.
+
+CI keeps that catalogue honest with a *golden list*
+(``tests/metrics_golden.txt``): :func:`missing_instruments` compares a
+snapshot against the list, and ``metrics --require-golden`` exits
+non-zero when an instrument disappears -- the regression this catches is
+someone refactoring a hot path and silently dropping its telemetry.
+
+This module imports the stream and scheme layers, so it lives outside
+``repro.obs.__init__`` (which must stay stdlib-only) and is imported
+lazily by the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Any, Iterable
+
+from repro import obs
+from repro.generators.seeds import SeedSource
+
+__all__ = [
+    "exercise_all_layers",
+    "missing_instruments",
+    "read_golden_list",
+]
+
+
+def exercise_all_layers(seed: int = 20060627) -> dict[str, dict[str, Any]]:
+    """Touch every instrumented layer once; returns the snapshot.
+
+    Deterministic for a fixed ``seed`` (counter values replay exactly;
+    durations follow the real clock unless a fake one is injected).  The
+    durable state lives in a temporary directory that is removed before
+    returning.
+    """
+    from repro.schemes import (
+        get_spec,
+        range_sum,
+        range_sums,
+        registered_schemes,
+    )
+    from repro.stream.durability import DurabilityConfig
+    from repro.stream.faults import breaking_plane
+    from repro.stream.processor import StreamProcessor
+
+    directory = tempfile.mkdtemp(prefix="repro-metrics-")
+    try:
+        config = DurabilityConfig(
+            directory=os.path.join(directory, "wal"), sync="fsync"
+        )
+        with StreamProcessor(
+            medians=3,
+            averages=4,
+            seed=seed,
+            policy="quarantine",
+            durability=config,
+        ) as processor:
+            processor.register_relation("stream", 12)
+            processor.process_points("stream", list(range(64)))
+            processor.process_intervals(
+                "stream", [(0, 1023), (16, 255)], weights=[1.0, 2.0]
+            )
+            processor.process_point("stream", 5)
+            processor.process_interval("stream", 3, 300)
+            processor.process_point("stream", -1)  # -> quarantine
+            with breaking_plane(processor, "stream", fail_after=0):
+                processor.process_points("stream", [1, 2, 3])  # -> degrade
+            processor.checkpoint()
+            processor.process_points("stream", [7, 9])  # replays on recover
+        StreamProcessor.recover(config).close()
+        clamping = StreamProcessor(
+            medians=3, averages=4, seed=seed, policy="clamp"
+        )
+        clamping.register_relation("clamped", 8)
+        clamping.process_point("clamped", 999)  # -> clamped into domain
+        for name in registered_schemes():
+            generator = get_spec(name).factory(8, SeedSource(seed))
+            range_sum(generator, 3, 17)
+            range_sums(generator, [0, 8], [7, 15])
+        return obs.snapshot()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def read_golden_list(path: str) -> list[str]:
+    """Instrument names from a golden-list file (one per line).
+
+    Blank lines and ``#`` comments are ignored.
+    """
+    names: list[str] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            name = line.split("#", 1)[0].strip()
+            if name:
+                names.append(name)
+    return names
+
+
+def missing_instruments(
+    snapshot: dict[str, Any], required: Iterable[str]
+) -> list[str]:
+    """Required instrument names absent from ``snapshot``, sorted."""
+    return sorted(name for name in required if name not in snapshot)

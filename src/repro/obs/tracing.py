@@ -1,0 +1,111 @@
+"""Nestable trace spans with Chrome-trace export.
+
+A :class:`Span` wraps one timed region of a hot path::
+
+    with span("plane.update", scheme="eh3"):
+        ...kernel work...
+
+and does two things on exit:
+
+* observes the duration into the histogram ``<name>.seconds`` of the
+  active metrics registry (so latency distributions accumulate with no
+  extra code at the call site), and
+* if a :class:`TraceCollector` is installed, records one Chrome-trace
+  *complete event* (``"ph": "X"``) carrying the span's attributes, its
+  nesting depth, and -- when the body raised -- the exception type.
+
+Span timing reads the registry's injected monotonic clock, never
+``time.*`` directly (rule R005), so traces replay deterministically
+under a fake clock.  Spans nest naturally (the collector maintains an
+explicit stack and stamps each event with its depth and parent), and
+``__exit__`` always runs, so an exception inside the body still closes
+and records the span.
+
+The collector's ``write_jsonl`` emits one JSON event per line -- the
+Chrome ``chrome://tracing`` / Perfetto *JSON Array Format* minus the
+surrounding brackets; ``as_chrome_trace`` returns the complete
+loadable document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+__all__ = ["TraceCollector"]
+
+
+class TraceCollector:
+    """Accumulates Chrome-trace complete events from finished spans."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+        self._stack: list[str] = []
+        self._origin: float | None = None
+
+    # -- span bookkeeping (driven by repro.obs.span) ---------------------
+
+    def open_span(self, name: str) -> int:
+        """Push a span; returns its nesting depth (0 = outermost)."""
+        depth = len(self._stack)
+        self._stack.append(name)
+        return depth
+
+    def close_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        attrs: dict[str, Any],
+        error: str | None,
+    ) -> None:
+        """Pop a span and record its complete event."""
+        if self._stack and self._stack[-1] == name:
+            self._stack.pop()
+        elif name in self._stack:  # tolerate interleaved teardown
+            self._stack.remove(name)
+        if self._origin is None:
+            self._origin = start
+        args = dict(attrs)
+        if self._stack:
+            args["parent"] = self._stack[-1]
+        if error is not None:
+            args["error"] = error
+        self.events.append(
+            {
+                "name": name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (start - self._origin) * 1e6,  # microseconds
+                "dur": duration * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+        )
+
+    @property
+    def depth(self) -> int:
+        """Currently open span count (0 when idle)."""
+        return len(self._stack)
+
+    # -- export ----------------------------------------------------------
+
+    def as_chrome_trace(self) -> list[dict[str, Any]]:
+        """The events as a loadable Chrome-trace JSON array."""
+        return list(self.events)
+
+    def write_jsonl(self, target: str | IO[str]) -> int:
+        """Write one JSON event per line; returns the event count.
+
+        ``python -c "import json,sys;
+        print(json.dumps([json.loads(l) for l in sys.stdin]))" < out.jsonl``
+        wraps the lines back into the array form ``chrome://tracing``
+        loads directly.
+        """
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as handle:
+                return self.write_jsonl(handle)
+        for event in self.events:
+            target.write(json.dumps(event, sort_keys=True) + "\n")
+        return len(self.events)

@@ -40,6 +40,11 @@ from repro.schemes.registry import (
 # partially-initialized package and needs those names bound already.
 from repro.schemes import builtin as _builtin  # noqa: E402
 from repro.schemes.builtin import PolyPrimePlane
+from repro.schemes.dispatch import (  # noqa: E402
+    dispatch_scheme_name,
+    range_sum,
+    range_sums,
+)
 
 __all__ = [
     "SchemeError",
@@ -63,6 +68,9 @@ __all__ = [
     "decode_channel",
     "channel_kind",
     "registered_channel_kinds",
+    "range_sum",
+    "range_sums",
+    "dispatch_scheme_name",
 ]
 
 del _builtin

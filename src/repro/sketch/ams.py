@@ -18,6 +18,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.generators.base import Generator
 from repro.generators.seeds import SeedSource
 from repro.sketch.atomic import AtomicChannel, AtomicSketch, GeneratorChannel
@@ -219,8 +220,13 @@ class SketchMatrix:
         if plane is not None:
             from repro.sketch.plane import add_totals
 
-            add_totals(self, plane.point_totals(items, weights))
+            obs.counter("sketch.bulk.plane_total").inc()
+            with obs.span(
+                "sketch.plane.point_totals", plane=type(plane).__name__
+            ):
+                add_totals(self, plane.point_totals(items, weights))
             return
+        obs.counter("sketch.bulk.fallback_total").inc()
         items = np.asarray(items)
         if items.ndim == 1:
             for row in self.cells:

@@ -36,6 +36,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.dyadic import (
     dyadic_cover_arrays,
     minimal_dyadic_cover,
@@ -134,11 +135,15 @@ def decompose_quaternary(
             for piece in pieces:
                 lows.append(piece.low)
                 half_levels.append(piece.level // 2)
+        obs.counter("sketch.bulk.covers_total").inc(len(intervals))
+        obs.counter("sketch.bulk.pieces_total").inc(len(lows))
         return QuaternaryPieces(
             np.asarray(lows, dtype=np.uint64),
             np.asarray(half_levels, dtype=np.int64),
             _piece_weights(weights, intervals, counts),
         )
+    obs.counter("sketch.bulk.covers_total").inc(len(intervals))
+    obs.counter("sketch.bulk.pieces_total").inc(int(cover.lows.size))
     return QuaternaryPieces(
         cover.lows,
         cover.levels >> 1,
@@ -168,11 +173,15 @@ def decompose_binary(
             for piece in pieces:
                 lows.append(piece.low)
                 levels.append(piece.level)
+        obs.counter("sketch.bulk.covers_total").inc(len(intervals))
+        obs.counter("sketch.bulk.pieces_total").inc(len(lows))
         return BinaryPieces(
             np.asarray(lows, dtype=np.uint64),
             np.asarray(levels, dtype=np.int64),
             _piece_weights(weights, intervals, counts),
         )
+    obs.counter("sketch.bulk.covers_total").inc(len(intervals))
+    obs.counter("sketch.bulk.pieces_total").inc(int(cover.lows.size))
     return BinaryPieces(
         cover.lows,
         cover.levels,
@@ -216,6 +225,9 @@ def _consolidate_pieces(
     groups = np.cumsum(fresh) - 1
     summed = np.bincount(groups, weights=weights)
     keep = np.flatnonzero(fresh)
+    obs.counter("sketch.bulk.pieces_deduped_total").inc(
+        int(lows.size - keep.size)
+    )
     return lows[keep], levels[keep], summed
 
 
@@ -286,8 +298,10 @@ def eh3_bulk_interval_update(
     """
     plane = counter_plane(sketch.scheme)
     if getattr(plane, "interval_kind", None) != "quaternary":
+        obs.counter("sketch.bulk.fallback_total").inc()
         eh3_percell_interval_update(sketch, pieces)
         return
+    obs.counter("sketch.bulk.plane_total").inc()
     lows, half_levels, weights = pieces.lows, pieces.half_levels, pieces.weights
     if plane.words > 1:
         # Wide grids pay per-piece work per word, so the one sort of the
@@ -295,7 +309,10 @@ def eh3_bulk_interval_update(
         lows, half_levels, weights = _consolidate_pieces(
             lows, half_levels, weights
         )
-    add_totals(sketch, plane.interval_totals(lows, half_levels, weights))
+    with obs.span(
+        "sketch.plane.interval_totals", plane=type(plane).__name__
+    ):
+        add_totals(sketch, plane.interval_totals(lows, half_levels, weights))
 
 
 def bch3_bulk_interval_update(
@@ -311,11 +328,16 @@ def bch3_bulk_interval_update(
     """
     plane = counter_plane(sketch.scheme)
     if getattr(plane, "interval_kind", None) == "binary":
+        obs.counter("sketch.bulk.plane_total").inc()
         lows, levels, weights = pieces.lows, pieces.levels, pieces.weights
         if plane.words > 1:
             lows, levels, weights = _consolidate_pieces(lows, levels, weights)
-        add_totals(sketch, plane.interval_totals(lows, levels, weights))
+        with obs.span(
+            "sketch.plane.interval_totals", plane=type(plane).__name__
+        ):
+            add_totals(sketch, plane.interval_totals(lows, levels, weights))
         return
+    obs.counter("sketch.bulk.fallback_total").inc()
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
@@ -342,8 +364,13 @@ def bulk_point_update(
             raise ValueError("weights must match items element-wise")
     plane = counter_plane(sketch.scheme)
     if getattr(plane, "plane_kind", None) == "generator":
-        add_totals(sketch, plane.point_totals(items, weights))
+        obs.counter("sketch.bulk.plane_total").inc()
+        with obs.span(
+            "sketch.plane.point_totals", plane=type(plane).__name__
+        ):
+            add_totals(sketch, plane.point_totals(items, weights))
         return
+    obs.counter("sketch.bulk.fallback_total").inc()
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
@@ -408,8 +435,13 @@ def dmap_bulk_id_update(
     ids = ids.astype(np.uint64)
     plane = counter_plane(sketch.scheme)
     if getattr(plane, "plane_kind", None) == "dmap":
-        add_totals(sketch, plane.id_totals(ids, weights))
+        obs.counter("sketch.bulk.plane_total").inc()
+        with obs.span(
+            "sketch.plane.id_totals", plane=type(plane).__name__
+        ):
+            add_totals(sketch, plane.id_totals(ids, weights))
         return
+    obs.counter("sketch.bulk.fallback_total").inc()
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel

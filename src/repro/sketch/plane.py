@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.bits import adjacent_pair_or_fold_array
 from repro.generators.bch3 import BCH3
 from repro.generators.bch5 import BCH5
@@ -625,6 +626,7 @@ def require_plane(scheme: "SketchScheme") -> Any:
 def add_totals(sketch: "SketchMatrix", totals: np.ndarray) -> None:
     """Scatter per-counter totals back onto the grid, row-major."""
     flat = totals.ravel()
+    obs.counter("sketch.plane.cells_updated_total").inc(int(flat.size))
     position = 0
     for row in sketch.cells:
         for cell in row:

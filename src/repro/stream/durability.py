@@ -45,6 +45,7 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.stream.errors import (
     DurabilityError,
     SnapshotCorruptionError,
@@ -154,6 +155,7 @@ def _scan_segment(path: str, final: bool) -> tuple[list[tuple[int, bytes]], int]
         payload = data[start:end]
         expected = zlib.crc32(seq.to_bytes(8, "little") + payload) & 0xFFFFFFFF
         if crc != expected:
+            obs.counter("durability.wal.crc_failures_total").inc()
             break  # corrupted record: treated as log end below
         records.append((seq, payload))
         offset = end
@@ -248,6 +250,12 @@ class WriteAheadLog:
         blob = b"".join(frames)
         self._handle.write(blob)
         self._segment_bytes += len(blob)
+        obs.counter("durability.wal.appends_total").inc()
+        obs.counter("durability.wal.records_total").inc(len(payloads))
+        obs.counter("durability.wal.bytes_total").inc(len(blob))
+        obs.histogram(
+            "durability.wal.group_commit_size", obs.DEFAULT_SIZE_EDGES
+        ).observe(float(len(payloads)))
         self.flush()
         if self._segment_bytes >= self.config.segment_max_bytes:
             self._start_segment(self.next_seq)
@@ -260,8 +268,10 @@ class WriteAheadLog:
         mode = self.config.sync
         if force or mode in ("flush", "fsync"):
             self._handle.flush()
+            obs.counter("durability.wal.flushes_total").inc()
         if mode == "fsync":
             os.fsync(self._handle.fileno())
+            obs.counter("durability.wal.fsyncs_total").inc()
 
     def close(self) -> None:
         """Flush and close the active segment."""
@@ -344,20 +354,23 @@ def write_snapshot(
     state}``, so any truncation or bit damage is detected on load.
     Returns the path written.
     """
-    envelope = {"version": 1, "seq": seq, "state": state}
-    body = canonical_json(envelope)
-    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
-    document = json.dumps({"crc": crc, "envelope": envelope})
-    path = _snapshot_path(directory, seq)
-    temp = path + ".tmp"
-    with open(temp, "w") as handle:
-        handle.write(document)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temp, path)
-    snapshots = list_snapshots(directory)
-    for old in snapshots[:-keep]:
-        os.remove(old)
+    with obs.span("durability.snapshot.write", seq=seq):
+        envelope = {"version": 1, "seq": seq, "state": state}
+        body = canonical_json(envelope)
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+        document = json.dumps({"crc": crc, "envelope": envelope})
+        path = _snapshot_path(directory, seq)
+        temp = path + ".tmp"
+        with open(temp, "w") as handle:
+            handle.write(document)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+        snapshots = list_snapshots(directory)
+        for old in snapshots[:-keep]:
+            os.remove(old)
+        obs.counter("durability.snapshot.writes_total").inc()
+        obs.counter("durability.snapshot.bytes_total").inc(len(document))
     return path
 
 
@@ -368,6 +381,7 @@ def _load_snapshot(path: str) -> tuple[int, dict[str, Any]]:
     body = canonical_json(envelope)
     crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
     if crc != document["crc"]:
+        obs.counter("durability.snapshot.crc_failures_total").inc()
         raise SnapshotCorruptionError(
             f"snapshot {os.path.basename(path)} failed its CRC check"
         )
@@ -399,6 +413,7 @@ def load_latest_snapshot(
             return seq, state, failures
         except (SnapshotCorruptionError, json.JSONDecodeError, KeyError,
                 OSError, ValueError):
+            obs.counter("durability.snapshot.load_failures_total").inc()
             failures.append(path)
     raise SnapshotCorruptionError(
         f"all {len(paths)} snapshots in {directory} are corrupted"

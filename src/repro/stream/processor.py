@@ -49,6 +49,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro import obs
 from repro.generators.base import Generator
 from repro.generators.seeds import SeedSource
 from repro.schemes import get_spec
@@ -79,6 +80,7 @@ from repro.stream.validation import (
     POLICIES,
     DeadLetterBuffer,
     Incident,
+    IncidentLog,
     QuarantinedRecord,
     screen_interval,
     screen_intervals,
@@ -114,6 +116,7 @@ class StreamProcessor:
         quarantine_capacity: int = 1024,
         durability: DurabilityConfig | str | None = None,
         scheme: str | None = None,
+        incident_capacity: int = 256,
     ) -> None:
         if medians < 1 or averages < 1:
             raise ValueError("medians and averages must be positive")
@@ -140,7 +143,7 @@ class StreamProcessor:
             self._factory = get_spec(self._scheme_name).factory
         self.policy = policy
         self.dead_letters = DeadLetterBuffer(quarantine_capacity)
-        self.incidents: list[Incident] = []
+        self.incidents = IncidentLog(incident_capacity)
         self._domain_bits: dict[str, int] = {}
         self._registration_order: list[str] = []
         self._schemes: dict[str, SketchScheme] = {}  # per domain-group
@@ -215,7 +218,7 @@ class StreamProcessor:
                 for name, sketch in self._sketches.items()
             },
             "quarantine_counts": dict(self.dead_letters.counts),
-            "incident_count": len(self.incidents),
+            "incident_count": self.incidents.total,
         }
         path = write_snapshot(
             self._durability.directory,
@@ -251,6 +254,7 @@ class StreamProcessor:
         generator_factory: Callable[[int, SeedSource], Generator] | None = None,
         policy: str | None = None,
         quarantine_capacity: int = 1024,
+        incident_capacity: int = 256,
     ) -> "StreamProcessor":
         """Rebuild a processor from its durability directory.
 
@@ -291,27 +295,35 @@ class StreamProcessor:
                 None if generator_factory is not None
                 else manifest.get("scheme")
             ),
+            incident_capacity=incident_capacity,
         )
-        processor._replaying = True
-        snapshot = load_latest_snapshot(config.directory)
-        applied = 0
-        if snapshot is not None:
-            applied, state, _failures = snapshot
-            processor._restore_snapshot(state)
-            processor._applied_seq = applied
-        processor._attach_durability(config, fresh=False)
-        expected = applied + 1
-        assert processor._wal is not None
-        for seq, payload in processor._wal.replay(after_seq=applied):
-            if seq != expected:
-                raise RecoveryError(
-                    f"WAL gap after snapshot: expected record {expected}, "
-                    f"found {seq} (segments pruned too far?)"
-                )
-            expected = seq + 1
-            processor._apply(json.loads(payload.decode("utf-8")))
-            processor._applied_seq = seq
-        processor._replaying = False
+        with obs.span("durability.recover", directory=config.directory):
+            processor._replaying = True
+            snapshot = load_latest_snapshot(config.directory)
+            applied = 0
+            if snapshot is not None:
+                applied, state, _failures = snapshot
+                processor._restore_snapshot(state)
+                processor._applied_seq = applied
+            processor._attach_durability(config, fresh=False)
+            expected = applied + 1
+            assert processor._wal is not None
+            replayed = 0
+            for seq, payload in processor._wal.replay(after_seq=applied):
+                if seq != expected:
+                    raise RecoveryError(
+                        f"WAL gap after snapshot: expected record {expected}, "
+                        f"found {seq} (segments pruned too far?)"
+                    )
+                expected = seq + 1
+                processor._apply(json.loads(payload.decode("utf-8")))
+                processor._applied_seq = seq
+                replayed += 1
+            processor._replaying = False
+            obs.counter("durability.recover.replayed_records_total").inc(
+                replayed
+            )
+            obs.counter("durability.recover.recoveries_total").inc()
         return processor
 
     def _restore_snapshot(self, state: dict[str, Any]) -> None:
@@ -376,6 +388,10 @@ class StreamProcessor:
         uninterrupted run.
         """
         kind = op["op"]
+        with obs.span("stream.apply", op=kind):
+            self._dispatch(op, kind)
+
+    def _dispatch(self, op: dict[str, Any], kind: str) -> None:
         if kind == "register":
             self._do_register(op["name"], op["domain_bits"])
         elif kind == "register_join":
@@ -479,6 +495,8 @@ class StreamProcessor:
             self.incidents.append(
                 Incident(operation, relation, repr(exc), batch_size, False)
             )
+            obs.counter("stream.degrade.incidents_total").inc()
+            obs.counter("stream.degrade.failures_total").inc()
             if self.policy == "raise":
                 raise
             self.dead_letters.add(
@@ -494,6 +512,8 @@ class StreamProcessor:
         self.incidents.append(
             Incident(operation, relation, repr(first_error), batch_size, True)
         )
+        obs.counter("stream.degrade.incidents_total").inc()
+        obs.counter("stream.degrade.degradations_total").inc()
 
     @staticmethod
     def _restore_values(sketch: SketchMatrix, saved: list[float]) -> None:
@@ -602,6 +622,8 @@ class StreamProcessor:
             {"op": "point", "relation": relation, "item": item,
              "weight": weight}
         )
+        obs.counter("stream.ingest.points_total").inc()
+        obs.rate("stream.ingest.items_rate").mark()
 
     def process_interval(
         self, relation: str, low: int, high: int, weight: float = 1.0
@@ -627,6 +649,8 @@ class StreamProcessor:
             {"op": "interval", "relation": relation, "low": low,
              "high": high, "weight": weight}
         )
+        obs.counter("stream.ingest.intervals_total").inc()
+        obs.rate("stream.ingest.items_rate").mark()
 
     def process_points(self, relation: str, items, weights=None) -> None:
         """A batch of arriving tuples, one plane pass for the whole grid."""
@@ -650,6 +674,12 @@ class StreamProcessor:
                 ),
             }
         )
+        obs.counter("stream.ingest.points_total").inc(int(screened.items.size))
+        obs.counter("stream.ingest.batches_total").inc()
+        obs.histogram(
+            "stream.ingest.batch_size", obs.DEFAULT_SIZE_EDGES
+        ).observe(float(screened.items.size))
+        obs.rate("stream.ingest.items_rate").mark(float(screened.items.size))
 
     def process_intervals(self, relation: str, intervals, weights=None) -> None:
         """A batch of arriving intervals: one decomposition, one plane pass."""
@@ -675,8 +705,16 @@ class StreamProcessor:
                 ),
             }
         )
+        count = int(screened.items.shape[0])
+        obs.counter("stream.ingest.intervals_total").inc(count)
+        obs.counter("stream.ingest.batches_total").inc()
+        obs.histogram(
+            "stream.ingest.batch_size", obs.DEFAULT_SIZE_EDGES
+        ).observe(float(count))
+        obs.rate("stream.ingest.items_rate").mark(float(count))
 
     def _quarantine(self, relation: str, record: QuarantinedRecord) -> None:
+        obs.counter("stream.ingest.quarantined_total").inc()
         self.dead_letters.add(
             QuarantinedRecord(
                 relation, record.kind, record.payload, record.code,
@@ -764,12 +802,17 @@ class StreamProcessor:
         kernels cover its grid -- and, when they do not, the recorded
         reason (scheme name plus the missing capability) so a silent
         per-cell slowdown is visible in telemetry instead of opaque.
+        ``"metrics"`` merges in the process-wide registry snapshot
+        (:func:`repro.obs.snapshot`), so the one ``stats()`` call existing
+        callers already make now carries every instrument too.
         """
         return {
             "policy": self.policy,
             "quarantined_total": self.dead_letters.total,
             "quarantine_counts": dict(self.dead_letters.counts),
-            "incidents": len(self.incidents),
+            "incidents": self.incidents.total,
+            "incidents_buffered": len(self.incidents),
+            "incidents_dropped": self.incidents.dropped,
             "applied_seq": self._applied_seq,
             "durable": self._wal is not None,
             "scheme": self._scheme_name,
@@ -787,6 +830,7 @@ class StreamProcessor:
                     for group, scheme in self._schemes.items()
                 )
             },
+            "metrics": obs.snapshot(),
         }
 
     def _require(self, relation: str) -> None:

@@ -30,12 +30,14 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.stream.errors import InvalidUpdateError
 
 __all__ = [
     "POLICIES",
     "QuarantinedRecord",
     "Incident",
+    "IncidentLog",
     "DeadLetterBuffer",
     "screen_point",
     "screen_interval",
@@ -66,6 +68,47 @@ class Incident:
     error: str
     batch_size: int
     recovered: bool
+
+
+class IncidentLog:
+    """Bounded ring of the most recent incidents, with exact totals.
+
+    An unbounded incident list grows without limit on a long-lived
+    stream whose plane keeps failing; this ring keeps the newest
+    ``capacity`` incidents for inspection while ``total`` and
+    ``dropped`` stay exact over the whole history.  Every drop also
+    bumps the ``stream.incidents.dropped_total`` counter so overflow is
+    visible in metrics, not just on the object.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("incident capacity must be positive")
+        self.capacity = capacity
+        self._records: deque[Incident] = deque(maxlen=capacity)
+        self.total = 0
+        self.dropped = 0
+
+    def append(self, incident: Incident) -> None:
+        """Record one incident, evicting the oldest when full."""
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+            obs.counter("stream.incidents.dropped_total").inc()
+        self._records.append(incident)
+        self.total += 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Incident]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Incident:
+        return self._records[index]
+
+    def clear(self) -> None:
+        """Drop buffered incidents (totals are kept: they are history)."""
+        self._records.clear()
 
 
 @dataclass
@@ -184,6 +227,7 @@ def screen_point(
         raise InvalidUpdateError(reason, code)
     if policy == "clamp" and code not in _UNREPAIRABLE:
         clamped = min(max(int(item), 0), _domain_limit(domain_bits) - 1)
+        obs.counter("stream.validation.clamped_total").inc()
         return clamped, float(weight)
     return QuarantinedRecord("", "point", (item, weight), code, reason)
 
@@ -216,6 +260,7 @@ def screen_interval(
                 "", "interval", (low, high, weight), "interval-out-of-domain",
                 reason,
             )
+        obs.counter("stream.validation.clamped_total").inc()
         return max(a, 0), min(b, limit - 1), float(weight)
     return QuarantinedRecord("", "interval", (low, high, weight), code, reason)
 

@@ -188,7 +188,7 @@ class TestDeterminismGuard:
         )
         assert rule_ids(found) == ["R003"]
 
-    def test_wall_clock_flagged_perf_counter_clean(self) -> None:
+    def test_wall_clock_flagged_monotonic_deferred_to_r005(self) -> None:
         found = scan(
             """\
             import time
@@ -197,8 +197,9 @@ class TestDeterminismGuard:
             """,
             "src/repro/stream/thing.py",
         )
-        assert rule_ids(found) == ["R003"]
-        assert "wall-clock" in found[0].message
+        assert sorted(rule_ids(found)) == ["R003", "R005"]
+        r003 = next(v for v in found if v.rule == "R003")
+        assert "wall-clock" in r003.message
 
     def test_stdlib_random_module_and_names_flagged(self) -> None:
         found = scan(
@@ -273,6 +274,70 @@ class TestExceptionBoundaryAudit:
         found = scan(
             "try:\n    work()\nexcept Exception:\n    pass\n",
             "src/repro/experiments/thing.py",
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R005: clock injection (monotonic timing goes through repro.obs).
+# ---------------------------------------------------------------------------
+
+
+class TestClockInjectionGuard:
+    def test_dotted_monotonic_calls_flagged(self) -> None:
+        found = scan(
+            """\
+            import time
+            a = time.monotonic()
+            b = time.perf_counter()
+            c = time.monotonic_ns()
+            d = time.perf_counter_ns()
+            """,
+            "src/repro/stream/thing.py",
+        )
+        assert rule_ids(found) == ["R005"] * 4
+        assert "repro.obs.monotonic" in found[0].message
+
+    def test_from_import_and_alias_flagged(self) -> None:
+        found = scan(
+            """\
+            from time import perf_counter
+            from time import monotonic as mono
+            import time as t
+            x = perf_counter()
+            y = mono()
+            z = t.perf_counter()
+            """,
+            "src/repro/experiments/thing.py",
+        )
+        assert rule_ids(found) == ["R005"] * 3
+
+    def test_obs_package_and_bench_exempt(self) -> None:
+        source = "import time\nx = time.perf_counter()\n"
+        assert scan(source, "src/repro/obs/metrics.py") == []
+        assert scan(source, "src/repro/bench.py") == []
+
+    def test_injected_clock_and_other_time_calls_clean(self) -> None:
+        found = scan(
+            """\
+            import time
+            from repro import obs
+            start = obs.monotonic()
+            time.sleep(0.01)
+            stamp = clock.monotonic()
+            """,
+            "src/repro/sketch/thing.py",
+        )
+        assert found == []
+
+    def test_suppression_with_reason_covers(self) -> None:
+        found = scan(
+            """\
+            import time
+            # repro: allow[R005] calibrating the fake clock itself
+            x = time.monotonic()
+            """,
+            "src/repro/stream/thing.py",
         )
         assert found == []
 
@@ -407,6 +472,7 @@ class TestBaseline:
             "R002",
             "R003",
             "R004",
+            "R005",
         ]
 
 
