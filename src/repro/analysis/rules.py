@@ -17,7 +17,14 @@ R005  all timing flows through the observability layer's injected clock
       (``repro.obs.monotonic``) -- direct ``time.monotonic()`` /
       ``time.perf_counter()`` calls outside ``repro.obs`` and
       ``repro.bench`` make recorded durations impossible to replay
-      deterministically under a fake clock.
+      deterministically under a fake clock;
+R006  kernel-tier modules (the packed plane and the interpreted
+      backends) stay vectorized and branch-free: no Python-level ``%``
+      (Mersenne moduli fold with shifts and adds, see
+      ``repro.core.primefield``) and no per-element loops -- a
+      whole-batch traversal that must iterate (per seed bit, per index
+      byte, per Horner degree) carries a ``# repro: allow[R006]``
+      justification on the loop header.
 
 Rules see one parsed file at a time and yield :class:`Violation` records;
 suppression filtering happens in :mod:`repro.analysis.engine`.
@@ -234,7 +241,8 @@ class IntegerWidthHazard(Rule):
         segments = _segments(path)
         if "core" in segments or "rangesum" in segments:
             return True
-        return path.replace("\\", "/").endswith("sketch/plane.py")
+        posix = path.replace("\\", "/")
+        return posix.endswith("sketch/plane.py") or "sketch/backends/" in posix
 
     def check(
         self, tree: ast.AST, lines: list[str], path: str
@@ -472,12 +480,88 @@ class ClockInjectionGuard(Rule):
                 )
 
 
+class KernelLoopGuard(Rule):
+    """R006: kernel-tier code is vectorized and branch-free.
+
+    The packed-plane layer and the interpreted backends are the hot
+    tier: a Python-level ``%`` there usually means a scalar Mersenne
+    reduction leaked out of :mod:`repro.core.primefield`'s shift-add
+    folds, and a ``for``/``while`` statement usually means per-element
+    iteration that belongs in the numba backend or a whole-batch numpy
+    pass.  Only the *outermost* loop of a nesting is flagged: the
+    justification on a per-word pass covers its per-byte body.  The
+    numba backend is exempt (``@njit`` compiles scalar loops -- that is
+    its entire point), as is the backend package ``__init__`` (registry
+    dispatch, no kernels).
+    """
+
+    id = "R006"
+    title = "scalar modulo or Python-level loop in the kernel tier"
+
+    #: Kernel-hosting modules outside ``sketch/backends/``.
+    _TIER_SUFFIXES = ("sketch/plane.py", "schemes/builtin.py")
+
+    def applies_to(self, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        if "sketch/backends/" in posix:
+            return not posix.endswith(("numba_backend.py", "__init__.py"))
+        return posix.endswith(self._TIER_SUFFIXES)
+
+    def _is_string_format(self, node: ast.BinOp) -> bool:
+        left = node.left
+        return isinstance(left, ast.JoinedStr) or (
+            isinstance(left, ast.Constant) and isinstance(left.value, str)
+        )
+
+    _MOD_MESSAGE = (
+        "Python-level '%' in the kernel tier; Mersenne moduli reduce "
+        "branch-free via shift-add folds "
+        "(repro.core.primefield.mod_mersenne_array) -- justify anything "
+        "else with '# repro: allow[R006] reason'"
+    )
+
+    _LOOP_MESSAGE = (
+        "Python-level loop in the kernel tier; per-element iteration "
+        "belongs in the numba backend or a vectorized whole-batch pass "
+        "-- per-bit/per-byte/per-degree traversals must say so with "
+        "'# repro: allow[R006] reason' on the loop header"
+    )
+
+    def _loop_violations(
+        self, node: ast.AST, lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                # Flag the outermost loop only; nested loops are the
+                # body of the traversal the outer justification covers.
+                yield self._violation(path, child, self._LOOP_MESSAGE, lines)
+            else:
+                yield from self._loop_violations(child, lines, path)
+
+    def check(
+        self, tree: ast.AST, lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            mod_binop = (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Mod)
+                and not self._is_string_format(node)
+            )
+            mod_augassign = isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.Mod
+            )
+            if mod_binop or mod_augassign:
+                yield self._violation(path, node, self._MOD_MESSAGE, lines)
+        yield from self._loop_violations(tree, lines, path)
+
+
 ALL_RULES: tuple[Rule, ...] = (
     RegistryBypass(),
     IntegerWidthHazard(),
     DeterminismGuard(),
     ExceptionBoundaryAudit(),
     ClockInjectionGuard(),
+    KernelLoopGuard(),
 )
 
 

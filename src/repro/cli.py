@@ -25,7 +25,7 @@ partial snapshots, and mid-batch plane failures, verifying the recovery
 invariants end to end.  Exits non-zero if any scenario fails.
 
 ``analyze`` runs the domain-aware static-analysis rules
-(:mod:`repro.analysis`, rules R001-R005) over ``src/repro``; with
+(:mod:`repro.analysis`, rules R001-R006) over ``src/repro``; with
 ``--strict`` it exits non-zero on any violation outside the checked-in
 baseline (``analysis-baseline.json``).  See ``docs/static-analysis.md``.
 
@@ -115,6 +115,21 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="bench only: a registered scheme name to bench instead of "
         "the defaults (see repro.schemes.registered_schemes())",
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        default=None,
+        help="bench only: a kernel backend name to put in the bulk "
+        "report's per-backend table (repeatable; defaults to every "
+        "registered backend; see repro.sketch.backends)",
+    )
+    parser.add_argument(
+        "--check-floors",
+        action="store_true",
+        help="bench only: exit non-zero when any workload's speedup "
+        "drops below the floors recorded in the BENCH_bulk.json config, "
+        "or any backend's counters are not bit-identical",
     )
     parser.add_argument(
         "--strict",
@@ -229,6 +244,20 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.scheme is not None and args.experiment != "bench":
         parser.error("--scheme only applies to the 'bench' experiment")
+    if (
+        args.backend or args.check_floors
+    ) and args.experiment != "bench":
+        parser.error(
+            "--backend/--check-floors only apply to the 'bench' experiment"
+        )
+    if args.backend:
+        from repro.sketch.backends import UnknownBackendError, get_backend
+
+        for backend_name in args.backend:
+            try:
+                get_backend(backend_name)
+            except UnknownBackendError as exc:
+                parser.error(str(exc))
     if args.scheme is not None:
         from repro.schemes import get_spec
 
@@ -253,7 +282,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1 if failed else 0
 
     if args.experiment == "bench":
-        from repro.bench import write_bench_files
+        import json as json_module
+
+        from repro.bench import check_floors, write_bench_files
 
         overrides: dict = {}
         if args.quick:
@@ -272,12 +303,24 @@ def main(argv: list[str] | None = None) -> int:
             overrides.setdefault("BENCH_bulk", {})["schemes"] = (args.scheme,)
             overrides.setdefault("BENCH_table2", {})["schemes"] = (args.scheme,)
             overrides.setdefault("BENCH_durability", {})["scheme"] = args.scheme
+        if args.backend:
+            overrides.setdefault("BENCH_bulk", {})["backends"] = tuple(
+                args.backend
+            )
         written = write_bench_files(args.output_dir or ".", **overrides)
         _finish_trace()
         for name, path in written.items():
             print(f"{name}: {path}")
             with open(path) as handle:
                 print(handle.read())
+        if args.check_floors:
+            with open(written["BENCH_bulk"]) as handle:
+                problems = check_floors(json_module.load(handle))
+            if problems:
+                for problem in problems:
+                    print(f"floor check FAILED: {problem}", file=sys.stderr)
+                return 1
+            print("floor check passed", file=sys.stderr)
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

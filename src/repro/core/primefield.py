@@ -19,8 +19,11 @@ __all__ = [
     "MERSENNE_61",
     "is_prime",
     "next_prime_at_least",
+    "mersenne_exponent",
     "mod_mersenne31",
     "mod_mersenne31_array",
+    "mod_mersenne_array",
+    "mersenne_mulmod_array",
     "PrimeField",
     "prime_field",
 ]
@@ -89,11 +92,70 @@ def mod_mersenne31_array(x: np.ndarray) -> np.ndarray:
     Valid for inputs below 2^62 (one product of two 31-bit values), which is
     exactly the range Horner evaluation produces.
     """
-    p = np.uint64(MERSENNE_31)
+    return mod_mersenne_array(x, 31)
+
+
+def mersenne_exponent(p: int) -> int | None:
+    """``b`` when ``p == 2^b - 1``, else ``None``.
+
+    The shift-add reduction below applies exactly to these moduli; callers
+    (the kernel backends) use this to decide whether a prime qualifies for
+    the branch-free path.
+    """
+    b = p.bit_length()
+    return b if p == (1 << b) - 1 else None
+
+
+def mod_mersenne_array(x: np.ndarray, bits: int) -> np.ndarray:
+    """Branch-free reduction of a ``uint64`` array modulo ``2^bits - 1``.
+
+    ``2^bits === 1 (mod p)``, so folding the high limb onto the low one
+    (``x -> (x & p) + (x >> bits)``) preserves the residue; two folds bring
+    any ``uint64`` input under ``p + epsilon`` and one data-parallel select
+    canonicalizes (Ahle/Knudsen/Thorup, arXiv 2008.08654).  No ``%``, no
+    divisions, no per-element branches.
+    """
+    p = np.uint64((1 << bits) - 1)
+    shift = np.uint64(bits)
     x = np.asarray(x, dtype=np.uint64)
-    x = (x & p) + (x >> np.uint64(31))
-    x = (x & p) + (x >> np.uint64(31))
+    x = (x & p) + (x >> shift)
+    x = (x & p) + (x >> shift)
     return np.where(x >= p, x - p, x)
+
+
+def mersenne_mulmod_array(
+    a: np.ndarray, b: np.ndarray, bits: int
+) -> np.ndarray:
+    """Branch-free ``a * b mod (2^bits - 1)`` over canonical uint64 arrays.
+
+    Inputs must already be reduced (``< 2^bits - 1``).  For ``bits <= 31``
+    the product fits ``uint64`` directly; for ``bits == 61`` the factors are
+    split into 31/30-bit limbs so every partial product and the final fold
+    input stay below 2^64 -- using ``2^62 === 2`` and
+    ``2^31 * m === (m >> 30) + ((m & (2^30-1)) << 31) (mod 2^61 - 1)``.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    if bits <= 31:
+        return mod_mersenne_array(a * b, bits)
+    if bits != 61:
+        raise ValueError(
+            f"no uint64 limb decomposition for Mersenne exponent {bits}"
+        )
+    mask31 = np.uint64((1 << 31) - 1)
+    mask30 = np.uint64((1 << 30) - 1)
+    au = a >> np.uint64(31)  # < 2^30
+    ad = a & mask31
+    bu = b >> np.uint64(31)
+    bd = b & mask31
+    mid = ad * bu + au * bd  # < 2^62
+    folded = (
+        (au * bu) * np.uint64(2)
+        + (mid >> np.uint64(30))
+        + ((mid & mask30) << np.uint64(31))
+        + ad * bd
+    )  # < 2^63: safe input to the double fold
+    return mod_mersenne_array(folded, 61)
 
 
 @dataclass(frozen=True)
@@ -150,16 +212,21 @@ class PrimeField:
     ) -> np.ndarray:
         """Vectorized Horner evaluation over an array of points.
 
-        Uses Python-int accumulation per Horner step only when ``p`` exceeds
-        31 bits; for the standard Mersenne-31 modulus everything stays in
-        ``uint64`` with fold reduction.
+        Mersenne moduli (2^b - 1 with b <= 31, or 2^61 - 1) stay entirely in
+        ``uint64`` with branch-free fold reduction; other primes fall back to
+        Python-int accumulation per Horner step.
         """
         xs = np.asarray(xs, dtype=np.uint64)
-        if self.p == MERSENNE_31:
-            xs = mod_mersenne31_array(xs)
+        exponent = mersenne_exponent(self.p)
+        if exponent is not None and (exponent <= 31 or exponent == 61):
+            xs = mod_mersenne_array(xs, exponent)
             acc = np.zeros_like(xs)
             for c in reversed(coefficients):
-                acc = mod_mersenne31_array(acc * xs + np.uint64(self._check(c)))
+                acc = mod_mersenne_array(
+                    mersenne_mulmod_array(acc, xs, exponent)
+                    + np.uint64(self._check(c)),
+                    exponent,
+                )
             return acc
         acc = np.zeros(xs.shape, dtype=object)
         for c in reversed(coefficients):

@@ -21,6 +21,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.generators.bch3 import BCH3
 from repro.generators.bch5 import BCH5
 from repro.generators.eh3 import EH3
@@ -45,7 +46,6 @@ from repro.sketch.plane import (
     BCH5Plane,
     EH3Plane,
     PackedPlane,
-    pack_counter_bits,
 )
 
 __all__ = ["PolyPrimePlane"]
@@ -59,54 +59,49 @@ __all__ = ["PolyPrimePlane"]
 class PolyPrimePlane(PackedPlane):
     """All polynomial-over-primes seeds of a grid, packed for batches.
 
-    The per-index work of the scheme is one degree-``(k-1)`` polynomial
-    evaluation mod ``p`` per counter.  The powers ``x^j mod p`` depend
-    only on the index, so the plane computes them once per batch element
-    and contracts them against the ``(counters, k)`` coefficient matrix
-    -- each product stays below ``2^62`` (both factors are reduced mod
-    the Mersenne prime ``p < 2^31``), so the whole evaluation runs in
-    exact ``uint64`` arithmetic and the extracted sign bits match the
-    scalar :meth:`~repro.generators.polyprime.PolynomialsOverPrimes.bit`
-    path bit for bit.
+    The per-index work of the scheme is one degree-``(k-1)`` Horner
+    evaluation mod ``p`` per counter, delegated to the bound kernel
+    backend's ``poly_sign_kernel``.  For Mersenne moduli (the scheme's
+    standard ``p = 2^31 - 1``, or ``2^61 - 1`` for wide domains) every
+    reduction is a branch-free shift-add fold -- no ``%`` anywhere on the
+    packed path -- and the extracted sign bits match the scalar
+    :meth:`~repro.generators.polyprime.PolynomialsOverPrimes.bit` path
+    bit for bit.  Non-Mersenne research primes take the reference
+    backend's exact generic route.
 
     Batches are processed in chunks to bound the ``(counters, chunk)``
-    temporaries.
+    temporaries.  The stride backend has no polynomial kernel, so direct
+    construction auto-selects among the remaining engines; registry
+    dispatch enforces the same set via the spec's ``backends`` tuple.
     """
 
     interval_kind = None
     plane_kind = "generator"
+    supported_backends = ("numba", "numpy")
 
     _CHUNK = 2048
 
-    def __init__(self, generators: Sequence[PolynomialsOverPrimes]) -> None:
+    def __init__(
+        self,
+        generators: Sequence[PolynomialsOverPrimes],
+        backend: Any | None = None,
+    ) -> None:
         bits = {g.domain_bits for g in generators}
         primes = {g.p for g in generators}
         if len(bits) != 1 or len(primes) != 1:
             raise ValueError("plane generators must share a domain and prime")
-        super().__init__(bits.pop(), len(generators))
+        super().__init__(bits.pop(), len(generators), backend=backend)
         self.p = primes.pop()
         degree = max(len(g.coefficients) for g in generators)
         matrix = np.zeros((self.counters, degree), dtype=np.uint64)
+        # repro: allow[R006] construction loop: one coefficient-row write per counter, off the batch path
         for column, generator in enumerate(generators):
             coefficients = generator.coefficients
             matrix[column, : len(coefficients)] = np.asarray(
                 coefficients, dtype=np.uint64
             )
         self.coefficients = matrix
-
-    def _sign_bits(self, points: np.ndarray) -> np.ndarray:
-        """Packed LSBs of ``poly_c(points) mod p`` -- one word row per point."""
-        p = np.uint64(self.p)
-        xs = points % p
-        powers = np.ones(points.size, dtype=np.uint64)
-        residues = np.zeros((self.counters, points.size), dtype=np.uint64)
-        for k in range(self.coefficients.shape[1]):
-            if k:
-                powers = (powers * xs) % p
-            residues = (
-                residues + self.coefficients[:, k : k + 1] * powers[np.newaxis, :]
-            ) % p
-        return pack_counter_bits((residues & np.uint64(1)).T)
+        self._signs = self.backend.poly_sign_kernel(self.coefficients, self.p)
 
     def point_totals(
         self,
@@ -115,13 +110,17 @@ class PolyPrimePlane(PackedPlane):
     ) -> np.ndarray:
         """Per-counter ``sum_p w_p * xi_c(p)`` for a point batch."""
         points = self._check_points(points)
-        u = self._weights(weights, points.size)
+        u = self._weights_or_none(weights, points.size)
         totals = np.zeros(self.counters, dtype=np.float64)
+        start_time = obs.monotonic()
+        # repro: allow[R006] chunk traversal: each pass evaluates a whole (counters, chunk) block
         for start in range(0, points.size, self._CHUNK):
             stop = start + self._CHUNK
+            chunk_u = None if u is None else u[start:stop]
             totals += self._signed_totals(
-                self._sign_bits(points[start:stop]), u[start:stop]
+                self._signs(points[start:stop]), chunk_u
             )
+        self._observe_kernel(start_time)
         return totals
 
 
@@ -190,9 +189,12 @@ register(
         fast_range_sum=True,
         range_sum=lambda g, a, b: g.range_sum(a, b),
         range_sums=_eh3_range_sums,
-        plane=lambda generators: EH3Plane(generators),
+        plane=lambda generators, backend=None: EH3Plane(
+            generators, backend=backend
+        ),
         interval_kind="quaternary",
         dmap_inner=True,
+        backends=("stride", "numba", "numpy"),
         extras={"sequential_bits": eh3_sequential_bits},
     )
 )
@@ -218,9 +220,12 @@ register(
         fast_range_sum=True,
         range_sum=lambda g, a, b: g.range_sum(a, b),
         range_sums=_bch3_range_sums,
-        plane=lambda generators: BCH3Plane(generators),
+        plane=lambda generators, backend=None: BCH3Plane(
+            generators, backend=backend
+        ),
         interval_kind="binary",
         dmap_inner=True,
+        backends=("stride", "numba", "numpy"),
         extras={"sequential_bits": bch3_sequential_bits},
     )
 )
@@ -251,9 +256,12 @@ register(
         fast_range_sum=False,
         range_sum=_bch5_range_sum,
         range_sums=_bch5_range_sums,
-        plane=lambda generators: BCH5Plane(generators),
+        plane=lambda generators, backend=None: BCH5Plane(
+            generators, backend=backend
+        ),
         interval_kind=None,
         dmap_inner=True,
+        backends=("stride", "numba", "numpy"),
     )
 )
 
@@ -312,9 +320,12 @@ register(
         fast_range_sum=False,
         range_sum=None,
         range_sums=None,
-        plane=lambda generators: PolyPrimePlane(generators),
+        plane=lambda generators, backend=None: PolyPrimePlane(
+            generators, backend=backend
+        ),
         interval_kind=None,
         dmap_inner=True,
+        backends=("numba", "numpy"),
     )
 )
 

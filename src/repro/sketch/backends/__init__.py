@@ -1,0 +1,314 @@
+"""The kernel backend tier: one packed-plane algorithm, many engines.
+
+The packed counter planes of :mod:`repro.sketch.plane` spend all their
+time in three primitive kernels:
+
+* ``parity`` -- the bit-sliced GF(2) dot products ``parity(seed_c & i)``
+  accumulated across every counter of a grid at once;
+* ``bit_sums`` -- the signed-histogram finisher ``sum_p u_p * bit_c(p)``
+  that turns packed sign bits back into per-counter totals;
+* ``poly_sign`` -- the polynomials-over-primes evaluation
+  ``LSB(poly_c(i) mod p)`` over a Mersenne prime.
+
+This package makes those kernels *pluggable*: a
+:class:`KernelBackend` implements the primitive surface, registers
+itself under a name, and the plane layer picks one per grid through
+:func:`select_backend` -- honouring, in order, an explicit per-grid
+request (``StreamProcessor(backend=...)``, ``SketchScheme
+.kernel_backend``), the ``REPRO_KERNEL_BACKEND`` environment variable,
+and finally the priority order of whatever is importable on this
+machine.  Selection is *capability-aware*: each
+:class:`~repro.schemes.registry.SchemeSpec` declares which backends its
+plane kernels support, and an unavailable or unsupported backend
+degrades to the best available one with the reason recorded on the
+:class:`~repro.sketch.plane.PlaneDecision` (and counted by the
+``sketch.kernel.backend.*`` instruments) instead of failing or silently
+falling back.
+
+Built-in backends (see ``docs/performance.md`` for the selection order
+and an add-a-backend walkthrough):
+
+``numpy``
+    The reference vectorized engine: one word pass per seed bit, per-byte
+    ``bincount`` histograms.  Always available; every other backend is
+    gated by bit-identity against it and the scalar channels.
+``stride``
+    A tabulated variant of the bit-sliced pass: seed tables are
+    precombined into per-byte XOR lookup tables (one gather per 8 index
+    bits instead of one pass per bit) and unweighted sign bits are
+    counted with carry-save vertical adders instead of histograms.
+    Always available; the default.
+``numba``
+    ``@njit``-compiled scalar loops over the packed words.  Optional --
+    selected only on request, and only when :mod:`numba` imports.
+
+All backends produce *bit-identical* totals for integer weights (every
+intermediate is an exact float64 integer), which the registered
+(scheme x backend) suite in ``tests/test_backends.py`` enforces.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+
+__all__ = [
+    "KernelBackend",
+    "BackendSelection",
+    "BackendUnsupportedError",
+    "UnknownBackendError",
+    "register_backend",
+    "get_backend",
+    "registered_backends",
+    "backend_availability",
+    "select_backend",
+    "pack_counter_bits",
+    "BACKEND_ENV_VAR",
+]
+
+#: Environment variable naming the preferred backend for every grid that
+#: does not carry an explicit request.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+
+class UnknownBackendError(ValueError):
+    """A backend name that is not in the registry."""
+
+
+class BackendUnsupportedError(ValueError):
+    """A registered backend cannot serve this particular kernel.
+
+    Raised at plane-construction time (e.g. the ``numba`` engine has no
+    128-bit path for Mersenne-61 polynomials); the plane layer degrades
+    to the ``numpy`` engine and records the reason instead of failing.
+    """
+
+
+def pack_counter_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack an ``(L, C)`` 0/1 matrix into ``(L, ceil(C / 64))`` words.
+
+    Column ``c`` lands in bit ``c & 63`` of word ``c >> 6`` -- the
+    counter layout every plane seed table and every backend kernel uses.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError("bits must be a 2-D (levels, counters) matrix")
+    levels, counters = bits.shape
+    words = (counters + 63) // 64
+    padded = np.zeros((levels, words * 64), dtype=np.uint64)
+    padded[:, :counters] = bits.astype(np.uint64)
+    shifts = np.arange(64, dtype=np.uint64)
+    lanes = padded.reshape(levels, words, 64) << shifts
+    return np.bitwise_or.reduce(lanes, axis=2)
+
+
+class KernelBackend:
+    """One engine for the packed-plane primitive kernels.
+
+    Subclasses set :attr:`name` and :attr:`priority` and implement the
+    three kernel builders.  ``parity_kernel`` and ``poly_sign_kernel``
+    are *builders*: they are handed the per-grid seed material once (at
+    plane construction) and return the per-batch callable, so a backend
+    can precompute lookup tables or trigger JIT compilation outside the
+    hot path.  All kernels must be bit-identical to the ``numpy``
+    reference for exact (integer-valued) weights.
+    """
+
+    #: Registry name; also the label on ``sketch.kernel.<name>.seconds``.
+    name: str = ""
+    #: Auto-selection rank (highest available wins).
+    priority: int = 0
+
+    def availability(self) -> Optional[str]:
+        """``None`` when usable on this machine, else the reason it is not."""
+        return None
+
+    def parity_kernel(
+        self, table: np.ndarray
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Build ``fn(indices) -> (batch, words)`` packed parities.
+
+        ``table`` is an ``(n_bits, words)`` bit-sliced seed matrix; bit
+        ``c`` of ``fn(i)[p]`` must equal ``parity(seed_c & indices[p])``.
+        """
+        raise NotImplementedError
+
+    def bit_sums(
+        self, packed: np.ndarray, weights: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """``out[c] = sum_p w_p * bit_c(packed[p])`` over a packed batch.
+
+        ``weights`` is a float64 batch vector, or ``None`` for an
+        all-ones batch (the common unweighted point path -- backends may
+        take a pure popcount route there).  Returns ``words * 64``
+        float64 sums.
+        """
+        raise NotImplementedError
+
+    def poly_sign_kernel(
+        self, coefficients: np.ndarray, p: int
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Build ``fn(points) -> (batch, words)`` packed polynomial LSBs.
+
+        ``coefficients`` is a ``(counters, k)`` uint64 matrix of
+        polynomial coefficients over the Mersenne prime ``p``; bit ``c``
+        of ``fn(points)[j]`` must be ``poly_c(points[j]) mod p & 1``,
+        with the reduction canonical (in ``[0, p)``).  Backends raise
+        :class:`BackendUnsupportedError` for moduli they cannot serve.
+        """
+        raise NotImplementedError
+
+
+_BACKENDS: dict[str, KernelBackend] = {}
+
+
+def register_backend(
+    backend: KernelBackend, replace: bool = False
+) -> KernelBackend:
+    """Add a backend to the registry; returns it for chaining."""
+    if not backend.name:
+        raise ValueError("a kernel backend needs a non-empty name")
+    if not replace and backend.name in _BACKENDS:
+        raise ValueError(
+            f"kernel backend {backend.name!r} is already registered"
+        )
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The backend registered under ``name``; lists the registry on a miss."""
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        known = ", ".join(sorted(_BACKENDS)) or "<none>"
+        raise UnknownBackendError(
+            f"unknown kernel backend {name!r}; registered backends: {known}"
+        )
+    return backend
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Registered backend names, best-priority first."""
+    return tuple(
+        sorted(_BACKENDS, key=lambda name: -_BACKENDS[name].priority)
+    )
+
+
+def backend_availability() -> dict[str, Optional[str]]:
+    """Per-backend availability: ``None`` when usable, else the reason."""
+    return {
+        name: _BACKENDS[name].availability()
+        for name in registered_backends()
+    }
+
+
+@dataclass(frozen=True)
+class BackendSelection:
+    """The outcome of one backend pick: who runs, and who was skipped.
+
+    ``reason`` is ``None`` when the requested (or best-priority) backend
+    was taken, else a human-readable note naming the skipped backend and
+    why -- surfaced on :class:`~repro.sketch.plane.PlaneDecision` and via
+    ``StreamProcessor.stats()['planes']`` telemetry.
+    """
+
+    backend: KernelBackend
+    requested: Optional[str] = None
+    reason: Optional[str] = None
+
+
+def _requested_backend(explicit: Optional[str]) -> Optional[str]:
+    if explicit:
+        return explicit
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    return env or None
+
+
+def _skip_reason(name: str, supported: Optional[Sequence[str]]) -> Optional[str]:
+    """Why ``name`` cannot serve a grid with capability list ``supported``."""
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        known = ", ".join(registered_backends()) or "<none>"
+        return f"unknown backend {name!r} (registered: {known})"
+    if supported is not None and name not in supported:
+        return (
+            f"scheme declares no {name!r} kernel support "
+            f"(supported: {', '.join(supported) or '<none>'})"
+        )
+    unavailable = backend.availability()
+    if unavailable is not None:
+        return f"backend {name!r} unavailable: {unavailable}"
+    return None
+
+
+def select_backend(
+    supported: Optional[Sequence[str]] = None,
+    requested: Optional[str] = None,
+    record: bool = False,
+) -> BackendSelection:
+    """Pick the backend for one grid, recording the decision.
+
+    Precedence: an explicit ``requested`` name, then the
+    ``REPRO_KERNEL_BACKEND`` environment variable, then registered
+    priority order.  ``supported`` restricts auto-selection to a
+    scheme's declared backend capabilities (an explicit request outside
+    the list is *skipped with a reason*, never honoured silently).  The
+    ``numpy`` reference backend is the fallback of last resort, so a
+    selection always succeeds.
+
+    With ``record=True`` the pick bumps the
+    ``sketch.kernel.backend.*`` selection/skip counters (the plane
+    layer's dispatch path does; ad-hoc plane constructions do not).
+    """
+    requested = _requested_backend(requested)
+    reasons: list[str] = []
+    choice: Optional[KernelBackend] = None
+    if requested is not None:
+        reason = _skip_reason(requested, supported)
+        if reason is None:
+            choice = _BACKENDS[requested]
+        else:
+            reasons.append(reason)
+            if record:
+                obs.counter("sketch.kernel.backend.skipped_total").inc()
+                obs.counter(
+                    f"sketch.kernel.backend.{requested}.skipped_total"
+                ).inc()
+    if choice is None:
+        for name in registered_backends():
+            if requested is not None and name == requested:
+                continue
+            if _skip_reason(name, supported) is None:
+                choice = _BACKENDS[name]
+                break
+    if choice is None:
+        # A spec that lists only unavailable backends still gets the
+        # reference engine -- degraded, never broken.
+        reasons.append("no declared backend is available; using 'numpy'")
+        choice = get_backend("numpy")
+    if record:
+        obs.counter("sketch.kernel.backend.selections_total").inc()
+        obs.counter(
+            f"sketch.kernel.backend.{choice.name}.selected_total"
+        ).inc()
+    return BackendSelection(
+        backend=choice,
+        requested=requested,
+        reason="; ".join(reasons) or None,
+    )
+
+
+# Register the built-in engines.  numpy must come first: it is the
+# fallback of last resort every selection can rely on.
+from repro.sketch.backends import numpy_backend as _numpy_backend  # noqa: E402
+from repro.sketch.backends import stride_backend as _stride_backend  # noqa: E402
+from repro.sketch.backends import numba_backend as _numba_backend  # noqa: E402
+
+register_backend(_numpy_backend.NumpyBackend())
+register_backend(_stride_backend.StrideBackend())
+register_backend(_numba_backend.NumbaBackend())

@@ -1,0 +1,192 @@
+"""The numba backend: ``@njit``-compiled scalar loops over packed words.
+
+Optional engine -- ``numba`` is not a dependency of this project.  When it
+is importable the kernels here compile once per signature (with
+``cache=True``, so repeat processes reuse the on-disk cache, which CI
+persists between runs); when it is not, :meth:`NumbaBackend.availability`
+reports the import error and the selection layer degrades to another
+backend with that reason recorded.  The backend is never auto-selected:
+its priority sits below ``stride``, so it runs only when explicitly
+requested (``REPRO_KERNEL_BACKEND=numba`` / ``backend="numba"``).
+
+This module is the compiled tier, exempt from the R006 vectorization rule
+(per-element loops are exactly what ``@njit`` wants).  The Mersenne
+polynomial kernel covers exponents up to 31 (one product fits ``uint64``);
+wider moduli (2^61 - 1) and non-Mersenne primes are declared unsupported
+so the plane layer degrades with a recorded reason instead of overflowing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.core.primefield import mersenne_exponent
+
+__all__ = ["NumbaBackend"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError as exc:  # pragma: no cover - the common local case
+    _numba = None
+    _NUMBA_ERROR: Optional[str] = str(exc)
+else:  # pragma: no cover
+    _NUMBA_ERROR = None
+
+_KERNELS: dict[str, Any] = {}
+
+
+def _compiled() -> dict[str, Any]:  # pragma: no cover - needs numba
+    """Compile (once) and return the njit kernels."""
+    if _KERNELS or _numba is None:
+        return _KERNELS
+    njit = _numba.njit
+
+    @njit(cache=True)
+    def parity(indices, table):  # type: ignore[no-untyped-def]
+        batch = indices.shape[0]
+        n_bits = table.shape[0]
+        words = table.shape[1]
+        out = np.zeros((batch, words), dtype=np.uint64)
+        one = np.uint64(1)
+        for row in range(batch):
+            i = indices[row]
+            for j in range(n_bits):
+                if i & one:
+                    for w in range(words):
+                        out[row, w] ^= table[j, w]
+                i >>= one
+        return out
+
+    @njit(cache=True)
+    def bit_sums(packed, weights, use_weights):  # type: ignore[no-untyped-def]
+        batch = packed.shape[0]
+        words = packed.shape[1]
+        out = np.zeros(words * 64, dtype=np.float64)
+        one = np.uint64(1)
+        for row in range(batch):
+            u = weights[row] if use_weights else 1.0
+            for w in range(words):
+                value = packed[row, w]
+                base = w * 64
+                bit = 0
+                while value:
+                    if value & one:
+                        out[base + bit] += u
+                    value >>= one
+                    bit += 1
+        return out
+
+    @njit(cache=True)
+    def poly_signs(points, coefficients, exponent):  # type: ignore[no-untyped-def]
+        batch = points.shape[0]
+        counters = coefficients.shape[0]
+        degree = coefficients.shape[1]
+        words = (counters + 63) // 64
+        out = np.zeros((batch, words), dtype=np.uint64)
+        one = np.uint64(1)
+        shift = np.uint64(exponent)
+        p = (one << shift) - one
+        for row in range(batch):
+            x = points[row]
+            x = (x & p) + (x >> shift)
+            x = (x & p) + (x >> shift)
+            if x >= p:
+                x -= p
+            for c in range(counters):
+                acc = np.uint64(0)
+                for k in range(degree - 1, -1, -1):
+                    t = acc * x  # both canonical < 2^31: fits uint64
+                    t = (t & p) + (t >> shift)
+                    t = (t & p) + (t >> shift)
+                    if t >= p:
+                        t -= p
+                    acc = t + coefficients[c, k]
+                    if acc >= p:
+                        acc -= p
+                if acc & one:
+                    out[row, c // 64] |= one << np.uint64(c % 64)
+        return out
+
+    _KERNELS["parity"] = parity
+    _KERNELS["bit_sums"] = bit_sums
+    _KERNELS["poly_signs"] = poly_signs
+    return _KERNELS
+
+
+class NumbaBackend:
+    """JIT-compiled engine; opt-in, absent-by-default dependency."""
+
+    name = "numba"
+    priority = 50
+
+    def availability(self) -> Optional[str]:
+        """``None`` when :mod:`numba` imports, else the import error."""
+        if _NUMBA_ERROR is not None:
+            return f"numba is not installed ({_NUMBA_ERROR})"
+        return None
+
+    def _require(self) -> dict[str, Any]:
+        kernels = _compiled()
+        if not kernels:  # pragma: no cover - guarded by availability()
+            raise RuntimeError(
+                "numba backend used while unavailable: "
+                f"{self.availability()}"
+            )
+        return kernels
+
+    def parity_kernel(
+        self, table: np.ndarray
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Compiled scalar loop over index bits and words."""
+        parity = self._require()["parity"]
+        table = np.ascontiguousarray(table)
+
+        def kernel(indices: np.ndarray) -> np.ndarray:
+            return parity(np.ascontiguousarray(indices), table)
+
+        return kernel
+
+    def bit_sums(
+        self, packed: np.ndarray, weights: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Compiled per-set-bit accumulation (exact for integer weights)."""
+        kernel = self._require()["bit_sums"]
+        if weights is None:
+            weights = np.ones(1, dtype=np.float64)
+            return kernel(np.ascontiguousarray(packed), weights, False)
+        return kernel(
+            np.ascontiguousarray(packed),
+            np.ascontiguousarray(weights),
+            True,
+        )
+
+    def poly_sign_kernel(
+        self, coefficients: np.ndarray, p: int
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Compiled Mersenne Horner loop; exponents above 31 are declined."""
+        from repro.sketch.backends import BackendUnsupportedError
+
+        exponent = mersenne_exponent(p)
+        if exponent is None:
+            raise BackendUnsupportedError(
+                f"prime {p} is not Mersenne; the compiled Horner kernel "
+                "relies on shift-add folding -- use the 'numpy' backend"
+            )
+        if exponent > 31:
+            raise BackendUnsupportedError(
+                f"Mersenne exponent {exponent} needs 128-bit products; "
+                "the compiled kernel covers exponents <= 31 -- use the "
+                "'numpy' backend's limb-split path"
+            )
+        poly_signs = self._require()["poly_signs"]
+        coefficients = np.ascontiguousarray(coefficients)
+        mersenne_bits = int(exponent)
+
+        def kernel(points: np.ndarray) -> np.ndarray:
+            return poly_signs(
+                np.ascontiguousarray(points), coefficients, mersenne_bits
+            )
+
+        return kernel

@@ -1,0 +1,226 @@
+"""The reference kernel backend: pure-numpy bit-sliced passes.
+
+This module holds the vectorized kernels the packed planes shipped with
+originally -- one word pass per seed bit for the GF(2) parities, per-byte
+``bincount`` histograms for the signed totals -- plus the branch-free
+Mersenne polynomial evaluator.  It is always available, it is the
+selection fallback of last resort, and every other backend is defined as
+"bit-identical to this one" (enforced by ``tests/test_backends.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.primefield import (
+    mersenne_exponent,
+    mersenne_mulmod_array,
+    mod_mersenne_array,
+)
+
+__all__ = ["NumpyBackend"]
+
+#: ``_BYTE_BITS[v, k]`` is bit ``k`` of byte value ``v`` -- the unpacking
+#: matrix of the per-byte histogram finisher.
+_BYTE_BITS = (
+    (
+        np.arange(256, dtype=np.int64)[:, np.newaxis]
+        >> np.arange(8, dtype=np.int64)[np.newaxis, :]
+    )
+    & 1
+).astype(np.float64)
+
+#: Batches at or below this size unpack sign bits directly: the histogram
+#: (or adder-tree) set-up costs more than the counters themselves.
+SMALL_BATCH = 32
+
+
+def packed_linear_parity(indices: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """``acc[p] = XOR_j (-(bit_j(indices[p]))) & table[j]`` -- packed parities.
+
+    Returns the ``(batch, words)`` matrix whose bit ``c`` is
+    ``parity(seed_c & indices[p])`` for the seeds packed into ``table``.
+    """
+    lane = np.empty(indices.size, dtype=np.uint64)
+    one = np.uint64(1)
+    if table.shape[1] == 1:
+        # Single-word grids stay 1-D: multiplying the 0/1 lane by the
+        # seed word selects it per element without any broadcasting.
+        acc = np.zeros(indices.size, dtype=np.uint64)
+        # The per-seed-bit loop IS the bit-sliced algorithm.
+        # repro: allow[R006] each pass is one whole-batch word operation
+        for j in range(table.shape[0]):
+            row = table[j, 0]
+            if not row:
+                continue
+            np.right_shift(indices, np.uint64(j), out=lane)
+            np.bitwise_and(lane, one, out=lane)
+            np.multiply(lane, row, out=lane)
+            np.bitwise_xor(acc, lane, out=acc)
+        return acc[:, np.newaxis]
+    acc = np.zeros((indices.size, table.shape[1]), dtype=np.uint64)
+    masked = np.empty_like(acc)
+    # repro: allow[R006] per-seed-bit loop over whole-batch word passes
+    for j in range(table.shape[0]):
+        row = table[j]
+        if not row.any():
+            continue
+        np.right_shift(indices, np.uint64(j), out=lane)
+        np.bitwise_and(lane, one, out=lane)
+        np.multiply(lane[:, np.newaxis], row[np.newaxis, :], out=masked)
+        np.bitwise_xor(acc, masked, out=acc)
+    return acc
+
+
+def small_batch_bit_sums(
+    packed: np.ndarray, u: Optional[np.ndarray]
+) -> np.ndarray:
+    """Direct unpack-and-contract for tiny batches (both backends share it)."""
+    shifts = np.arange(64, dtype=np.uint64)
+    bits = ((packed[:, :, np.newaxis] >> shifts) & np.uint64(1)).astype(
+        np.float64
+    )
+    if u is None:
+        return bits.sum(axis=0, dtype=np.float64).ravel()
+    return np.tensordot(u, bits, axes=1).ravel()
+
+
+def weighted_bit_sums(packed: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """``out[c] = sum_p u[p] * bit_c(packed[p])`` via per-byte histograms."""
+    batch, words = packed.shape
+    out = np.zeros(words * 64, dtype=np.float64)
+    if batch == 0:
+        return out
+    if batch <= SMALL_BATCH:
+        return small_batch_bit_sums(packed, u)
+    byte = np.uint64(0xFF)
+    # repro: allow[R006] per-word/per-byte loop over whole-batch bincounts
+    for w in range(words):
+        column = packed[:, w]
+        for k in range(8):
+            values = ((column >> np.uint64(8 * k)) & byte).astype(np.int64)
+            histogram = np.bincount(values, weights=u, minlength=256)
+            base = w * 64 + k * 8
+            out[base : base + 8] = histogram @ _BYTE_BITS
+    return out
+
+
+def unweighted_bit_sums(packed: np.ndarray) -> np.ndarray:
+    """All-ones-batch bit sums via integer byte histograms.
+
+    Skips the float weight gather of :func:`weighted_bit_sums`; counts are
+    exact integers either way, so the two paths agree bit for bit.
+    """
+    batch, words = packed.shape
+    out = np.zeros(words * 64, dtype=np.float64)
+    if batch == 0:
+        return out
+    if batch <= SMALL_BATCH:
+        return small_batch_bit_sums(packed, None)
+    byte = np.uint64(0xFF)
+    # repro: allow[R006] per-word/per-byte loop over whole-batch bincounts
+    for w in range(words):
+        column = packed[:, w]
+        for k in range(8):
+            values = ((column >> np.uint64(8 * k)) & byte).astype(np.int64)
+            histogram = np.bincount(values, minlength=256).astype(np.float64)
+            base = w * 64 + k * 8
+            out[base : base + 8] = histogram @ _BYTE_BITS
+    return out
+
+
+def mersenne_poly_residues(
+    points: np.ndarray, coefficients: np.ndarray, exponent: int
+) -> np.ndarray:
+    """Canonical Horner residues ``poly_c(points) mod (2^exponent - 1)``.
+
+    Branch-free shift-add folding throughout: each Horner step is one
+    limb-split modular multiply plus one fold, all canonical, so the result
+    matches the scalar ``PrimeField.eval_poly`` exactly.  Returns a
+    ``(counters, batch)`` uint64 matrix.
+    """
+    xs = mod_mersenne_array(points, exponent)[np.newaxis, :]
+    acc = np.zeros((coefficients.shape[0], points.size), dtype=np.uint64)
+    # repro: allow[R006] Horner recurrence: one whole-batch pass per degree
+    for k in range(coefficients.shape[1] - 1, -1, -1):
+        acc = mod_mersenne_array(
+            mersenne_mulmod_array(acc, xs, exponent)
+            + coefficients[:, k : k + 1],
+            exponent,
+        )
+    return acc
+
+
+def generic_poly_residues(
+    points: np.ndarray, coefficients: np.ndarray, p: int
+) -> np.ndarray:
+    """Horner residues for a non-Mersenne prime (exact, object-dtype).
+
+    Only the reference backend serves these moduli; the test grids use
+    small research primes (17, 2053, ...) that have no shift-add
+    reduction, so the canonical ``%`` is the honest implementation here.
+    """
+    obj = points.astype(object) % p  # repro: allow[R006] non-Mersenne modulus
+    acc = np.zeros(
+        (coefficients.shape[0], points.size), dtype=object
+    )
+    # repro: allow[R006] Horner recurrence over an object-dtype batch
+    for k in range(coefficients.shape[1] - 1, -1, -1):
+        # repro: allow[R006] non-Mersenne modulus: no shift-add reduction
+        acc = (acc * obj + coefficients[:, k : k + 1].astype(object)) % p
+    return acc.astype(np.uint64)
+
+
+class NumpyBackend:
+    """Reference engine: always available, defines bit-level correctness."""
+
+    name = "numpy"
+    priority = 0
+
+    def availability(self) -> Optional[str]:
+        """The reference engine is unconditionally usable."""
+        return None
+
+    def parity_kernel(
+        self, table: np.ndarray
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """The bit-sliced per-seed-bit pass over the packed table."""
+
+        def kernel(indices: np.ndarray) -> np.ndarray:
+            return packed_linear_parity(indices, table)
+
+        return kernel
+
+    def bit_sums(
+        self, packed: np.ndarray, weights: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Per-byte histogram finisher (integer histograms when unweighted)."""
+        if weights is None:
+            return unweighted_bit_sums(packed)
+        return weighted_bit_sums(packed, weights)
+
+    def poly_sign_kernel(
+        self, coefficients: np.ndarray, p: int
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Packed polynomial LSBs; branch-free for Mersenne moduli."""
+        from repro.sketch.backends import pack_counter_bits
+
+        exponent = mersenne_exponent(p)
+        if exponent is not None and (exponent <= 31 or exponent == 61):
+            mersenne_bits = int(exponent)
+
+            def kernel(points: np.ndarray) -> np.ndarray:
+                residues = mersenne_poly_residues(
+                    points, coefficients, mersenne_bits
+                )
+                return pack_counter_bits((residues & np.uint64(1)).T)
+
+            return kernel
+
+        def fallback(points: np.ndarray) -> np.ndarray:
+            residues = generic_poly_residues(points, coefficients, p)
+            return pack_counter_bits((residues & np.uint64(1)).T)
+
+        return fallback

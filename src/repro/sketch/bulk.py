@@ -121,6 +121,8 @@ def decompose_quaternary(
 
     Runs on the batched cover kernel (no per-piece ``DyadicInterval``
     allocation); end-points at or above 2^63 take the scalar route.
+    Duplicate pieces are merged here, once, so every downstream consumer
+    (per-cell baseline, plane kernels on any backend) shares the work.
     """
     try:
         alphas, betas = _interval_endpoints(intervals)
@@ -138,16 +140,20 @@ def decompose_quaternary(
         obs.counter("sketch.bulk.covers_total").inc(len(intervals))
         obs.counter("sketch.bulk.pieces_total").inc(len(lows))
         return QuaternaryPieces(
-            np.asarray(lows, dtype=np.uint64),
-            np.asarray(half_levels, dtype=np.int64),
-            _piece_weights(weights, intervals, counts),
+            *_consolidate_pieces(
+                np.asarray(lows, dtype=np.uint64),
+                np.asarray(half_levels, dtype=np.int64),
+                _piece_weights(weights, intervals, counts),
+            )
         )
     obs.counter("sketch.bulk.covers_total").inc(len(intervals))
     obs.counter("sketch.bulk.pieces_total").inc(int(cover.lows.size))
     return QuaternaryPieces(
-        cover.lows,
-        cover.levels >> 1,
-        _piece_weights(weights, intervals, cover.counts()),
+        *_consolidate_pieces(
+            cover.lows,
+            cover.levels >> 1,
+            _piece_weights(weights, intervals, cover.counts()),
+        )
     )
 
 
@@ -158,7 +164,8 @@ def decompose_binary(
     """Binary covers of all intervals, flattened into piece arrays.
 
     Runs on the batched cover kernel; end-points at or above 2^63 take
-    the scalar route.
+    the scalar route.  Duplicate pieces are merged here, once, so every
+    downstream consumer shares the work.
     """
     try:
         alphas, betas = _interval_endpoints(intervals)
@@ -176,16 +183,20 @@ def decompose_binary(
         obs.counter("sketch.bulk.covers_total").inc(len(intervals))
         obs.counter("sketch.bulk.pieces_total").inc(len(lows))
         return BinaryPieces(
-            np.asarray(lows, dtype=np.uint64),
-            np.asarray(levels, dtype=np.int64),
-            _piece_weights(weights, intervals, counts),
+            *_consolidate_pieces(
+                np.asarray(lows, dtype=np.uint64),
+                np.asarray(levels, dtype=np.int64),
+                _piece_weights(weights, intervals, counts),
+            )
         )
     obs.counter("sketch.bulk.covers_total").inc(len(intervals))
     obs.counter("sketch.bulk.pieces_total").inc(int(cover.lows.size))
     return BinaryPieces(
-        cover.lows,
-        cover.levels,
-        _piece_weights(weights, intervals, cover.counts()),
+        *_consolidate_pieces(
+            cover.lows,
+            cover.levels,
+            _piece_weights(weights, intervals, cover.counts()),
+        )
     )
 
 
@@ -209,26 +220,32 @@ def _consolidate_pieces(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Merge duplicate ``(low, level)`` pieces, summing their weights.
 
-    Lexsort-based grouping works for the full 64-bit key range -- unlike
-    packing ``(low << 6) | level`` into one word, which silently stops
-    applying once ``low`` reaches 2^57.
+    Run once, at decomposition time, so every consumer of the piece
+    arrays (per-cell baseline, plane updates across any number of
+    backends) shares one sort instead of re-deduplicating per call.
+    When both coordinates fit one word the sort runs on a single packed
+    key; wider ``lows`` (at or beyond 2^57) take a lexsort, so the merge
+    never silently stops applying.
     """
     if lows.size == 0:
         return lows, levels, weights
-    order = np.lexsort((levels, lows))
+    if int(lows.max()) < (1 << 57) and int(levels.max()) < 64:
+        keys = (lows << np.uint64(6)) | levels.astype(np.uint64)
+        order = np.argsort(keys, kind="stable")
+    else:
+        order = np.lexsort((levels, lows))
     lows = lows[order]
     levels = levels[order]
     weights = weights[order]
     fresh = np.empty(lows.size, dtype=bool)
     fresh[0] = True
     fresh[1:] = (lows[1:] != lows[:-1]) | (levels[1:] != levels[:-1])
-    groups = np.cumsum(fresh) - 1
-    summed = np.bincount(groups, weights=weights)
-    keep = np.flatnonzero(fresh)
+    starts = np.flatnonzero(fresh)
+    summed = np.add.reduceat(weights, starts)
     obs.counter("sketch.bulk.pieces_deduped_total").inc(
-        int(lows.size - keep.size)
+        int(lows.size - starts.size)
     )
-    return lows[keep], levels[keep], summed
+    return lows[starts], levels[starts], summed
 
 
 def _require_interval_kind(channel: Any, kind: str, caller: str) -> None:
@@ -267,12 +284,9 @@ def eh3_percell_interval_update(
 
     Kept as the explicit counter-loop path the bulk benchmarks use as a
     baseline; :func:`eh3_bulk_interval_update` supersedes it with the
-    whole-grid plane kernel.
+    whole-grid plane kernel.  Piece batches arrive deduplicated from
+    :func:`decompose_quaternary`, so no per-call consolidation is needed.
     """
-    lows, half_levels, weights = _consolidate_pieces(
-        pieces.lows, pieces.half_levels, pieces.weights
-    )
-    pieces = QuaternaryPieces(lows, half_levels, weights)
     for row in sketch.cells:
         for cell in row:
             channel = cell.channel
@@ -291,10 +305,8 @@ def eh3_bulk_interval_update(
 
     Equivalent to calling ``update_interval`` per interval per cell, in a
     handful of batched passes for the *whole grid* (the packed plane of
-    :class:`repro.sketch.plane.EH3Plane`).  The plane kernel is linear in
-    the piece count with no per-counter term, so it skips the up-front
-    deduplication the per-cell loop relies on -- sorting the batch costs
-    more than the duplicates do.
+    :class:`repro.sketch.plane.EH3Plane`).  Piece batches arrive
+    deduplicated from :func:`decompose_quaternary`.
     """
     plane = counter_plane(sketch.scheme)
     if getattr(plane, "interval_kind", None) != "quaternary":
@@ -302,17 +314,15 @@ def eh3_bulk_interval_update(
         eh3_percell_interval_update(sketch, pieces)
         return
     obs.counter("sketch.bulk.plane_total").inc()
-    lows, half_levels, weights = pieces.lows, pieces.half_levels, pieces.weights
-    if plane.words > 1:
-        # Wide grids pay per-piece work per word, so the one sort of the
-        # dedup amortizes; single-word grids are cheaper without it.
-        lows, half_levels, weights = _consolidate_pieces(
-            lows, half_levels, weights
-        )
     with obs.span(
         "sketch.plane.interval_totals", plane=type(plane).__name__
     ):
-        add_totals(sketch, plane.interval_totals(lows, half_levels, weights))
+        add_totals(
+            sketch,
+            plane.interval_totals(
+                pieces.lows, pieces.half_levels, pieces.weights
+            ),
+        )
 
 
 def bch3_bulk_interval_update(
@@ -329,13 +339,15 @@ def bch3_bulk_interval_update(
     plane = counter_plane(sketch.scheme)
     if getattr(plane, "interval_kind", None) == "binary":
         obs.counter("sketch.bulk.plane_total").inc()
-        lows, levels, weights = pieces.lows, pieces.levels, pieces.weights
-        if plane.words > 1:
-            lows, levels, weights = _consolidate_pieces(lows, levels, weights)
         with obs.span(
             "sketch.plane.interval_totals", plane=type(plane).__name__
         ):
-            add_totals(sketch, plane.interval_totals(lows, levels, weights))
+            add_totals(
+                sketch,
+                plane.interval_totals(
+                    pieces.lows, pieces.levels, pieces.weights
+                ),
+            )
         return
     obs.counter("sketch.bulk.fallback_total").inc()
     for row in sketch.cells:

@@ -28,13 +28,26 @@ The per-counter totals are recovered without unpacking: with
 
     ``total_c = sum_p u_p (1 - 2 b_{p,c}) = sum_p u_p - 2 sum_p u_p b_{p,c}``
 
-and the weighted bit-sums come from eight per-byte ``bincount``
-histograms per word column -- O(8 * words) passes for the whole grid.
+and the weighted bit-sums come from per-byte histograms (or, depending on
+the selected engine, carry-save adder trees) -- O(words) passes for the
+whole grid.
+
+Kernel backends
+---------------
+The primitive kernels themselves -- the packed parity pass, the bit-sum
+finisher, the Mersenne polynomial evaluation -- live behind the
+:mod:`repro.sketch.backends` registry; a plane binds one
+:class:`~repro.sketch.backends.KernelBackend` at construction (explicit
+``backend=`` argument, the owning scheme's ``kernel_backend`` attribute,
+the ``REPRO_KERNEL_BACKEND`` environment variable, or best-available
+priority, in that order).  :func:`plane_decision` records which backend a
+grid ended up on and why any requested backend was skipped.  Per-backend
+kernel time lands in the ``sketch.kernel.<name>.seconds`` histograms.
 
 All arithmetic is float64 over exact integers (every term is ``+-2^j``
 with ``j`` far below 53 bits), so plane updates are bit-for-bit identical
-to the scalar per-cell paths for integer weights, and agree to one
-multiplication rounding otherwise.
+to the scalar per-cell paths for integer weights -- whichever backend is
+selected -- and agree to one multiplication rounding otherwise.
 """
 
 from __future__ import annotations
@@ -49,6 +62,14 @@ from repro.core.bits import adjacent_pair_or_fold_array
 from repro.generators.bch3 import BCH3
 from repro.generators.bch5 import BCH5
 from repro.generators.eh3 import EH3
+from repro.sketch.backends import (
+    BackendUnsupportedError,
+    KernelBackend,
+    get_backend,
+    pack_counter_bits,
+    select_backend,
+)
+from repro.sketch.backends.numpy_backend import weighted_bit_sums
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sketch.ams import SketchMatrix, SketchScheme
@@ -70,118 +91,49 @@ __all__ = [
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
-#: ``_BYTE_BITS[v, k]`` is bit ``k`` of byte value ``v`` -- the unpacking
-#: matrix of the per-byte histogram finisher.
-_BYTE_BITS = (
-    (
-        np.arange(256, dtype=np.int64)[:, np.newaxis]
-        >> np.arange(8, dtype=np.int64)[np.newaxis, :]
-    )
-    & 1
-).astype(np.float64)
-
-
-def pack_counter_bits(bits: np.ndarray) -> np.ndarray:
-    """Pack an ``(L, C)`` 0/1 matrix into ``(L, ceil(C / 64))`` words.
-
-    Column ``c`` lands in bit ``c mod 64`` of word ``c // 64`` -- the
-    counter layout every plane table uses.
-    """
-    bits = np.asarray(bits)
-    if bits.ndim != 2:
-        raise ValueError("bits must be a 2-D (levels, counters) matrix")
-    levels, counters = bits.shape
-    words = (counters + 63) // 64
-    padded = np.zeros((levels, words * 64), dtype=np.uint64)
-    padded[:, :counters] = bits.astype(np.uint64)
-    shifts = np.arange(64, dtype=np.uint64)
-    lanes = padded.reshape(levels, words, 64) << shifts
-    return np.bitwise_or.reduce(lanes, axis=2)
-
-
-def _packed_linear_parity(indices: np.ndarray, table: np.ndarray) -> np.ndarray:
-    """``acc[p] = XOR_j (-(bit_j(indices[p]))) & table[j]`` -- packed parities.
-
-    Returns the ``(batch, words)`` matrix whose bit ``c`` is
-    ``parity(seed_c & indices[p])`` for the seeds packed into ``table``.
-    """
-    lane = np.empty(indices.size, dtype=np.uint64)
-    one = np.uint64(1)
-    if table.shape[1] == 1:
-        # Single-word grids stay 1-D: multiplying the 0/1 lane by the
-        # seed word selects it per element without any broadcasting.
-        acc = np.zeros(indices.size, dtype=np.uint64)
-        for j in range(table.shape[0]):
-            row = table[j, 0]
-            if not row:
-                continue
-            np.right_shift(indices, np.uint64(j), out=lane)
-            np.bitwise_and(lane, one, out=lane)
-            np.multiply(lane, row, out=lane)
-            np.bitwise_xor(acc, lane, out=acc)
-        return acc[:, np.newaxis]
-    acc = np.zeros((indices.size, table.shape[1]), dtype=np.uint64)
-    masked = np.empty_like(acc)
-    for j in range(table.shape[0]):
-        row = table[j]
-        if not row.any():
-            continue
-        np.right_shift(indices, np.uint64(j), out=lane)
-        np.bitwise_and(lane, one, out=lane)
-        np.multiply(lane[:, np.newaxis], row[np.newaxis, :], out=masked)
-        np.bitwise_xor(acc, masked, out=acc)
-    return acc
-
-
-def weighted_bit_sums(packed: np.ndarray, u: np.ndarray) -> np.ndarray:
-    """``out[c] = sum_p u[p] * bit_c(packed[p])`` via per-byte histograms."""
-    batch, words = packed.shape
-    out = np.zeros(words * 64, dtype=np.float64)
-    if batch == 0:
-        return out
-    if batch <= 32:
-        # Tiny batches (single-interval updates) unpack directly: the
-        # histogram set-up costs more than the counters themselves.
-        shifts = np.arange(64, dtype=np.uint64)
-        bits = ((packed[:, :, np.newaxis] >> shifts) & np.uint64(1)).astype(
-            np.float64
-        )
-        return np.tensordot(u, bits, axes=1).ravel()
-    byte = np.uint64(0xFF)
-    for w in range(words):
-        column = packed[:, w]
-        for k in range(8):
-            values = ((column >> np.uint64(8 * k)) & byte).astype(np.int64)
-            histogram = np.bincount(values, weights=u, minlength=256)
-            base = w * 64 + k * 8
-            out[base : base + 8] = histogram @ _BYTE_BITS
-    return out
-
 
 class PackedPlane:
     """Shared packed-seed scaffolding of the concrete planes.
 
     External plane kernels (registered through
     :mod:`repro.schemes`; see :class:`repro.schemes.PolyPrimePlane`)
-    subclass this for the input checks and the histogram finisher, and
-    set two class attributes the dispatch layers read:
+    subclass this for the input checks and the signed-total finisher, and
+    set three class attributes the dispatch layers read:
 
     * ``plane_kind`` -- ``"generator"`` for planes over plain generator
       channels, ``"dmap"`` for planes over DMAP channels;
     * ``interval_kind`` -- the piece shape ``interval_totals`` consumes
       (``"quaternary"``, ``"binary"``, ``"endpoints"``), or ``None``
-      when the plane only supports point batches.
+      when the plane only supports point batches;
+    * ``supported_backends`` -- kernel backend names this plane's
+      primitives cover, or ``None`` for all registered backends (used
+      when a plane is constructed directly, without a registry spec).
+
+    ``backend`` may be a backend name, a
+    :class:`~repro.sketch.backends.KernelBackend` instance, or ``None``
+    to auto-select; the resolved engine is exposed as ``self.backend``.
     """
 
     plane_kind = "generator"
     interval_kind: str | None = None
+    supported_backends: tuple[str, ...] | None = None
 
-    def __init__(self, domain_bits: int, counters: int) -> None:
+    def __init__(
+        self,
+        domain_bits: int,
+        counters: int,
+        backend: str | KernelBackend | None = None,
+    ) -> None:
         if counters < 1:
             raise ValueError("a plane needs at least one counter")
         self.domain_bits = domain_bits
         self.counters = counters
         self.words = (counters + 63) // 64
+        if backend is None:
+            backend = select_backend(supported=self.supported_backends).backend
+        elif isinstance(backend, str):
+            backend = get_backend(backend)
+        self.backend: KernelBackend = backend
 
     def _check_points(self, points: Sequence[int] | np.ndarray) -> np.ndarray:
         points = np.asarray(points)
@@ -224,10 +176,36 @@ class PackedPlane:
             raise ValueError("weights must match the batch element-wise")
         return weights
 
-    def _signed_totals(self, acc: np.ndarray, u: np.ndarray) -> np.ndarray:
+    def _weights_or_none(
+        self,
+        weights: Sequence[float] | np.ndarray | None,
+        size: int,
+    ) -> np.ndarray | None:
+        """Validated weights, or ``None`` for the all-ones batch.
+
+        Keeping the unweighted case as ``None`` lets backends take a pure
+        popcount route for point batches (exact either way).
+        """
+        if weights is None:
+            return None
+        return self._weights(weights, size)
+
+    def _signed_totals(
+        self, acc: np.ndarray, u: np.ndarray | None
+    ) -> np.ndarray:
         """Per-counter ``sum_p u_p * (-1)^{bit}`` from packed sign bits."""
-        bit_sums = weighted_bit_sums(acc, u)[: self.counters]
-        return float(u.sum()) - 2.0 * bit_sums
+        if u is None:
+            base = float(acc.shape[0])
+        else:
+            base = float(u.sum())
+        bit_sums = self.backend.bit_sums(acc, u)[: self.counters]
+        return base - 2.0 * bit_sums
+
+    def _observe_kernel(self, start: float) -> None:
+        """Record one kernel pass in the per-backend timing histogram."""
+        obs.histogram(f"sketch.kernel.{self.backend.name}.seconds").observe(
+            obs.monotonic() - start
+        )
 
 
 class EH3Plane(PackedPlane):
@@ -235,11 +213,15 @@ class EH3Plane(PackedPlane):
 
     interval_kind = "quaternary"
 
-    def __init__(self, generators: Sequence[EH3]) -> None:
+    def __init__(
+        self,
+        generators: Sequence[EH3],
+        backend: str | KernelBackend | None = None,
+    ) -> None:
         bits = {g.domain_bits for g in generators}
         if len(bits) != 1:
             raise ValueError("plane generators must share a domain")
-        super().__init__(bits.pop(), len(generators))
+        super().__init__(bits.pop(), len(generators), backend=backend)
         n = self.domain_bits
         s1 = np.array([g.s1 for g in generators], dtype=np.uint64)
         seed_bits = (s1[np.newaxis, :] >> np.arange(n, dtype=np.uint64)[:, np.newaxis]) & np.uint64(1)
@@ -255,9 +237,10 @@ class EH3Plane(PackedPlane):
         zero_parity = np.zeros((pairs + 1, self.counters), dtype=np.uint64)
         zero_parity[1:] = np.cumsum(pair_zero, axis=0, dtype=np.int64) & 1
         self.zero_pair_parity = pack_counter_bits(zero_parity)
+        self._parity = self.backend.parity_kernel(self.s1_table)
 
     def _sign_bits(self, indices: np.ndarray) -> np.ndarray:
-        acc = _packed_linear_parity(indices, self.s1_table)
+        acc = self._parity(indices)
         acc ^= self.s0_word[np.newaxis, :]
         h = adjacent_pair_or_fold_array(indices, self.domain_bits)
         acc ^= (h.astype(np.uint64) * _ALL_ONES)[:, np.newaxis]
@@ -270,8 +253,11 @@ class EH3Plane(PackedPlane):
     ) -> np.ndarray:
         """Per-counter ``sum_p w_p * xi_c(p)`` for a point batch."""
         points = self._check_points(points)
-        u = self._weights(weights, points.size)
-        return self._signed_totals(self._sign_bits(points), u)
+        u = self._weights_or_none(weights, points.size)
+        start = obs.monotonic()
+        totals = self._signed_totals(self._sign_bits(points), u)
+        self._observe_kernel(start)
+        return totals
 
     def interval_totals(
         self,
@@ -290,9 +276,12 @@ class EH3Plane(PackedPlane):
             raise ValueError("one half-level per piece is required")
         self._check_pieces(lows, 2 * half_levels)
         u = self._weights(weights, lows.size)
+        start = obs.monotonic()
         acc = self._sign_bits(lows)
         acc ^= self.zero_pair_parity[half_levels]
-        return self._signed_totals(acc, np.ldexp(u, half_levels))
+        totals = self._signed_totals(acc, np.ldexp(u, half_levels))
+        self._observe_kernel(start)
+        return totals
 
 
 class BCH3Plane(PackedPlane):
@@ -300,11 +289,15 @@ class BCH3Plane(PackedPlane):
 
     interval_kind = "binary"
 
-    def __init__(self, generators: Sequence[BCH3]) -> None:
+    def __init__(
+        self,
+        generators: Sequence[BCH3],
+        backend: str | KernelBackend | None = None,
+    ) -> None:
         bits = {g.domain_bits for g in generators}
         if len(bits) != 1:
             raise ValueError("plane generators must share a domain")
-        super().__init__(bits.pop(), len(generators))
+        super().__init__(bits.pop(), len(generators), backend=backend)
         n = self.domain_bits
         s1 = np.array([g.s1 for g in generators], dtype=np.uint64)
         seed_bits = (s1[np.newaxis, :] >> np.arange(n, dtype=np.uint64)[:, np.newaxis]) & np.uint64(1)
@@ -321,9 +314,10 @@ class BCH3Plane(PackedPlane):
             <= trailing[np.newaxis, :]
         )
         self.alive_table = pack_counter_bits(alive)
+        self._parity = self.backend.parity_kernel(self.s1_table)
 
     def _sign_bits(self, indices: np.ndarray) -> np.ndarray:
-        acc = _packed_linear_parity(indices, self.s1_table)
+        acc = self._parity(indices)
         acc ^= self.s0_word[np.newaxis, :]
         return acc
 
@@ -334,8 +328,11 @@ class BCH3Plane(PackedPlane):
     ) -> np.ndarray:
         """Per-counter ``sum_p w_p * xi_c(p)`` for a point batch."""
         points = self._check_points(points)
-        u = self._weights(weights, points.size)
-        return self._signed_totals(self._sign_bits(points), u)
+        u = self._weights_or_none(weights, points.size)
+        start = obs.monotonic()
+        totals = self._signed_totals(self._sign_bits(points), u)
+        self._observe_kernel(start)
+        return totals
 
     def interval_totals(
         self,
@@ -356,11 +353,14 @@ class BCH3Plane(PackedPlane):
             raise ValueError("one level per piece is required")
         self._check_pieces(lows, levels)
         u = np.ldexp(self._weights(weights, lows.size), levels)
+        start = obs.monotonic()
         acc = self._sign_bits(lows)
         alive = self.alive_table[levels]
-        alive_sums = weighted_bit_sums(alive, u)[: self.counters]
-        signed_sums = weighted_bit_sums(alive & acc, u)[: self.counters]
-        return alive_sums - 2.0 * signed_sums
+        alive_sums = self.backend.bit_sums(alive, u)[: self.counters]
+        signed_sums = self.backend.bit_sums(alive & acc, u)[: self.counters]
+        totals = alive_sums - 2.0 * signed_sums
+        self._observe_kernel(start)
+        return totals
 
 
 class BCH5Plane(PackedPlane):
@@ -370,12 +370,16 @@ class BCH5Plane(PackedPlane):
     so the batch pays it once; both GF(2) dot products then run packed.
     """
 
-    def __init__(self, generators: Sequence[BCH5]) -> None:
+    def __init__(
+        self,
+        generators: Sequence[BCH5],
+        backend: str | KernelBackend | None = None,
+    ) -> None:
         bits = {g.domain_bits for g in generators}
         modes = {g.mode for g in generators}
         if len(bits) != 1 or len(modes) != 1:
             raise ValueError("plane generators must share a domain and mode")
-        super().__init__(bits.pop(), len(generators))
+        super().__init__(bits.pop(), len(generators), backend=backend)
         self._representative = generators[0]
         n = self.domain_bits
         shifts = np.arange(n, dtype=np.uint64)[:, np.newaxis]
@@ -386,6 +390,8 @@ class BCH5Plane(PackedPlane):
         self.s0_word = pack_counter_bits(
             np.array([[g.s0 for g in generators]], dtype=np.uint64)
         )[0]
+        self._parity1 = self.backend.parity_kernel(self.s1_table)
+        self._parity3 = self.backend.parity_kernel(self.s3_table)
 
     def point_totals(
         self,
@@ -394,12 +400,15 @@ class BCH5Plane(PackedPlane):
     ) -> np.ndarray:
         """Per-counter ``sum_p w_p * xi_c(p)`` for a point batch."""
         points = self._check_points(points)
-        u = self._weights(weights, points.size)
+        u = self._weights_or_none(weights, points.size)
         cubes = self._representative.cubes(points)
-        acc = _packed_linear_parity(points, self.s1_table)
-        acc ^= _packed_linear_parity(cubes, self.s3_table)
+        start = obs.monotonic()
+        acc = self._parity1(points)
+        acc ^= self._parity3(cubes)
         acc ^= self.s0_word[np.newaxis, :]
-        return self._signed_totals(acc, u)
+        totals = self._signed_totals(acc, u)
+        self._observe_kernel(start)
+        return totals
 
 
 class DMAPPlane:
@@ -408,20 +417,30 @@ class DMAPPlane:
     Any scheme whose registry spec declares ``dmap_inner`` (i.e. ships a
     packed plane kernel) can back the inner plane -- the dyadic-id batch
     is just a point batch over the inner generators' domain.  The
-    default DMAP construction uses BCH5.
+    default DMAP construction uses BCH5.  The kernel backend is whatever
+    the inner plane selected (or the explicit ``backend`` argument,
+    forwarded to the inner plane's construction).
     """
 
     plane_kind = "dmap"
     interval_kind = "endpoints"
 
-    def __init__(self, dmaps: Sequence, inner: Any | None = None) -> None:
+    def __init__(
+        self,
+        dmaps: Sequence,
+        inner: Any | None = None,
+        backend: str | KernelBackend | None = None,
+    ) -> None:
         bits = {d.mapper.domain_bits for d in dmaps}
         if len(bits) != 1:
             raise ValueError("plane DMAPs must share a domain")
         self.domain_bits = bits.pop()
         self.mapper = dmaps[0].mapper
         if inner is None:
-            decision = _generator_plane([d.generator for d in dmaps])
+            requested = backend.name if isinstance(backend, KernelBackend) else backend
+            decision = _generator_plane(
+                [d.generator for d in dmaps], requested=requested
+            )
             if decision.plane is None:
                 from repro.schemes import UnsupportedSchemeError
 
@@ -431,6 +450,11 @@ class DMAPPlane:
             inner = decision.plane
         self.inner = inner
         self.counters = self.inner.counters
+
+    @property
+    def backend(self) -> KernelBackend:
+        """The inner plane's kernel backend (DMAP adds no kernels itself)."""
+        return self.inner.backend
 
     def id_totals(
         self,
@@ -485,14 +509,44 @@ class PlaneDecision:
     ``plane`` is the kernel instance or ``None``; ``reason`` is a
     human-readable explanation of the miss (scheme name plus the missing
     capability), surfaced by :meth:`StreamProcessor.stats` telemetry and
-    :func:`require_plane`.
+    :func:`require_plane`.  ``backend`` names the kernel backend the
+    plane bound; ``backend_reason`` records why a requested or
+    higher-priority backend was skipped (unavailable, outside the
+    scheme's declared capability, or rejected at kernel-construction
+    time) -- the degradation is never silent.
     """
 
     plane: Any | None
     reason: str | None = None
+    backend: str | None = None
+    backend_reason: str | None = None
 
 
-def _generator_plane(generators: Sequence) -> PlaneDecision:
+def _plane_accepts_backend(factory: Any) -> bool:
+    """Does a registered plane factory take the ``backend`` keyword?
+
+    Registered specs may predate the backend tier; their factories are
+    called the old way and their planes run whatever engine they
+    hard-code (reported via the plane's own ``backend`` attribute, if
+    any).
+    """
+    import inspect
+
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    if "backend" in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+def _generator_plane(
+    generators: Sequence, requested: str | None = None
+) -> PlaneDecision:
     """Decide the packed plane of a plain generator grid via the registry."""
     from repro.schemes import spec_for
 
@@ -521,15 +575,58 @@ def _generator_plane(generators: Sequence) -> PlaneDecision:
             f"scheme {spec.name!r} declares no packed plane kernel "
             "(capability 'plane' missing)",
         )
+    selection = select_backend(
+        supported=spec.backends, requested=requested, record=True
+    )
+    backend = selection.backend
+    backend_reason = selection.reason
+    takes_backend = _plane_accepts_backend(spec.plane)
+
+    def build(engine: KernelBackend) -> Any:
+        if takes_backend:
+            return spec.plane(list(generators), backend=engine)
+        return spec.plane(list(generators))
+
     try:
-        return PlaneDecision(spec.plane(list(generators)))
+        plane = build(backend)
+    except BackendUnsupportedError as exc:
+        # The selected backend cannot serve this particular grid (e.g.
+        # a Mersenne-61 polynomial on the compiled kernel).  Degrade to
+        # the reference engine with the reason recorded and counted.
+        obs.counter("sketch.kernel.backend.skipped_total").inc()
+        obs.counter(
+            f"sketch.kernel.backend.{backend.name}.skipped_total"
+        ).inc()
+        note = f"backend {backend.name!r} cannot serve this grid: {exc}"
+        backend_reason = f"{backend_reason}; {note}" if backend_reason else note
+        backend = get_backend("numpy")
+        obs.counter(
+            f"sketch.kernel.backend.{backend.name}.selected_total"
+        ).inc()
+        try:
+            plane = build(backend)
+        except ValueError as fallback_exc:
+            return PlaneDecision(
+                None,
+                f"scheme {spec.name!r} plane kernel rejected the grid: "
+                f"{fallback_exc}",
+                backend_reason=backend_reason,
+            )
     except ValueError as exc:
         return PlaneDecision(
             None, f"scheme {spec.name!r} plane kernel rejected the grid: {exc}"
         )
+    bound = getattr(plane, "backend", None)
+    return PlaneDecision(
+        plane,
+        backend=getattr(bound, "name", None),
+        backend_reason=backend_reason,
+    )
 
 
-def _dmap_plane(dmaps: Sequence) -> PlaneDecision:
+def _dmap_plane(
+    dmaps: Sequence, requested: str | None = None
+) -> PlaneDecision:
     """Decide the packed plane of a DMAP grid via the inner generators."""
     from repro.schemes import spec_for
 
@@ -543,18 +640,26 @@ def _dmap_plane(dmaps: Sequence) -> PlaneDecision:
                 f"DMAP inner scheme {specs[0].name!r} is not declared "
                 "DMAP-compatible (capability 'dmap_inner' missing)",
             )
-    inner = _generator_plane(inner_generators)
+    inner = _generator_plane(inner_generators, requested=requested)
     if inner.plane is None:
         return PlaneDecision(
-            None, f"DMAP grid has no packed inner plane: {inner.reason}"
+            None,
+            f"DMAP grid has no packed inner plane: {inner.reason}",
+            backend_reason=inner.backend_reason,
         )
     bits = {d.mapper.domain_bits for d in dmaps}
     if len(bits) != 1:
         return PlaneDecision(None, "plane DMAPs must share a domain")
-    return PlaneDecision(DMAPPlane(dmaps, inner.plane))
+    return PlaneDecision(
+        DMAPPlane(dmaps, inner.plane),
+        backend=inner.backend,
+        backend_reason=inner.backend_reason,
+    )
 
 
-def _decide_plane(scheme: "SketchScheme") -> PlaneDecision:
+def _decide_plane(
+    scheme: "SketchScheme", requested: str | None = None
+) -> PlaneDecision:
     """Pack a scheme's grid into the matching plane, with a reason on miss.
 
     The grid's channel shape is read off the registry's channel codecs
@@ -566,9 +671,11 @@ def _decide_plane(scheme: "SketchScheme") -> PlaneDecision:
     channels = [channel for row in scheme.channels for channel in row]
     kinds = {channel_kind(c) for c in channels}
     if kinds == {"generator"}:
-        return _generator_plane([c.generator for c in channels])
+        return _generator_plane(
+            [c.generator for c in channels], requested=requested
+        )
     if kinds == {"dmap"}:
-        return _dmap_plane([c.dmap for c in channels])
+        return _dmap_plane([c.dmap for c in channels], requested=requested)
     names = sorted({type(c).__name__ for c in channels})
     return PlaneDecision(
         None,
@@ -576,25 +683,37 @@ def _decide_plane(scheme: "SketchScheme") -> PlaneDecision:
     )
 
 
-_UNBUILT = object()
-
-
-def plane_decision(scheme: "SketchScheme") -> PlaneDecision:
+def plane_decision(
+    scheme: "SketchScheme", backend: str | None = None
+) -> PlaneDecision:
     """The grid's packed-plane decision, built once and cached.
 
     Unlike :func:`counter_plane` this keeps the *reason* when no kernel
     covers the grid, so callers (telemetry, :func:`require_plane`) can
     name the scheme and the missing capability instead of reporting an
     opaque ``None``.
+
+    ``backend`` requests a kernel backend by name; with no argument the
+    request is read off the scheme's ``kernel_backend`` attribute (set by
+    ``StreamProcessor(backend=...)``) and then the ``REPRO_KERNEL_BACKEND``
+    environment variable.  Decisions are cached per requested name, so
+    the same grid can hold planes on several backends at once (the bench
+    harness does) while repeated lookups stay O(1); note the environment
+    variable is therefore read once per grid, at the first default-build.
     """
-    cached = getattr(scheme, "_plane_decision", _UNBUILT)
-    if cached is _UNBUILT:
-        cached = _decide_plane(scheme)
-        scheme._plane_decision = cached
-    return cached
+    requested = backend or getattr(scheme, "kernel_backend", None)
+    cache = getattr(scheme, "_plane_decisions", None)
+    if cache is None:
+        cache = {}
+        scheme._plane_decisions = cache
+    if requested not in cache:
+        cache[requested] = _decide_plane(scheme, requested)
+    return cache[requested]
 
 
-def counter_plane(scheme: "SketchScheme") -> Any | None:
+def counter_plane(
+    scheme: "SketchScheme", backend: str | None = None
+) -> Any | None:
     """The packed plane of a scheme's seeds, built once and cached.
 
     Returns ``None`` for grids the packed kernels do not cover (mixed or
@@ -602,7 +721,7 @@ def counter_plane(scheme: "SketchScheme") -> Any | None:
     Use :func:`plane_decision` to learn *why* a grid is uncovered, or
     :func:`require_plane` to fail loudly instead.
     """
-    return plane_decision(scheme).plane
+    return plane_decision(scheme, backend=backend).plane
 
 
 def require_plane(scheme: "SketchScheme") -> Any:
@@ -628,6 +747,8 @@ def add_totals(sketch: "SketchMatrix", totals: np.ndarray) -> None:
     flat = totals.ravel()
     obs.counter("sketch.plane.cells_updated_total").inc(int(flat.size))
     position = 0
+    # The grid itself is tiny (medians x averages) and cells are Python objects.
+    # repro: allow[R006] scalar scatter over the small cell grid, not the batch
     for row in sketch.cells:
         for cell in row:
             cell.value += float(flat[position])

@@ -117,6 +117,7 @@ class StreamProcessor:
         durability: DurabilityConfig | str | None = None,
         scheme: str | None = None,
         incident_capacity: int = 256,
+        backend: str | None = None,
     ) -> None:
         if medians < 1 or averages < 1:
             raise ValueError("medians and averages must be positive")
@@ -141,6 +142,11 @@ class StreamProcessor:
         else:
             self._scheme_name = scheme or "eh3"
             self._factory = get_spec(self._scheme_name).factory
+        # Kernel backend request for the packed planes; None defers to the
+        # REPRO_KERNEL_BACKEND environment variable and then priority.
+        # Degradation (unknown name, unavailable engine, unsupported
+        # scheme) is recorded in stats()["planes"], never raised.
+        self.kernel_backend = backend
         self.policy = policy
         self.dead_letters = DeadLetterBuffer(quarantine_capacity)
         self.incidents = IncidentLog(incident_capacity)
@@ -255,6 +261,7 @@ class StreamProcessor:
         policy: str | None = None,
         quarantine_capacity: int = 1024,
         incident_capacity: int = 256,
+        backend: str | None = None,
     ) -> "StreamProcessor":
         """Rebuild a processor from its durability directory.
 
@@ -296,6 +303,7 @@ class StreamProcessor:
                 else manifest.get("scheme")
             ),
             incident_capacity=incident_capacity,
+            backend=backend,
         )
         with obs.span("durability.recover", directory=config.directory):
             processor._replaying = True
@@ -571,12 +579,14 @@ class StreamProcessor:
         group = f"domain:{domain_bits}"
         if group not in self._schemes:
             bits = domain_bits
-            self._schemes[group] = SketchScheme.from_factory(
+            grid = SketchScheme.from_factory(
                 lambda src: GeneratorChannel(self._factory(bits, src)),
                 self._medians,
                 self._averages,
                 self._source,
             )
+            grid.kernel_backend = self.kernel_backend
+            self._schemes[group] = grid
         self._domain_bits[name] = domain_bits
         self._registration_order.append(name)
         self._groups[name] = group
@@ -802,6 +812,9 @@ class StreamProcessor:
         kernels cover its grid -- and, when they do not, the recorded
         reason (scheme name plus the missing capability) so a silent
         per-cell slowdown is visible in telemetry instead of opaque.
+        Each entry also carries the kernel ``backend`` the plane bound
+        and the ``backend_reason`` any requested or higher-priority
+        backend was skipped for, so backend degradation is observable.
         ``"metrics"`` merges in the process-wide registry snapshot
         (:func:`repro.obs.snapshot`), so the one ``stats()`` call existing
         callers already make now carries every instrument too.
@@ -824,6 +837,8 @@ class StreamProcessor:
                         else type(decision.plane).__name__
                     ),
                     "reason": decision.reason,
+                    "backend": decision.backend,
+                    "backend_reason": decision.backend_reason,
                 }
                 for group, decision in (
                     (group, plane_decision(scheme))

@@ -343,6 +343,76 @@ class TestClockInjectionGuard:
 
 
 # ---------------------------------------------------------------------------
+# R006: kernel-tier vectorization (no scalar modulo, no per-element loops).
+# ---------------------------------------------------------------------------
+
+
+class TestKernelLoopGuard:
+    def test_modulo_and_loops_flagged(self) -> None:
+        found = scan(
+            """\
+            r = x % p
+            acc %= p
+            for i in range(n):
+                pass
+            while pending:
+                pass
+            """,
+            "src/repro/sketch/backends/stride_backend.py",
+        )
+        assert rule_ids(found) == ["R006"] * 4
+        assert "shift-add" in found[0].message
+
+    def test_only_outermost_loop_flagged(self) -> None:
+        found = scan(
+            """\
+            for w in range(words):
+                for k in range(8):
+                    work(w, k)
+            """,
+            "src/repro/sketch/plane.py",
+        )
+        assert [v.line for v in found] == [1]
+
+    def test_string_formatting_and_comprehensions_clean(self) -> None:
+        found = scan(
+            """\
+            msg = "%s bits" % bits
+            rows = [f(i) for i in items]
+            total = sum(g(j) for j in items)
+            """,
+            "src/repro/sketch/backends/numpy_backend.py",
+        )
+        assert found == []
+
+    def test_numba_backend_and_registry_exempt(self) -> None:
+        source = "for i in range(n):\n    acc = (acc * x + c[i]) % p\n"
+        assert scan(source, "src/repro/sketch/backends/numba_backend.py") == []
+        assert scan(source, "src/repro/sketch/backends/__init__.py") == []
+        assert scan(source, "src/repro/stream/processor.py") == []
+
+    def test_justified_loop_suppressed(self) -> None:
+        found = scan(
+            """\
+            # repro: allow[R006] per-seed-bit pass over the whole batch
+            for j in range(bits):
+                acc ^= table[j]
+            """,
+            "src/repro/sketch/backends/numpy_backend.py",
+        )
+        assert found == []
+
+    def test_kernel_tier_modules_in_scope(self) -> None:
+        source = "x = a % b\n"
+        for path in (
+            "src/repro/sketch/plane.py",
+            "src/repro/schemes/builtin.py",
+            "src/repro/sketch/backends/numpy_backend.py",
+        ):
+            assert rule_ids(scan(source, path)) == ["R006"], path
+
+
+# ---------------------------------------------------------------------------
 # Suppressions and R000.
 # ---------------------------------------------------------------------------
 
@@ -473,6 +543,7 @@ class TestBaseline:
             "R003",
             "R004",
             "R005",
+            "R006",
         ]
 
 

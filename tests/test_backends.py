@@ -1,0 +1,352 @@
+"""Tests: the kernel backend tier (registry, selection, bit identity).
+
+Every registered (scheme x backend) pair must produce bit-identical
+totals to the per-cell scalar loop on adversarial batches, and every
+unavailable or unsupported backend must *degrade with a recorded
+reason* -- never raise out of the plane-decision path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dyadic import dyadic_cover_arrays, quaternary_cover_arrays
+from repro.generators import SeedSource
+from repro.schemes import PolyPrimePlane, all_specs, get_spec
+from repro.sketch.ams import SketchScheme
+from repro.sketch.atomic import GeneratorChannel
+from repro.sketch.backends import (
+    BACKEND_ENV_VAR,
+    BackendUnsupportedError,
+    KernelBackend,
+    UnknownBackendError,
+    _BACKENDS,
+    backend_availability,
+    get_backend,
+    register_backend,
+    registered_backends,
+    select_backend,
+)
+from repro.sketch.plane import counter_plane, plane_decision
+
+BITS = 10
+
+# BCH5's O(n^2) per-bit seeding wants a narrower test domain.
+_SCHEME_BITS = {"bch5": 8}
+
+PLANE_SCHEMES = [spec.name for spec in all_specs() if spec.plane is not None]
+BACKENDS = list(registered_backends())
+PAIRS = [
+    (scheme, backend) for scheme in PLANE_SCHEMES for backend in BACKENDS
+]
+
+
+def _scheme(name, medians=2, averages=3, seed=0xBADC0DE, bits=None):
+    spec = get_spec(name)
+    bits = bits or _SCHEME_BITS.get(name, BITS)
+    return SketchScheme.from_factory(
+        lambda src: GeneratorChannel(spec.factory(bits, src)),
+        medians,
+        averages,
+        SeedSource(seed),
+    )
+
+
+def _scalar_point_values(scheme, points, weights):
+    totals = []
+    for row in scheme.channels:
+        for channel in row:
+            total = 0.0
+            for point, weight in zip(points, weights):
+                total += weight * channel.point(int(point))
+            totals.append(total)
+    return np.array(totals)
+
+
+def _scalar_interval_values(scheme, intervals, weights):
+    totals = []
+    for row in scheme.channels:
+        for channel in row:
+            total = 0.0
+            for bounds, weight in zip(intervals, weights):
+                total += weight * channel.interval(bounds)
+            totals.append(total)
+    return np.array(totals)
+
+
+def _adversarial_points(bits, size, rng):
+    """Domain edges, duplicates, and random interior points."""
+    top = (1 << bits) - 1
+    edges = np.array([0, 0, top, top, 1, top - 1], dtype=np.uint64)
+    interior = rng.integers(0, top + 1, size=size, dtype=np.uint64)
+    return np.concatenate([edges, interior, edges])
+
+
+def _pair_usable(scheme_name, backend_name):
+    """Can this (scheme, backend) pair actually bind, and if not why?"""
+    spec = get_spec(scheme_name)
+    if spec.backends is not None and backend_name not in spec.backends:
+        return False
+    return get_backend(backend_name).availability() is None
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = registered_backends()
+        assert {"numpy", "stride", "numba"} <= set(names)
+        # Priority order: stride leads, numpy (the fallback) trails.
+        assert names.index("stride") < names.index("numba")
+        assert names[-1] == "numpy"
+
+    def test_unknown_backend_lists_registry(self):
+        with pytest.raises(UnknownBackendError, match="stride"):
+            get_backend("vulkan")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(get_backend("numpy"))
+
+    def test_availability_map(self):
+        availability = backend_availability()
+        assert availability["numpy"] is None
+        assert availability["stride"] is None
+        # numba is optional: usable, or unavailable with a reason.
+        assert availability["numba"] is None or "numba" in availability["numba"]
+
+
+class TestSelection:
+    def test_default_is_best_available_priority(self):
+        assert select_backend().backend.name == "stride"
+
+    def test_explicit_request_honoured(self):
+        selection = select_backend(requested="numpy")
+        assert selection.backend.name == "numpy"
+        assert selection.reason is None
+
+    def test_env_var_respected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert select_backend().backend.name == "numpy"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert select_backend(requested="stride").backend.name == "stride"
+
+    def test_unsupported_request_degrades_with_reason(self):
+        selection = select_backend(supported=("numpy",), requested="stride")
+        assert selection.backend.name == "numpy"
+        assert "no 'stride' kernel support" in selection.reason
+
+    def test_unknown_request_degrades_with_reason(self):
+        selection = select_backend(requested="vulkan")
+        assert selection.backend.name == "stride"
+        assert "unknown backend 'vulkan'" in selection.reason
+
+    def test_empty_capability_list_falls_back_to_numpy(self):
+        selection = select_backend(supported=())
+        assert selection.backend.name == "numpy"
+        assert "no declared backend is available" in selection.reason
+
+    def test_unavailable_backend_skipped_with_reason(self):
+        class GhostBackend(KernelBackend):
+            name = "ghosttest"
+            priority = 999
+
+            def availability(self):
+                return "test stub is never usable"
+
+        register_backend(GhostBackend())
+        try:
+            selection = select_backend(requested="ghosttest")
+            assert selection.backend.name == "stride"
+            assert "test stub is never usable" in selection.reason
+            # Priority iteration also skips it silently.
+            assert select_backend().backend.name == "stride"
+        finally:
+            _BACKENDS.pop("ghosttest")
+
+
+@pytest.mark.parametrize(
+    "scheme_name,backend_name", PAIRS, ids=[f"{s}-{b}" for s, b in PAIRS]
+)
+class TestSchemeBackendMatrix:
+    """Identity for usable pairs; recorded degradation for the rest."""
+
+    def test_point_totals_or_recorded_degradation(
+        self, scheme_name, backend_name, rng
+    ):
+        scheme = _scheme(scheme_name, medians=2, averages=40)
+        decision = plane_decision(scheme, backend=backend_name)
+        if not _pair_usable(scheme_name, backend_name):
+            assert decision.plane is not None
+            assert decision.backend != backend_name
+            assert decision.backend_reason is not None
+            assert backend_name in decision.backend_reason
+            return
+        assert decision.backend == backend_name
+        plane = decision.plane
+        bits = plane.domain_bits
+        # Large batch (histogram / adder-tree paths) with signed weights.
+        points = _adversarial_points(bits, 200, rng)
+        weights = rng.integers(-5, 6, size=points.size).astype(np.float64)
+        got = plane.point_totals(points, weights)
+        expected = _scalar_point_values(scheme, points, weights)
+        assert np.array_equal(got, expected)
+        # Small batch (direct unpack path).
+        small = points[:7]
+        got_small = plane.point_totals(small, weights[:7])
+        assert np.array_equal(
+            got_small, _scalar_point_values(scheme, small, weights[:7])
+        )
+        # Unweighted batch (pure popcount route on some backends).
+        got_ones = plane.point_totals(points)
+        assert np.array_equal(
+            got_ones,
+            _scalar_point_values(scheme, points, np.ones(points.size)),
+        )
+
+    def test_empty_batch_is_zero(self, scheme_name, backend_name):
+        if not _pair_usable(scheme_name, backend_name):
+            pytest.skip(f"backend {backend_name!r} cannot bind {scheme_name!r}")
+        scheme = _scheme(scheme_name)
+        plane = counter_plane(scheme, backend=backend_name)
+        got = plane.point_totals(np.array([], dtype=np.uint64))
+        assert np.array_equal(got, np.zeros(plane.counters))
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestIntervalIdentity:
+    def _intervals(self, bits, size, rng):
+        top = (1 << bits) - 1
+        lows = rng.integers(0, top + 1, size=size)
+        highs = rng.integers(0, top + 1, size=size)
+        pairs = [(int(min(a, b)), int(max(a, b))) for a, b in zip(lows, highs)]
+        return pairs + [(0, top), (0, 0), (top, top)]
+
+    def test_eh3_quaternary_pieces(self, backend_name, rng):
+        if not _pair_usable("eh3", backend_name):
+            pytest.skip(f"backend {backend_name!r} unavailable")
+        scheme = _scheme("eh3")
+        plane = counter_plane(scheme, backend=backend_name)
+        intervals = self._intervals(BITS, 20, rng)
+        weights = rng.integers(1, 5, size=len(intervals)).astype(np.float64)
+        cover = quaternary_cover_arrays(
+            [a for a, _ in intervals], [b for _, b in intervals]
+        )
+        got = plane.interval_totals(
+            cover.lows, cover.levels >> 1, weights[cover.index]
+        )
+        expected = _scalar_interval_values(scheme, intervals, weights)
+        assert np.array_equal(got, expected)
+
+    def test_bch3_dyadic_pieces(self, backend_name, rng):
+        if not _pair_usable("bch3", backend_name):
+            pytest.skip(f"backend {backend_name!r} unavailable")
+        scheme = _scheme("bch3")
+        plane = counter_plane(scheme, backend=backend_name)
+        intervals = self._intervals(BITS, 20, rng)
+        weights = rng.integers(1, 5, size=len(intervals)).astype(np.float64)
+        cover = dyadic_cover_arrays(
+            [a for a, _ in intervals], [b for _, b in intervals]
+        )
+        got = plane.interval_totals(cover.lows, cover.levels, weights[cover.index])
+        expected = _scalar_interval_values(scheme, intervals, weights)
+        assert np.array_equal(got, expected)
+
+    def test_wide_domain_eh3_bit_identical_across_backends(self, backend_name):
+        # 62-bit bounds exercise the >=2^57 packed-key edge of the bulk
+        # dedup path and the widest uint64 arithmetic the kernels see.
+        if not _pair_usable("eh3", backend_name):
+            pytest.skip(f"backend {backend_name!r} unavailable")
+        top = (1 << 62) - 1
+        bounds = [(0, top), (123, top - 5), (1 << 57, 1 << 61)]
+
+        def values(backend):
+            scheme = _scheme("eh3", bits=62)
+            scheme.kernel_backend = backend
+            sketch = scheme.sketch()
+            for pair in bounds:
+                sketch.update_interval(pair, 2.0)
+            return sketch.values()
+
+        assert np.array_equal(values(backend_name), values("numpy"))
+
+
+class TestDegradation:
+    def test_polyprime_requested_stride_degrades(self):
+        scheme = _scheme("polyprime")
+        decision = plane_decision(scheme, backend="stride")
+        assert decision.plane is not None
+        assert decision.backend == "numpy" or decision.backend == "numba"
+        assert "no 'stride' kernel support" in decision.backend_reason
+
+    def test_plane_decision_never_raises_for_registered_backends(self):
+        for scheme_name in PLANE_SCHEMES:
+            for backend_name in registered_backends():
+                decision = plane_decision(
+                    _scheme(scheme_name), backend=backend_name
+                )
+                assert decision.plane is not None, (scheme_name, backend_name)
+                assert decision.backend is not None
+
+    def test_stride_poly_kernel_declares_unsupported(self):
+        spec = get_spec("polyprime")
+        source = SeedSource(7)
+        generators = [spec.factory(BITS, source) for _ in range(3)]
+        with pytest.raises(BackendUnsupportedError, match="byte-lookup"):
+            PolyPrimePlane(generators, backend="stride")
+
+    def test_construction_rejection_degrades_to_numpy(self):
+        # A backend that is selectable (registered, declared by the
+        # scheme, available) but whose kernels decline the grid must be
+        # swapped for the reference engine with the reason kept.
+        import dataclasses
+
+        from repro.schemes import registry as scheme_registry
+
+        class PickyBackend(KernelBackend):
+            name = "pickytest"
+            priority = 500
+
+            def parity_kernel(self, table):
+                raise BackendUnsupportedError("declines every grid")
+
+            def bit_sums(self, packed, weights):
+                raise AssertionError("never reached")
+
+        register_backend(PickyBackend())
+        spec = get_spec("eh3")
+        patched = dataclasses.replace(
+            spec, backends=(*spec.backends, "pickytest")
+        )
+        scheme_registry._SPECS["eh3"] = patched
+        scheme_registry._BY_CLS[spec.cls] = patched
+        try:
+            scheme = _scheme("eh3")
+            decision = plane_decision(scheme, backend="pickytest")
+            assert decision.plane is not None
+            assert decision.backend == "numpy"
+            assert "declines every grid" in decision.backend_reason
+        finally:
+            scheme_registry._SPECS["eh3"] = spec
+            scheme_registry._BY_CLS[spec.cls] = spec
+            _BACKENDS.pop("pickytest")
+
+    def test_scheme_kernel_backend_attribute_respected(self):
+        scheme = _scheme("eh3")
+        scheme.kernel_backend = "numpy"
+        decision = plane_decision(scheme)
+        assert decision.backend == "numpy"
+
+    def test_env_var_steers_plane_binding(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        decision = plane_decision(_scheme("eh3"))
+        assert decision.backend == "numpy"
+
+    def test_decisions_cached_per_requested_backend(self):
+        scheme = _scheme("eh3")
+        default = plane_decision(scheme)
+        assert plane_decision(scheme) is default
+        numpy_decision = plane_decision(scheme, backend="numpy")
+        assert numpy_decision is not default
+        assert plane_decision(scheme, backend="numpy") is numpy_decision
