@@ -11,7 +11,8 @@ R002  kernel modules pin every numpy dtype -- the exact bit-level
 R003  nothing on an estimator or generator path consumes unseeded
       randomness or wall-clock time -- reproducibility is a paper-level
       invariant (every figure must replay bit-identically from a seed);
-R004  broad exception handlers in the durability layer are deliberate,
+R004  broad exception handlers on the durability paths (the ``stream``
+      layer and the ``cluster`` shard supervisor) are deliberate,
       documented boundaries, never accidental swallows;
 R005  all timing flows through the observability layer's injected clock
       (``repro.obs.monotonic``) -- direct ``time.monotonic()`` /
@@ -372,13 +373,21 @@ class DeterminismGuard(Rule):
 
 
 class ExceptionBoundaryAudit(Rule):
-    """R004: broad handlers in the durability layer carry a boundary note."""
+    """R004: broad handlers on durability paths carry a boundary note.
+
+    Covers both the single-process durability layer (``stream``) and the
+    shard cluster (``cluster``), whose coordinator and workers catch
+    broadly at supervision boundaries for the same reason the WAL code
+    does: to convert worker faults into replies and restarts instead of
+    losing acknowledged updates.
+    """
 
     id = "R004"
     title = "undocumented broad exception handler"
 
     def applies_to(self, path: str) -> bool:
-        return "stream" in _segments(path)
+        segments = _segments(path)
+        return "stream" in segments or "cluster" in segments
 
     def _is_broad(self, handler: ast.ExceptHandler) -> bool:
         if handler.type is None:

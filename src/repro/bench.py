@@ -579,6 +579,163 @@ def run_durability_bench(
     return report
 
 
+def run_cluster_bench(
+    shard_counts=(1, 2, 4),
+    medians: int = 5,
+    averages: int = 32,
+    domain_bits: int = 16,
+    points: int = 24_000,
+    batch: int = 800,
+    seed: int = 3,
+) -> dict:
+    """Shard-scaling throughput, recovery time, availability under faults.
+
+    Three measurements over the supervised shard cluster
+    (:mod:`repro.cluster`), all on real worker processes:
+
+    * **scaling** -- end-to-end ingest throughput of the same point
+      stream at each shard count in ``shard_counts`` (durable workers,
+      pipelined commands, one flush at the end);
+    * **recovery** -- wall-clock seconds from "worker is dead (SIGKILL)"
+      to "worker restarted, WAL replayed, fingerprints verified, backlog
+      resent" as measured around one :meth:`supervise` pass;
+    * **availability** -- answers served while a shard is down and
+      recovering: every query must return (degraded, never failing),
+      and the report records how many were degraded.
+
+    Published under the ``"cluster"`` key of ``BENCH_durability.json``
+    by ``repro-experiments cluster-bench``.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.cluster import ClusterConfig, ClusterProcessor
+
+    rng = np.random.default_rng(seed)
+    batches = [
+        rng.integers(0, 1 << domain_bits, size=batch, dtype=np.uint64)
+        for _ in range(points // batch)
+    ]
+    total = sum(len(b) for b in batches)
+    config = ClusterConfig(
+        command_timeout=2.0,
+        retries=3,
+        backoff_base=0.01,
+        heartbeat_interval=0.05,
+        heartbeat_deadline=0.5,
+        max_inflight=8,
+    )
+    report: dict = {
+        "config": {
+            "shard_counts": list(shard_counts),
+            "medians": medians,
+            "averages": averages,
+            "domain_bits": domain_bits,
+            "points": total,
+            "batch": batch,
+            "seed": seed,
+            "transport": "process",
+        },
+        "scaling": {},
+    }
+    base = tempfile.mkdtemp(prefix="repro-cluster-bench-")
+    try:
+        for shards in shard_counts:
+            directory = os.path.join(base, f"scale-{shards}")
+            with ClusterProcessor(
+                directory,
+                shards=shards,
+                medians=medians,
+                averages=averages,
+                seed=seed,
+                config=config,
+            ) as cluster:
+                cluster.register_relation("r", domain_bits)
+                start = time.perf_counter()
+                for one in batches:
+                    cluster.ingest_points("r", one)
+                cluster.flush()
+                elapsed = time.perf_counter() - start
+            report["scaling"][str(shards)] = {
+                "seconds": elapsed,
+                "points_per_second": total / elapsed,
+            }
+        baseline = report["scaling"][str(shard_counts[0])]["points_per_second"]
+        for entry in report["scaling"].values():
+            entry["speedup_vs_first"] = entry["points_per_second"] / baseline
+
+        shards = shard_counts[-1]
+        directory = os.path.join(base, "recovery")
+        with ClusterProcessor(
+            directory,
+            shards=shards,
+            medians=medians,
+            averages=averages,
+            seed=seed,
+            config=config,
+        ) as cluster:
+            cluster.register_relation("r", domain_bits)
+            half = len(batches) // 2
+            for one in batches[:half]:
+                cluster.ingest_points("r", one)
+            cluster.flush()
+            cluster._shards[0].link.kill()
+            start = time.perf_counter()
+            cluster.supervise()  # detect, restart, replay WAL, resend
+            recovery_seconds = time.perf_counter() - start
+            restarts = cluster.stats()["shards"]["shard-0"]["restarts"]
+        report["recovery"] = {
+            "shards": shards,
+            "replayed_commands": half,
+            "seconds": recovery_seconds,
+            "restarts": restarts,
+        }
+
+        directory = os.path.join(base, "availability")
+        with ClusterProcessor(
+            directory,
+            shards=shards,
+            medians=medians,
+            averages=averages,
+            seed=seed,
+            config=config,
+        ) as cluster:
+            cluster.register_relation("r", domain_bits)
+            handle = cluster.register_self_join("r")
+            third = len(batches) // 3
+            for one in batches[:third]:
+                cluster.ingest_points("r", one)
+            cluster.flush()
+            cluster.answer(handle)  # prime the shipped-sketch caches
+            attempted = served = degraded = 0
+            cluster._shards[0].link.kill()
+            for position, one in enumerate(batches[third:]):
+                if position == 0:
+                    # Query while the shard is dead, before any ingest
+                    # has tripped recovery: must serve from the cache.
+                    answer = cluster.answer(handle)
+                    attempted += 1
+                    served += 1
+                    degraded += int(answer.degraded)
+                cluster.ingest_points("r", one)
+                if position % 4 == 3:
+                    answer = cluster.answer(handle)
+                    attempted += 1
+                    served += 1
+                    degraded += int(answer.degraded)
+            cluster.flush()
+        report["availability"] = {
+            "answers_attempted": attempted,
+            "answers_served": served,
+            "degraded_answers": degraded,
+            "availability": served / attempted if attempted else 1.0,
+        }
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return report
+
+
 def write_bench_files(output_dir: str = ".", **overrides) -> dict[str, str]:
     """Run the benches and write ``BENCH_bulk.json`` / ``BENCH_table2.json``
     / ``BENCH_durability.json``.

@@ -24,6 +24,18 @@ exercising whichever capabilities it declares.
 partial snapshots, and mid-batch plane failures, verifying the recovery
 invariants end to end.  Exits non-zero if any scenario fails.
 
+``cluster-faults`` runs the shard-cluster chaos suite
+(:mod:`repro.cluster.faults`): SIGKILL mid-batch, hung workers, torn WAL
+tails on restart, duplicate/late command delivery, and unrestartable
+shards, asserting bit-identical recovery against a single-process
+reference and honestly degraded answers.  Exits non-zero if any
+scenario fails.
+
+``cluster-bench`` measures the cluster itself -- shard-scaling ingest
+throughput, crash-recovery time, and availability under faults -- and
+publishes the report under the ``"cluster"`` key of
+``BENCH_durability.json`` (creating the file if absent).
+
 ``analyze`` runs the domain-aware static-analysis rules
 (:mod:`repro.analysis`, rules R001-R006) over ``src/repro``; with
 ``--strict`` it exits non-zero on any violation outside the checked-in
@@ -91,10 +103,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "bench", "faults", "analyze", "metrics"],
+        choices=[
+            *EXPERIMENTS,
+            "all",
+            "bench",
+            "faults",
+            "cluster-faults",
+            "cluster-bench",
+            "analyze",
+            "metrics",
+        ],
         help="which table/figure to regenerate ('bench' for the "
         "vectorized-kernel benchmark reports, 'faults' for the "
-        "fault-injection suite, 'analyze' for the static-analysis gate, "
+        "fault-injection suite, 'cluster-faults' for the shard-cluster "
+        "chaos suite, 'cluster-bench' for the cluster scaling/recovery/"
+        "availability report, 'analyze' for the static-analysis gate, "
         "'metrics' for the observability snapshot)",
     )
     parser.add_argument(
@@ -181,8 +204,13 @@ def main(argv: list[str] | None = None) -> int:
         args.metrics_format or args.require_golden
     ) and args.experiment != "metrics":
         parser.error("--format/--require-golden only apply to 'metrics'")
-    if args.trace and args.experiment not in ("bench", "faults", "metrics"):
-        parser.error("--trace only applies to 'bench', 'faults' and 'metrics'")
+    if args.trace and args.experiment not in (
+        "bench", "faults", "cluster-faults", "cluster-bench", "metrics"
+    ):
+        parser.error(
+            "--trace only applies to 'bench', 'faults', 'cluster-faults', "
+            "'cluster-bench' and 'metrics'"
+        )
     if args.experiment == "analyze":
         from repro.analysis.cli import run_analyze
 
@@ -280,6 +308,73 @@ def main(argv: list[str] | None = None) -> int:
             f"\n{len(results) - failed}/{len(results)} fault scenarios passed"
         )
         return 1 if failed else 0
+
+    if args.experiment == "cluster-faults":
+        from repro.cluster.faults import run_cluster_fault_suite
+
+        results = run_cluster_fault_suite(seed=args.seed)
+        _finish_trace()
+        width = max(len(result.name) for result in results)
+        for result in results:
+            status = "PASS" if result.passed else "FAIL"
+            print(f"{status}  {result.name:<{width}}  {result.detail}")
+        failed = sum(1 for result in results if not result.passed)
+        print(
+            f"\n{len(results) - failed}/{len(results)} cluster fault "
+            "scenarios passed"
+        )
+        return 1 if failed else 0
+
+    if args.experiment == "cluster-bench":
+        import json as json_module
+        import os
+
+        from repro import obs
+        from repro.bench import run_cluster_bench
+
+        overrides = (
+            {"shard_counts": (1, 2), "points": 6_000, "batch": 500}
+            if args.quick
+            else {}
+        )
+        obs.reset_metrics()
+        report = run_cluster_bench(**overrides)
+        report["metrics"] = {
+            "schema_version": 1,
+            "instruments": obs.snapshot(),
+        }
+        output_dir = args.output_dir or "."
+        os.makedirs(output_dir, exist_ok=True)
+        path = os.path.join(output_dir, "BENCH_durability.json")
+        data: dict = {}
+        if os.path.exists(path):
+            with open(path) as handle:
+                data = json_module.load(handle)
+        data["cluster"] = report
+        with open(path, "w") as handle:
+            json_module.dump(data, handle, indent=2)
+            handle.write("\n")
+        _finish_trace()
+        print(f"BENCH_durability.json: {path} (cluster key updated)")
+        for shards, entry in report["scaling"].items():
+            print(
+                f"  scaling {shards} shard(s): "
+                f"{entry['points_per_second']:,.0f} points/s "
+                f"(x{entry['speedup_vs_first']:.2f} vs first)"
+            )
+        recovery = report["recovery"]
+        print(
+            f"  recovery: {recovery['seconds'] * 1e3:.1f} ms to restart, "
+            f"replay {recovery['replayed_commands']} commands, and rejoin"
+        )
+        availability = report["availability"]
+        print(
+            f"  availability: {availability['answers_served']}/"
+            f"{availability['answers_attempted']} answers served "
+            f"({availability['degraded_answers']} degraded) -> "
+            f"{availability['availability']:.3f}"
+        )
+        return 0
 
     if args.experiment == "bench":
         import json as json_module

@@ -1,0 +1,46 @@
+"""Supervised sharded sketch cluster (coordinator + durable workers).
+
+The stream layer (:mod:`repro.stream`) made one process durable; this
+package makes the *deployment* durable: a coordinator partitions each
+relation's key space across N shard workers -- each a durable
+:class:`~repro.stream.processor.StreamProcessor` with its own WAL --
+supervises them with heartbeats, per-command timeouts, and jittered
+retry/backoff, restarts crashed or hung workers (WAL replay restores
+bit-identical state, fingerprint-verified before the shard rejoins the
+aggregate), and keeps answering queries while shards are down, reporting
+coverage, staleness, and a widened error bound instead of failing.
+
+Entry points: :class:`ClusterProcessor` (the coordinator),
+:class:`ClusterConfig` (supervision knobs), :class:`ClusterAnswer`
+(degradation-aware query answers).  The chaos harness lives in
+:mod:`repro.cluster.faults`; transports (real processes vs deterministic
+inline) in :mod:`repro.cluster.transport`.
+"""
+
+from repro.cluster.coordinator import (
+    ClusterAnswer,
+    ClusterConfig,
+    ClusterProcessor,
+)
+from repro.cluster.errors import (
+    ClusterError,
+    FrameCorruptionError,
+    ShardCommandError,
+    ShardDeadError,
+    ShardFailedError,
+    ShardLostDataError,
+    ShardTimeoutError,
+)
+
+__all__ = [
+    "ClusterAnswer",
+    "ClusterConfig",
+    "ClusterProcessor",
+    "ClusterError",
+    "FrameCorruptionError",
+    "ShardCommandError",
+    "ShardDeadError",
+    "ShardFailedError",
+    "ShardLostDataError",
+    "ShardTimeoutError",
+]

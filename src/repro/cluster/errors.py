@@ -1,0 +1,71 @@
+"""Typed error taxonomy of the sharded cluster layer.
+
+The coordinator supervises real processes over real pipes, so its
+failure modes split along a line the stream layer never needed: *the
+shard is slow* (:class:`ShardTimeoutError` -- retry with backoff),
+*the shard is gone* (:class:`ShardDeadError` -- restart it and replay
+its WAL), *the wire lied* (:class:`FrameCorruptionError` -- drop the
+frame, the retry resends it), and *the data is unrecoverable*
+(:class:`ShardLostDataError` -- an acknowledged update is missing after
+recovery, which must surface loudly rather than quietly skew every
+future estimate).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ClusterError",
+    "FrameCorruptionError",
+    "ShardTimeoutError",
+    "ShardDeadError",
+    "ShardCommandError",
+    "ShardFailedError",
+    "ShardLostDataError",
+]
+
+
+class ClusterError(Exception):
+    """Base class of every cluster-layer error."""
+
+
+class FrameCorruptionError(ClusterError):
+    """A protocol frame failed its CRC or framing checks.
+
+    The sender's retry loop re-delivers the command, so a single
+    corrupted frame degrades to one retry instead of a wrong answer.
+    """
+
+
+class ShardTimeoutError(ClusterError):
+    """A shard did not answer a command within its retry budget."""
+
+
+class ShardDeadError(ClusterError):
+    """The shard's process or pipe is gone (crash, kill, closed pipe)."""
+
+
+class ShardCommandError(ClusterError):
+    """A shard rejected a command as invalid (a coordinator bug).
+
+    Not retriable: re-sending the same command would fail the same way.
+    """
+
+
+class ShardFailedError(ClusterError):
+    """A shard exhausted its restart budget and was marked failed.
+
+    Queries keep serving (degraded, with reduced coverage); ingestion
+    routed to the failed shard raises this instead of dropping data.
+    """
+
+
+class ShardLostDataError(ClusterError):
+    """Recovery came back missing updates the shard had acknowledged.
+
+    With ``sync="fsync"`` this cannot happen short of storage
+    corruption; with ``sync="flush"`` it means the host (not just the
+    process) died between the acknowledgement and the page-cache
+    write-back.  Either way the shard's sketch is no longer a prefix of
+    the acknowledged stream, so the coordinator refuses to let it
+    rejoin the aggregate.
+    """

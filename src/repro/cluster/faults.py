@@ -1,0 +1,455 @@
+"""Deterministic chaos for the shard cluster.
+
+The single-process fault suite (:mod:`repro.stream.faults`) proved the
+durability layer's recovery invariants; this suite proves the *cluster*
+keeps them when failures happen between processes:
+
+* ``kill-nine-mid-batch`` -- SIGKILL a shard worker mid-stream; the
+  coordinator must detect the death, restart the worker (WAL replay),
+  resend what was never acknowledged, and end bit-identical to a
+  single-process run of the same stream.
+* ``hung-worker-heartbeat`` -- a worker that stops reading its pipe but
+  stays alive; the heartbeat deadline must flag it, answers during the
+  hang must degrade honestly (served from the last shipped sketch), and
+  the restart must converge bit-identically.
+* ``torn-wal-tail-restart`` -- a worker dies after committing a batch
+  but before acknowledging it, and the commit itself is torn off the
+  WAL tail; recovery must replay the intact prefix and the
+  coordinator's resend must apply the lost batch exactly once.
+* ``duplicate-late-delivery`` -- the channel duplicates, drops, and
+  delays frames at seeded random; the per-shard command index must
+  collapse all of it to exactly-once application.
+* ``failed-shard-degraded-answer`` -- a shard that cannot be restarted
+  is marked failed; answers must keep flowing with reduced coverage, a
+  widened error bound, and the degradation on record.
+
+Every scenario asserts the merged cluster sketch bit-identical to an
+uninterrupted single-process reference (integer-weight workloads make
+shard sums exact), and that the degradations it provoked are visible --
+as :class:`~repro.stream.validation.Incident` entries and on
+``cluster.*`` metrics.  All randomness (workloads, kill points, chaos
+interceptors) derives from the suite seed, so a failing scenario
+replays exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Any, Callable
+
+import numpy as np
+
+from repro import obs
+from repro.cluster.coordinator import ClusterConfig, ClusterProcessor
+from repro.cluster.protocol import encode_frame
+from repro.cluster.transport import InlineTransport, ShardLink, WorkerSpec
+from repro.stream.faults import ScenarioResult, truncate_tail, wal_segments
+from repro.stream.processor import StreamProcessor
+
+__all__ = ["run_cluster_fault_suite"]
+
+
+# -- deterministic workload ----------------------------------------------
+
+
+def _cluster_workload(
+    seed: int, domain_bits: int = 12, batches: int = 10, batch_size: int = 60
+) -> list[tuple[str, Any]]:
+    """A deterministic stream of point and interval batches (weight 1).
+
+    Integer weights keep every counter an exact integer, so per-shard
+    partial sums are order-independent and the merged cluster sketch is
+    *bit-identical* to a single-process run -- the property every
+    scenario asserts.
+    """
+    rng = np.random.default_rng(seed)
+    limit = 1 << domain_bits
+    ops: list[tuple[str, Any]] = []
+    for _ in range(batches):
+        ops.append(
+            ("points", [int(i) for i in rng.integers(0, limit, size=batch_size)])
+        )
+    for _ in range(batches // 3):
+        lows = rng.integers(0, limit // 2, size=12)
+        spans = rng.integers(0, limit // 2, size=12)
+        ops.append(
+            ("intervals", [[int(a), int(a + s)] for a, s in zip(lows, spans)])
+        )
+    rng.shuffle(ops)
+    return ops
+
+
+def _feed_cluster(cluster: ClusterProcessor, ops, start=0, stop=None) -> None:
+    for kind, payload in ops[start:stop]:
+        if kind == "points":
+            cluster.ingest_points("r", payload)
+        else:
+            cluster.ingest_intervals("r", payload)
+
+
+def _reference_values(seed: int, ops, domain_bits: int = 12) -> np.ndarray:
+    """Counters of an uninterrupted single-process run of the stream."""
+    processor = StreamProcessor(medians=3, averages=16, seed=seed)
+    processor.register_relation("r", domain_bits)
+    for kind, payload in ops:
+        if kind == "points":
+            processor.process_points("r", payload)
+        else:
+            processor.process_intervals("r", payload)
+    return processor.sketch_of("r").values()
+
+
+def _process_config() -> ClusterConfig:
+    return ClusterConfig(
+        command_timeout=1.0,
+        retries=3,
+        backoff_base=0.01,
+        heartbeat_interval=0.05,
+        heartbeat_deadline=0.3,
+        max_inflight=4,
+    )
+
+
+def _inline_config() -> ClusterConfig:
+    # Inline links never wait, so timeouts only bound retry counts.
+    return ClusterConfig(
+        command_timeout=0.02,
+        retries=8,
+        backoff_base=0.0005,
+        heartbeat_interval=0.0,
+        heartbeat_deadline=0.01,
+        max_inflight=4,
+    )
+
+
+def _metric(name: str) -> float:
+    state = obs.snapshot().get(name, {})
+    return float(state.get("value", state.get("count", 0.0)))
+
+
+def _arm_fault(
+    cluster: ClusterProcessor, sid: int, mode: str, at_index: int
+) -> None:
+    """Arm a worker-side fault hook (process transport only)."""
+    shard = cluster._shards[sid]
+    seq = cluster._next_seq(shard)
+    shard.outstanding[seq] = None
+    shard.link.send(
+        encode_frame(seq, {"kind": "fault", "mode": mode, "at_index": at_index})
+    )
+    cluster._pump(shard, 1.0)
+
+
+def _check(name: str, condition: bool, detail: str) -> ScenarioResult:
+    return ScenarioResult(name, bool(condition), detail)
+
+
+# -- scenarios -----------------------------------------------------------
+
+
+def _scenario_kill_nine(base: str, seed: int) -> ScenarioResult:
+    """SIGKILL a worker mid-stream; restart + replay must converge."""
+    ops = _cluster_workload(seed)
+    reference = _reference_values(seed, ops)
+    rng = np.random.default_rng(seed + 1)
+    restarts_before = _metric("cluster.shard.restarts_total")
+    with ClusterProcessor(
+        os.path.join(base, "kill9"),
+        shards=3,
+        medians=3,
+        averages=16,
+        seed=seed,
+        transport="process",
+        config=_process_config(),
+    ) as cluster:
+        cluster.register_relation("r", 12)
+        kill_at = int(rng.integers(1, len(ops) - 1))
+        victim = int(rng.integers(0, cluster.shards))
+        for position, _ in enumerate(ops):
+            _feed_cluster(cluster, ops, position, position + 1)
+            if position == kill_at:
+                cluster._shards[victim].link.kill()
+        cluster.flush()
+        merged = cluster.merged_sketch("r").values()
+        identical = np.array_equal(merged, reference)
+        restarted = any(
+            incident.operation == "shard-restart"
+            for incident in cluster.incidents
+        )
+        counted = _metric("cluster.shard.restarts_total") > restarts_before
+    return _check(
+        "kill-nine-mid-batch",
+        identical and restarted and counted,
+        f"shard {victim} killed at batch {kill_at}; restarted, replayed, "
+        "merged counters bit-identical to single-process reference"
+        if identical and restarted and counted
+        else f"identical={identical} restarted={restarted} counted={counted}",
+    )
+
+
+def _scenario_hung_worker(base: str, seed: int) -> ScenarioResult:
+    """A hung (alive, silent) worker: degrade honestly, then recover."""
+    ops = _cluster_workload(seed)
+    reference = _reference_values(seed, ops)
+    rng = np.random.default_rng(seed + 2)
+    with ClusterProcessor(
+        os.path.join(base, "hang"),
+        shards=3,
+        medians=3,
+        averages=16,
+        seed=seed,
+        transport="process",
+        config=_process_config(),
+    ) as cluster:
+        cluster.register_relation("r", 12)
+        handle = cluster.register_self_join("r")
+        hang_at = int(rng.integers(2, len(ops) - 2))
+        victim = int(rng.integers(0, cluster.shards))
+        _feed_cluster(cluster, ops, 0, hang_at)
+        cluster.flush()
+        cluster.answer(handle)  # prime every shard's shipped-sketch cache
+        _arm_fault(
+            cluster,
+            victim,
+            "hang",
+            cluster._shards[victim].mut_index + 1,
+        )
+        _feed_cluster(cluster, ops, hang_at, hang_at + 1)
+        during = cluster.answer(handle)  # the victim is hung right now
+        degraded_ok = during.degraded and during.stale_shards >= 1
+        cluster.flush()  # stalls on the hung shard, escalates to restart
+        cluster.supervise()
+        _feed_cluster(cluster, ops, hang_at + 1)
+        cluster.flush()
+        after = cluster.answer(handle)
+        merged = cluster.merged_sketch("r").values()
+        identical = np.array_equal(merged, reference)
+        recorded = any(
+            incident.operation in ("stale-read", "degraded-answer")
+            for incident in cluster.incidents
+        ) and any(
+            incident.operation == "shard-restart"
+            for incident in cluster.incidents
+        )
+        healthy_after = not after.degraded and after.coverage == 1.0
+    return _check(
+        "hung-worker-heartbeat",
+        identical and degraded_ok and recorded and healthy_after,
+        f"answer during hang degraded (coverage={during.coverage:.2f}, "
+        f"stale={during.stale_shards}); after restart coverage=1.0 and "
+        "counters bit-identical"
+        if identical and degraded_ok and recorded and healthy_after
+        else (
+            f"identical={identical} degraded_ok={degraded_ok} "
+            f"recorded={recorded} healthy_after={healthy_after}"
+        ),
+    )
+
+
+def _scenario_torn_tail(base: str, seed: int) -> ScenarioResult:
+    """Crash in the ack window + torn WAL tail: resend applies once."""
+    ops = _cluster_workload(seed)
+    reference = _reference_values(seed, ops)
+    rng = np.random.default_rng(seed + 3)
+    resent_before = _metric("cluster.recover.resent_commands_total")
+    with ClusterProcessor(
+        os.path.join(base, "torn"),
+        shards=2,
+        medians=3,
+        averages=16,
+        seed=seed,
+        transport="process",
+        config=_process_config(),
+    ) as cluster:
+        cluster.register_relation("r", 12)
+        cut = int(rng.integers(2, len(ops) - 2))
+        victim = int(rng.integers(0, cluster.shards))
+        _feed_cluster(cluster, ops, 0, cut)
+        cluster.flush()
+        shard = cluster._shards[victim]
+        # Die after committing the next batch to the WAL, before acking.
+        _arm_fault(cluster, victim, "exit_before_ack", shard.mut_index + 1)
+        _feed_cluster(cluster, ops, cut, cut + 1)
+        shard.link.process.join(timeout=10.0)
+        died = not shard.link.process.is_alive()
+        # Tear the committed-but-unacknowledged record off the WAL tail:
+        # the crash now also lost the batch.  The coordinator still holds
+        # it as pending, so the resend must restore it -- exactly once.
+        segments = wal_segments(shard.spec.directory)
+        truncate_tail(segments[-1], drop_bytes=7)
+        cluster.flush()  # detects the death, restarts, replays, resends
+        _feed_cluster(cluster, ops, cut + 1)
+        cluster.flush()
+        merged = cluster.merged_sketch("r").values()
+        identical = np.array_equal(merged, reference)
+        resent = _metric("cluster.recover.resent_commands_total") > resent_before
+    return _check(
+        "torn-wal-tail-restart",
+        died and identical and resent,
+        "worker died in the ack window, its WAL tail was torn; replay + "
+        "resend converged bit-identically"
+        if died and identical and resent
+        else f"died={died} identical={identical} resent={resent}",
+    )
+
+
+def _scenario_duplicate_late(base: str, seed: int) -> ScenarioResult:
+    """Duplicated, dropped, delayed frames: still exactly-once."""
+    ops = _cluster_workload(seed)
+    reference = _reference_values(seed, ops)
+    chaos = np.random.default_rng(seed + 4)
+
+    def request_chaos(frame: bytes) -> list[bytes]:
+        roll = chaos.random()
+        if roll < 0.10:
+            return []  # lost command: the retry must resend it
+        if roll < 0.25:
+            return [frame, frame]  # duplicated command: dedup must absorb
+        return [frame]
+
+    def reply_chaos(frame: bytes) -> list[bytes]:
+        roll = chaos.random()
+        if roll < 0.10:
+            return []  # lost ack: the retry draws a dup-ack instead
+        if roll < 0.20:
+            return [frame, frame]  # duplicated ack: one must read as late
+        return [frame]
+
+    transport = InlineTransport(
+        request_interceptor=request_chaos, reply_interceptor=reply_chaos
+    )
+    with ClusterProcessor(
+        os.path.join(base, "chaos"),
+        shards=3,
+        medians=3,
+        averages=16,
+        seed=seed,
+        transport=transport,
+        config=_inline_config(),
+    ) as cluster:
+        cluster.register_relation("r", 12)
+        _feed_cluster(cluster, ops)
+        cluster.flush()
+        merged = cluster.merged_sketch("r").values()
+        identical = np.array_equal(merged, reference)
+        retried = _metric("cluster.command.retries_total") > 0
+        absorbed = (
+            _metric("cluster.protocol.duplicate_acks_total")
+            + _metric("cluster.protocol.late_replies_total")
+        ) > 0
+    return _check(
+        "duplicate-late-delivery",
+        identical and retried and absorbed,
+        "frames dropped/duplicated at random; command indices collapsed "
+        "everything to exactly-once, counters bit-identical"
+        if identical and retried and absorbed
+        else f"identical={identical} retried={retried} absorbed={absorbed}",
+    )
+
+
+class _RespawnsDead:
+    """Transport wrapper whose respawns of one shard come back dead."""
+
+    def __init__(self, inner: InlineTransport, victim: int) -> None:
+        self.inner = inner
+        self.victim = victim
+        self.name = inner.name
+
+    def spawn(self, spec: WorkerSpec) -> ShardLink:
+        link = self.inner.spawn(spec)
+        if spec.shard_id == self.victim:
+            link.kill()
+        return link
+
+
+def _scenario_failed_shard(base: str, seed: int) -> ScenarioResult:
+    """A shard that cannot restart: serve degraded, on the record."""
+    ops = _cluster_workload(seed)
+    reference = _reference_values(seed, ops)
+    rng = np.random.default_rng(seed + 5)
+    transport = InlineTransport()
+    wrapper = _RespawnsDead(transport, victim=-1)
+    degraded_before = _metric("cluster.answer.degraded_total")
+    with ClusterProcessor(
+        os.path.join(base, "failed"),
+        shards=3,
+        medians=3,
+        averages=16,
+        seed=seed,
+        transport=wrapper,
+        config=_inline_config(),
+    ) as cluster:
+        cluster.register_relation("r", 12)
+        handle = cluster.register_self_join("r")
+        _feed_cluster(cluster, ops)
+        cluster.flush()
+        healthy = cluster.answer(handle)  # caches every shard's sketch
+        victim = int(rng.integers(0, cluster.shards))
+        wrapper.victim = victim  # every restart attempt now comes back dead
+        cluster._shards[victim].link.kill()
+        cluster.supervise()  # exhausts the restart budget, marks failed
+        degraded = cluster.answer(handle)
+        failed_on_record = any(
+            incident.operation == "shard-failed"
+            for incident in cluster.incidents
+        )
+        # The dead shard had shipped its complete sketch before dying, so
+        # the degraded answer is stale-but-whole: numerically identical,
+        # honestly labelled.
+        value_ok = degraded.value == healthy.value
+        contract_ok = (
+            degraded.degraded
+            and degraded.coverage < 1.0
+            and degraded.stale_shards == 1
+            and degraded.error_width_factor > 1.0
+            and cluster.stats()["shards"][f"shard-{victim}"]["failed"]
+        )
+        counted = _metric("cluster.answer.degraded_total") > degraded_before
+    return _check(
+        "failed-shard-degraded-answer",
+        value_ok and contract_ok and failed_on_record and counted,
+        f"shard {victim} unrestartable; answers kept flowing at "
+        f"coverage={degraded.coverage:.2f} with error bound widened "
+        f"x{degraded.error_width_factor:.2f}, degradation on record"
+        if value_ok and contract_ok and failed_on_record and counted
+        else (
+            f"value_ok={value_ok} contract_ok={contract_ok} "
+            f"on_record={failed_on_record} counted={counted}"
+        ),
+    )
+
+
+def run_cluster_fault_suite(
+    seed: int = 20060627, base_dir: str | None = None
+) -> list[ScenarioResult]:
+    """Run every cluster fault scenario; one result per scenario."""
+    scenarios: list[Callable[[str, int], ScenarioResult]] = [
+        _scenario_kill_nine,
+        _scenario_hung_worker,
+        _scenario_torn_tail,
+        _scenario_duplicate_late,
+        _scenario_failed_shard,
+    ]
+    results: list[ScenarioResult] = []
+    own_temp = base_dir is None
+    base = base_dir or tempfile.mkdtemp(prefix="repro-cluster-faults-")
+    try:
+        for scenario in scenarios:
+            try:
+                results.append(scenario(base, seed))
+            except Exception as exc:  # noqa: BLE001 -- suite must report every scenario, crashed ones included
+                results.append(
+                    ScenarioResult(
+                        scenario.__name__.replace("_scenario_", "").replace(
+                            "_", "-"
+                        ),
+                        False,
+                        f"unexpected {type(exc).__name__}: {exc}",
+                    )
+                )
+    finally:
+        if own_temp:
+            shutil.rmtree(base, ignore_errors=True)
+    return results

@@ -1,0 +1,230 @@
+"""Shard transports: real worker processes, and a deterministic inline mode.
+
+The coordinator talks to a shard through a tiny link interface --
+``send``/``recv``/``alive``/``kill``/``close`` -- with two
+implementations:
+
+:class:`ProcessTransport`
+    One ``multiprocessing`` process per shard running
+    :func:`~repro.cluster.worker.worker_main`, joined by a pipe.  This
+    is the production shape: a shard can genuinely crash (``kill -9``),
+    hang, or fall behind, and the coordinator's supervision has to cope.
+
+:class:`InlineTransport`
+    The same :class:`~repro.cluster.worker.ShardServer` driven
+    synchronously in-process: every frame is decoded, handled, and its
+    reply queued before ``send`` returns.  No processes, no wall-clock
+    waits -- which makes protocol behavior (dedup, retry, duplicate and
+    late delivery) exactly replayable under injected interceptors, and
+    lets the observability exercise touch the cluster layer without
+    spawning anything.
+
+Inline links accept *interceptors*: callables mapping one frame to the
+list of frames actually delivered (requests) or queued (replies).
+Dropping, duplicating, and reordering frames is then plain list
+manipulation driven by whatever seeded RNG the test injects -- chaos
+with a replay button.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from typing import Callable, Iterable, Protocol
+
+from repro.cluster.errors import ShardDeadError
+from repro.cluster.protocol import decode_frame, encode_frame
+from repro.cluster.worker import ShardServer, WorkerSpec, worker_main
+
+__all__ = [
+    "ShardLink",
+    "ShardTransport",
+    "ProcessShardLink",
+    "ProcessTransport",
+    "InlineShardLink",
+    "InlineTransport",
+    "get_transport",
+]
+
+Interceptor = Callable[[bytes], Iterable[bytes]]
+
+
+class ShardLink(Protocol):
+    """One coordinator-side endpoint of a shard's command channel."""
+
+    def send(self, frame: bytes) -> None:
+        """Deliver one frame to the shard (raises ShardDeadError)."""
+
+    def recv(self, timeout: float) -> bytes | None:
+        """Next reply frame, or ``None`` if none arrived in time."""
+
+    def alive(self) -> bool:
+        """Whether the backing worker is still running."""
+
+    def kill(self) -> None:
+        """Force-stop the worker (SIGKILL in process mode)."""
+
+    def close(self) -> None:
+        """Release the channel (the worker may outlive it)."""
+
+
+class ProcessShardLink:
+    """A shard worker in its own process, reached over a pipe."""
+
+    def __init__(
+        self, spec: WorkerSpec, context: multiprocessing.context.BaseContext
+    ) -> None:
+        parent, child = context.Pipe()
+        self._conn = parent
+        self.process = context.Process(
+            target=worker_main,
+            args=(child, spec),
+            name=f"repro-shard-{spec.shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def send(self, frame: bytes) -> None:
+        try:
+            self._conn.send_bytes(frame)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardDeadError(f"shard pipe is closed: {exc}") from exc
+
+    def recv(self, timeout: float) -> bytes | None:
+        try:
+            if not self._conn.poll(max(0.0, timeout)):
+                return None
+            return self._conn.recv_bytes()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise ShardDeadError(f"shard pipe is closed: {exc}") from exc
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=10.0)
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            # The worker exits on EOF; give it a moment, then insist.
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=10.0)
+
+
+class ProcessTransport:
+    """Spawns one OS process per shard (the production transport)."""
+
+    name = "process"
+
+    def __init__(self, start_method: str = "fork") -> None:
+        try:
+            self._context = multiprocessing.get_context(start_method)
+        except ValueError:
+            # Platforms without fork (Windows, some macOS configs) fall
+            # back to spawn; worker_main is importable either way.
+            self._context = multiprocessing.get_context("spawn")
+
+    def spawn(self, spec: WorkerSpec) -> ProcessShardLink:
+        return ProcessShardLink(spec, self._context)
+
+
+class InlineShardLink:
+    """A shard served synchronously in-process (deterministic)."""
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        request_interceptor: Interceptor | None = None,
+        reply_interceptor: Interceptor | None = None,
+    ) -> None:
+        self.server = ShardServer(spec)
+        self.request_interceptor = request_interceptor
+        self.reply_interceptor = reply_interceptor
+        self._replies: deque[bytes] = deque()
+        self._dead = False
+
+    def send(self, frame: bytes) -> None:
+        if self._dead:
+            raise ShardDeadError("inline shard was killed")
+        delivered = (
+            [frame]
+            if self.request_interceptor is None
+            else list(self.request_interceptor(frame))
+        )
+        for one in delivered:
+            seq, message = decode_frame(one)
+            reply = encode_frame(seq, self.server.handle(message))
+            queued = (
+                [reply]
+                if self.reply_interceptor is None
+                else list(self.reply_interceptor(reply))
+            )
+            self._replies.extend(queued)
+
+    def recv(self, timeout: float) -> bytes | None:
+        if self._dead:
+            raise ShardDeadError("inline shard was killed")
+        # Nothing arrives without another send; never block.
+        return self._replies.popleft() if self._replies else None
+
+    def alive(self) -> bool:
+        return not self._dead
+
+    def kill(self) -> None:
+        if not self._dead:
+            self._dead = True
+            self._replies.clear()
+            self.server.close()
+
+    def close(self) -> None:
+        self.kill()
+
+
+class InlineTransport:
+    """Serves every shard in-process; chaos comes from interceptors."""
+
+    name = "inline"
+
+    def __init__(
+        self,
+        request_interceptor: Interceptor | None = None,
+        reply_interceptor: Interceptor | None = None,
+    ) -> None:
+        self.request_interceptor = request_interceptor
+        self.reply_interceptor = reply_interceptor
+
+    def spawn(self, spec: WorkerSpec) -> InlineShardLink:
+        return InlineShardLink(
+            spec,
+            request_interceptor=self.request_interceptor,
+            reply_interceptor=self.reply_interceptor,
+        )
+
+
+class ShardTransport(Protocol):
+    """Factory building (and rebuilding, after crashes) shard links."""
+
+    name: str
+
+    def spawn(self, spec: WorkerSpec) -> ShardLink:
+        """A live link to a worker built from ``spec``."""
+
+
+def get_transport(name: str, start_method: str = "fork") -> ShardTransport:
+    """Resolve a transport by name (``"process"`` or ``"inline"``)."""
+    if name == "process":
+        return ProcessTransport(start_method)
+    if name == "inline":
+        return InlineTransport()
+    raise ValueError(
+        f"unknown cluster transport {name!r}; expected 'process' or 'inline'"
+    )

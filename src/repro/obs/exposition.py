@@ -5,8 +5,9 @@ an empty registry.  The ``repro-experiments metrics`` subcommand
 therefore runs :func:`exercise_all_layers` first: a small, deterministic
 workload that drives every instrumented layer (stream ingestion and
 validation, graceful degradation, WAL + snapshot durability, recovery,
-the packed plane kernels, and scheme range-sum dispatch) so the snapshot
-it prints covers the full instrument catalogue.
+the packed plane kernels, scheme range-sum dispatch, and a small inline
+shard cluster) so the snapshot it prints covers the full instrument
+catalogue.
 
 CI keeps that catalogue honest with a *golden list*
 (``tests/metrics_golden.txt``): :func:`missing_instruments` compares a
@@ -88,6 +89,23 @@ def exercise_all_layers(seed: int = 20060627) -> dict[str, dict[str, Any]]:
             generator = get_spec(name).factory(8, SeedSource(seed))
             range_sum(generator, 3, 17)
             range_sums(generator, [0, 8], [7, 15])
+        from repro.cluster import ClusterConfig, ClusterProcessor
+
+        with ClusterProcessor(
+            os.path.join(directory, "cluster"),
+            shards=2,
+            medians=3,
+            averages=4,
+            seed=seed,
+            transport="inline",
+            config=ClusterConfig(heartbeat_interval=0.0),
+        ) as cluster:
+            cluster.register_relation("cluster", 8)
+            handle = cluster.register_self_join("cluster")
+            cluster.ingest_points("cluster", list(range(32)))
+            cluster.ingest_intervals("cluster", [(0, 255), (16, 63)])
+            cluster.supervise()
+            cluster.answer(handle)
         return obs.snapshot()
     finally:
         shutil.rmtree(directory, ignore_errors=True)

@@ -463,7 +463,9 @@ class StreamProcessor:
                 payload={"intervals": op["intervals"], "weights": op["weights"]},
             )
         elif kind == "merge":
-            self._do_merge(op["relation"], op["values"])
+            self._do_merge(
+                op["relation"], op["values"], op.get("fingerprint")
+            )
         else:
             raise RecoveryError(f"unknown WAL operation {kind!r}")
 
@@ -759,13 +761,46 @@ class StreamProcessor:
                 "non-finite-counter",
             )
         self._commit(
-            {"op": "merge", "relation": relation, "values": values.tolist()}
+            {
+                "op": "merge",
+                "relation": relation,
+                "values": values.tolist(),
+                "fingerprint": scheme_fingerprint(mine),
+            }
         )
 
-    def _do_merge(self, relation: str, values: list[list[float]]) -> None:
+    def _do_merge(
+        self,
+        relation: str,
+        values: list[list[float]],
+        fingerprint: str | None = None,
+    ) -> None:
+        """Apply a committed merge (live, or replayed from the WAL).
+
+        The WAL record carries the scheme fingerprint the merge was
+        validated against; it is re-verified here so a replay onto a
+        re-derived scheme lineage that no longer matches (a corrupted or
+        hand-edited manifest, a seed-derivation regression) fails loudly
+        instead of folding incomparable counters into the sketch.  The
+        finiteness check from commit time is repeated for the same
+        reason: replay trusts nothing the current process did not check.
+        """
         scheme = self._sketches[relation].scheme
+        if fingerprint is not None and fingerprint != scheme_fingerprint(scheme):
+            raise SchemeMismatchError(
+                f"WAL merge record for {relation!r} was committed against a "
+                "different scheme fingerprint; replaying it would corrupt "
+                "the sketch"
+            )
+        grid = np.asarray(values, dtype=np.float64)
+        if not np.isfinite(grid).all():
+            raise InvalidUpdateError(
+                f"WAL merge record for {relation!r} contains non-finite "
+                "counters; refusing to apply",
+                "non-finite-counter",
+            )
         incoming = SketchMatrix(scheme)
-        for cells_row, values_row in zip(incoming.cells, values):
+        for cells_row, values_row in zip(incoming.cells, grid):
             for cell, value in zip(cells_row, values_row):
                 cell.value = float(value)
         self._sketches[relation] = self._sketches[relation].combined(incoming)
@@ -822,7 +857,10 @@ class StreamProcessor:
         return {
             "policy": self.policy,
             "quarantined_total": self.dead_letters.total,
-            "quarantine_counts": dict(self.dead_letters.counts),
+            "quarantine_counts": {
+                **dict(self.dead_letters.counts),
+                "dropped": self.dead_letters.dropped,
+            },
             "incidents": self.incidents.total,
             "incidents_buffered": len(self.incidents),
             "incidents_dropped": self.incidents.dropped,

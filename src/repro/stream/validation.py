@@ -117,12 +117,16 @@ class DeadLetterBuffer:
 
     The buffer keeps the most recent ``capacity`` records (older ones are
     dropped) but the counters are exact over the whole stream history.
+    Every eviction is counted -- on the object (``dropped``) and on the
+    ``stream.quarantine.dropped_total`` metric -- so a buffer that has
+    silently rolled over is distinguishable from one that never filled.
     """
 
     capacity: int = 1024
     _records: deque = field(init=False, repr=False)
     counts: Counter = field(init=False)
     total: int = field(init=False, default=0)
+    dropped: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -131,7 +135,14 @@ class DeadLetterBuffer:
         self.counts = Counter()
 
     def add(self, record: QuarantinedRecord) -> None:
-        """Quarantine one record and bump its reason counter."""
+        """Quarantine one record and bump its reason counter.
+
+        At capacity the oldest record is evicted to make room; the
+        eviction bumps ``dropped`` and ``stream.quarantine.dropped_total``.
+        """
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+            obs.counter("stream.quarantine.dropped_total").inc()
         self._records.append(record)
         self.counts[record.code] += 1
         self.total += 1

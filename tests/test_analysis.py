@@ -277,6 +277,37 @@ class TestExceptionBoundaryAudit:
         )
         assert found == []
 
+    def test_cluster_broad_handler_flagged(self) -> None:
+        found = scan(
+            """\
+            try:
+                reply = handle(message)
+            except Exception:
+                reply = error_reply("worker-error", "boom")
+            """,
+            "src/repro/cluster/worker.py",
+        )
+        assert rule_ids(found) == ["R004"]
+
+    def test_cluster_documented_boundary_clean(self) -> None:
+        found = scan(
+            """\
+            try:
+                run(scenario)
+            except Exception as exc:  # noqa: BLE001 -- scenario isolation
+                record(exc)
+            """,
+            "src/repro/cluster/faults.py",
+        )
+        assert found == []
+
+    def test_cluster_unseeded_rng_flagged_by_r003(self) -> None:
+        found = scan(
+            "import numpy as np\njitter = np.random.default_rng()\n",
+            "src/repro/cluster/coordinator.py",
+        )
+        assert rule_ids(found) == ["R003"]
+
 
 # ---------------------------------------------------------------------------
 # R005: clock injection (monotonic timing goes through repro.obs).

@@ -1,0 +1,104 @@
+"""Cluster chaos scenarios, proven by pytest (real worker processes).
+
+The suite itself lives in :mod:`repro.cluster.faults`; here it runs once
+(class-scoped) and each scenario asserts independently, so a CI failure
+names the broken invariant instead of a monolithic suite.  A second
+test class covers process-transport basics the scenarios assume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterProcessor
+from repro.cluster.faults import run_cluster_fault_suite
+from repro.stream.processor import StreamProcessor
+
+SEED = 20060627
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning"
+)
+
+
+class TestClusterScenarioSuite:
+    """One pytest case per chaos scenario."""
+
+    @pytest.fixture(scope="class")
+    def results(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("cluster-faults")
+        return {r.name: r for r in run_cluster_fault_suite(SEED, str(base))}
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "kill-nine-mid-batch",
+            "hung-worker-heartbeat",
+            "torn-wal-tail-restart",
+            "duplicate-late-delivery",
+            "failed-shard-degraded-answer",
+        ],
+    )
+    def test_scenario(self, results, name):
+        assert name in results, f"scenario {name} missing from suite"
+        result = results[name]
+        assert result.passed, f"{name}: {result.detail}"
+
+    def test_suite_is_exhaustive(self, results):
+        assert len(results) == 5
+
+
+class TestProcessTransportBasics:
+    """The production transport end to end, without injected faults."""
+
+    def test_process_cluster_matches_reference(self, tmp_path, rng):
+        items = rng.integers(0, 1 << 10, size=300)
+        config = ClusterConfig(
+            command_timeout=2.0, retries=2, backoff_base=0.01
+        )
+        with ClusterProcessor(
+            str(tmp_path / "cluster"),
+            shards=2,
+            medians=3,
+            averages=16,
+            seed=7,
+            config=config,
+        ) as cluster:
+            cluster.register_relation("r", 10)
+            handle = cluster.register_self_join("r")
+            cluster.ingest_points("r", items)
+            cluster.ingest_intervals("r", [[0, 1023], [100, 700]])
+            cluster.flush()
+            merged = cluster.merged_sketch("r").values()
+            answer = cluster.answer(handle)
+        ref = StreamProcessor(medians=3, averages=16, seed=7)
+        ref.register_relation("r", 10)
+        ref_handle = ref.register_self_join("r")
+        ref.process_points("r", items)
+        ref.process_intervals("r", [[0, 1023], [100, 700]])
+        assert np.array_equal(merged, ref.sketch_of("r").values())
+        assert answer.value == ref.answer(ref_handle)
+        assert answer.coverage == 1.0 and not answer.degraded
+
+    def test_worker_directories_are_isolated(self, tmp_path):
+        import os
+
+        config = ClusterConfig(command_timeout=2.0, retries=2)
+        with ClusterProcessor(
+            str(tmp_path / "cluster"),
+            shards=3,
+            medians=3,
+            averages=16,
+            seed=7,
+            config=config,
+        ) as cluster:
+            cluster.register_relation("r", 10)
+            cluster.ingest_points("r", list(range(0, 1024, 5)))
+            cluster.checkpoint()
+            directories = [shard.spec.directory for shard in cluster._shards]
+        assert len(set(directories)) == 3
+        for directory in directories:
+            names = os.listdir(directory)
+            assert "manifest.json" in names
+            assert any(name.startswith("wal-") for name in names)

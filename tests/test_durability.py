@@ -350,3 +350,147 @@ class TestProcessorDurability:
             processor.process_point("r", 1)
             processor.checkpoint()
             assert processor.stats()["quarantined_total"] == 1
+
+
+class TestMergeReplay:
+    """Merge ops in the WAL: fingerprints recorded, re-verified on replay."""
+
+    @staticmethod
+    def _read_records(path):
+        import struct
+
+        header = struct.Struct("<IIQ")
+        with open(path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        records = []
+        while offset < len(data):
+            length, _crc, seq = header.unpack_from(data, offset)
+            offset += header.size
+            payload = data[offset:offset + length]
+            offset += length
+            records.append((seq, json.loads(payload.decode("utf-8"))))
+        return records
+
+    @staticmethod
+    def _write_records(path, records):
+        from repro.stream.durability import canonical_json
+
+        blob = b"".join(
+            encode_record(seq, canonical_json(op).encode("utf-8"))
+            for seq, op in records
+        )
+        with open(path, "wb") as handle:
+            handle.write(blob)
+
+    def _build_interleaved(self, directory):
+        """A WAL interleaving ingest batches and two merge ops."""
+        processor = StreamProcessor(
+            medians=2, averages=8, seed=5, durability=directory
+        )
+        processor.register_relation("r", 10)
+        processor.process_points("r", list(range(32)))
+        remote = processor.scheme_of("r").sketch()
+        remote.update_interval((0, 255), 2.0)
+        processor.merge_sketch("r", remote)
+        processor.process_points("r", list(range(100, 164)))
+        processor.process_intervals("r", [[5, 800], [0, 1023]])
+        second = processor.scheme_of("r").sketch()
+        second.update_point(7, 3.0)
+        processor.merge_sketch("r", second)
+        processor.process_points("r", [1, 2, 3])
+        return processor
+
+    def test_interleaved_merges_and_batches_replay_exactly(self, tmp_path):
+        directory = str(tmp_path / "state")
+        with self._build_interleaved(directory) as processor:
+            reference = processor.sketch_of("r").values().copy()
+        recovered = StreamProcessor.recover(directory)
+        assert np.array_equal(recovered.sketch_of("r").values(), reference)
+
+    def test_interleaved_replay_across_a_checkpoint(self, tmp_path):
+        directory = str(tmp_path / "state")
+        with self._build_interleaved(directory) as processor:
+            processor.checkpoint()
+            third = processor.scheme_of("r").sketch()
+            third.update_interval((100, 900), 1.0)
+            processor.merge_sketch("r", third)
+            processor.process_points("r", [9, 9, 9])
+            reference = processor.sketch_of("r").values().copy()
+        recovered = StreamProcessor.recover(directory)
+        assert np.array_equal(recovered.sketch_of("r").values(), reference)
+
+    def test_merge_record_carries_the_scheme_fingerprint(self, tmp_path):
+        from repro.sketch.serialize import scheme_fingerprint
+
+        directory = str(tmp_path / "state")
+        with self._build_interleaved(directory) as processor:
+            expected = scheme_fingerprint(processor.scheme_of("r"))
+        merges = [
+            op
+            for segment in wal_segments(directory)
+            for _seq, op in self._read_records(segment)
+            if op["op"] == "merge"
+        ]
+        assert len(merges) == 2
+        for op in merges:
+            assert op["fingerprint"] == expected
+
+    def test_nonfinite_merge_rejected_at_commit_time(self, tmp_path):
+        from repro.stream.errors import InvalidUpdateError
+
+        directory = str(tmp_path / "state")
+        with StreamProcessor(
+            medians=2, averages=8, seed=5, durability=directory
+        ) as processor:
+            processor.register_relation("r", 10)
+            processor.process_points("r", list(range(16)))
+            reference = processor.sketch_of("r").values().copy()
+            poisoned = processor.scheme_of("r").sketch()
+            poisoned.cells[0][0].value = float("nan")
+            with pytest.raises(InvalidUpdateError, match="non-finite"):
+                processor.merge_sketch("r", poisoned)
+        # The rejected merge never reached the WAL...
+        ops = [
+            op
+            for segment in wal_segments(directory)
+            for _seq, op in self._read_records(segment)
+        ]
+        assert not any(op["op"] == "merge" for op in ops)
+        # ...so recovery replays the clean stream only.
+        recovered = StreamProcessor.recover(directory)
+        assert np.array_equal(recovered.sketch_of("r").values(), reference)
+
+    def test_tampered_merge_fingerprint_rejected_on_replay(self, tmp_path):
+        from repro.stream.errors import SchemeMismatchError
+
+        directory = str(tmp_path / "state")
+        self._build_interleaved(directory).close()
+        segment = wal_segments(directory)[-1]
+        records = self._read_records(segment)
+        tampered = 0
+        for _seq, op in records:
+            if op["op"] == "merge":
+                op["fingerprint"] = "0" * 64
+                tampered += 1
+        assert tampered
+        self._write_records(segment, records)
+        with pytest.raises(SchemeMismatchError, match="fingerprint"):
+            StreamProcessor.recover(directory)
+
+    def test_nonfinite_merge_values_rejected_on_replay(self, tmp_path):
+        from repro.stream.errors import InvalidUpdateError
+
+        directory = str(tmp_path / "state")
+        self._build_interleaved(directory).close()
+        segment = wal_segments(directory)[-1]
+        records = self._read_records(segment)
+        poisoned = 0
+        for _seq, op in records:
+            if op["op"] == "merge" and not poisoned:
+                op["values"][0][0] = float("inf")
+                poisoned += 1
+        assert poisoned
+        self._write_records(segment, records)
+        with pytest.raises(InvalidUpdateError, match="non-finite"):
+            StreamProcessor.recover(directory)
