@@ -5,7 +5,10 @@ a scheme (the seeds), ships it as JSON, every site sketches its local
 tuples, ships its counters back, and the coordinator adds the sketches --
 the sum IS the sketch of the union.  This demo simulates three sensor
 sites estimating the size of join between their combined readings and a
-reference relation, exchanging only JSON strings.
+reference relation, exchanging only JSON strings; the coordinator
+answers through the typed query engine (:mod:`repro.query.engine`), so
+the join size arrives as an :class:`~repro.query.types.Estimate` with
+its confidence band.
 
 Run:  python examples/distributed_sketching_demo.py
 """
@@ -17,7 +20,8 @@ import json
 import numpy as np
 
 from repro.generators import EH3, SeedSource
-from repro.sketch.ams import SketchScheme, estimate_product
+from repro.query import engine as query_engine
+from repro.sketch.ams import SketchScheme
 from repro.sketch.bulk import bulk_point_update
 from repro.sketch.serialize import (
     scheme_from_dict,
@@ -85,9 +89,11 @@ def main() -> None:
         np.bincount(all_readings, minlength=domain).astype(float),
         np.bincount(reference, minlength=domain).astype(float),
     )
-    estimate = estimate_product(merged, reference_sketch)
+    answer = query_engine.join_size(merged, reference_sketch)
+    estimate = answer.value
+    half = (answer.ci_high - answer.ci_low) / 2.0
     print(f"\ntrue |readings join reference| = {truth:,.0f}")
-    print(f"estimate from merged sketches  = {estimate:,.1f}")
+    print(f"estimate from merged sketches  = {estimate:,.1f} +/- {half:,.1f}")
     print(f"relative error                 = {abs(estimate - truth) / truth:.2%}")
     print(
         f"\ncommunication: {sum(len(w) for w in wire_sketches):,} bytes vs "

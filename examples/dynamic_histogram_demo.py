@@ -8,10 +8,16 @@ ways and compares their SSE quality:
 * greedy splits driven by EXACT counts (the offline ideal),
 * greedy splits driven ONLY by sketch estimates (the streaming reality).
 
-Run:  python examples/dynamic_histogram_demo.py
+The sketch oracle routes every candidate-bucket count through the typed
+query engine (:mod:`repro.query.engine`); the closing report queries the
+total mass the same way to show the confidence band the engine attaches.
+
+Run:  python examples/dynamic_histogram_demo.py [--quick]
 """
 
 from __future__ import annotations
+
+import sys
 
 import numpy as np
 
@@ -21,8 +27,9 @@ from repro.apps.histogram_builder import (
     histogram_sse,
     sketch_count_oracle,
 )
-from repro.apps.histograms import sketch_data_points
+from repro.apps.histograms import sketch_data_points, sketch_region
 from repro.generators import SeedSource
+from repro.query import engine as query_engine
 from repro.rangesum.multidim import ProductGenerator
 from repro.sketch.ams import SketchScheme
 from repro.sketch.atomic import ProductChannel
@@ -35,12 +42,15 @@ MEDIANS = 5
 AVERAGES = 150
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
+    points, averages, buckets = (
+        (1_500, 30, 5) if quick else (POINTS, AVERAGES, BUCKETS)
+    )
     rng = np.random.default_rng(21)
     dataset = generate_region_dataset(
         domain_bits=DIMS_BITS,
         regions=4,
-        total_points=POINTS,
+        total_points=points,
         within_zipf=0.6,
         rng=rng,
         min_side=8,
@@ -48,7 +58,7 @@ def main() -> None:
     )
     freq = dataset.frequency_matrix()
     print(
-        f"data: {POINTS:,} points, {len(dataset.regions)} regions over "
+        f"data: {points:,} points, {len(dataset.regions)} regions over "
         f"{1 << DIMS_BITS[0]} x {1 << DIMS_BITS[1]}"
     )
 
@@ -56,7 +66,7 @@ def main() -> None:
     scheme = SketchScheme.from_factory(
         lambda src: ProductChannel(ProductGenerator.eh3(DIMS_BITS, src)),
         MEDIANS,
-        AVERAGES,
+        averages,
         source,
     )
     data_sketch = sketch_data_points(scheme, dataset.points)
@@ -64,16 +74,16 @@ def main() -> None:
 
     single = build_histogram(DIMS_BITS, exact_count_oracle(dataset.points), 1)
     exact = build_histogram(
-        DIMS_BITS, exact_count_oracle(dataset.points), BUCKETS
+        DIMS_BITS, exact_count_oracle(dataset.points), buckets
     )
     sketched = build_histogram(
-        DIMS_BITS, sketch_count_oracle(data_sketch, scheme), BUCKETS
+        DIMS_BITS, sketch_count_oracle(data_sketch, scheme), buckets
     )
 
     results = [
         ("single bucket (no model)", single),
-        (f"{BUCKETS} buckets, exact counts (offline ideal)", exact),
-        (f"{BUCKETS} buckets, sketch-estimated counts", sketched),
+        (f"{buckets} buckets, exact counts (offline ideal)", exact),
+        (f"{buckets} buckets, sketch-estimated counts", sketched),
     ]
     print(f"{'histogram':45s} {'SSE':>12s}")
     for label, histogram in results:
@@ -87,6 +97,18 @@ def main() -> None:
             f"count ~ {bucket.count:8.1f}"
         )
 
+    # The same primitive, surfaced as a typed Estimate: the whole-domain
+    # region query recovers the total mass with its confidence band.
+    domain = tuple((0, (1 << bits) - 1) for bits in DIMS_BITS)
+    total = query_engine.product(
+        data_sketch, sketch_region(scheme, domain), kind="region"
+    )
+    half = (total.ci_high - total.ci_low) / 2.0
+    print(
+        f"\ntotal mass from the sketch: {total.value:,.1f} +/- {half:,.1f} "
+        f"(true {points:,})"
+    )
+
 
 if __name__ == "__main__":
-    main()
+    main(quick="--quick" in sys.argv[1:])

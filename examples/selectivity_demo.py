@@ -4,17 +4,27 @@ Generates the Figure 4 synthetic workload (clustered regions with Zipf
 frequencies over a 1024 x 1024 domain), sketches the data points once, and
 answers rectangular count queries from the sketch -- the primitive a
 dynamic-histogram builder (Thaper et al.) invokes for every candidate
-bucket.
+bucket.  Answers flow through the typed query engine
+(:mod:`repro.query.engine`), so each one arrives as a full
+:class:`~repro.query.types.Estimate` with its confidence band, not a bare
+float.
 
-Run:  python examples/selectivity_demo.py
+Run:  python examples/selectivity_demo.py [--quick]
 """
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
-from repro.apps.histograms import SelectivityEstimator, random_query_rects
+from repro.apps.histograms import (
+    SelectivityEstimator,
+    random_query_rects,
+    sketch_region,
+)
 from repro.generators import SeedSource
+from repro.query import engine as query_engine
 from repro.rangesum.multidim import ProductGenerator
 from repro.sketch.ams import SketchScheme
 from repro.sketch.atomic import ProductChannel
@@ -27,19 +37,22 @@ AVERAGES = 400
 QUERIES = 8
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
+    points, averages, queries = (
+        (2_000, 40, 3) if quick else (POINTS, AVERAGES, QUERIES)
+    )
     rng = np.random.default_rng(4)
     dataset = generate_region_dataset(
         domain_bits=DIMS_BITS,
         regions=10,
-        total_points=POINTS,
+        total_points=points,
         within_zipf=0.5,
         rng=rng,
         min_side=16,
         max_side=96,
     )
     print(
-        f"dataset: {POINTS:,} points in {len(dataset.regions)} regions over "
+        f"dataset: {points:,} points in {len(dataset.regions)} regions over "
         f"{1 << DIMS_BITS[0]} x {1 << DIMS_BITS[1]}"
     )
 
@@ -47,29 +60,37 @@ def main() -> None:
     scheme = SketchScheme.from_factory(
         lambda src: ProductChannel(ProductGenerator.eh3(DIMS_BITS, src)),
         MEDIANS,
-        AVERAGES,
+        averages,
         source,
     )
     estimator = SelectivityEstimator(scheme, dataset.points)
     print(
         f"sketched once into {scheme.counters} counters "
-        f"({MEDIANS} medians x {AVERAGES} averages)\n"
+        f"({MEDIANS} medians x {averages} averages)\n"
     )
 
     rects = [
         r
-        for r in random_query_rects(rng, DIMS_BITS, QUERIES * 5,
+        for r in random_query_rects(rng, DIMS_BITS, queries * 5,
                                     min_side=32, max_side=128)
-        if estimator.exact_count(r) > POINTS // 10
-    ][:QUERIES]
+        if estimator.exact_count(r) > points // 10
+    ][:queries]
 
-    print(f"{'query rectangle':34s} {'true':>7s} {'estimate':>9s} {'error':>7s}")
+    header = f"{'query rectangle':34s} {'true':>7s} {'estimate':>9s}"
+    print(f"{header} {'+/-':>8s} {'error':>7s}")
     for rect in rects:
         truth = estimator.exact_count(rect)
-        estimate = estimator.count(rect)
-        error = abs(estimate - truth) / truth
+        # The typed path: one region query, answered as an Estimate.
+        answer = query_engine.product(
+            estimator.data_sketch, sketch_region(scheme, rect), kind="region"
+        )
+        error = abs(answer.value - truth) / truth
         label = f"[{rect[0][0]},{rect[0][1]}] x [{rect[1][0]},{rect[1][1]}]"
-        print(f"{label:34s} {truth:7d} {estimate:9.1f} {error:6.1%}")
+        half = (answer.ci_high - answer.ci_low) / 2.0
+        print(
+            f"{label:34s} {truth:7d} {answer.value:9.1f} "
+            f"{half:8.1f} {error:6.1%}"
+        )
 
     print(
         "\nEach query costs two 1-D EH3 range-sums per counter -- no pass "
@@ -79,4 +100,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(quick="--quick" in sys.argv[1:])

@@ -564,6 +564,55 @@ class KernelLoopGuard(Rule):
         yield from self._loop_violations(tree, lines, path)
 
 
+class EstimatePathBypass(Rule):
+    """R007: every estimate must flow through the query engine.
+
+    ``repro.query`` centralizes the median-of-means reduction, the
+    variance/CI accounting and the ``query.*`` instruments; a direct
+    call to the legacy estimate front-ends anywhere else produces a bare
+    float with none of that attached.  The front-ends themselves
+    (``sketch/ams.py``, ``sketch/estimators.py``) are exempt -- they
+    delegate to the engine and exist for compatibility -- as is
+    ``repro/query/`` itself.
+    """
+
+    id = "R007"
+    title = "estimate call outside the query engine"
+
+    _BANNED = frozenset(
+        {"estimate_product", "estimate_join_size", "estimate_self_join"}
+    )
+
+    def applies_to(self, path: str) -> bool:
+        segments = _segments(path)
+        if "query" in segments or "analysis" in segments:
+            return False
+        posix = path.replace("\\", "/")
+        return not posix.endswith(("sketch/ams.py", "sketch/estimators.py"))
+
+    def check(
+        self, tree: ast.AST, lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            name = dotted.rsplit(".", 1)[-1]
+            if name in self._BANNED:
+                yield self._violation(
+                    path,
+                    node,
+                    f"direct {name} call bypasses the query engine; go "
+                    "through repro.query.engine (product/join_size/"
+                    "self_join/execute) so plans, Estimate error "
+                    "accounting and query.* metrics stay attached -- or "
+                    "justify with '# repro: allow[R007] reason'",
+                    lines,
+                )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     RegistryBypass(),
     IntegerWidthHazard(),
@@ -571,6 +620,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ExceptionBoundaryAudit(),
     ClockInjectionGuard(),
     KernelLoopGuard(),
+    EstimatePathBypass(),
 )
 
 

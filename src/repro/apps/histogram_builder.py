@@ -33,7 +33,8 @@ import numpy as np
 
 from repro.apps.histograms import rect_area
 from repro.rangesum.multidim import Rect
-from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
+from repro.query import engine as query_engine
+from repro.sketch.ams import SketchMatrix, SketchScheme
 
 __all__ = [
     "Bucket",
@@ -171,7 +172,7 @@ def sketch_count_oracle(
     def oracle(rect: Rect) -> float:
         region = scheme.sketch()
         region.update_interval(rect)
-        return estimate_product(data_sketch, region)
+        return query_engine.product(data_sketch, region, kind="region").value
 
     return oracle
 

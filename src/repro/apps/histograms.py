@@ -22,7 +22,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.rangesum.multidim import Rect
-from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
+from repro.query import engine as query_engine
+from repro.sketch.ams import SketchMatrix, SketchScheme
 from repro.stream.exact import region_frequency_sum
 
 __all__ = [
@@ -65,7 +66,9 @@ def estimate_region_count(
     data_sketch: SketchMatrix, scheme: SketchScheme, rect: Rect
 ) -> float:
     """Estimated number of data points falling inside ``rect``."""
-    return estimate_product(data_sketch, sketch_region(scheme, rect))
+    return query_engine.product(
+        data_sketch, sketch_region(scheme, rect), kind="region"
+    ).value
 
 
 def estimate_average_frequency(

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
+from repro.query import engine as query_engine
+from repro.sketch.ams import SketchMatrix, SketchScheme
 
 __all__ = [
     "encode_entry_interval",
@@ -85,4 +86,4 @@ def estimate_l1_difference(
 ) -> float:
     """L1 estimate: self-join size of the sketched symmetric difference."""
     difference = sketch_a.difference(sketch_b)
-    return estimate_product(difference, difference)
+    return query_engine.self_join(difference).value

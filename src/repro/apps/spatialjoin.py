@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
+from repro.query import engine as query_engine
+from repro.sketch.ams import SketchMatrix, SketchScheme
 from repro.stream.exact import segments_intersecting
 from repro.workloads.spatial import SegmentDataset
 
@@ -83,8 +84,8 @@ def estimate_spatial_join(
     intersection count (shared end-points perturb this by +/- 1/2 per
     coincidence, the same small bias the original scheme carries).
     """
-    j1 = estimate_product(first.segments, second.endpoints)
-    j2 = estimate_product(first.endpoints, second.segments)
+    j1 = query_engine.join_size(first.segments, second.endpoints).value
+    j2 = query_engine.join_size(first.endpoints, second.segments).value
     return 0.5 * (j1 + j2)
 
 

@@ -30,7 +30,8 @@ from itertools import product as cartesian_product
 import numpy as np
 
 from repro.schemes import channel_kind
-from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
+from repro.query import engine as query_engine
+from repro.sketch.ams import SketchMatrix, SketchScheme
 
 __all__ = [
     "RectDataset",
@@ -130,7 +131,7 @@ def estimate_rect_join(
     total = 0.0
     for combo in combos:
         complement = tuple(not flag for flag in combo)
-        total += estimate_product(first[combo], second[complement])
+        total += query_engine.join_size(first[combo], second[complement]).value
     return total / (2 ** len(combos[0]))
 
 

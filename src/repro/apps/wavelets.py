@@ -28,7 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.dyadic import DyadicInterval
-from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
+from repro.query import engine as query_engine
+from repro.sketch.ams import SketchMatrix, SketchScheme
 
 __all__ = [
     "HaarCoefficient",
@@ -149,7 +150,7 @@ def estimate_coefficient(
     coefficient); the estimate is ``<f, step> / sqrt(interval size)``.
     """
     probe = _coefficient_probe(scheme, level, offset, domain_bits)
-    raw = estimate_product(data_sketch, probe)
+    raw = query_engine.product(data_sketch, probe, kind="wavelet").value
     if level == -1:
         return raw / np.sqrt(1 << domain_bits)
     return raw / np.sqrt(1 << level)

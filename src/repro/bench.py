@@ -28,9 +28,20 @@ __all__ = [
     "run_bulk_bench",
     "run_table2_bench",
     "run_durability_bench",
+    "run_query_engine_bench",
+    "run_hh_bench",
     "check_floors",
     "write_bench_files",
 ]
+
+#: Ceiling on the engine-vs-legacy answer-latency ratio recorded (and
+#: printed) by ``repro-experiments bench --query-engine``: the typed
+#: engine may cost at most 5% over the raw inline reduction it replaced.
+QUERY_ENGINE_RATIO_TARGET = 1.05
+
+# Top-level report keys owned by other subcommands; write_bench_files
+# carries them over instead of erasing them on a core bench re-run.
+_MERGED_BENCH_KEYS = ("cluster", "hh", "query_engine")
 
 #: Regression floors enforced by ``repro-experiments bench --check-floors``:
 #: per workload, the minimum acceptable speedup of the best backend
@@ -736,6 +747,198 @@ def run_cluster_bench(
     return report
 
 
+def run_query_engine_bench(
+    medians: int = 5,
+    averages: int = 128,
+    domain_bits: int = 16,
+    points: int = 20_000,
+    queries: int = 100,
+    repeats: int = 5,
+    seed: int = 11,
+) -> dict:
+    """Answer latency of the typed query engine vs the raw inline path.
+
+    The refactor routed every estimate through
+    :mod:`repro.query.engine`; this bench quantifies what that costs.
+    Two workloads, both on the same pair of EH3 sketches:
+
+    * **join_size** -- the engine's :func:`~repro.query.engine.join_size`
+      against the pre-refactor inline reduction
+      (``median(mean(x * y, axis=1))`` on the raw counter grids);
+    * **range_sum** -- the engine's planned probe against the legacy
+      probe-sketch construction via ``update_interval`` plus the same
+      inline reduction.
+
+    Values are checked bit-identical before timing anything, and the
+    recorded ``ratio`` (engine / legacy, per query) is held to
+    ``config.target`` (:data:`QUERY_ENGINE_RATIO_TARGET`) by the tests.
+    """
+    from repro.generators import EH3, SeedSource
+    from repro.query import engine as query_engine
+    from repro.sketch.ams import SketchScheme
+
+    rng = np.random.default_rng(seed)
+    scheme = SketchScheme.from_generators(
+        lambda source: EH3.from_source(domain_bits, source),
+        medians,
+        averages,
+        SeedSource(seed),
+    )
+    x = scheme.sketch()
+    y = scheme.sketch()
+    x.update_points(rng.integers(0, 1 << domain_bits, size=points,
+                                 dtype=np.uint64))
+    y.update_points(rng.integers(0, 1 << domain_bits, size=points,
+                                 dtype=np.uint64))
+    lows = rng.integers(0, 1 << domain_bits, size=queries, dtype=np.uint64)
+    highs = rng.integers(0, 1 << domain_bits, size=queries, dtype=np.uint64)
+    bounds = [
+        (int(min(a, b)), int(max(a, b))) for a, b in zip(lows, highs)
+    ]
+
+    def legacy_join() -> list[float]:
+        return [
+            float(np.median((x.values() * y.values()).mean(axis=1)))
+            for _ in range(queries)
+        ]
+
+    def engine_join() -> list[float]:
+        return [query_engine.join_size(x, y).value for _ in range(queries)]
+
+    def legacy_range() -> list[float]:
+        answers = []
+        for low, high in bounds:
+            probe = scheme.sketch()
+            probe.update_interval((low, high))
+            answers.append(
+                float(np.median((x.values() * probe.values()).mean(axis=1)))
+            )
+        return answers
+
+    def engine_range() -> list[float]:
+        return [
+            query_engine.range_sum(x, low, high).value
+            for low, high in bounds
+        ]
+
+    report: dict = {
+        "config": {
+            "medians": medians,
+            "averages": averages,
+            "domain_bits": domain_bits,
+            "points": points,
+            "queries": queries,
+            "repeats": repeats,
+            "seed": seed,
+            "target": QUERY_ENGINE_RATIO_TARGET,
+        },
+        "workloads": {},
+    }
+    for name, legacy, engine in (
+        ("join_size", legacy_join, engine_join),
+        ("range_sum", legacy_range, engine_range),
+    ):
+        identical = legacy() == engine()
+        legacy_seconds = _best_seconds(legacy, repeats)
+        engine_seconds = _best_seconds(engine, repeats)
+        report["workloads"][name] = {
+            "identical": identical,
+            "legacy_ns_per_query": legacy_seconds / queries * 1e9,
+            "engine_ns_per_query": engine_seconds / queries * 1e9,
+            "ratio": engine_seconds / legacy_seconds,
+        }
+    return report
+
+
+def run_hh_bench(
+    averages_sweep=(16, 32, 64, 128),
+    medians: int = 5,
+    domain_bits: int = 12,
+    points: int = 20_000,
+    zipf: float = 1.3,
+    threshold_fraction: float = 0.01,
+    slack_multiplier: float = 2.0,
+    seed: int = 7,
+) -> dict:
+    """Heavy-hitter accuracy vs sketch space on a zipf workload.
+
+    One :class:`~repro.query.hierarchy.DyadicHierarchy` per ``averages``
+    value in the sweep, all fed the same zipf stream.  Each point of the
+    curve records the hierarchy's total counter space against descent
+    quality at threshold ``threshold_fraction * n``: recall over the
+    true hitters, the reported-set size, the paper-predicted leaf
+    envelope (``sqrt(2/pi) * sqrt(F2 / averages)``) and the worst
+    observed leaf error -- space buys accuracy exactly as the envelope
+    predicts.  The descent prunes with ``slack_multiplier`` times the
+    per-level predicted envelopes (see
+    :meth:`DyadicHierarchy.heavy_hitters`).
+    """
+    from repro.generators import EH3, SeedSource
+    from repro.query.hierarchy import DyadicHierarchy
+    from repro.sketch.ams import SketchScheme
+
+    rng = np.random.default_rng(seed)
+    data = rng.zipf(zipf, size=points)
+    data = data[data < (1 << domain_bits)].astype(np.uint64)
+    counts = np.bincount(
+        data.astype(np.int64), minlength=1 << domain_bits
+    ).astype(np.float64)
+    n = int(data.size)
+    threshold = threshold_fraction * n
+    true_hitters = np.nonzero(counts >= threshold)[0]
+    report: dict = {
+        "config": {
+            "averages_sweep": list(averages_sweep),
+            "medians": medians,
+            "domain_bits": domain_bits,
+            "points": n,
+            "zipf": zipf,
+            "threshold": threshold,
+            "slack_multiplier": slack_multiplier,
+            "seed": seed,
+            "true_hitters": int(true_hitters.size),
+        },
+        "curve": [],
+    }
+    for averages in averages_sweep:
+        scheme = SketchScheme.from_generators(
+            lambda source: EH3.from_source(domain_bits, source),
+            medians,
+            averages,
+            SeedSource(seed),
+        )
+        hierarchy = DyadicHierarchy(scheme, domain_bits)
+        hierarchy.update_points(data)
+        envelopes = hierarchy.predicted_envelopes()
+        start = time.perf_counter()
+        hitters = hierarchy.heavy_hitters(
+            threshold, slack=[slack_multiplier * e for e in envelopes]
+        )
+        descent_seconds = time.perf_counter() - start
+        found = {hitter.item for hitter in hitters}
+        recalled = sum(1 for item in true_hitters if int(item) in found)
+        leaf_estimates = hierarchy.estimate_blocks(0, true_hitters)
+        worst_error = (
+            float(np.abs(leaf_estimates - counts[true_hitters]).max())
+            if true_hitters.size
+            else 0.0
+        )
+        report["curve"].append(
+            {
+                "averages": averages,
+                "space_words": hierarchy.levels * scheme.counters,
+                "recall": (
+                    recalled / true_hitters.size if true_hitters.size else 1.0
+                ),
+                "reported": len(found),
+                "predicted_leaf_envelope": envelopes[0],
+                "worst_true_hitter_error": worst_error,
+                "descent_seconds": descent_seconds,
+            }
+        )
+    return report
+
+
 def write_bench_files(output_dir: str = ".", **overrides) -> dict[str, str]:
     """Run the benches and write ``BENCH_bulk.json`` / ``BENCH_table2.json``
     / ``BENCH_durability.json``.
@@ -748,6 +951,11 @@ def write_bench_files(output_dir: str = ".", **overrides) -> dict[str, str]:
     *what the benchmark actually exercised* -- covers decomposed, pieces
     deduplicated, WAL appends/fsyncs, plane-vs-fallback path counts --
     alongside its timings.
+
+    Keys merged into these files by other subcommands (``cluster-bench``
+    -> ``"cluster"``, ``hh-bench`` -> ``"hh"``, ``bench --query-engine``
+    -> ``"query_engine"``) are carried over from the existing file, so
+    re-running the core bench does not erase them.
     """
     import os
 
@@ -767,6 +975,15 @@ def write_bench_files(output_dir: str = ".", **overrides) -> dict[str, str]:
             "instruments": obs.snapshot(),
         }
         path = os.path.join(output_dir, f"{name}.json")
+        if os.path.exists(path):
+            try:
+                with open(path) as handle:
+                    previous = json.load(handle)
+            except (OSError, ValueError):
+                previous = {}
+            for key in _MERGED_BENCH_KEYS:
+                if key in previous and key not in report:
+                    report[key] = previous[key]
         with open(path, "w") as handle:
             json.dump(report, handle, indent=2)
             handle.write("\n")

@@ -36,8 +36,18 @@ throughput, crash-recovery time, and availability under faults -- and
 publishes the report under the ``"cluster"`` key of
 ``BENCH_durability.json`` (creating the file if absent).
 
+``hh-bench`` sweeps sketch space (the ``averages`` axis) over a zipf
+stream and records heavy-hitter descent recall against the
+paper-predicted error envelope, publishing the curve under the ``"hh"``
+key of ``BENCH_table2.json`` (creating the file if absent).
+
+``bench --query-engine`` additionally times the typed query engine
+(:mod:`repro.query`) against the legacy inline answer path -- values
+are verified bit-identical first -- and records the per-query latency
+ratio under the ``"query_engine"`` key of ``BENCH_bulk.json``.
+
 ``analyze`` runs the domain-aware static-analysis rules
-(:mod:`repro.analysis`, rules R001-R006) over ``src/repro``; with
+(:mod:`repro.analysis`, rules R001-R007) over ``src/repro``; with
 ``--strict`` it exits non-zero on any violation outside the checked-in
 baseline (``analysis-baseline.json``).  See ``docs/static-analysis.md``.
 
@@ -110,6 +120,7 @@ def main(argv: list[str] | None = None) -> int:
             "faults",
             "cluster-faults",
             "cluster-bench",
+            "hh-bench",
             "analyze",
             "metrics",
         ],
@@ -117,8 +128,9 @@ def main(argv: list[str] | None = None) -> int:
         "vectorized-kernel benchmark reports, 'faults' for the "
         "fault-injection suite, 'cluster-faults' for the shard-cluster "
         "chaos suite, 'cluster-bench' for the cluster scaling/recovery/"
-        "availability report, 'analyze' for the static-analysis gate, "
-        "'metrics' for the observability snapshot)",
+        "availability report, 'hh-bench' for the heavy-hitter "
+        "accuracy-vs-space curve, 'analyze' for the static-analysis "
+        "gate, 'metrics' for the observability snapshot)",
     )
     parser.add_argument(
         "--quick",
@@ -153,6 +165,13 @@ def main(argv: list[str] | None = None) -> int:
         help="bench only: exit non-zero when any workload's speedup "
         "drops below the floors recorded in the BENCH_bulk.json config, "
         "or any backend's counters are not bit-identical",
+    )
+    parser.add_argument(
+        "--query-engine",
+        action="store_true",
+        help="bench only: also time the typed query engine against the "
+        "legacy inline answer path and record the latency ratio under "
+        "the 'query_engine' key of BENCH_bulk.json",
     )
     parser.add_argument(
         "--strict",
@@ -273,10 +292,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.scheme is not None and args.experiment != "bench":
         parser.error("--scheme only applies to the 'bench' experiment")
     if (
-        args.backend or args.check_floors
+        args.backend or args.check_floors or args.query_engine
     ) and args.experiment != "bench":
         parser.error(
-            "--backend/--check-floors only apply to the 'bench' experiment"
+            "--backend/--check-floors/--query-engine only apply to the "
+            "'bench' experiment"
         )
     if args.backend:
         from repro.sketch.backends import UnknownBackendError, get_backend
@@ -376,6 +396,47 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
+    if args.experiment == "hh-bench":
+        import json as json_module
+        import os
+
+        from repro import obs
+        from repro.bench import run_hh_bench
+
+        hh_overrides = (
+            {"averages_sweep": (16, 32), "points": 6_000}
+            if args.quick
+            else {}
+        )
+        obs.reset_metrics()
+        report = run_hh_bench(seed=args.seed, **hh_overrides)
+        report["metrics"] = {
+            "schema_version": 1,
+            "instruments": obs.snapshot(),
+        }
+        output_dir = args.output_dir or "."
+        os.makedirs(output_dir, exist_ok=True)
+        path = os.path.join(output_dir, "BENCH_table2.json")
+        data: dict = {}
+        if os.path.exists(path):
+            with open(path) as handle:
+                data = json_module.load(handle)
+        data["hh"] = report
+        with open(path, "w") as handle:
+            json_module.dump(data, handle, indent=2)
+            handle.write("\n")
+        _finish_trace()
+        print(f"BENCH_table2.json: {path} (hh key updated)")
+        for entry in report["curve"]:
+            print(
+                f"  averages={entry['averages']:>4}: "
+                f"{entry['space_words']:,} words, "
+                f"recall {entry['recall']:.3f}, "
+                f"envelope {entry['predicted_leaf_envelope']:.1f}, "
+                f"worst error {entry['worst_true_hitter_error']:.1f}"
+            )
+        return 0
+
     if args.experiment == "bench":
         import json as json_module
 
@@ -403,6 +464,28 @@ def main(argv: list[str] | None = None) -> int:
                 args.backend
             )
         written = write_bench_files(args.output_dir or ".", **overrides)
+        if args.query_engine:
+            from repro.bench import run_query_engine_bench
+
+            engine_overrides = (
+                {"points": 5_000, "queries": 20, "repeats": 2}
+                if args.quick
+                else {}
+            )
+            engine_report = run_query_engine_bench(**engine_overrides)
+            with open(written["BENCH_bulk"]) as handle:
+                bulk = json_module.load(handle)
+            bulk["query_engine"] = engine_report
+            with open(written["BENCH_bulk"], "w") as handle:
+                json_module.dump(bulk, handle, indent=2)
+                handle.write("\n")
+            for name, entry in engine_report["workloads"].items():
+                print(
+                    f"query-engine {name}: ratio {entry['ratio']:.3f} "
+                    f"(target <= {engine_report['config']['target']}, "
+                    f"identical={entry['identical']})",
+                    file=sys.stderr,
+                )
         _finish_trace()
         for name, path in written.items():
             print(f"{name}: {path}")

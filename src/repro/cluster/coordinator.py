@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Iterator
 
 import numpy as np
@@ -66,7 +66,19 @@ from repro.cluster.errors import (
 from repro.cluster.protocol import decode_frame, encode_frame
 from repro.cluster.transport import ShardLink, ShardTransport, get_transport
 from repro.cluster.worker import WorkerSpec
-from repro.sketch.ams import SketchMatrix, estimate_product
+from repro.query import engine as query_engine
+from repro.query.plan import plan_for_scheme
+from repro.query.types import (
+    Estimate,
+    F2Query,
+    JoinSizeQuery,
+    PlanStats,
+    PointQuery,
+    Query,
+    RangeSumQuery,
+    ShardInfo,
+)
+from repro.sketch.ams import SketchMatrix
 from repro.sketch.serialize import scheme_fingerprint, sketch_from_dict
 from repro.stream.errors import SchemeMismatchError, UnknownRelationError
 from repro.stream.processor import QueryHandle, StreamProcessor
@@ -505,56 +517,161 @@ class ClusterProcessor:
         served from its last shipped sketch and marked stale; a shard
         with no cache at all leaves a coverage hole.  Every degradation
         is recorded as an Incident and on ``cluster.answer.*`` metrics.
+
+        This is the :class:`ClusterAnswer` view of :meth:`query`: the
+        estimate runs through the shared query engine and the answer is
+        repackaged in the coordinator's historical result type.
         """
         if self._queries.get(handle.identifier) is not handle:
             raise ValueError("unknown query handle")
+        if handle.left == handle.right:
+            estimate = self.query(F2Query(handle.left))
+        else:
+            estimate = self.query(JoinSizeQuery(handle.left, handle.right))
+        shards = estimate.shards
+        assert shards is not None
+        return ClusterAnswer(
+            value=estimate.value,
+            coverage=estimate.coverage,
+            live_shards=shards.live_shards,
+            total_shards=shards.total_shards,
+            stale_shards=shards.stale_shards,
+            max_staleness_ops=shards.max_staleness_ops,
+            error_width_factor=estimate.error_width_factor,
+            degraded=estimate.degraded,
+        )
+
+    def query(self, query: Query) -> Estimate:
+        """Typed executor over the merged cluster sketches.
+
+        Scalar queries (point, range-sum, F2, join size) run against the
+        live-plus-cached merge with the same coverage/staleness honesty
+        as :meth:`answer`: the returned :class:`Estimate` carries the
+        coverage fraction, the ``1 / coverage`` error widening and a
+        :class:`ShardInfo` provenance block.  Hierarchical queries are
+        not served here -- they live on :class:`StreamProcessor`.
+        """
+        if isinstance(query, F2Query):
+            self._require(query.relation)
+            return self._product_estimate(
+                query.relation, query.relation, "f2"
+            )
+        if isinstance(query, JoinSizeQuery):
+            self._require(query.left)
+            self._require(query.right)
+            return self._product_estimate(query.left, query.right, "join_size")
+        if isinstance(query, PointQuery):
+            self._require(query.relation)
+            return self._probe_estimate(
+                query.relation,
+                "point",
+                lambda scheme: (
+                    query_engine.point_probe(scheme, query.item),
+                    PlanStats(kind="point", pieces=1, max_level=0),
+                ),
+            )
+        if isinstance(query, RangeSumQuery):
+            self._require(query.relation)
+
+            def build(scheme: Any) -> tuple[SketchMatrix, PlanStats]:
+                plan = plan_for_scheme(scheme, query.low, query.high)
+                return query_engine.probe_for_plan(scheme, plan), plan.stats()
+
+            return self._probe_estimate(query.relation, "range_sum", build)
+        raise TypeError(
+            "hierarchical queries need a StreamProcessor with a registered "
+            f"hierarchy, not a cluster (got {type(query).__name__})"
+        )
+
+    def _degradation(
+        self, left: "_MergeResult", right: "_MergeResult", label: str
+    ) -> tuple[ShardInfo, float, bool, float]:
+        """Coverage/staleness bookkeeping shared by every cluster answer."""
+        live = min(left.live, right.live)
+        coverage = min(left.coverage, right.coverage)
+        stale = left.stale + (0 if right is left else right.stale)
+        behind = max(left.max_behind, right.max_behind)
+        degraded = coverage < 1.0 or stale > 0
+        factor = 1.0 if not degraded else (
+            (1.0 / coverage) if coverage > 0 else float("inf")
+        )
+        obs.gauge("cluster.answer.coverage").set(coverage)
+        if degraded:
+            obs.counter("cluster.answer.degraded_total").inc()
+            self.incidents.append(
+                Incident(
+                    "degraded-answer",
+                    label,
+                    f"coverage={coverage:.3f} stale_shards={stale} "
+                    f"max_staleness_ops={behind}",
+                    0,
+                    True,
+                )
+            )
+        shards = ShardInfo(
+            live_shards=live,
+            total_shards=len(self._shards),
+            stale_shards=stale,
+            max_staleness_ops=behind,
+        )
+        return shards, coverage, degraded, factor
+
+    def _product_estimate(
+        self, left_relation: str, right_relation: str, kind: str
+    ) -> Estimate:
         with obs.span(
-            "cluster.answer", left=handle.left, right=handle.right
+            "cluster.answer", left=left_relation, right=right_relation
         ):
             obs.counter("cluster.answer.queries_total").inc()
-            left = self._merged(handle.left)
+            left = self._merged(left_relation)
             right = (
                 left
-                if handle.right == handle.left
-                else self._merged(handle.right)
+                if right_relation == left_relation
+                else self._merged(right_relation)
             )
-            scheme_left = self._local.scheme_of(handle.left)
-            scheme_right = self._local.scheme_of(handle.right)
-            value = estimate_product(
-                _matrix_from(scheme_left, left.values),
-                _matrix_from(scheme_right, right.values),
+            shards, coverage, degraded, factor = self._degradation(
+                left, right, f"{left_relation}|{right_relation}"
             )
-            live = min(left.live, right.live)
-            coverage = min(left.coverage, right.coverage)
-            stale = left.stale + (0 if right is left else right.stale)
-            behind = max(left.max_behind, right.max_behind)
-            degraded = coverage < 1.0 or stale > 0
-            factor = 1.0 if not degraded else (
-                (1.0 / coverage) if coverage > 0 else float("inf")
-            )
-            obs.gauge("cluster.answer.coverage").set(coverage)
-            if degraded:
-                obs.counter("cluster.answer.degraded_total").inc()
-                self.incidents.append(
-                    Incident(
-                        "degraded-answer",
-                        f"{handle.left}|{handle.right}",
-                        f"coverage={coverage:.3f} stale_shards={stale} "
-                        f"max_staleness_ops={behind}",
-                        0,
-                        True,
-                    )
-                )
-            return ClusterAnswer(
-                value=value,
+            estimate = query_engine.product(
+                _matrix_from(self._local.scheme_of(left_relation), left.values),
+                _matrix_from(
+                    self._local.scheme_of(right_relation), right.values
+                ),
+                kind=kind,
                 coverage=coverage,
-                live_shards=live,
-                total_shards=len(self._shards),
-                stale_shards=stale,
-                max_staleness_ops=behind,
-                error_width_factor=factor,
                 degraded=degraded,
+                error_width_factor=factor,
             )
+            return replace(estimate, shards=shards)
+
+    def _probe_estimate(
+        self,
+        relation: str,
+        kind: str,
+        build: "Any",
+    ) -> Estimate:
+        """Data-times-probe estimate over one relation's merge.
+
+        ``build(scheme)`` returns the probe sketch and its plan stats.
+        """
+        with obs.span("cluster.answer", left=relation, right=relation):
+            obs.counter("cluster.answer.queries_total").inc()
+            merged = self._merged(relation)
+            shards, coverage, degraded, factor = self._degradation(
+                merged, merged, relation
+            )
+            scheme = self._local.scheme_of(relation)
+            probe, stats = build(scheme)
+            estimate = query_engine.product(
+                _matrix_from(scheme, merged.values),
+                probe,
+                kind=kind,
+                plan=stats,
+                coverage=coverage,
+                degraded=degraded,
+                error_width_factor=factor,
+            )
+            return replace(estimate, shards=shards)
 
     def merged_sketch(self, relation: str) -> SketchMatrix:
         """The merged cluster sketch of one relation (live + cached)."""

@@ -19,8 +19,8 @@ import numpy as np
 from repro.experiments.runner import ExperimentResult
 from repro.generators import EH3, SeedSource
 from repro.sketch.ams import SketchScheme
+from repro.query import engine as query_engine
 from repro.sketch.estimators import (
-    estimate_self_join,
     exact_self_join,
     relative_error,
     sketch_frequency_vector,
@@ -46,7 +46,9 @@ def measure_self_join_error(
             generator_factory, medians, averages, source
         )
         sketch = sketch_frequency_vector(scheme, frequencies)
-        errors.append(relative_error(estimate_self_join(sketch), truth))
+        errors.append(
+            relative_error(query_engine.self_join(sketch).value, truth)
+        )
     return float(np.mean(errors))
 
 

@@ -20,7 +20,8 @@ from repro.experiments.runner import ExperimentResult
 from repro.generators import SeedSource
 from repro.rangesum.multidim import ProductDMAP, ProductGenerator
 from repro.schemes import channel_kind
-from repro.sketch.ams import SketchScheme, estimate_product
+from repro.query import engine as query_engine
+from repro.sketch.ams import SketchScheme
 from repro.sketch.atomic import ProductChannel, ProductDMAPChannel
 from repro.sketch.bulk import (
     product_bulk_point_update,
@@ -90,7 +91,9 @@ def selectivity_errors(
         truth = region_frequency_sum(points, rect)
         if truth == 0:
             continue
-        estimate = estimate_product(data_sketch, region_sketch)
+        estimate = query_engine.product(
+            data_sketch, region_sketch, kind="region"
+        ).value
         errors.append(abs(estimate - truth) / truth)
     if not errors:
         raise ValueError("no query rectangle contained any data")

@@ -68,6 +68,7 @@ def exercise_all_layers(seed: int = 20060627) -> dict[str, dict[str, Any]]:
             durability=config,
         ) as processor:
             processor.register_relation("stream", 12)
+            processor.register_hierarchy("stream")
             processor.process_points("stream", list(range(64)))
             processor.process_intervals(
                 "stream", [(0, 1023), (16, 255)], weights=[1.0, 2.0]
@@ -77,6 +78,20 @@ def exercise_all_layers(seed: int = 20060627) -> dict[str, dict[str, Any]]:
             processor.process_point("stream", -1)  # -> quarantine
             with breaking_plane(processor, "stream", fail_after=0):
                 processor.process_points("stream", [1, 2, 3])  # -> degrade
+            from repro.query.types import (
+                F2Query,
+                JoinSizeQuery,
+                PointQuery,
+                QuantileQuery,
+                RangeSumQuery,
+            )
+
+            processor.query(PointQuery("stream", 5))
+            processor.query(RangeSumQuery("stream", 10, 200))
+            processor.query(F2Query("stream"))
+            processor.query(JoinSizeQuery("stream", "stream"))
+            processor.query(QuantileQuery("stream", 0.5))
+            processor.heavy_hitters("stream", threshold=2.0)
             processor.checkpoint()
             processor.process_points("stream", [7, 9])  # replays on recover
         StreamProcessor.recover(config).close()

@@ -1,0 +1,102 @@
+"""The typed query engine: one seam for every aggregate estimate.
+
+``repro.query`` unifies what used to be scattered inline estimator code
+across ``sketch/``, ``apps/``, ``stream/`` and ``cluster/``:
+
+- **query types** (:mod:`repro.query.types`): ``PointQuery``,
+  ``RangeSumQuery``, ``F2Query``, ``JoinSizeQuery``,
+  ``HeavyHittersQuery``, ``QuantileQuery``, and the unified
+  :class:`Estimate` result (value, confidence band, coverage, plan
+  stats).
+- **planner** (:mod:`repro.query.plan`): resolves each range query to a
+  :class:`LevelPlan` -- the dyadic/quaternary cover computed once via
+  :mod:`repro.core.dyadic` in the shape the scheme registry declares.
+- **estimator** (:mod:`repro.query.estimate`): the single
+  median-of-means reduction plus the variance-model error proxy.
+- **executors** (:mod:`repro.query.engine`): run plans against local
+  :class:`SketchMatrix` pairs; ``StreamProcessor.query`` and
+  ``ClusterProcessor.query`` are the processor-side executors
+  (:func:`execute` defers to them so coverage/staleness semantics stay
+  where they belong).
+- **hierarchy** (:mod:`repro.query.hierarchy`): the CSH-style dyadic
+  hierarchy behind heavy hitters and quantiles.
+
+See ``docs/querying.md`` for the full tour.
+"""
+
+from repro.query.engine import (
+    execute,
+    join_size,
+    point,
+    point_probe,
+    probe_for_plan,
+    product,
+    product_of_values,
+    range_sum,
+    self_join,
+)
+from repro.query.estimate import (
+    empirical_sigma,
+    estimate_from_products,
+    median_of_means,
+    predicted_relative_error,
+    row_means,
+)
+from repro.query.hierarchy import DyadicHierarchy
+from repro.query.plan import (
+    LevelPlan,
+    plan_for_scheme,
+    plan_interval,
+    scheme_interval_kind,
+)
+from repro.query.types import (
+    Estimate,
+    F2Query,
+    HeavyHitter,
+    HeavyHittersQuery,
+    JoinSizeQuery,
+    PlanStats,
+    PointQuery,
+    QuantileQuery,
+    Query,
+    RangeSumQuery,
+    ShardInfo,
+)
+
+__all__ = [
+    # types
+    "PointQuery",
+    "RangeSumQuery",
+    "F2Query",
+    "JoinSizeQuery",
+    "HeavyHittersQuery",
+    "QuantileQuery",
+    "Query",
+    "Estimate",
+    "PlanStats",
+    "ShardInfo",
+    "HeavyHitter",
+    # planner
+    "LevelPlan",
+    "plan_interval",
+    "plan_for_scheme",
+    "scheme_interval_kind",
+    # estimator
+    "median_of_means",
+    "row_means",
+    "empirical_sigma",
+    "estimate_from_products",
+    "predicted_relative_error",
+    # executors
+    "execute",
+    "product",
+    "product_of_values",
+    "join_size",
+    "self_join",
+    "point",
+    "range_sum",
+    "point_probe",
+    "probe_for_plan",
+    # hierarchy
+    "DyadicHierarchy",
+]

@@ -1,0 +1,384 @@
+"""CSH-style dyadic hierarchy: heavy hitters and quantiles by descent.
+
+One :class:`repro.sketch.ams.SketchMatrix` per dyadic level over a
+``2^n`` domain, **all levels sharing one scheme** (the same seeds): a
+level-``l`` block index ``q = item >> l`` lives in the sub-domain
+``[0, 2^(n-l))`` of the full domain, where the scheme's n-bit +/-1
+generators are just as 3-wise independent, so no per-level seed material
+is needed and ``range_sums`` batching applies unchanged.
+
+A point update fans out to every level (``item >> l`` into level ``l``);
+an interval update touches each level with at most two partial edge
+blocks (point updates weighted by the overlap) plus one run of full
+blocks (a single range-summable interval update weighted by the block
+size) -- O(1) sketch operations per level, which is what makes the
+surfaces maintainable continuously.
+
+Heavy hitters descend from the root: a block whose estimated frequency
+clears the threshold expands into its two children one level down; any
+true hitter keeps every ancestor block above the threshold, so descent
+never loses one (up to estimation error at the block level, which the
+paper's ``sqrt(2/pi) * sqrt(Var / averages)`` envelope bounds).
+Quantiles descend by rank: at each level the left child's estimate
+decides the branch, classic dyadic rank search.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.query.estimate import predicted_relative_error
+from repro.query.types import Estimate, HeavyHitter, PlanStats
+from repro.sketch.ams import SketchMatrix, SketchScheme
+
+__all__ = ["DyadicHierarchy"]
+
+
+class DyadicHierarchy:
+    """Per-level sketches of one relation, maintained update by update."""
+
+    def __init__(self, scheme: SketchScheme, domain_bits: int) -> None:
+        if domain_bits <= 0:
+            raise ValueError("domain_bits must be positive")
+        self.scheme = scheme
+        self.domain_bits = int(domain_bits)
+        # Level l sketches block indices item >> l; level 0 is the items
+        # themselves, level ``domain_bits`` the single root block.
+        self._sketches = [scheme.sketch() for _ in range(self.domain_bits + 1)]
+
+    @property
+    def levels(self) -> int:
+        """Number of maintained levels (``domain_bits + 1``)."""
+        return len(self._sketches)
+
+    def sketch_at(self, level: int) -> SketchMatrix:
+        """The sketch of block indices at one level."""
+        return self._sketches[level]
+
+    # -- updates ---------------------------------------------------------
+
+    def update_point(self, item: int, weight: float = 1.0) -> None:
+        """Fan one point into every level's sketch."""
+        obs.counter("query.hierarchy.updates_total").inc()
+        item = int(item)
+        for level, sketch in enumerate(self._sketches):
+            sketch.update_point(item >> level, weight)
+
+    def update_points(
+        self,
+        items: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> None:
+        """Fan a point batch into every level (one plane pass per level)."""
+        array = np.asarray(items, dtype=np.uint64)
+        if array.size == 0:
+            return
+        obs.counter("query.hierarchy.updates_total").inc(array.size)
+        for level, sketch in enumerate(self._sketches):
+            sketch.update_points(array >> np.uint64(level), weights)
+
+    def _interval_ops(
+        self, low: int, high: int, weight: float
+    ) -> list[tuple[int, str, int, int, float]]:
+        """Per-level operations of one interval: ``(level, kind, a, b, w)``.
+
+        Per level: the run of fully-covered blocks is one range-summable
+        interval update weighted by the block size; the (at most two)
+        partially-covered edge blocks are point updates weighted by
+        their overlap.
+        """
+        low = int(low)
+        high = int(high)
+        if low > high:
+            raise ValueError(f"empty interval [{low}, {high}]")
+        ops: list[tuple[int, str, int, int, float]] = [
+            (0, "interval", low, high, weight)
+        ]
+        for level in range(1, self.levels):
+            mask = (1 << level) - 1
+            first_block = low >> level
+            last_block = high >> level
+            if first_block == last_block:
+                ops.append(
+                    (level, "point", first_block, 0, weight * (high - low + 1))
+                )
+                continue
+            full_lo, full_hi = first_block, last_block
+            head = low & mask
+            if head:  # leading partial block
+                ops.append(
+                    (level, "point", first_block, 0,
+                     weight * ((mask + 1) - head))
+                )
+                full_lo += 1
+            tail = high & mask
+            if tail != mask:  # trailing partial block
+                ops.append(
+                    (level, "point", last_block, 0, weight * (tail + 1))
+                )
+                full_hi -= 1
+            if full_lo <= full_hi:
+                ops.append(
+                    (level, "interval", full_lo, full_hi, weight * (mask + 1))
+                )
+        return ops
+
+    def update_interval(
+        self, low: int, high: int, weight: float = 1.0
+    ) -> None:
+        """Add ``weight`` to every item of ``[low, high]`` at every level.
+
+        O(1) sketch operations per level (see :meth:`_interval_ops`);
+        exact for integer weights -- the counters land bit-identical to
+        feeding every point individually.
+        """
+        obs.counter("query.hierarchy.updates_total").inc()
+        for level, kind, a, b, w in self._interval_ops(low, high, weight):
+            if kind == "interval":
+                self._sketches[level].update_interval((a, b), w)
+            else:
+                self._sketches[level].update_point(a, w)
+
+    def update_intervals(
+        self,
+        intervals: Sequence[Sequence[int]] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> None:
+        """Add a batch of inclusive intervals level by level."""
+        for position, bounds in enumerate(intervals):
+            low, high = bounds
+            scale = 1.0 if weights is None else float(weights[position])
+            self.update_interval(int(low), int(high), scale)
+
+    # -- plane-free scalar fallbacks -------------------------------------
+    #
+    # The hierarchy shares its scheme (and thus its packed plane) with
+    # the base relation sketch; when a stream processor degrades a broken
+    # plane it needs update paths that never touch it.  These mirror the
+    # fast paths per cell, bit-identical for integer weights.
+
+    def scalar_update_point(self, item: int, weight: float = 1.0) -> None:
+        """Per-cell fallback of :meth:`update_point` (no plane)."""
+        item = int(item)
+        for level, sketch in enumerate(self._sketches):
+            block = item >> level
+            for row in sketch.cells:
+                for cell in row:
+                    cell.update_point(block, weight)
+
+    def scalar_update_points(
+        self,
+        items: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> None:
+        """Per-cell fallback of :meth:`update_points` (no plane)."""
+        array = np.asarray(items, dtype=np.uint64)
+        if array.size == 0:
+            return
+        for level, sketch in enumerate(self._sketches):
+            blocks = array >> np.uint64(level)
+            for row in sketch.cells:
+                for cell in row:
+                    cell.update_points(blocks, weights)
+
+    def scalar_update_interval(
+        self, low: int, high: int, weight: float = 1.0
+    ) -> None:
+        """Per-cell fallback of :meth:`update_interval` (no plane)."""
+        for level, kind, a, b, w in self._interval_ops(low, high, weight):
+            sketch = self._sketches[level]
+            for row in sketch.cells:
+                for cell in row:
+                    if kind == "interval":
+                        cell.update_interval((a, b), w)
+                    else:
+                        cell.update_point(a, w)
+
+    def scalar_update_intervals(
+        self,
+        intervals: Sequence[Sequence[int]] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> None:
+        """Per-cell fallback of :meth:`update_intervals` (no plane)."""
+        for position, bounds in enumerate(intervals):
+            low, high = bounds
+            scale = 1.0 if weights is None else float(weights[position])
+            self.scalar_update_interval(int(low), int(high), scale)
+
+    # -- block estimation ------------------------------------------------
+
+    def estimate_blocks(
+        self, level: int, blocks: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Estimated frequencies of a batch of blocks at one level.
+
+        Vectorized across the batch: each generator cell evaluates all
+        candidate blocks at once, then the shared median-of-means
+        reduction runs column-wise.  Per block, bit-identical to a
+        point query against the level's sketch.
+        """
+        from repro.schemes import channel_kind
+
+        sketch = self._sketches[level]
+        blocks = np.asarray(blocks, dtype=np.uint64)
+        counters = sketch.values()
+        medians, averages = counters.shape
+        values = np.empty((medians, averages, blocks.size), dtype=np.float64)
+        for r, row in enumerate(self.scheme.channels):
+            for c, channel in enumerate(row):
+                if channel_kind(channel) != "generator":
+                    raise TypeError(
+                        "hierarchy descent requires GeneratorChannel cells"
+                    )
+                values[r, c, :] = channel.generator.values(blocks)
+        # The column-batched form of repro.query.estimate.median_of_means:
+        # same floats, same summation order, one candidate per column.
+        products = counters[:, :, None] * values
+        row_means = products.mean(axis=1)  # (medians, blocks)
+        return np.asarray(np.median(row_means, axis=0), dtype=np.float64)
+
+    def total(self) -> float:
+        """Estimated total weight (the root block's frequency)."""
+        return float(self.estimate_blocks(self.domain_bits, [0])[0])
+
+    def predicted_envelopes(self) -> list[float]:
+        """Paper-predicted absolute error of a block estimate, per level.
+
+        A level-``l`` block estimate has variance bounded by the level's
+        second moment, so its expected absolute error is
+        ``sqrt(2/pi) * sqrt(F2_l / averages)`` -- with ``F2_l`` itself
+        estimated from the level sketch.  Index ``[l]`` is the envelope
+        for level-``l`` blocks; pass the list as ``slack`` to
+        :meth:`heavy_hitters` for recall at the paper's error bound.
+        """
+        from repro.query import engine
+
+        envelopes = []
+        for sketch in self._sketches:
+            f2 = max(engine.self_join(sketch).value, 0.0)
+            envelopes.append(
+                predicted_relative_error(f2, 1.0, self.scheme.averages)
+            )
+        return envelopes
+
+    # -- surfaces --------------------------------------------------------
+
+    def heavy_hitters(
+        self, threshold: float, slack: float | Sequence[float] = 0.0
+    ) -> list[HeavyHitter]:
+        """All items whose estimated frequency clears ``threshold``.
+
+        Root-to-leaf descent: blocks estimated below the pruning bar are
+        dropped with their whole subtree; survivors expand into their
+        two children.  Cost is O(hitters * levels * counters).
+
+        ``slack`` lowers the pruning bar to ``threshold - slack``; a
+        sequence gives one slack per level (index = block level), a
+        scalar applies everywhere.  With block estimates accurate to
+        within the paper's ``sqrt(2/pi) * sqrt(F2_l / averages)``
+        envelope (:meth:`predicted_envelopes`), setting the slack to
+        that envelope guarantees every item of true frequency >=
+        ``threshold`` survives the descent -- an ancestor block weighs
+        at least as much as the item it contains -- while reported items
+        are only guaranteed to exceed ``threshold - 2 * slack``, the
+        classical recall/precision trade.
+        """
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if isinstance(slack, (int, float)):
+            slacks = [float(slack)] * (self.domain_bits + 1)
+        else:
+            slacks = [float(s) for s in slack]
+            if len(slacks) != self.domain_bits + 1:
+                raise ValueError(
+                    f"per-level slack needs {self.domain_bits + 1} entries, "
+                    f"got {len(slacks)}"
+                )
+        if any(s < 0 for s in slacks):
+            raise ValueError("slack must be non-negative")
+        obs.counter("query.hierarchy.descents_total").inc()
+        with obs.span("query.hierarchy.descent", kind="heavy_hitters"):
+            candidates = np.zeros(1, dtype=np.uint64)
+            for level in range(self.domain_bits, 0, -1):
+                if candidates.size == 0:
+                    return []
+                obs.counter("query.hierarchy.nodes_total").inc(
+                    candidates.size
+                )
+                estimates = self.estimate_blocks(level, candidates)
+                survivors = candidates[estimates >= threshold - slacks[level]]
+                children = np.concatenate(
+                    [
+                        survivors << np.uint64(1),
+                        (survivors << np.uint64(1)) + np.uint64(1),
+                    ]
+                )
+                candidates = np.sort(children)
+            if candidates.size == 0:
+                return []
+            obs.counter("query.hierarchy.nodes_total").inc(candidates.size)
+            estimates = self.estimate_blocks(0, candidates)
+            keep = estimates >= threshold - slacks[0]
+            return [
+                HeavyHitter(item=int(item), estimate=float(estimate))
+                for item, estimate in zip(candidates[keep], estimates[keep])
+            ]
+
+    def quantile(self, fraction: float) -> Estimate:
+        """The item at rank ``fraction * total_weight`` by rank descent.
+
+        At each level the left child's estimated weight decides the
+        branch; the returned :class:`Estimate` carries the item as its
+        value and a ``descent`` plan recording the path length.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must lie in [0, 1]")
+        obs.counter("query.hierarchy.descents_total").inc()
+        with obs.span("query.hierarchy.descent", kind="quantile"):
+            rank = fraction * max(self.total(), 0.0)
+            block = 0
+            for level in range(self.domain_bits, 0, -1):
+                obs.counter("query.hierarchy.nodes_total").inc(2)
+                left = block << 1
+                left_weight = max(
+                    float(self.estimate_blocks(level - 1, [left])[0]), 0.0
+                )
+                if rank <= left_weight:
+                    block = left
+                else:
+                    rank -= left_weight
+                    block = left + 1
+            item = float(block)
+            return Estimate(
+                value=item,
+                ci_low=item,
+                ci_high=item,
+                plan=PlanStats(
+                    kind="descent",
+                    pieces=self.domain_bits,
+                    max_level=self.domain_bits,
+                ),
+                medians=self.scheme.medians,
+                averages=self.scheme.averages,
+            )
+
+    # -- durability ------------------------------------------------------
+
+    def counters_state(self) -> list[list[list[float]]]:
+        """The per-level counter grids, snapshot-serializable."""
+        return [sketch.values().tolist() for sketch in self._sketches]
+
+    def restore_counters(self, state: Sequence[Any]) -> None:
+        """Load counter grids saved by :meth:`counters_state`."""
+        if len(state) != len(self._sketches):
+            raise ValueError(
+                f"hierarchy snapshot has {len(state)} levels, "
+                f"expected {len(self._sketches)}"
+            )
+        for sketch, grid in zip(self._sketches, state):
+            for row, values in zip(sketch.cells, grid):
+                for cell, value in zip(row, values):
+                    cell.value = float(value)

@@ -1,0 +1,187 @@
+"""Level plans: the dyadic/quaternary cover computed once per query.
+
+A :class:`LevelPlan` is the resolved decomposition of one inclusive
+interval ``[alpha, beta]`` into dyadic pieces, in the shape the target
+scheme's kernel consumes.  The planner dispatches on the scheme's
+declared ``interval_kind`` (via its packed plane, exactly like
+``SketchMatrix._plane_interval_totals``):
+
+``quaternary``
+    EH3's Theorem-2 shape: even binary levels only
+    (:func:`repro.core.dyadic.quaternary_cover_arrays`).
+``binary``
+    plain minimal dyadic cover
+    (:func:`repro.core.dyadic.dyadic_cover_arrays`).
+``endpoints``
+    the kernel consumes raw ``(alpha, beta)`` pairs (RM7, polyprime);
+    the plan is the single piece.
+``scalar``
+    no packed kernel, or guards tripped (negative / >= 2^63 / non-integer
+    end-points): execution falls back to the channels' own scalar
+    ``range_sum`` machinery, which re-derives its cover internally.
+
+Plans are immutable and cheap; executors read their arrays straight into
+``plane.interval_totals`` so the cover is computed exactly once per
+query, never per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro import obs
+from repro.core.dyadic import (
+    DyadicInterval,
+    dyadic_cover_arrays,
+    quaternary_cover_arrays,
+)
+from repro.query.types import PlanStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.sketch.ams import SketchScheme
+
+__all__ = [
+    "LevelPlan",
+    "plan_interval",
+    "plan_for_scheme",
+    "scheme_interval_kind",
+]
+
+_MAX_PLANNED = 1 << 63  # end-points past this stay on the scalar path
+
+
+@dataclass(frozen=True)
+class LevelPlan:
+    """One interval resolved into kernel-shaped dyadic pieces.
+
+    ``lows[p]`` / ``levels[p]`` describe piece ``[lows[p], lows[p] +
+    2^levels[p])`` with **binary** levels even for quaternary plans
+    (executors halve them for the 4^j-shaped kernels).  ``endpoints``
+    and ``scalar`` plans carry the raw interval as their single piece
+    (``scalar`` with no pieces at all when the bounds defeated
+    planning).
+    """
+
+    alpha: int
+    beta: int
+    kind: str  # "quaternary" | "binary" | "endpoints" | "scalar"
+    lows: tuple[int, ...]
+    levels: tuple[int, ...]
+
+    @property
+    def pieces(self) -> int:
+        """Number of dyadic pieces in the cover."""
+        return len(self.lows)
+
+    @property
+    def max_level(self) -> int:
+        """Coarsest piece's binary level, or -1 with no pieces."""
+        return max(self.levels) if self.levels else -1
+
+    def stats(self) -> PlanStats:
+        """The plan reduced to the shape recorded on an Estimate."""
+        return PlanStats(
+            kind=self.kind, pieces=self.pieces, max_level=self.max_level
+        )
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Piece arrays in the dtypes ``plane.interval_totals`` consumes."""
+        return (
+            np.asarray(self.lows, dtype=np.uint64),
+            np.asarray(self.levels, dtype=np.int64),
+        )
+
+    def intervals(self) -> list[DyadicInterval]:
+        """The pieces as :class:`DyadicInterval` objects (dyadic plans)."""
+        if self.kind not in ("quaternary", "binary"):
+            raise ValueError(
+                f"{self.kind} plans do not decompose into dyadic pieces"
+            )
+        return [
+            DyadicInterval(level, low >> level)
+            for low, level in zip(self.lows, self.levels)
+        ]
+
+    def covers_exactly(self) -> bool:
+        """Whether the pieces tile ``[alpha, beta]`` exactly once."""
+        if self.kind not in ("quaternary", "binary"):
+            return False
+        position = self.alpha
+        for low, level in zip(self.lows, self.levels):
+            if low != position:
+                return False
+            position = low + (1 << level)
+        return position == self.beta + 1
+
+
+def scheme_interval_kind(scheme: "SketchScheme") -> str | None:
+    """The decomposition family of a scheme's packed kernel, or ``None``.
+
+    Mirrors ``SketchMatrix._plane_interval_totals``: the plane's declared
+    ``interval_kind`` decides the piece shape; a scheme with no plane has
+    no batched decomposition capability.
+    """
+    plane = scheme.plane()
+    if plane is None:
+        return None
+    kind = getattr(plane, "interval_kind", None)
+    return kind if isinstance(kind, str) else None
+
+
+def _scalar_plan(alpha: Any, beta: Any) -> LevelPlan:
+    low = int(alpha) if isinstance(alpha, (int, np.integer)) else 0
+    high = int(beta) if isinstance(beta, (int, np.integer)) else 0
+    return LevelPlan(alpha=low, beta=high, kind="scalar", lows=(), levels=())
+
+
+def plan_interval(alpha: Any, beta: Any, kind: str | None) -> LevelPlan:
+    """Resolve one inclusive interval against a decomposition ``kind``.
+
+    The same guards as the plane fast path apply: non-integer bounds,
+    negative ``alpha`` or ``beta >= 2^63`` yield a ``scalar`` plan (the
+    channels' own ``range_sum`` handles errors and exotic domains).
+    """
+    obs.counter("query.plan.plans_total").inc()
+    if not isinstance(alpha, (int, np.integer)) or not isinstance(
+        beta, (np.integer, int)
+    ):
+        return _scalar_plan(alpha, beta)
+    alpha = int(alpha)
+    beta = int(beta)
+    if kind is None or alpha < 0 or beta >= _MAX_PLANNED:
+        return _scalar_plan(alpha, beta)
+    if kind == "endpoints":
+        plan = LevelPlan(
+            alpha=alpha,
+            beta=beta,
+            kind="endpoints",
+            lows=(alpha,),
+            levels=(0,),
+        )
+        obs.counter("query.plan.pieces_total").inc()
+        return plan
+    if kind == "quaternary":
+        cover = quaternary_cover_arrays([alpha], [beta])
+    elif kind == "binary":
+        cover = dyadic_cover_arrays([alpha], [beta])
+    else:
+        raise ValueError(f"unknown decomposition kind {kind!r}")
+    plan = LevelPlan(
+        alpha=alpha,
+        beta=beta,
+        kind=kind,
+        lows=tuple(int(low) for low in cover.lows),
+        levels=tuple(int(level) for level in cover.levels),
+    )
+    obs.counter("query.plan.pieces_total").inc(plan.pieces)
+    return plan
+
+
+def plan_for_scheme(
+    scheme: "SketchScheme", alpha: Any, beta: Any
+) -> LevelPlan:
+    """Plan ``[alpha, beta]`` in the shape ``scheme``'s kernel consumes."""
+    return plan_interval(alpha, beta, scheme_interval_kind(scheme))

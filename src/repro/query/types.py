@@ -1,0 +1,180 @@
+"""Typed query objects and the unified :class:`Estimate` result.
+
+Every estimate path in the package -- local sketches, the stream
+processor, the cluster coordinator -- answers one of six query shapes:
+
+================== =====================================================
+query              answer
+================== =====================================================
+:class:`PointQuery`        frequency of one domain item
+:class:`RangeSumQuery`     total frequency over an inclusive interval
+:class:`F2Query`           self-join size (second frequency moment)
+:class:`JoinSizeQuery`     ``|R join S|`` between two sketched relations
+:class:`HeavyHittersQuery` items whose frequency clears a threshold
+:class:`QuantileQuery`     the item at a given rank fraction
+================== =====================================================
+
+Scalar queries produce an :class:`Estimate`: the median-of-means value
+plus the empirical confidence band, the coverage the answer was computed
+from (1.0 locally, the live-shard fraction on a degraded cluster) and
+the :class:`PlanStats` of the level plan that produced the probe.
+``HeavyHittersQuery`` is the one set-valued shape; it produces a list of
+:class:`HeavyHitter` entries instead.
+
+This module is dependency-light on purpose (dataclasses + stdlib only)
+so every layer can import the vocabulary without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = [
+    "PointQuery",
+    "RangeSumQuery",
+    "F2Query",
+    "JoinSizeQuery",
+    "HeavyHittersQuery",
+    "QuantileQuery",
+    "Query",
+    "PlanStats",
+    "ShardInfo",
+    "Estimate",
+    "HeavyHitter",
+]
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """Frequency of a single domain item in ``relation``."""
+
+    relation: str
+    item: int
+
+
+@dataclass(frozen=True)
+class RangeSumQuery:
+    """Total frequency over the inclusive interval ``[low, high]``."""
+
+    relation: str
+    low: int
+    high: int
+
+
+@dataclass(frozen=True)
+class F2Query:
+    """Self-join size (second frequency moment) of ``relation``."""
+
+    relation: str
+
+
+@dataclass(frozen=True)
+class JoinSizeQuery:
+    """``|left join right|`` between two relations under shared seeds."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class HeavyHittersQuery:
+    """Items of ``relation`` whose estimated frequency is >= ``threshold``.
+
+    Answered by dyadic descent over a registered
+    :class:`repro.query.hierarchy.DyadicHierarchy`.  ``slack`` lowers
+    the pruning bar to ``threshold - slack`` -- a scalar, or one entry
+    per level (set it to the predicted error envelopes to guarantee
+    recall of every true hitter).
+    """
+
+    relation: str
+    threshold: float
+    slack: float | tuple[float, ...] = 0.0
+
+
+@dataclass(frozen=True)
+class QuantileQuery:
+    """The item at rank ``fraction * total_weight`` (``fraction`` in [0, 1])."""
+
+    relation: str
+    fraction: float
+
+
+Query = Union[
+    PointQuery,
+    RangeSumQuery,
+    F2Query,
+    JoinSizeQuery,
+    HeavyHittersQuery,
+    QuantileQuery,
+]
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Shape of the level plan an answer was executed from.
+
+    ``kind`` is the decomposition family (``"point"``, ``"binary"``,
+    ``"quaternary"``, ``"endpoints"``, ``"scalar"``, ``"product"`` or
+    ``"descent"``); ``pieces`` the number of dyadic pieces in the cover
+    (0 when no decomposition applies) and ``max_level`` the coarsest
+    piece's binary level (-1 when there are no pieces).
+    """
+
+    kind: str
+    pieces: int = 0
+    max_level: int = -1
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Cluster provenance of an answer (absent for local answers)."""
+
+    live_shards: int
+    total_shards: int
+    stale_shards: int
+    max_staleness_ops: int
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """One scalar answer with its error accounting.
+
+    ``value`` is the median-of-means estimate.  ``ci_low``/``ci_high``
+    bound the empirical one-sigma band: the standard deviation of the
+    per-row means around the median, widened by ``error_width_factor``
+    (1.0 locally, ``1 / coverage`` on a degraded cluster answer, matching
+    :class:`repro.cluster.ClusterAnswer`).  ``coverage`` is the fraction
+    of the underlying data the answer could see; ``plan`` records the
+    level-plan shape; ``medians``/``averages`` the grid the estimate was
+    reduced from.  ``float(estimate)`` yields ``value`` so refactored
+    call sites stay drop-in.
+    """
+
+    value: float
+    ci_low: float
+    ci_high: float
+    coverage: float = 1.0
+    plan: PlanStats = field(default_factory=lambda: PlanStats("none"))
+    medians: int = 0
+    averages: int = 0
+    degraded: bool = False
+    error_width_factor: float = 1.0
+    shards: ShardInfo | None = None
+
+    def __float__(self) -> float:
+        return self.value
+
+    @property
+    def ci_width(self) -> float:
+        """Full width of the confidence band."""
+        return self.ci_high - self.ci_low
+
+
+@dataclass(frozen=True)
+class HeavyHitter:
+    """One recovered heavy hitter: the item and its estimated frequency."""
+
+    item: int
+    estimate: float

@@ -337,9 +337,14 @@ def estimate_product(x: SketchMatrix, y: SketchMatrix) -> float:
     ``x`` and ``y`` must be built under the same scheme (same seeds); the
     per-cell products ``X_cell * Y_cell`` are unbiased size-of-join
     estimates, averaged within rows and median-ed across rows.
+
+    Compatibility front-end for :func:`repro.query.engine.product`; new
+    code should go through :mod:`repro.query`, which also reports the
+    confidence band and plan statistics.
     """
+    # Imported lazily: repro.query.engine imports this module.
+    from repro.query.estimate import median_of_means
+
     if x.scheme is not y.scheme:
         raise ValueError("sketches must share a scheme to be multiplied")
-    products = x.values() * y.values()
-    row_means = products.mean(axis=1)
-    return float(np.median(row_means))
+    return median_of_means(x.values() * y.values())

@@ -12,7 +12,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
+from repro.sketch.ams import SketchMatrix, SketchScheme
 
 __all__ = [
     "exact_join_size",
@@ -76,8 +76,16 @@ def sketch_intervals(
 
 
 def estimate_join_size(x: SketchMatrix, y: SketchMatrix) -> float:
-    """Median-of-averages size-of-join estimate from two sketches."""
-    return estimate_product(x, y)
+    """Median-of-averages size-of-join estimate from two sketches.
+
+    Compatibility front-end: the estimator itself lives in
+    :mod:`repro.query` (one median-of-means definition for the whole
+    package); prefer ``repro.query.join_size`` for the full
+    :class:`~repro.query.types.Estimate`.
+    """
+    from repro.query import engine  # imported lazily to avoid a cycle
+
+    return engine.join_size(x, y).value
 
 
 def estimate_self_join(x: SketchMatrix) -> float:
@@ -86,8 +94,12 @@ def estimate_self_join(x: SketchMatrix) -> float:
     Note the classical caveat: squaring the same counters makes each cell
     estimate ``F2`` with a small positive bias relative to independent
     sketches, but it is the estimator the paper's experiments use.
+    Prefer ``repro.query.self_join`` for the full
+    :class:`~repro.query.types.Estimate`.
     """
-    return estimate_product(x, x)
+    from repro.query import engine  # imported lazily to avoid a cycle
+
+    return engine.self_join(x).value
 
 
 def relative_error(estimate: float, truth: float) -> float:

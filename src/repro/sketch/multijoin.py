@@ -163,12 +163,11 @@ class ChainJoinScheme:
                 raise ValueError(
                     "sketches must be built by this ChainJoinScheme, in order"
                 )
-        product = np.ones((len(self._attribute_generators),
-                           len(self._attribute_generators[0])))
-        for sketch in sketches:
-            product = product * sketch.values()
-        row_means = product.mean(axis=1)
-        return float(np.median(row_means))
+        from repro.query import engine  # imported lazily to avoid a cycle
+
+        return engine.product_of_values(
+            [sketch.values() for sketch in sketches], kind="chain_join"
+        ).value
 
 
 def exact_chain_join(relations: Sequence[Sequence[Any]]) -> int:

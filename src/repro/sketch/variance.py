@@ -173,21 +173,6 @@ def var_eh3_model(r: Sequence[float] | np.ndarray, s: Sequence[float] | np.ndarr
     return var_bch5(r, s) + eh3_expected_delta_var(r, s, n)
 
 
-def predicted_relative_error(
-    variance: float, expectation: float, averages: int, absolute: bool = True
-) -> float:
-    """Predicted relative error of an ``averages``-wide AMS estimate.
-
-    The averaged estimator has standard deviation ``sqrt(Var / averages)``;
-    relative to ``E[X]`` this is the paper's error proxy.  With
-    ``absolute=True`` the expected *absolute* error of a (near-normal)
-    estimator, ``sqrt(2 / pi) * sigma``, is reported instead of one sigma.
-    """
-    if averages <= 0:
-        raise ValueError("averages must be positive")
-    if expectation == 0:
-        raise ValueError("relative error undefined for zero expectation")
-    variance = max(variance, 0.0)
-    sigma = np.sqrt(variance / averages)
-    scale = np.sqrt(2.0 / np.pi) if absolute else 1.0
-    return float(scale * sigma / abs(expectation))
+# Re-exported from its new home so variance-theory users keep one import;
+# the implementation moved next to the rest of the error accounting.
+from repro.query.estimate import predicted_relative_error  # noqa: E402

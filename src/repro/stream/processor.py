@@ -52,8 +52,21 @@ import numpy as np
 from repro import obs
 from repro.generators.base import Generator
 from repro.generators.seeds import SeedSource
+from repro.query import engine as query_engine
+from repro.query.hierarchy import DyadicHierarchy
+from repro.query.types import (
+    Estimate,
+    F2Query,
+    HeavyHitter,
+    HeavyHittersQuery,
+    JoinSizeQuery,
+    PointQuery,
+    Query,
+    QuantileQuery,
+    RangeSumQuery,
+)
 from repro.schemes import get_spec
-from repro.sketch.ams import SketchMatrix, SketchScheme, estimate_product
+from repro.sketch.ams import SketchMatrix, SketchScheme
 from repro.sketch.atomic import GeneratorChannel
 from repro.sketch.plane import plane_decision
 from repro.sketch.serialize import (
@@ -157,6 +170,10 @@ class StreamProcessor:
         self._groups: dict[str, str] = {}  # relation -> scheme key
         self._queries: dict[int, QueryHandle] = {}
         self._next_query = 0
+        # Continuously-maintained dyadic hierarchies (heavy hitters /
+        # quantiles), sharing the relation's scheme -- see
+        # repro.query.hierarchy.
+        self._hierarchies: dict[str, DyadicHierarchy] = {}
         # -- durability state -------------------------------------------
         self._durability = self._normalize_durability(durability)
         self._wal: WriteAheadLog | None = None
@@ -225,6 +242,10 @@ class StreamProcessor:
             },
             "quarantine_counts": dict(self.dead_letters.counts),
             "incident_count": self.incidents.total,
+            "hierarchies": {
+                name: hierarchy.counters_state()
+                for name, hierarchy in self._hierarchies.items()
+            },
         }
         path = write_snapshot(
             self._durability.directory,
@@ -360,6 +381,20 @@ class StreamProcessor:
                     f"relation {name!r}: checkpointed counters are "
                     f"corrupted: {exc}"
                 ) from exc
+        for name, counters in state.get("hierarchies", {}).items():
+            if name not in self._sketches:
+                raise RecoveryError(
+                    f"snapshot holds a hierarchy for unregistered relation "
+                    f"{name!r}"
+                )
+            self._do_register_hierarchy(name)
+            try:
+                self._hierarchies[name].restore_counters(counters)
+            except ValueError as exc:
+                raise RecoveryError(
+                    f"relation {name!r}: checkpointed hierarchy counters "
+                    f"are corrupted: {exc}"
+                ) from exc
         max_id = -1
         for kind, left, right, identifier in state.get("queries", []):
             identifier = int(identifier)
@@ -406,8 +441,10 @@ class StreamProcessor:
             self._do_register_query("join", op["left"], op["right"])
         elif kind == "register_self_join":
             self._do_register_query("self_join", op["relation"], op["relation"])
+        elif kind == "register_hierarchy":
+            self._do_register_hierarchy(op["relation"])
         elif kind == "point":
-            self._guarded_update(
+            applied = self._guarded_update(
                 op["relation"],
                 "point",
                 1,
@@ -417,8 +454,16 @@ class StreamProcessor:
                 ),
                 payload=(op["item"], op["weight"]),
             )
+            if applied:
+                self._hierarchy_apply(
+                    op["relation"],
+                    fast=lambda h: h.update_point(op["item"], op["weight"]),
+                    scalar=lambda h: h.scalar_update_point(
+                        op["item"], op["weight"]
+                    ),
+                )
         elif kind == "interval":
-            self._guarded_update(
+            applied = self._guarded_update(
                 op["relation"],
                 "interval",
                 1,
@@ -430,6 +475,16 @@ class StreamProcessor:
                 ),
                 payload=(op["low"], op["high"], op["weight"]),
             )
+            if applied:
+                self._hierarchy_apply(
+                    op["relation"],
+                    fast=lambda h: h.update_interval(
+                        op["low"], op["high"], op["weight"]
+                    ),
+                    scalar=lambda h: h.scalar_update_interval(
+                        op["low"], op["high"], op["weight"]
+                    ),
+                )
         elif kind == "points":
             items = np.asarray(op["items"], dtype=np.uint64)
             weights = (
@@ -437,7 +492,7 @@ class StreamProcessor:
                 if op["weights"] is None
                 else np.asarray(op["weights"], dtype=np.float64)
             )
-            self._guarded_update(
+            applied = self._guarded_update(
                 op["relation"],
                 "points",
                 int(items.size),
@@ -445,6 +500,12 @@ class StreamProcessor:
                 scalar=lambda s: self._scalar_points(s, items, weights),
                 payload={"items": op["items"], "weights": op["weights"]},
             )
+            if applied:
+                self._hierarchy_apply(
+                    op["relation"],
+                    fast=lambda h: h.update_points(items, weights),
+                    scalar=lambda h: h.scalar_update_points(items, weights),
+                )
         elif kind == "intervals":
             intervals = np.asarray(op["intervals"], dtype=np.uint64).reshape(
                 -1, 2
@@ -454,7 +515,7 @@ class StreamProcessor:
                 if op["weights"] is None
                 else np.asarray(op["weights"], dtype=np.float64)
             )
-            self._guarded_update(
+            applied = self._guarded_update(
                 op["relation"],
                 "intervals",
                 int(intervals.shape[0]),
@@ -462,6 +523,14 @@ class StreamProcessor:
                 scalar=lambda s: self._scalar_intervals(s, intervals, weights),
                 payload={"intervals": op["intervals"], "weights": op["weights"]},
             )
+            if applied:
+                self._hierarchy_apply(
+                    op["relation"],
+                    fast=lambda h: h.update_intervals(intervals, weights),
+                    scalar=lambda h: h.scalar_update_intervals(
+                        intervals, weights
+                    ),
+                )
         elif kind == "merge":
             self._do_merge(
                 op["relation"], op["values"], op.get("fingerprint")
@@ -479,7 +548,7 @@ class StreamProcessor:
         fast: Callable[[SketchMatrix], None],
         scalar: Callable[[SketchMatrix], None],
         payload: Any,
-    ) -> None:
+    ) -> bool:
         """Run the fast path; on failure roll back and degrade to scalar.
 
         The plane kernels compute per-counter totals before touching any
@@ -489,12 +558,16 @@ class StreamProcessor:
         scalar path fails too, the record is re-raised under the
         ``raise`` policy and quarantined otherwise: no exception escapes
         the ingestion path under ``quarantine``/``clamp``.
+
+        Returns whether the update reached the counters (on some path),
+        so dependent state -- a registered hierarchy -- only sees records
+        the base sketch admitted.
         """
         sketch = self._sketches[relation]
         saved = [cell.value for row in sketch.cells for cell in row]
         try:
             fast(sketch)
-            return
+            return True
         except Exception as exc:  # noqa: BLE001 -- degradation boundary
             self._restore_values(sketch, saved)
             first_error = exc
@@ -518,9 +591,52 @@ class StreamProcessor:
                     f"both fast and scalar paths failed: {exc!r}",
                 )
             )
-            return
+            return False
         self.incidents.append(
             Incident(operation, relation, repr(first_error), batch_size, True)
+        )
+        obs.counter("stream.degrade.incidents_total").inc()
+        obs.counter("stream.degrade.degradations_total").inc()
+        return True
+
+    def _hierarchy_apply(
+        self,
+        relation: str,
+        fast: Callable[[DyadicHierarchy], None],
+        scalar: Callable[[DyadicHierarchy], None],
+    ) -> None:
+        """Mirror an admitted update into the relation's hierarchy.
+
+        Same degradation contract as :meth:`_guarded_update`: the
+        hierarchy shares the relation's scheme (and so its packed
+        plane), so a broken plane rolls the level sketches back and
+        retries on the per-cell scalar path, keeping hierarchy answers
+        consistent with the base sketch instead of failing the stream.
+        """
+        hierarchy = self._hierarchies.get(relation)
+        if hierarchy is None:
+            return
+        saved = hierarchy.counters_state()
+        try:
+            fast(hierarchy)
+            return
+        except Exception as exc:  # noqa: BLE001 -- degradation boundary
+            hierarchy.restore_counters(saved)
+            first_error = exc
+        try:
+            scalar(hierarchy)
+        except Exception as exc:  # noqa: BLE001 -- both paths down
+            hierarchy.restore_counters(saved)
+            self.incidents.append(
+                Incident("hierarchy", relation, repr(exc), 1, False)
+            )
+            obs.counter("stream.degrade.incidents_total").inc()
+            obs.counter("stream.degrade.failures_total").inc()
+            if self.policy == "raise":
+                raise
+            return
+        self.incidents.append(
+            Incident("hierarchy", relation, repr(first_error), 1, True)
         )
         obs.counter("stream.degrade.incidents_total").inc()
         obs.counter("stream.degrade.degradations_total").inc()
@@ -615,6 +731,33 @@ class StreamProcessor:
         handle = QueryHandle(kind, left, right, self._next_query)
         self._queries[self._next_query] = handle
         self._next_query += 1
+
+    def register_hierarchy(self, relation: str) -> None:
+        """Maintain a dyadic hierarchy over ``relation`` from now on.
+
+        Enables :meth:`heavy_hitters` and :meth:`quantile` (and the
+        corresponding typed queries through :meth:`query`).  The
+        hierarchy keeps one extra sketch per dyadic level, **sharing the
+        relation's scheme** (same seeds), and is updated continuously by
+        every subsequent point/interval record.  Updates streamed before
+        registration are not back-filled -- register the hierarchy right
+        after the relation.  Remote sketches folded in with
+        :meth:`merge_sketch` are likewise invisible to the hierarchy
+        (only level-0 counters travel); merging sites should ship their
+        hierarchies separately.
+        """
+        self._require(relation)
+        if relation in self._hierarchies:
+            raise ValueError(
+                f"relation {relation!r} already has a hierarchy"
+            )
+        self._commit({"op": "register_hierarchy", "relation": relation})
+
+    def _do_register_hierarchy(self, relation: str) -> None:
+        self._hierarchies[relation] = DyadicHierarchy(
+            self._schemes[self._groups[relation]],
+            self._domain_bits[relation],
+        )
 
     # -- streaming -------------------------------------------------------
 
@@ -808,12 +951,95 @@ class StreamProcessor:
     # -- answers ---------------------------------------------------------
 
     def answer(self, handle: QueryHandle) -> float:
-        """Current estimate for a registered query."""
+        """Current estimate for a registered query.
+
+        Dispatches through the typed query engine (:meth:`query`); the
+        value is bit-identical to the historical direct product path.
+        """
         if self._queries.get(handle.identifier) is not handle:
             raise ValueError("unknown query handle")
-        return estimate_product(
-            self._sketches[handle.left], self._sketches[handle.right]
-        )
+        if handle.kind == "self_join":
+            return self.query(F2Query(handle.left)).value
+        return self.query(JoinSizeQuery(handle.left, handle.right)).value
+
+    def query(self, query: Query) -> Any:
+        """Execute one typed query against the live sketches.
+
+        The stream-processor executor of :mod:`repro.query`: scalar
+        queries (:class:`PointQuery`, :class:`RangeSumQuery`,
+        :class:`F2Query`, :class:`JoinSizeQuery`,
+        :class:`QuantileQuery`) return an
+        :class:`~repro.query.types.Estimate`;
+        :class:`HeavyHittersQuery` returns a list of
+        :class:`~repro.query.types.HeavyHitter`.  Hierarchical queries
+        require :meth:`register_hierarchy` first.
+        """
+        if isinstance(query, PointQuery):
+            self._require(query.relation)
+            return query_engine.point(
+                self._sketches[query.relation], query.item
+            )
+        if isinstance(query, RangeSumQuery):
+            self._require(query.relation)
+            return query_engine.range_sum(
+                self._sketches[query.relation], query.low, query.high
+            )
+        if isinstance(query, F2Query):
+            self._require(query.relation)
+            return query_engine.self_join(self._sketches[query.relation])
+        if isinstance(query, JoinSizeQuery):
+            self._require(query.left)
+            self._require(query.right)
+            return query_engine.product(
+                self._sketches[query.left],
+                self._sketches[query.right],
+                kind="join_size",
+            )
+        if isinstance(query, HeavyHittersQuery):
+            return self._hierarchy_for(query.relation).heavy_hitters(
+                query.threshold, query.slack
+            )
+        if isinstance(query, QuantileQuery):
+            return self._hierarchy_for(query.relation).quantile(
+                query.fraction
+            )
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+
+    def heavy_hitters(
+        self,
+        relation: str,
+        threshold: float,
+        slack: float | tuple[float, ...] = 0.0,
+    ) -> list[HeavyHitter]:
+        """Items of ``relation`` estimated at or above ``threshold``.
+
+        Continuously maintained: answers reflect every admitted update
+        since :meth:`register_hierarchy`.  ``slack`` lowers the descent's
+        pruning bar (see :meth:`DyadicHierarchy.heavy_hitters`).
+        """
+        result = self.query(HeavyHittersQuery(relation, threshold, slack))
+        return list(result)
+
+    def quantile(self, relation: str, fraction: float) -> Estimate:
+        """The item at rank ``fraction * total_weight`` of ``relation``."""
+        result = self.query(QuantileQuery(relation, fraction))
+        assert isinstance(result, Estimate)
+        return result
+
+    def hierarchy_of(self, relation: str) -> DyadicHierarchy:
+        """The relation's registered hierarchy (for direct descent)."""
+        return self._hierarchy_for(relation)
+
+    def _hierarchy_for(self, relation: str) -> DyadicHierarchy:
+        self._require(relation)
+        hierarchy = self._hierarchies.get(relation)
+        if hierarchy is None:
+            raise ValueError(
+                f"relation {relation!r} has no hierarchy; call "
+                "register_hierarchy() before streaming to enable "
+                "heavy-hitter and quantile queries"
+            )
+        return hierarchy
 
     def query_handles(self) -> list[QueryHandle]:
         """The live handles of every registered query (fresh after
@@ -831,9 +1057,16 @@ class StreamProcessor:
         return self._schemes[self._groups[relation]]
 
     def memory_words(self) -> int:
-        """Total counters held -- the paper's memory metric."""
+        """Total counters held -- the paper's memory metric.
+
+        Includes the per-level sketches of registered hierarchies: the
+        processor stays memory-honest about its heavy-hitter surfaces.
+        """
         return sum(
             sketch.scheme.counters for sketch in self._sketches.values()
+        ) + sum(
+            hierarchy.levels * hierarchy.scheme.counters
+            for hierarchy in self._hierarchies.values()
         )
 
     def relations(self) -> list[str]:
@@ -867,6 +1100,10 @@ class StreamProcessor:
             "applied_seq": self._applied_seq,
             "durable": self._wal is not None,
             "scheme": self._scheme_name,
+            "hierarchies": {
+                name: hierarchy.levels
+                for name, hierarchy in self._hierarchies.items()
+            },
             "planes": {
                 group: {
                     "plane": (

@@ -444,6 +444,65 @@ class TestKernelLoopGuard:
 
 
 # ---------------------------------------------------------------------------
+# R007: estimate calls outside the query engine.
+# ---------------------------------------------------------------------------
+
+
+class TestEstimatePathBypass:
+    def test_direct_estimate_calls_flagged(self) -> None:
+        found = scan(
+            """\
+            def f(x, y):
+                a = estimate_product(x, y)
+                b = ams.estimate_join_size(x, y)
+                return a + b + estimate_self_join(x)
+            """,
+            "src/repro/apps/thing.py",
+        )
+        assert rule_ids(found) == ["R007", "R007", "R007"]
+        assert "query engine" in found[0].message
+
+    def test_engine_calls_clean(self) -> None:
+        found = scan(
+            """\
+            def f(x, y):
+                return query_engine.product(x, y).value
+            """,
+            "src/repro/apps/thing.py",
+        )
+        assert found == []
+
+    def test_front_ends_and_query_out_of_scope(self) -> None:
+        source = "v = estimate_product(x, y)\n"
+        for path in (
+            "src/repro/sketch/ams.py",
+            "src/repro/sketch/estimators.py",
+            "src/repro/query/engine.py",
+            "src/repro/analysis/rules.py",
+        ):
+            assert scan(source, path) == [], path
+
+    def test_other_modules_in_scope(self) -> None:
+        source = "v = estimate_join_size(x, y)\n"
+        for path in (
+            "src/repro/experiments/thing.py",
+            "src/repro/stream/thing.py",
+            "src/repro/sketch/other.py",
+        ):
+            assert rule_ids(scan(source, path)) == ["R007"], path
+
+    def test_suppression_with_reason_covers(self) -> None:
+        found = scan(
+            """\
+            # repro: allow[R007] legacy comparison harness needs raw floats
+            v = estimate_product(x, y)
+            """,
+            "src/repro/experiments/thing.py",
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions and R000.
 # ---------------------------------------------------------------------------
 
@@ -575,6 +634,7 @@ class TestBaseline:
             "R004",
             "R005",
             "R006",
+            "R007",
         ]
 
 

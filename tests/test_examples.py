@@ -1,8 +1,9 @@
 """Smoke tests: the example scripts run end-to-end and tell their story.
 
-Only the fast examples run here (the spatial/selectivity demos take
-minutes by design); each is executed in a subprocess exactly as a user
-would run it.
+Each example is executed in a subprocess exactly as a user would run it.
+Demos that take minutes at their full showcase settings (selectivity,
+dynamic histogram) run with their ``--quick`` flag; the spatial demo has
+no quick mode and stays out.
 """
 
 from __future__ import annotations
@@ -16,9 +17,9 @@ import pytest
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 
-def run_example(name: str, timeout: float = 240.0) -> str:
+def run_example(name: str, *args: str, timeout: float = 240.0) -> str:
     result = subprocess.run(
-        [sys.executable, str(EXAMPLES / name)],
+        [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
@@ -43,7 +44,19 @@ class TestExamples:
     def test_distributed_sketching_demo(self):
         out = run_example("distributed_sketching_demo.py")
         assert "estimate from merged sketches" in out
+        assert "+/-" in out  # the typed Estimate's confidence band
         assert "communication" in out
+
+    def test_selectivity_demo_quick(self):
+        out = run_example("selectivity_demo.py", "--quick")
+        assert "sketched once into" in out
+        assert "query rectangle" in out
+        assert "+/-" in out
+
+    def test_dynamic_histogram_demo_quick(self):
+        out = run_example("dynamic_histogram_demo.py", "--quick")
+        assert "sketch-estimated counts" in out
+        assert "total mass from the sketch" in out
 
     def test_stream_processor_demo(self):
         out = run_example("stream_processor_demo.py")
