@@ -1,0 +1,97 @@
+"""Shared rule base class and AST helpers.
+
+Both rule tiers -- the per-file rules of :mod:`repro.analysis.rules` and
+the interprocedural dataflow rules of :mod:`repro.analysis.dataflow` --
+derive from :class:`Rule` and share the same small AST vocabulary
+(dotted-name extraction, path segmentation, snippet capture).  Living in
+its own module keeps the import graph acyclic: ``rules`` registers the
+dataflow rules without ``dataflow`` importing ``rules`` back.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.violations import Violation
+
+__all__ = ["Rule", "ProjectRule", "dotted_name", "path_segments", "snippet_at"]
+
+
+def path_segments(path: str) -> tuple[str, ...]:
+    """``a/b/c.py`` split into its posix components."""
+    return tuple(path.replace("\\", "/").split("/"))
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def snippet_at(lines: list[str], lineno: int) -> str:
+    """The stripped source line at 1-indexed ``lineno`` (or '')."""
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()
+    return ""
+
+
+class Rule:
+    """One named invariant checked over a parsed source file."""
+
+    id: str = ""
+    title: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Is ``path`` (posix-relative) inside this rule's scope?"""
+        raise NotImplementedError
+
+    def check(
+        self, tree: ast.AST, lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        """Yield every violation of this rule in one parsed file."""
+        raise NotImplementedError
+
+    def _violation(
+        self,
+        path: str,
+        node: ast.AST,
+        message: str,
+        lines: list[str],
+        why: tuple[str, ...] = (),
+    ) -> Violation:
+        lineno = getattr(node, "lineno", 1)
+        return Violation(
+            rule=self.id,
+            path=path,
+            line=lineno,
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            snippet=snippet_at(lines, lineno),
+            why=why,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that sees the whole project, not one file at a time.
+
+    Project rules run in the engine's second pass, after the call graph
+    is built; they implement :meth:`check_project` instead of ``check``.
+    ``applies_to`` still scopes where their *findings* may land --
+    the engine drops any violation reported at an out-of-scope path.
+    """
+
+    def check(
+        self, tree: ast.AST, lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project: "object") -> Iterator[Violation]:
+        """Yield every violation found over the whole project."""
+        raise NotImplementedError

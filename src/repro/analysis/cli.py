@@ -5,6 +5,17 @@ finding, and in ``--strict`` mode exits non-zero when any violation is
 not covered by the checked-in baseline.  ``--write-baseline`` refreshes
 the baseline from the current scan (for landing a new rule before its
 last offender is migrated).
+
+Introspection flags ride on the same scan:
+
+- ``--graph PATH`` serializes the project call graph (the pass-1
+  artifact the dataflow rules run over) for offline inspection.
+- ``--why FINGERPRINT`` prints the dataflow evidence chain behind one
+  finding; a unique fingerprint prefix is enough.
+- ``--diff REF`` restricts reporting (and strict failure) to findings
+  on lines changed since ``REF`` -- the pre-commit configuration.
+- ``--sarif PATH`` writes the scan as a SARIF 2.1.0 log for CI
+  artifact upload.
 """
 
 from __future__ import annotations
@@ -14,12 +25,15 @@ from pathlib import Path
 from typing import Sequence, TextIO
 
 import repro
+from repro.analysis.diff import DiffError, changed_lines
 from repro.analysis.engine import (
     AnalysisReport,
-    analyze_paths,
     load_baseline,
+    scan_paths,
     write_baseline,
 )
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.sarif import render_sarif
 
 __all__ = ["run_analyze", "BASELINE_FILENAME", "default_scan_target"]
 
@@ -45,6 +59,10 @@ def run_analyze(
     strict: bool = False,
     refresh_baseline: bool = False,
     baseline_path: str | None = None,
+    graph_path: str | None = None,
+    why: str | None = None,
+    diff_ref: str | None = None,
+    sarif_path: str | None = None,
     stream: TextIO = sys.stdout,
 ) -> int:
     """Run the scan and report; returns the process exit code."""
@@ -59,7 +77,44 @@ def run_analyze(
         else root / BASELINE_FILENAME
     )
 
-    violations = analyze_paths(targets, root=root)
+    result = scan_paths(targets, root=root)
+    violations = result.violations
+
+    if graph_path is not None:
+        Path(graph_path).write_text(
+            result.project.graph.to_json(), encoding="utf-8"
+        )
+        print(
+            f"graph: {graph_path} ({result.project.graph.summary()})",
+            file=stream,
+        )
+
+    if sarif_path is not None:
+        baseline = load_baseline(resolved_baseline)
+        Path(sarif_path).write_text(
+            render_sarif(violations, ALL_RULES, baseline), encoding="utf-8"
+        )
+        print(
+            f"sarif: {sarif_path} ({len(violations)} result(s))",
+            file=stream,
+        )
+
+    if why is not None:
+        matched = [
+            v for v in violations if v.fingerprint().startswith(why)
+        ]
+        if not matched:
+            print(
+                f"why: no finding in this scan matches {why!r}; "
+                "fingerprints look like 'R008::src/repro/...::snippet'",
+                file=stream,
+            )
+            return 1
+        for violation in matched:
+            print(violation.render_why(), file=stream)
+            print(f"  fingerprint: {violation.fingerprint()}", file=stream)
+        return 0
+
     if refresh_baseline:
         write_baseline(resolved_baseline, violations)
         print(
@@ -67,6 +122,18 @@ def run_analyze(
             file=stream,
         )
         return 0
+
+    if diff_ref is not None:
+        try:
+            touched = changed_lines(diff_ref, root)
+        except DiffError as exc:
+            print(f"analyze --diff: {exc}", file=stream)
+            return 2
+        violations = [
+            v
+            for v in violations
+            if v.line in touched.get(v.path, frozenset())
+        ]
 
     report = AnalysisReport(
         violations=violations, baseline=load_baseline(resolved_baseline)
@@ -76,8 +143,9 @@ def run_analyze(
     for violation in report.baselined:
         print(f"{violation.render()} [baselined]", file=stream)
     scanned = ", ".join(str(t) for t in targets)
+    scope = f" (changed since {diff_ref})" if diff_ref is not None else ""
     print(
-        f"analyze: {scanned}: {report.summary()}"
+        f"analyze: {scanned}{scope}: {report.summary()}"
         f" ({len(report.fresh)} fresh, {len(report.baselined)} baselined)",
         file=stream,
     )

@@ -1,0 +1,70 @@
+"""Changed-line extraction for ``analyze --diff <ref>``.
+
+Asks ``git diff -U0`` which new-side lines differ from a base ref and
+returns them per file, so the analyzer can report only findings a
+change actually touched.  Pre-commit runs the analyzer this way: the
+full-repo strict gate stays in CI, while the hook stays fast and only
+complains about lines the commit author just wrote.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from pathlib import Path
+
+__all__ = ["DiffError", "changed_lines"]
+
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(\d+)(?:,(\d+))? @@")
+
+
+class DiffError(RuntimeError):
+    """``git diff`` could not produce a usable changed-line set."""
+
+
+def changed_lines(ref: str, root: Path) -> dict[str, set[int]]:
+    """New-side changed line numbers per file, relative to ``ref``.
+
+    Paths are repo-root-relative posix strings (the same shape the
+    analyzer reports).  Deleted files have no new side and do not
+    appear; a file with only deletions maps to an empty set.
+    """
+    command = [
+        "git",
+        "-C",
+        str(root),
+        "diff",
+        "--unified=0",
+        "--no-color",
+        ref,
+        "--",
+        "*.py",
+    ]
+    try:
+        completed = subprocess.run(
+            command, capture_output=True, text=True, check=False
+        )
+    except OSError as exc:
+        raise DiffError(f"could not run git: {exc}") from exc
+    if completed.returncode not in (0, 1):
+        detail = completed.stderr.strip() or f"exit {completed.returncode}"
+        raise DiffError(f"git diff {ref!r} failed: {detail}")
+
+    changed: dict[str, set[int]] = {}
+    current: set[int] | None = None
+    for line in completed.stdout.splitlines():
+        if line.startswith("+++ "):
+            target = line[4:].strip()
+            if target == "/dev/null":
+                current = None
+                continue
+            if target.startswith("b/"):
+                target = target[2:]
+            current = changed.setdefault(target, set())
+            continue
+        match = _HUNK_RE.match(line)
+        if match and current is not None:
+            start = int(match.group(1))
+            count = int(match.group(2)) if match.group(2) else 1
+            current.update(range(start, start + count))
+    return changed

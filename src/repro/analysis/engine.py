@@ -1,10 +1,20 @@
-"""The analysis engine: scan, suppress, baseline, report.
+"""The analysis engine: two passes, suppress, baseline, report.
 
-``analyze_paths`` walks the given files/directories, parses each Python
-file once, runs every in-scope rule (:mod:`repro.analysis.rules`), and
-filters findings through the inline suppressions
-(:mod:`repro.analysis.suppressions`).  A suppression with an empty
-reason suppresses nothing and is itself reported as ``R000``.
+``analyze_project`` is the core: given ``{path: source}`` it parses
+every file once (pass 1), builds the project symbol table and call
+graph (:mod:`repro.analysis.callgraph`), then runs the per-file rules
+over each tree and the interprocedural dataflow rules
+(:mod:`repro.analysis.dataflow`) over the whole project (pass 2).
+Findings are filtered through the inline suppressions
+(:mod:`repro.analysis.suppressions`); a suppression with an empty
+reason suppresses nothing and is itself reported as ``R000``, and a
+reasoned suppression whose rules no longer fire on its line is reported
+as a *stale* ``R000`` so dead markers cannot accumulate silently.
+
+Files that do not parse are reported as ``R000`` and recorded as skips
+on the call graph -- the scan degrades, it never crashes.  Each run
+ticks the ``analysis.*`` instruments (:mod:`repro.obs`) so analyze runs
+are visible in the observability layer.
 
 The *baseline* is a checked-in JSON file of violation fingerprints that
 are tolerated (grandfathered) for now.  ``--strict`` fails on any
@@ -18,18 +28,23 @@ from __future__ import annotations
 import ast
 import json
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
+from repro.analysis.callgraph import GraphSkip
+from repro.analysis.dataflow import Project, ProjectRule, build_project_graph
 from repro.analysis.rules import ALL_RULES, Rule
 from repro.analysis.suppressions import Suppression, collect_suppressions
 from repro.analysis.violations import Violation
 
 __all__ = [
     "AnalysisReport",
+    "ScanResult",
     "analyze_source",
+    "analyze_project",
     "analyze_paths",
+    "scan_paths",
     "load_baseline",
     "write_baseline",
 ]
@@ -74,6 +89,20 @@ class AnalysisReport:
         )
 
 
+@dataclass
+class ScanResult:
+    """Violations plus the project context that produced them.
+
+    The CLI uses the attached :class:`Project` for ``--graph`` (the
+    serialized call-graph artifact) and ``--why`` (dataflow evidence);
+    plain callers can keep using :func:`analyze_paths`, which returns
+    just the violations.
+    """
+
+    violations: list[Violation]
+    project: Project = field(default_factory=Project)
+
+
 def _reasonless(suppression: Suppression, path: str) -> Violation:
     return Violation(
         rule="R000",
@@ -89,6 +118,154 @@ def _reasonless(suppression: Suppression, path: str) -> Violation:
     )
 
 
+def _stale(suppression: Suppression, path: str) -> Violation:
+    rules = ", ".join(suppression.rules)
+    return Violation(
+        rule="R000",
+        path=path,
+        line=suppression.line,
+        column=1,
+        message=(
+            f"stale suppression: '# repro: allow[{rules}]' no longer "
+            "matches any finding on the line it covers -- the violation "
+            "was fixed or the code moved; delete the marker (or move it "
+            "next to the code it justifies)"
+        ),
+        snippet=f"stale: repro: allow[{rules}]",
+    )
+
+
+def _syntax_violation(path: str, exc: SyntaxError) -> Violation:
+    return Violation(
+        rule="R000",
+        path=path,
+        line=exc.lineno or 1,
+        column=(exc.offset or 0) + 1,
+        message=f"file does not parse: {exc.msg}",
+        snippet="<syntax error>",
+    )
+
+
+def analyze_project(
+    sources: Mapping[str, str],
+    rules: Sequence[Rule] = ALL_RULES,
+) -> ScanResult:
+    """Run both passes over ``{path: source}`` and return everything.
+
+    Paths are the repo-relative posix paths used for rule scoping and
+    reporting.  Unparseable files are reported as ``R000``, recorded as
+    graph skips, and excluded from the interprocedural pass; everything
+    else proceeds.
+    """
+    project = Project()
+    findings: list[Violation] = []
+    suppressions_by_path: dict[str, list[Suppression]] = {}
+    parse_skips: list[GraphSkip] = []
+
+    for path, source in sources.items():
+        lines = source.splitlines()
+        project.lines[path] = lines
+        suppressions_by_path[path] = collect_suppressions(lines)
+        try:
+            project.trees[path] = ast.parse(source)
+        except SyntaxError as exc:
+            findings.append(_syntax_violation(path, exc))
+            parse_skips.append(
+                GraphSkip(
+                    path=path,
+                    lineno=exc.lineno or 1,
+                    reason="syntax-error",
+                    detail=str(exc.msg),
+                )
+            )
+
+    project.graph = build_project_graph(project.trees)
+    project.graph.skips.extend(parse_skips)
+
+    for path, suppressions in suppressions_by_path.items():
+        for suppression in suppressions:
+            if not suppression.reason:
+                findings.append(_reasonless(suppression, path))
+
+    raw: list[Violation] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            for violation in rule.check_project(project):
+                if rule.applies_to(violation.path):
+                    raw.append(violation)
+        else:
+            for path, tree in project.trees.items():
+                if not rule.applies_to(path):
+                    continue
+                raw.extend(rule.check(tree, project.lines[path], path))
+
+    active_ids = {rule.id for rule in rules}
+    used: set[tuple[str, int]] = set()  # (path, suppression line)
+    for violation in raw:
+        suppressed = False
+        for suppression in suppressions_by_path.get(violation.path, ()):
+            if suppression.covers(violation.rule, violation.line):
+                used.add((violation.path, suppression.line))
+                suppressed = True
+        if not suppressed:
+            findings.append(violation)
+
+    # Stale suppressions: a reasoned marker whose rules all ran in this
+    # scan yet covered nothing.  Markers naming any rule outside the
+    # active set are left alone -- a partial-rule run cannot tell.
+    for path, suppressions in suppressions_by_path.items():
+        for suppression in suppressions:
+            if not suppression.reason:
+                continue  # already reported as reasonless
+            if (path, suppression.line) in used:
+                continue
+            rules_named = set(suppression.rules)
+            if "R000" in rules_named:
+                continue
+            if not rules_named <= active_ids:
+                continue
+            findings.append(_stale(suppression, path))
+
+    findings.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
+    _record_instruments(project, findings, rules)
+    return ScanResult(violations=findings, project=project)
+
+
+def _record_instruments(
+    project: Project, findings: list[Violation], rules: Sequence[Rule]
+) -> None:
+    """Tick the ``analysis.*`` counters for one completed scan."""
+    from repro import obs
+
+    obs.counter(
+        "analysis.runs_total", "analyze scans completed"
+    ).inc()
+    obs.counter(
+        "analysis.files_total", "files parsed across analyze scans"
+    ).inc(len(project.lines))
+    obs.counter(
+        "analysis.findings_total", "violations found across analyze scans"
+    ).inc(len(findings))
+    obs.counter(
+        "analysis.graph.functions_total",
+        "call-graph function nodes built across analyze scans",
+    ).inc(len(project.graph.functions))
+    obs.counter(
+        "analysis.graph.edges_total",
+        "call sites recorded across analyze scans",
+    ).inc(len(project.graph.calls))
+    obs.counter(
+        "analysis.graph.skips_total",
+        "call sites the resolver degraded to recorded skips",
+    ).inc(len(project.graph.skips))
+    by_rule = Counter(v.rule for v in findings)
+    for rule in rules:
+        obs.counter(
+            f"analysis.rules.{rule.id.lower()}.findings_total",
+            f"findings of rule {rule.id} across analyze scans",
+        ).inc(by_rule.get(rule.id, 0))
+
+
 def analyze_source(
     source: str,
     path: str,
@@ -96,41 +273,11 @@ def analyze_source(
 ) -> list[Violation]:
     """All violations in one file's source text.
 
-    ``path`` is the repo-relative posix path used for rule scoping and
-    reporting.  Unparseable sources are reported as ``R000`` rather than
-    crashing the scan.
+    The file is treated as a one-module project, so the dataflow rules
+    run too (with only intra-file edges to work from).  ``path`` is the
+    repo-relative posix path used for rule scoping and reporting.
     """
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                rule="R000",
-                path=path,
-                line=exc.lineno or 1,
-                column=(exc.offset or 0) + 1,
-                message=f"file does not parse: {exc.msg}",
-                snippet="<syntax error>",
-            )
-        ]
-    lines = source.splitlines()
-    suppressions = collect_suppressions(lines)
-    findings: list[Violation] = []
-    for suppression in suppressions:
-        if not suppression.reason:
-            findings.append(_reasonless(suppression, path))
-    for rule in rules:
-        if not rule.applies_to(path):
-            continue
-        for violation in rule.check(tree, lines, path):
-            if any(
-                s.covers(violation.rule, violation.line)
-                for s in suppressions
-            ):
-                continue
-            findings.append(violation)
-    findings.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
-    return findings
+    return analyze_project({path: source}, rules).violations
 
 
 def _python_files(paths: Iterable[Path]) -> list[Path]:
@@ -143,28 +290,35 @@ def _python_files(paths: Iterable[Path]) -> list[Path]:
     return files
 
 
-def analyze_paths(
+def scan_paths(
     paths: Sequence[Path | str],
     root: Path | str | None = None,
     rules: Sequence[Rule] = ALL_RULES,
-) -> list[Violation]:
-    """Scan files/directories; paths in reports are relative to ``root``.
+) -> ScanResult:
+    """Scan files/directories and keep the project context.
 
-    ``root`` defaults to the current directory; files outside it keep
-    their absolute path in reports.
+    Paths in reports are relative to ``root`` (default: the current
+    directory); files outside it keep their absolute path.
     """
     base = Path(root) if root is not None else Path.cwd()
-    findings: list[Violation] = []
+    sources: dict[str, str] = {}
     for file_path in _python_files(Path(p) for p in paths):
         try:
             relative = file_path.resolve().relative_to(base.resolve())
             report_path = relative.as_posix()
         except ValueError:
             report_path = file_path.as_posix()
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(analyze_source(source, report_path, rules))
-    findings.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
-    return findings
+        sources[report_path] = file_path.read_text(encoding="utf-8")
+    return analyze_project(sources, rules)
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    root: Path | str | None = None,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> list[Violation]:
+    """Scan files/directories; paths in reports are relative to ``root``."""
+    return scan_paths(paths, root=root, rules=rules).violations
 
 
 def load_baseline(path: Path | str) -> frozenset[str]:

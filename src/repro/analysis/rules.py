@@ -1,4 +1,4 @@
-"""The domain-specific rules (R001-R005).
+"""The per-file domain rules (R001-R007) and the rule registry.
 
 Each rule encodes an invariant the generic linters cannot see because it
 is about *this* codebase's arithmetic and architecture:
@@ -27,8 +27,11 @@ R006  kernel-tier modules (the packed plane and the interpreted
       byte, per Horner degree) carries a ``# repro: allow[R006]``
       justification on the loop header.
 
-Rules see one parsed file at a time and yield :class:`Violation` records;
-suppression filtering happens in :mod:`repro.analysis.engine`.
+Rules here see one parsed file at a time and yield :class:`Violation`
+records; suppression filtering happens in :mod:`repro.analysis.engine`.
+The interprocedural dataflow rules (R008-R011) live in
+:mod:`repro.analysis.dataflow` and run over the project call graph; this
+module registers both tiers in :data:`ALL_RULES`.
 """
 
 from __future__ import annotations
@@ -37,9 +40,16 @@ import ast
 import re
 from typing import Iterable, Iterator
 
+from repro.analysis.base import (
+    Rule,
+    dotted_name as _dotted,
+    path_segments as _segments,
+    snippet_at as _snippet,
+)
+from repro.analysis.dataflow import PROJECT_RULES
 from repro.analysis.violations import Violation
 
-__all__ = ["Rule", "ALL_RULES", "rule_by_id"]
+__all__ = ["Rule", "ALL_RULES", "FILE_RULES", "PROJECT_RULES", "rule_by_id"]
 
 #: Generator/channel classes owned by the scheme registry.  ``isinstance``
 #: against any of these outside ``repro.schemes`` is hand-wired dispatch
@@ -124,58 +134,6 @@ _STDLIB_RANDOM_FUNCS = frozenset(
 )
 
 _BLE_BOUNDARY_RE = re.compile(r"#\s*noqa:\s*BLE001\s*--\s*\S")
-
-
-def _segments(path: str) -> tuple[str, ...]:
-    return tuple(path.replace("\\", "/").split("/"))
-
-
-def _dotted(node: ast.expr) -> str | None:
-    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _snippet(lines: list[str], lineno: int) -> str:
-    if 1 <= lineno <= len(lines):
-        return lines[lineno - 1].strip()
-    return ""
-
-
-class Rule:
-    """One named invariant checked over a parsed source file."""
-
-    id: str = ""
-    title: str = ""
-
-    def applies_to(self, path: str) -> bool:
-        """Is ``path`` (posix-relative) inside this rule's scope?"""
-        raise NotImplementedError
-
-    def check(
-        self, tree: ast.AST, lines: list[str], path: str
-    ) -> Iterator[Violation]:
-        """Yield every violation of this rule in one parsed file."""
-        raise NotImplementedError
-
-    def _violation(
-        self, path: str, node: ast.AST, message: str, lines: list[str]
-    ) -> Violation:
-        lineno = getattr(node, "lineno", 1)
-        return Violation(
-            rule=self.id,
-            path=path,
-            line=lineno,
-            column=getattr(node, "col_offset", 0) + 1,
-            message=message,
-            snippet=_snippet(lines, lineno),
-        )
 
 
 class RegistryBypass(Rule):
@@ -613,7 +571,7 @@ class EstimatePathBypass(Rule):
                 )
 
 
-ALL_RULES: tuple[Rule, ...] = (
+FILE_RULES: tuple[Rule, ...] = (
     RegistryBypass(),
     IntegerWidthHazard(),
     DeterminismGuard(),
@@ -622,6 +580,8 @@ ALL_RULES: tuple[Rule, ...] = (
     KernelLoopGuard(),
     EstimatePathBypass(),
 )
+
+ALL_RULES: tuple[Rule, ...] = (*FILE_RULES, *PROJECT_RULES)
 
 
 def rule_by_id(rule_id: str) -> Rule:

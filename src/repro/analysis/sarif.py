@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 rendering of an analyze scan.
+
+CI uploads this as a build artifact so findings are browsable in code
+hosting UIs that understand SARIF.  The rendering is deliberately
+minimal -- one run, one tool, one result per violation -- and stores the
+baseline fingerprint under ``partialFingerprints`` so external viewers
+dedupe results the same way ``--strict`` does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.analysis.rules import Rule
+from repro.analysis.violations import Violation
+
+__all__ = ["SARIF_VERSION", "to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(
+    violations: Iterable[Violation],
+    rules: Sequence[Rule],
+    baseline: frozenset[str] = frozenset(),
+) -> dict:
+    """A SARIF log dict for one scan.
+
+    Baselined findings are carried with level ``note`` so the artifact
+    shows the full picture while viewers sort fresh findings first.
+    """
+    # R000 is emitted by the engine itself (suppression hygiene, parse
+    # failures), not by a Rule object, so it gets a static entry.
+    rule_entries: list[dict[str, object]] = [
+        {
+            "id": "R000",
+            "name": "AnalyzerHygiene",
+            "shortDescription": {
+                "text": "suppression hygiene and parse failures"
+            },
+            "helpUri": "docs/static-analysis.md",
+        }
+    ]
+    rule_entries.extend(
+        {
+            "id": rule.id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.title},
+            "helpUri": "docs/static-analysis.md",
+        }
+        for rule in rules
+    )
+    rule_order = {
+        str(entry["id"]): index for index, entry in enumerate(rule_entries)
+    }
+    results: list[dict[str, object]] = []
+    for violation in violations:
+        fingerprint = violation.fingerprint()
+        entry = {
+            "ruleId": violation.rule,
+            "level": "note" if fingerprint in baseline else "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": violation.path},
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.column,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproFingerprint/v1": fingerprint},
+        }
+        if violation.rule in rule_order:
+            entry["ruleIndex"] = rule_order[violation.rule]
+        if violation.why:
+            entry["message"] = {
+                "text": violation.message,
+                "markdown": violation.message
+                + "\n\n"
+                + "\n".join(f"- {step}" for step in violation.why),
+            }
+        results.append(entry)
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rule_entries,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    violations: Iterable[Violation],
+    rules: Sequence[Rule],
+    baseline: frozenset[str] = frozenset(),
+) -> str:
+    """The SARIF log as pretty-printed JSON text."""
+    return json.dumps(
+        to_sarif(violations, rules, baseline), indent=2, sort_keys=False
+    ) + "\n"

@@ -14,7 +14,9 @@ handlers (rule R004); that parsing lives with the rule, not here.
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 
 __all__ = ["Suppression", "collect_suppressions"]
@@ -48,13 +50,38 @@ class Suppression:
         )
 
 
+def _comment_columns(source_lines: list[str]) -> dict[int, int] | None:
+    """Line number -> column of the line's real ``#`` comment token.
+
+    Distinguishes comments from ``#`` characters inside string literals
+    (rule messages quote the marker syntax, and a line scan would
+    mistake those for live suppressions).  Returns ``None`` when the
+    source cannot be tokenized; the caller falls back to trusting the
+    line scan.
+    """
+    source = "\n".join(source_lines) + "\n"
+    columns: dict[int, int] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                columns[token.start[0]] = token.start[1]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return None
+    return columns
+
+
 def collect_suppressions(source_lines: list[str]) -> list[Suppression]:
     """Every ``repro: allow`` comment in a file, 1-indexed by line."""
     found = []
+    comments = _comment_columns(source_lines)
     for number, text in enumerate(source_lines, start=1):
         match = _ALLOW_RE.search(text)
         if match is None:
             continue
+        if comments is not None and (
+            number not in comments or match.start() < comments[number]
+        ):
+            continue  # the marker text sits inside a string literal
         rules = tuple(
             part.strip() for part in match.group(1).split(",") if part.strip()
         )

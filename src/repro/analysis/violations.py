@@ -10,14 +10,21 @@ fails strict mode.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["Violation"]
 
 
 @dataclass(frozen=True)
 class Violation:
-    """One rule firing at one source location."""
+    """One rule firing at one source location.
+
+    ``why`` carries the dataflow evidence behind interprocedural
+    findings (taint chains, call paths, dominating-guard searches) --
+    one human-readable step per entry.  It does not participate in
+    equality or the fingerprint: the same defect found through two
+    different paths is still one defect.
+    """
 
     rule: str
     path: str
@@ -25,6 +32,7 @@ class Violation:
     column: int
     message: str
     snippet: str
+    why: tuple[str, ...] = field(default=(), compare=False)
 
     def fingerprint(self) -> str:
         """The line-number-free identity used by the baseline file."""
@@ -36,3 +44,10 @@ class Violation:
             f"{self.path}:{self.line}:{self.column}: "
             f"{self.rule} {self.message}"
         )
+
+    def render_why(self) -> str:
+        """The one-line report plus the indented evidence chain."""
+        if not self.why:
+            return self.render()
+        steps = "\n".join(f"    {step}" for step in self.why)
+        return f"{self.render()}\n{steps}"

@@ -191,6 +191,35 @@ def main(argv: list[str] | None = None) -> int:
         "to src/repro)",
     )
     parser.add_argument(
+        "--graph",
+        default=None,
+        metavar="PATH",
+        dest="graph_path",
+        help="analyze only: write the project call graph (JSON) to PATH",
+    )
+    parser.add_argument(
+        "--why",
+        default=None,
+        metavar="FINGERPRINT",
+        help="analyze only: print the evidence chain behind the finding "
+        "with this fingerprint (a unique prefix is enough)",
+    )
+    parser.add_argument(
+        "--diff",
+        default=None,
+        metavar="REF",
+        dest="diff_ref",
+        help="analyze only: report only findings on lines changed since "
+        "the git ref (the pre-commit configuration)",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        dest="sarif_path",
+        help="analyze only: also write the scan as a SARIF 2.1.0 log",
+    )
+    parser.add_argument(
         "--format",
         choices=("json", "prometheus"),
         default=None,
@@ -214,10 +243,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    analyze_flags = args.strict or args.write_baseline or args.path
+    analyze_flags = (
+        args.strict
+        or args.write_baseline
+        or args.path
+        or args.graph_path
+        or args.why
+        or args.diff_ref
+        or args.sarif_path
+    )
     if analyze_flags and args.experiment != "analyze":
         parser.error(
-            "--strict/--write-baseline/--path only apply to 'analyze'"
+            "--strict/--write-baseline/--path/--graph/--why/--diff/"
+            "--sarif only apply to 'analyze'"
         )
     if (
         args.metrics_format or args.require_golden
@@ -237,6 +275,10 @@ def main(argv: list[str] | None = None) -> int:
             paths=args.path,
             strict=args.strict,
             refresh_baseline=args.write_baseline,
+            graph_path=args.graph_path,
+            why=args.why,
+            diff_ref=args.diff_ref,
+            sarif_path=args.sarif_path,
         )
 
     collector = None

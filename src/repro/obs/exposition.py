@@ -5,9 +5,9 @@ an empty registry.  The ``repro-experiments metrics`` subcommand
 therefore runs :func:`exercise_all_layers` first: a small, deterministic
 workload that drives every instrumented layer (stream ingestion and
 validation, graceful degradation, WAL + snapshot durability, recovery,
-the packed plane kernels, scheme range-sum dispatch, and a small inline
-shard cluster) so the snapshot it prints covers the full instrument
-catalogue.
+the packed plane kernels, scheme range-sum dispatch, a small inline
+shard cluster, and one static-analysis scan) so the snapshot it prints
+covers the full instrument catalogue.
 
 CI keeps that catalogue honest with a *golden list*
 (``tests/metrics_golden.txt``): :func:`missing_instruments` compares a
@@ -121,6 +121,21 @@ def exercise_all_layers(seed: int = 20060627) -> dict[str, dict[str, Any]]:
             cluster.ingest_intervals("cluster", [(0, 255), (16, 63)])
             cluster.supervise()
             cluster.answer(handle)
+        from repro.analysis import analyze_project
+
+        # One tiny in-memory scan so the analysis.* instruments (run
+        # counts, call-graph sizes, per-rule findings) are present.
+        analyze_project(
+            {
+                "src/repro/apps/_metrics_probe.py": (
+                    "import time\n"
+                    "from repro.generators.eh3 import EH3\n"
+                    "\n"
+                    "def probe():\n"
+                    "    return EH3(time.time_ns())\n"
+                )
+            }
+        )
         return obs.snapshot()
     finally:
         shutil.rmtree(directory, ignore_errors=True)

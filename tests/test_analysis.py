@@ -529,11 +529,13 @@ class TestSuppressions:
         assert found == []
 
     def test_wrong_rule_does_not_cover(self) -> None:
+        # The R001 finding survives, and the mismatched marker is itself
+        # reported stale (R000) since R002 never fired on its line.
         found = scan(
             "ok = isinstance(g, EH3)  # repro: allow[R002] wrong rule\n",
             "src/repro/sketch/thing.py",
         )
-        assert rule_ids(found) == ["R001"]
+        assert rule_ids(found) == ["R000", "R001"]
 
     def test_multiple_rules_in_one_marker(self) -> None:
         lines = ["x = 1  # repro: allow[R001, R002] shared justification"]
@@ -635,6 +637,10 @@ class TestBaseline:
             "R005",
             "R006",
             "R007",
+            "R008",
+            "R009",
+            "R010",
+            "R011",
         ]
 
 
@@ -661,3 +667,257 @@ class TestShippedBaseline:
         # keep it that way -- new violations need a fix or an inline
         # '# repro: allow[R00x] reason', not a baseline entry.
         assert load_baseline(REPO_ROOT / "analysis-baseline.json") == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# R000: stale suppressions.
+# ---------------------------------------------------------------------------
+
+
+class TestStaleSuppressions:
+    def test_stale_marker_flagged(self) -> None:
+        found = scan(
+            "x = compute()  # repro: allow[R001] fixed long ago\n",
+            "src/repro/sketch/thing.py",
+        )
+        assert rule_ids(found) == ["R000"]
+        assert "stale suppression" in found[0].message
+
+    def test_live_marker_not_flagged(self) -> None:
+        found = scan(
+            "ok = isinstance(g, EH3)  # repro: allow[R001] registry "
+            "migration pending\n",
+            "src/repro/sketch/thing.py",
+        )
+        assert found == []
+
+    def test_partial_rule_run_cannot_judge_staleness(self) -> None:
+        # Running only R002 cannot tell whether an R001 marker is stale.
+        found = analyze_source(
+            "x = compute()  # repro: allow[R001] fixed long ago\n",
+            "src/repro/sketch/thing.py",
+            rules=[rule_by_id("R002")],
+        )
+        assert found == []
+
+    def test_marker_text_inside_string_is_not_a_suppression(self) -> None:
+        # Rule docs quote the marker syntax in string literals; the
+        # tokenizer keeps those from registering (and from going stale).
+        found = scan(
+            "HELP = \"justify with '# repro: allow[R001] reason'\"\n",
+            "src/repro/sketch/thing.py",
+        )
+        assert found == []
+
+    def test_standalone_stale_marker_flagged(self) -> None:
+        found = scan(
+            """\
+            # repro: allow[R001] the next line used to dispatch on type
+            x = compute()
+            """,
+            "src/repro/sketch/thing.py",
+        )
+        assert rule_ids(found) == ["R000"]
+
+
+# ---------------------------------------------------------------------------
+# --diff: changed-lines-only reporting.
+# ---------------------------------------------------------------------------
+
+
+class TestDiffScan:
+    def _seed_repo(self, tmp_path: Path) -> Path:
+        import subprocess
+
+        def git(*argv: str) -> None:
+            subprocess.run(
+                ["git", "-C", str(tmp_path), *argv],
+                check=True,
+                capture_output=True,
+                env={
+                    "GIT_AUTHOR_NAME": "t",
+                    "GIT_AUTHOR_EMAIL": "t@t",
+                    "GIT_COMMITTER_NAME": "t",
+                    "GIT_COMMITTER_EMAIL": "t@t",
+                    "HOME": str(tmp_path),
+                    "PATH": "/usr/bin:/bin:/usr/local/bin",
+                },
+            )
+
+        package = tmp_path / "repro" / "sketch"
+        package.mkdir(parents=True)
+        target = package / "thing.py"
+        target.write_text("a = 1\nb = 2\nok = isinstance(g, EH3)\n")
+        git("init", "-q")
+        git("add", ".")
+        git("commit", "-q", "-m", "seed")
+        # Change line 2 only; the pre-existing violation on line 3 is
+        # NOT part of this change.
+        target.write_text("a = 1\nb = isinstance(g, BCH3)\nok = isinstance(g, EH3)\n")
+        return target
+
+    def test_changed_lines_parse(self, tmp_path: Path) -> None:
+        from repro.analysis.diff import changed_lines
+
+        self._seed_repo(tmp_path)
+        touched = changed_lines("HEAD", tmp_path)
+        assert touched == {"repro/sketch/thing.py": {2}}
+
+    def test_diff_scan_reports_only_touched_lines(
+        self, tmp_path: Path, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        target = self._seed_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        out = io.StringIO()
+        code = run_analyze(
+            paths=[str(target)],
+            strict=True,
+            diff_ref="HEAD",
+            baseline_path=str(tmp_path / "absent.json"),
+            stream=out,
+        )
+        text = out.getvalue()
+        assert code == 1
+        assert "BCH3" in text  # the line this change touched
+        assert text.count("R001") >= 1
+        assert ":3:" not in text  # the untouched pre-existing finding
+
+    def test_bad_ref_is_a_clean_error(
+        self, tmp_path: Path, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        target = self._seed_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        out = io.StringIO()
+        code = run_analyze(
+            paths=[str(target)],
+            diff_ref="no-such-ref",
+            baseline_path=str(tmp_path / "absent.json"),
+            stream=out,
+        )
+        assert code == 2
+        assert "analyze --diff" in out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# SARIF artifact.
+# ---------------------------------------------------------------------------
+
+
+class TestSarifOutput:
+    def test_sarif_structure(self) -> None:
+        from repro.analysis.sarif import SARIF_VERSION, to_sarif
+
+        violations = scan(
+            "ok = isinstance(g, EH3)\n", "src/repro/sketch/thing.py"
+        )
+        log = to_sarif(violations, ALL_RULES)
+        assert log["version"] == SARIF_VERSION
+        run = log["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-analyze"
+        rule_ids_listed = [entry["id"] for entry in driver["rules"]]
+        assert rule_ids_listed[0] == "R000"
+        assert "R011" in rule_ids_listed
+        (result,) = run["results"]
+        assert result["ruleId"] == "R001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == (
+            "src/repro/sketch/thing.py"
+        )
+        assert location["region"]["startLine"] == 1
+        assert "reproFingerprint/v1" in result["partialFingerprints"]
+
+    def test_baselined_findings_are_notes(self) -> None:
+        from repro.analysis.sarif import to_sarif
+
+        violations = scan(
+            "ok = isinstance(g, EH3)\n", "src/repro/sketch/thing.py"
+        )
+        baseline = frozenset(v.fingerprint() for v in violations)
+        log = to_sarif(violations, ALL_RULES, baseline)
+        (result,) = log["runs"][0]["results"]
+        assert result["level"] == "note"
+
+    def test_cli_writes_artifact(self, tmp_path: Path) -> None:
+        bad = tmp_path / "repro" / "sketch"
+        bad.mkdir(parents=True)
+        (bad / "thing.py").write_text("ok = isinstance(g, EH3)\n")
+        sarif_path = tmp_path / "scan.sarif"
+        out = io.StringIO()
+        run_analyze(
+            paths=[str(bad)],
+            sarif_path=str(sarif_path),
+            baseline_path=str(tmp_path / "absent.json"),
+            stream=out,
+        )
+        log = json.loads(sarif_path.read_text())
+        assert log["runs"][0]["results"], "artifact must carry findings"
+        assert "sarif:" in out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# --graph / --why introspection.
+# ---------------------------------------------------------------------------
+
+
+class TestIntrospectionCLI:
+    def test_graph_artifact_round_trips(self, tmp_path: Path) -> None:
+        from repro.analysis.callgraph import CallGraph
+
+        package = tmp_path / "repro" / "apps"
+        package.mkdir(parents=True)
+        (package / "thing.py").write_text(
+            "def f():\n    return g()\n\ndef g():\n    return 1\n"
+        )
+        graph_path = tmp_path / "graph.json"
+        out = io.StringIO()
+        run_analyze(
+            paths=[str(package)],
+            graph_path=str(graph_path),
+            baseline_path=str(tmp_path / "absent.json"),
+            stream=out,
+        )
+        data = json.loads(graph_path.read_text())
+        clone = CallGraph.from_dict(data)
+        assert any(
+            info.qualname == "f" for info in clone.functions.values()
+        )
+        assert "graph:" in out.getvalue()
+
+    def test_why_prints_evidence_chain(self, tmp_path: Path) -> None:
+        package = tmp_path / "repro" / "apps"
+        package.mkdir(parents=True)
+        (package / "thing.py").write_text(
+            "import time\n"
+            "from repro.generators.eh3 import EH3\n"
+            "\n"
+            "def make():\n"
+            "    seed = time.time_ns()\n"
+            "    return EH3(seed)\n"
+        )
+        out = io.StringIO()
+        code = run_analyze(
+            paths=[str(package)],
+            why="R008",
+            baseline_path=str(tmp_path / "absent.json"),
+            stream=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "source: time.time_ns" in text
+        assert "fingerprint: R008::" in text
+
+    def test_why_without_match_fails(self, tmp_path: Path) -> None:
+        package = tmp_path / "repro" / "apps"
+        package.mkdir(parents=True)
+        (package / "thing.py").write_text("x = 1\n")
+        out = io.StringIO()
+        code = run_analyze(
+            paths=[str(package)],
+            why="R008::nope",
+            baseline_path=str(tmp_path / "absent.json"),
+            stream=out,
+        )
+        assert code == 1
+        assert "no finding" in out.getvalue()
