@@ -1,4 +1,4 @@
-"""The per-file domain rules (R001-R007) and the rule registry.
+"""The per-file domain rules (R001-R007, R012) and the rule registry.
 
 Each rule encodes an invariant the generic linters cannot see because it
 is about *this* codebase's arithmetic and architecture:
@@ -25,7 +25,12 @@ R006  kernel-tier modules (the packed plane and the interpreted
       ``repro.core.primefield``) and no per-element loops -- a
       whole-batch traversal that must iterate (per seed bit, per index
       byte, per Horner degree) carries a ``# repro: allow[R006]``
-      justification on the loop header.
+      justification on the loop header;
+R012  ``obs.span()`` / ``obs.start_span()`` handles are either used as
+      context managers or explicitly ``.end()``ed -- an unclosed span
+      records nothing and unbalances the trace collector's stack,
+      corrupting the parent links of every later span in the stitched
+      trace.
 
 Rules here see one parsed file at a time and yield :class:`Violation`
 records; suppression filtering happens in :mod:`repro.analysis.engine`.
@@ -571,6 +576,130 @@ class EstimatePathBypass(Rule):
                 )
 
 
+class SpanLifecycleGuard(Rule):
+    """R012: span handles are context-managed or explicitly ended.
+
+    ``obs.span()`` returns a context manager and ``obs.start_span()`` an
+    already-entered span: a handle that never reaches ``__exit__`` /
+    ``.end()`` records nothing and leaves the trace collector's stack
+    unbalanced, silently corrupting every later parent/child link in the
+    stitched trace.  The check is per scope: a span call must be a
+    ``with`` item, or be bound to a name that is later used as a ``with``
+    item or has ``.end()`` called on it in the same scope.  A bare
+    expression statement discards the handle outright.  Calls forwarded
+    elsewhere (returned, passed as an argument) transfer ownership and
+    are not flagged.  ``repro.obs`` itself (which implements the
+    machinery) is exempt.
+    """
+
+    id = "R012"
+    title = "span handle never closed"
+
+    _FACTORIES = frozenset(
+        {"span", "obs.span", "start_span", "obs.start_span"}
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return "obs" not in _segments(path)
+
+    def _scope_walk(self, body: Iterable[ast.stmt]) -> Iterator[ast.AST]:
+        """Every node of a scope, not descending into nested functions."""
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                # A nested (or module-level) function is its own scope;
+                # ``check`` walks its body separately.
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_scope(
+        self, body: Iterable[ast.stmt], lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        with_calls: set[int] = set()  # span calls used as `with` items
+        with_names: set[str] = set()  # names used as `with` items
+        ended: set[str] = set()  # names with a .end() call
+        discarded: set[int] = set()  # bare-Expr statement calls
+        assigned: dict[int, tuple[str, ast.Call]] = {}
+        span_calls: list[ast.Call] = []
+        for node in self._scope_walk(body):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call):
+                        with_calls.add(id(expr))
+                    elif isinstance(expr, ast.Name):
+                        with_names.add(expr.id)
+            elif isinstance(node, ast.Expr) and isinstance(
+                node.value, ast.Call
+            ):
+                discarded.add(id(node.value))
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                if (
+                    isinstance(value, ast.Call)
+                    and _dotted(value.func) in self._FACTORIES
+                    and len(targets) == 1
+                    and isinstance(targets[0], ast.Name)
+                ):
+                    assigned[id(value)] = (targets[0].id, value)
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted in self._FACTORIES:
+                    span_calls.append(node)
+                elif dotted is not None and dotted.endswith(".end"):
+                    owner = dotted[: -len(".end")]
+                    if "." not in owner:
+                        ended.add(owner)
+        for call in span_calls:
+            if id(call) in with_calls:
+                continue
+            binding = assigned.get(id(call))
+            if binding is not None:
+                name = binding[0]
+                if name in ended or name in with_names:
+                    continue
+                yield self._violation(
+                    path,
+                    call,
+                    f"span handle {name!r} is never closed in this scope; "
+                    "use it as a `with` item or call its .end() on every "
+                    "path so the duration records and the trace stack "
+                    "stays balanced -- or justify with "
+                    "'# repro: allow[R012] reason'",
+                    lines,
+                )
+            elif id(call) in discarded:
+                yield self._violation(
+                    path,
+                    call,
+                    "span handle discarded: the span never enters/exits, "
+                    "so no duration records and nothing reaches the trace "
+                    "collector; wrap the timed region in `with "
+                    "obs.span(...)` -- or justify with "
+                    "'# repro: allow[R012] reason'",
+                    lines,
+                )
+
+    def check(
+        self, tree: ast.AST, lines: list[str], path: str
+    ) -> Iterator[Violation]:
+        scopes: list[list[ast.stmt]] = [list(getattr(tree, "body", []))]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        for body in scopes:
+            yield from self._check_scope(body, lines, path)
+
+
 FILE_RULES: tuple[Rule, ...] = (
     RegistryBypass(),
     IntegerWidthHazard(),
@@ -579,6 +708,7 @@ FILE_RULES: tuple[Rule, ...] = (
     ClockInjectionGuard(),
     KernelLoopGuard(),
     EstimatePathBypass(),
+    SpanLifecycleGuard(),
 )
 
 ALL_RULES: tuple[Rule, ...] = (*FILE_RULES, *PROJECT_RULES)

@@ -41,7 +41,7 @@ QUERY_ENGINE_RATIO_TARGET = 1.05
 
 # Top-level report keys owned by other subcommands; write_bench_files
 # carries them over instead of erasing them on a core bench re-run.
-_MERGED_BENCH_KEYS = ("cluster", "hh", "query_engine")
+_MERGED_BENCH_KEYS = ("cluster", "hh", "query_engine", "slo")
 
 #: Regression floors enforced by ``repro-experiments bench --check-floors``:
 #: per workload, the minimum acceptable speedup of the best backend

@@ -47,9 +47,18 @@ are verified bit-identical first -- and records the per-query latency
 ratio under the ``"query_engine"`` key of ``BENCH_bulk.json``.
 
 ``analyze`` runs the domain-aware static-analysis rules
-(:mod:`repro.analysis`, rules R001-R007) over ``src/repro``; with
+(:mod:`repro.analysis`, rules R001-R012) over ``src/repro``; with
 ``--strict`` it exits non-zero on any violation outside the checked-in
 baseline (``analysis-baseline.json``).  See ``docs/static-analysis.md``.
+
+``slo`` drives the live SLO workload (ground-truth calibration plus a
+traced inline-cluster round trip), evaluates the declarative objectives
+of :mod:`repro.obs.slo` against the resulting snapshot and the
+``BENCH_*.json`` documents in ``--bench-dir``, and publishes the report
+under the ``"slo"`` key of ``BENCH_durability.json`` when
+``--output-dir`` is given.  With ``--strict`` it exits non-zero when
+any error budget is burned -- the CI gate.  ``--trace`` additionally
+writes the stitched coordinator+worker trace.
 
 ``metrics`` runs a small deterministic workload through every
 instrumented layer and prints the resulting registry snapshot
@@ -123,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
             "hh-bench",
             "analyze",
             "metrics",
+            "slo",
         ],
         help="which table/figure to regenerate ('bench' for the "
         "vectorized-kernel benchmark reports, 'faults' for the "
@@ -130,7 +140,8 @@ def main(argv: list[str] | None = None) -> int:
         "chaos suite, 'cluster-bench' for the cluster scaling/recovery/"
         "availability report, 'hh-bench' for the heavy-hitter "
         "accuracy-vs-space curve, 'analyze' for the static-analysis "
-        "gate, 'metrics' for the observability snapshot)",
+        "gate, 'metrics' for the observability snapshot, 'slo' for the "
+        "error-budget gate)",
     )
     parser.add_argument(
         "--quick",
@@ -176,7 +187,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--strict",
         action="store_true",
-        help="analyze only: exit non-zero on any non-baselined violation",
+        help="analyze: exit non-zero on any non-baselined violation; "
+        "slo: exit non-zero when any error budget is burned",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=None,
+        metavar="DIR",
+        help="slo only: directory holding the BENCH_*.json documents "
+        "the bench-sourced objectives read (default: the working "
+        "directory)",
     )
     parser.add_argument(
         "--write-baseline",
@@ -244,8 +264,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     analyze_flags = (
-        args.strict
-        or args.write_baseline
+        args.write_baseline
         or args.path
         or args.graph_path
         or args.why
@@ -254,19 +273,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     if analyze_flags and args.experiment != "analyze":
         parser.error(
-            "--strict/--write-baseline/--path/--graph/--why/--diff/"
+            "--write-baseline/--path/--graph/--why/--diff/"
             "--sarif only apply to 'analyze'"
         )
+    if args.strict and args.experiment not in ("analyze", "slo"):
+        parser.error("--strict only applies to 'analyze' and 'slo'")
+    if args.bench_dir and args.experiment != "slo":
+        parser.error("--bench-dir only applies to 'slo'")
     if (
         args.metrics_format or args.require_golden
     ) and args.experiment != "metrics":
         parser.error("--format/--require-golden only apply to 'metrics'")
     if args.trace and args.experiment not in (
-        "bench", "faults", "cluster-faults", "cluster-bench", "metrics"
+        "bench", "faults", "cluster-faults", "cluster-bench", "metrics",
+        "slo",
     ):
         parser.error(
             "--trace only applies to 'bench', 'faults', 'cluster-faults', "
-            "'cluster-bench' and 'metrics'"
+            "'cluster-bench', 'metrics' and 'slo'"
         )
     if args.experiment == "analyze":
         from repro.analysis.cli import run_analyze
@@ -329,6 +353,58 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 return 1
+        return 0
+
+    if args.experiment == "slo":
+        import json as json_module
+        import os
+
+        from repro import obs
+        from repro.obs.slo import evaluate_slos, run_slo_workload
+
+        obs.reset_metrics()
+        snapshot = run_slo_workload(seed=args.seed)
+        bench_dir = args.bench_dir or "."
+        bench: dict = {}
+        for key, filename in (
+            ("durability", "BENCH_durability.json"),
+            ("bulk", "BENCH_bulk.json"),
+        ):
+            bench_path = os.path.join(bench_dir, filename)
+            if os.path.exists(bench_path):
+                try:
+                    with open(bench_path) as handle:
+                        bench[key] = json_module.load(handle)
+                except ValueError:
+                    print(
+                        f"warning: {bench_path} is not valid JSON; "
+                        "bench-sourced objectives will be skipped",
+                        file=sys.stderr,
+                    )
+        report = evaluate_slos(snapshot=snapshot, bench=bench)
+        _finish_trace()
+        print(report.to_text())
+        if args.output_dir:
+            os.makedirs(args.output_dir, exist_ok=True)
+            path = os.path.join(args.output_dir, "BENCH_durability.json")
+            data: dict = {}
+            if os.path.exists(path):
+                with open(path) as handle:
+                    data = json_module.load(handle)
+            data["slo"] = report.to_dict()
+            with open(path, "w") as handle:
+                json_module.dump(data, handle, indent=2)
+                handle.write("\n")
+            print(
+                f"BENCH_durability.json: {path} (slo key updated)",
+                file=sys.stderr,
+            )
+        if args.strict and not report.ok:
+            print(
+                f"slo gate FAILED: {len(report.burned)} budget(s) burned",
+                file=sys.stderr,
+            )
+            return 1
         return 0
 
     if args.scheme is not None and args.experiment != "bench":

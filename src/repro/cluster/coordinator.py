@@ -695,11 +695,16 @@ class ClusterProcessor:
             )
             if not shard.failed:
                 try:
-                    reply = self._request(
-                        shard,
-                        {"kind": "ship", "relation": relation},
-                        retries=1,
-                    )
+                    with obs.span(
+                        "cluster.shard.answer",
+                        shard=shard.sid,
+                        relation=relation,
+                    ):
+                        reply = self._request(
+                            shard,
+                            {"kind": "ship", "relation": relation},
+                            retries=1,
+                        )
                     sketch = sketch_from_dict(reply["sketch"], scheme=scheme)
                     shipped = sketch.values()
                     shard.cache[relation] = (
@@ -736,6 +741,20 @@ class ClusterProcessor:
         shard.frame_seq += 1
         return shard.frame_seq
 
+    def _with_trace(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Attach the live trace context to an outgoing command (once).
+
+        Mutating commands are journaled with their context already
+        attached, so a retry or crash-replay resends the identical frame;
+        their spans keep the parent they had when first posted.
+        """
+        if "trace" in message:
+            return message
+        collector = obs.trace_collector()
+        if collector is None:
+            return message
+        return {**message, "trace": collector.current_context()}
+
     def _backoff_sleep(self, attempt: int) -> None:
         config = self.config
         delay = config.backoff_base * config.backoff_factor ** (attempt - 1)
@@ -749,6 +768,19 @@ class ClusterProcessor:
     ) -> dict[str, Any] | None:
         """Process one reply frame; returns it if it was awaited."""
         shard.last_ok = obs.monotonic()
+        spans = message.get("spans")
+        if spans:
+            # Worker-side spans shipped in the reply: stitch them into
+            # the live trace under the shard's own pid track.  Late and
+            # duplicate replies stitch too -- the collector deduplicates
+            # by span id, so re-delivery cannot double-record a span.
+            collector = obs.trace_collector()
+            if collector is not None:
+                added = collector.stitch_remote(spans, process=shard.sid + 1)
+                if added:
+                    obs.counter(
+                        "obs.trace.remote.spans_stitched_total"
+                    ).inc(added)
         index = shard.outstanding.pop(seq, _MISSING)
         if index is _MISSING:
             # A retry already consumed this seq: the original reply
@@ -816,46 +848,53 @@ class ClusterProcessor:
         retries = config.retries if retries is None else retries
         seq = self._next_seq(shard)
         shard.outstanding[seq] = index
-        frame = encode_frame(seq, message)
         can_wait = getattr(shard.link, "waits", True)
-        try:
-            for attempt in range(retries + 1):
-                if attempt:
-                    obs.counter("cluster.command.retries_total").inc()
-                    self._backoff_sleep(attempt)
-                shard.link.send(frame)
-                deadline = obs.monotonic() + timeout
-                while True:
-                    remaining = deadline - obs.monotonic()
-                    if remaining <= 0:
-                        break
-                    got = shard.link.recv(min(remaining, 0.05))
-                    if got is None:
-                        if not can_wait:
-                            # Inline transport: nothing more arrives
-                            # without another send; go straight to retry.
+        with obs.span(
+            "cluster.command", shard=shard.sid, op=str(message.get("kind"))
+        ):
+            # The context is read inside the span, so worker-side spans
+            # shipped back in the reply parent-link to this very command.
+            frame = encode_frame(seq, self._with_trace(message))
+            try:
+                for attempt in range(retries + 1):
+                    if attempt:
+                        obs.counter("cluster.command.retries_total").inc()
+                        self._backoff_sleep(attempt)
+                    shard.link.send(frame)
+                    deadline = obs.monotonic() + timeout
+                    while True:
+                        remaining = deadline - obs.monotonic()
+                        if remaining <= 0:
                             break
-                        continue
-                    try:
-                        reply_seq, reply = decode_frame(got)
-                    except FrameCorruptionError:
-                        obs.counter(
-                            "cluster.protocol.corrupt_frames_total"
-                        ).inc()
-                        continue
-                    accepted = self._accept_reply(shard, reply_seq, reply)
-                    if reply_seq == seq and accepted is not None:
-                        return accepted
-                    if seq not in shard.outstanding:
-                        # A gap reply consumed our seq and re-drove the
-                        # journal; re-arm so the retry is awaited.
-                        shard.outstanding[seq] = index
-        finally:
-            shard.outstanding.pop(seq, None)
-        raise ShardTimeoutError(
-            f"{shard.name} did not answer {message.get('kind')!r} within "
-            f"{retries + 1} attempts of {timeout}s"
-        )
+                        got = shard.link.recv(min(remaining, 0.05))
+                        if got is None:
+                            if not can_wait:
+                                # Inline transport: nothing more arrives
+                                # without another send; go straight to
+                                # retry.
+                                break
+                            continue
+                        try:
+                            reply_seq, reply = decode_frame(got)
+                        except FrameCorruptionError:
+                            obs.counter(
+                                "cluster.protocol.corrupt_frames_total"
+                            ).inc()
+                            continue
+                        accepted = self._accept_reply(shard, reply_seq, reply)
+                        if reply_seq == seq and accepted is not None:
+                            return accepted
+                        if seq not in shard.outstanding:
+                            # A gap reply consumed our seq and re-drove
+                            # the journal; re-arm so the retry is
+                            # awaited.
+                            shard.outstanding[seq] = index
+            finally:
+                shard.outstanding.pop(seq, None)
+            raise ShardTimeoutError(
+                f"{shard.name} did not answer {message.get('kind')!r} within "
+                f"{retries + 1} attempts of {timeout}s"
+            )
 
     def _post(self, shard: _Shard, message: dict[str, Any]) -> None:
         """Pipeline one mutating command (journal first, then send)."""
@@ -867,7 +906,7 @@ class ClusterProcessor:
         self._backpressure(shard)
         index = shard.mut_index + 1
         shard.mut_index = index
-        message = {**message, "index": index}
+        message = self._with_trace({**message, "index": index})
         shard.pending[index] = message
         seq = self._next_seq(shard)
         shard.outstanding[seq] = index
@@ -885,7 +924,7 @@ class ClusterProcessor:
             )
         index = shard.mut_index + 1
         shard.mut_index = index
-        message = {**message, "index": index}
+        message = self._with_trace({**message, "index": index})
         shard.pending[index] = message
         try:
             self._request(shard, message, index=index)

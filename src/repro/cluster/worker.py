@@ -23,6 +23,17 @@ deterministic failures *inside* the worker: die with ``os._exit`` before
 or after applying mutation ``at_index``, or hang (stop reading the pipe)
 from ``at_index`` on.  The hooks only ever fire when explicitly armed by
 a test or the fault suite; production coordinators never send ``fault``.
+
+**Distributed tracing.**  A command carrying a ``trace`` context (see
+:meth:`repro.obs.TraceCollector.current_context`) is handled under a
+worker-local :class:`repro.obs.RemoteSpanBuffer`: the dispatch runs
+inside a ``cluster.worker.command`` span, every span the stream layer
+opens underneath lands in the buffer, and the closed-span records ship
+back in the reply under ``"spans"`` for the coordinator to stitch.
+Records spool to ``trace-spool.jsonl`` in the shard's durability
+directory the moment each span closes, so a worker killed mid-command
+re-ships its already-finished spans with the first reply after restart
+(the stitcher deduplicates by span id).
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
+from repro import obs
 from repro.cluster.errors import FrameCorruptionError
 from repro.cluster.protocol import (
     MUTATING_KINDS,
@@ -49,6 +61,10 @@ __all__ = ["WorkerSpec", "ShardServer", "worker_main"]
 #: The stream processor's manifest file name; its presence is what makes
 #: a restart a recovery (mirrors ``repro.stream.processor._MANIFEST``).
 _MANIFEST = "manifest.json"
+
+#: Where a traced worker spools closed spans; lives beside the WAL so a
+#: restarted incarnation re-ships what the crashed one never delivered.
+_TRACE_SPOOL = "trace-spool.jsonl"
 
 
 @dataclass(frozen=True)
@@ -99,14 +115,55 @@ class ShardServer:
     def __init__(self, spec: WorkerSpec) -> None:
         self.spec = spec
         self.processor = spec.build_processor()
+        self._tracer: obs.RemoteSpanBuffer | None = None
 
     @property
     def applied_index(self) -> int:
         """Index of the last applied mutating command (== WAL seq)."""
         return int(self.processor._applied_seq)
 
+    def _trace_buffer(self, context: dict[str, Any]) -> obs.RemoteSpanBuffer:
+        """The worker's span buffer, joined to the command's trace."""
+        if self._tracer is None:
+            self._tracer = obs.RemoteSpanBuffer(
+                spool=os.path.join(self.spec.directory, _TRACE_SPOOL)
+            )
+        self._tracer.adopt(context)
+        return self._tracer
+
     def handle(self, message: dict[str, Any]) -> dict[str, Any]:
-        """Apply one decoded command; returns the reply payload."""
+        """Apply one decoded command; returns the reply payload.
+
+        A command carrying a ``trace`` context is dispatched under the
+        worker's span buffer (swapped in for the process collector, so
+        inline-transport workers never record into the coordinator's
+        stack); the reply ships every span closed since the last one
+        delivered, leftover spooled records from a crashed incarnation
+        included.
+        """
+        context = message.get("trace")
+        if not isinstance(context, dict):
+            return self._dispatch(message)
+        tracer = self._trace_buffer(context)
+        previous = obs.set_trace_collector(tracer)
+        try:
+            with obs.span(
+                "cluster.worker.command",
+                shard=self.spec.shard_id,
+                op=str(message.get("kind")),
+            ):
+                reply = self._dispatch(message)
+        finally:
+            obs.set_trace_collector(previous)
+        records = tracer.drain()
+        if records:
+            obs.counter("obs.trace.remote.spans_shipped_total").inc(
+                len(records)
+            )
+            reply = {**reply, "spans": records}
+        return reply
+
+    def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
         kind = message.get("kind")
         try:
             if kind in MUTATING_KINDS:

@@ -43,9 +43,10 @@ from repro.obs.metrics import (
     NullHistogram,
     NullRate,
     NullRegistry,
+    histogram_quantile,
     snapshot_to_prometheus,
 )
-from repro.obs.tracing import TraceCollector
+from repro.obs.tracing import RemoteSpanBuffer, TraceCollector
 
 __all__ = [
     "Clock",
@@ -60,8 +61,10 @@ __all__ = [
     "NullHistogram",
     "NullRate",
     "TraceCollector",
+    "RemoteSpanBuffer",
     "DEFAULT_TIMING_EDGES",
     "DEFAULT_SIZE_EDGES",
+    "histogram_quantile",
     "snapshot_to_prometheus",
     "enabled",
     "set_enabled",
@@ -72,6 +75,7 @@ __all__ = [
     "histogram",
     "rate",
     "span",
+    "start_span",
     "monotonic",
     "set_clock",
     "snapshot",
@@ -188,6 +192,10 @@ class _NullSpan:
     def __exit__(self, *exc_info: Any) -> None:
         return None
 
+    def end(self) -> None:
+        """Nothing to close."""
+        return None
+
 
 _NULL_SPAN = _NullSpan()
 
@@ -195,20 +203,25 @@ _NULL_SPAN = _NullSpan()
 class _Span:
     """One timed region: histogram observation + optional trace event."""
 
-    __slots__ = ("name", "attrs", "_start")
+    __slots__ = ("name", "attrs", "_start", "_closed")
 
     def __init__(self, name: str, attrs: dict[str, Any]) -> None:
         self.name = name
         self.attrs = attrs
         self._start = 0.0
+        self._closed = False
 
     def __enter__(self) -> "_Span":
         if _COLLECTOR is not None:
             _COLLECTOR.open_span(self.name)
         self._start = _REGISTRY.now()
+        self._closed = False
         return self
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self._closed:
+            return None
+        self._closed = True
         duration = _REGISTRY.now() - self._start
         if _ENABLED:
             _REGISTRY.histogram(
@@ -224,6 +237,14 @@ class _Span:
             )
         return None
 
+    def end(self) -> None:
+        """Close an explicitly started span (idempotent).
+
+        The counterpart of :func:`start_span` for code that cannot use
+        ``with``; rule R012 requires every path to reach it.
+        """
+        self.__exit__(None, None, None)
+
 
 def span(name: str, **attrs: Any) -> _Span | _NullSpan:
     """A context manager timing one region of a hot path.
@@ -237,6 +258,17 @@ def span(name: str, **attrs: Any) -> _Span | _NullSpan:
     if not _ENABLED and _COLLECTOR is None:
         return _NULL_SPAN
     return _Span(name, attrs)
+
+
+def start_span(name: str, **attrs: Any) -> _Span | _NullSpan:
+    """An already-entered span for code that cannot use ``with``.
+
+    The caller owns the close: every path must reach ``.end()`` (which
+    is idempotent), or the span never records and the collector's stack
+    stays unbalanced.  Rule R012 checks both this and :func:`span` for
+    exactly that.
+    """
+    return span(name, **attrs).__enter__()
 
 
 # -- tracing -------------------------------------------------------------

@@ -106,21 +106,50 @@ def exercise_all_layers(seed: int = 20060627) -> dict[str, dict[str, Any]]:
             range_sums(generator, [0, 8], [7, 15])
         from repro.cluster import ClusterConfig, ClusterProcessor
 
-        with ClusterProcessor(
-            os.path.join(directory, "cluster"),
-            shards=2,
+        # The cluster leg runs under a trace collector so the worker
+        # span-shipping/stitching path (obs.trace.remote.*) is
+        # exercised; an already-installed collector (``--trace``) is
+        # reused, a throwaway one is swapped in otherwise.
+        collector = obs.trace_collector()
+        installed = None
+        if collector is None:
+            installed = obs.TraceCollector()
+            obs.set_trace_collector(installed)
+        try:
+            with ClusterProcessor(
+                os.path.join(directory, "cluster"),
+                shards=2,
+                medians=3,
+                averages=4,
+                seed=seed,
+                transport="inline",
+                config=ClusterConfig(heartbeat_interval=0.0),
+            ) as cluster:
+                cluster.register_relation("cluster", 8)
+                handle = cluster.register_self_join("cluster")
+                cluster.ingest_points("cluster", list(range(32)))
+                cluster.ingest_intervals("cluster", [(0, 255), (16, 63)])
+                cluster.supervise()
+                cluster.answer(handle)
+        finally:
+            if installed is not None:
+                obs.set_trace_collector(None)
+        from repro.obs.calibration import run_calibration_workload
+        from repro.obs.slo import evaluate_slos
+
+        # A trimmed calibration pass plus one SLO evaluation so the
+        # query.calibration.* and slo.* instruments are present.
+        run_calibration_workload(
+            seed,
+            schemes=("eh3",),
             medians=3,
-            averages=4,
-            seed=seed,
-            transport="inline",
-            config=ClusterConfig(heartbeat_interval=0.0),
-        ) as cluster:
-            cluster.register_relation("cluster", 8)
-            handle = cluster.register_self_join("cluster")
-            cluster.ingest_points("cluster", list(range(32)))
-            cluster.ingest_intervals("cluster", [(0, 255), (16, 63)])
-            cluster.supervise()
-            cluster.answer(handle)
+            averages=8,
+            domain_bits=8,
+            points=800,
+            range_queries=2,
+            point_queries=2,
+        )
+        evaluate_slos()
         from repro.analysis import analyze_project
 
         # One tiny in-memory scan so the analysis.* instruments (run

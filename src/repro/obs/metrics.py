@@ -52,6 +52,7 @@ __all__ = [
     "NullRate",
     "DEFAULT_TIMING_EDGES",
     "DEFAULT_SIZE_EDGES",
+    "histogram_quantile",
     "snapshot_to_prometheus",
 ]
 
@@ -69,6 +70,50 @@ DEFAULT_SIZE_EDGES: tuple[float, ...] = (
 )
 
 _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+
+def histogram_quantile(
+    edges: Iterable[float], buckets: Iterable[int], q: float
+) -> float:
+    """Interpolated quantile ``q`` from fixed-bucket histogram state.
+
+    The Prometheus ``histogram_quantile`` convention: find the bucket the
+    rank falls in, then interpolate linearly between its bounds
+    (assuming observations spread uniformly within the bucket).  The
+    lowest bucket's lower bound is 0 when its edge is positive (its edge
+    otherwise), and any rank landing in the implicit ``+Inf`` overflow
+    bucket reports the highest finite edge -- the histogram genuinely
+    cannot resolve beyond it.  An empty histogram has no quantiles and
+    returns ``nan``.
+
+    Operates on raw state (the ``edges``/``buckets`` lists of a
+    :meth:`Histogram.snapshot`), so SLO evaluation can read quantiles
+    straight from serialized snapshots; :meth:`Histogram.quantile` is
+    the live-instrument veneer.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be within [0, 1], got {q}")
+    edge_list = [float(edge) for edge in edges]
+    counts = [int(count) for count in buckets]
+    total = sum(counts)
+    if total == 0:
+        return math.nan
+    rank = q * total
+    cumulative = 0
+    for position, count in enumerate(counts):
+        cumulative += count
+        if cumulative < rank or count == 0:
+            continue
+        if position >= len(edge_list):  # the implicit +Inf bucket
+            return edge_list[-1]
+        upper = edge_list[position]
+        if position == 0:
+            lower = 0.0 if upper > 0.0 else upper
+        else:
+            lower = edge_list[position - 1]
+        within = rank - (cumulative - count)
+        return lower + (upper - lower) * (within / count)
+    return edge_list[-1]
 
 
 def _check_name(name: str) -> str:
@@ -174,6 +219,15 @@ class Histogram:
         self.bucket_counts[bisect.bisect_left(self.edges, value)] += 1
         self.sum += value
         self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile ``q`` of the recorded distribution.
+
+        See :func:`histogram_quantile` for the interpolation convention
+        (``nan`` when empty, capped at the highest finite edge for ranks
+        in the overflow bucket).
+        """
+        return histogram_quantile(self.edges, self.bucket_counts, q)
 
     def snapshot(self) -> dict[str, Any]:
         """This instrument's state as a JSON-compatible dict."""
@@ -415,6 +469,10 @@ class NullHistogram:
 
     def observe(self, value: float) -> None:
         """Discard the observation."""
+
+    def quantile(self, q: float) -> float:
+        """Always ``nan`` (the empty-histogram convention)."""
+        return math.nan
 
 
 class NullRate:

@@ -1,0 +1,413 @@
+"""Declarative SLOs: typed objectives evaluated against live metrics.
+
+An :class:`SLOSpec` names one *service-level indicator* -- a latency
+quantile read from a ``<span>.seconds`` histogram, an availability or
+recovery figure from a ``BENCH_*.json`` report, the CI-coverage of the
+calibration monitor -- and the objective it must meet.
+:func:`evaluate_slos` resolves every spec against a metrics snapshot
+(and optionally the bench documents), computes the fraction of each
+error budget burned, and returns an :class:`SLOReport` the
+``repro-experiments slo`` subcommand renders and CI gates on
+(``--strict`` exits non-zero when any budget is burned).
+
+Budget semantics: for a ``<=`` objective (latencies, recovery time) the
+burn is ``observed / objective`` -- 1.0 means the budget is exactly
+spent, above 1.0 it is burned.  For a ``>=`` objective (availability,
+coverage) the budget is the *allowed shortfall* ``1 - objective`` and
+the burn is ``(1 - observed) / (1 - objective)`` -- the standard
+error-budget reading where 99% availability against a 95% objective has
+burned 20% of the budget.
+
+A spec with ``required=False`` whose indicator is absent is *skipped*
+(reported, never burned): bench-sourced objectives only bind when the
+bench was actually run.  A ``required=True`` spec with no data fails --
+a gate that silently passes because nobody produced the metric is not a
+gate.  See ``docs/observability.md`` for the objective catalogue and
+``docs/operations.md`` for the "SLO gate failed in CI" runbook.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro import obs
+from repro.obs.calibration import coverage_from_snapshot
+from repro.obs.metrics import histogram_quantile
+
+__all__ = [
+    "SLOSpec",
+    "SLOResult",
+    "SLOReport",
+    "default_slos",
+    "evaluate_slos",
+    "run_slo_workload",
+]
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One service-level objective, declaratively.
+
+    ``indicator`` is an instrument name (``source="metrics"``) or a
+    dotted path into the bench documents (``source="bench"``, rooted at
+    ``{"durability": ..., "bulk": ...}``).  For histogram indicators
+    ``quantile`` selects the latency percentile; scalar instruments and
+    bench values are read directly.  ``kind`` groups objectives for
+    reporting (``latency`` / ``availability`` / ``recovery`` /
+    ``calibration`` / ``throughput``).
+    """
+
+    name: str
+    kind: str
+    indicator: str
+    objective: float
+    comparison: str = "<="
+    quantile: float | None = None
+    source: str = "metrics"
+    description: str = ""
+    required: bool = True
+
+    def __post_init__(self) -> None:
+        if self.comparison not in ("<=", ">="):
+            raise ValueError(
+                f"comparison must be '<=' or '>=', got {self.comparison!r}"
+            )
+        if self.source not in ("metrics", "bench"):
+            raise ValueError(
+                f"source must be 'metrics' or 'bench', got {self.source!r}"
+            )
+        if self.quantile is not None and not 0.0 <= self.quantile <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    """One spec resolved against live data."""
+
+    spec: SLOSpec
+    observed: float | None
+    ok: bool
+    skipped: bool = False
+    budget_burned: float | None = None
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Every spec's outcome from one evaluation pass."""
+
+    results: tuple[SLOResult, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True when no budget is burned (skips do not burn)."""
+        return all(result.ok or result.skipped for result in self.results)
+
+    @property
+    def burned(self) -> tuple[SLOResult, ...]:
+        """The results whose budget is burned."""
+        return tuple(
+            result
+            for result in self.results
+            if not result.ok and not result.skipped
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready report (the shape published under ``"slo"``)."""
+        return {
+            "ok": self.ok,
+            "results": [
+                {
+                    "name": result.spec.name,
+                    "kind": result.spec.kind,
+                    "indicator": result.spec.indicator,
+                    "objective": result.spec.objective,
+                    "comparison": result.spec.comparison,
+                    "quantile": result.spec.quantile,
+                    "source": result.spec.source,
+                    "observed": result.observed,
+                    "ok": result.ok,
+                    "skipped": result.skipped,
+                    "budget_burned": result.budget_burned,
+                    "reason": result.reason,
+                }
+                for result in self.results
+            ],
+        }
+
+    def to_text(self) -> str:
+        """Human-readable gate output, one line per objective."""
+        lines = []
+        width = max((len(r.spec.name) for r in self.results), default=4)
+        for result in self.results:
+            if result.skipped:
+                status = "SKIP"
+                detail = result.reason or "indicator absent"
+            else:
+                status = "PASS" if result.ok else "BURN"
+                observed = (
+                    "n/a" if result.observed is None
+                    else f"{result.observed:.6g}"
+                )
+                detail = (
+                    f"observed {observed} {result.spec.comparison} "
+                    f"{result.spec.objective:g}"
+                )
+                if result.budget_burned is not None and math.isfinite(
+                    result.budget_burned
+                ):
+                    detail += f" (budget {result.budget_burned:.0%})"
+                if result.reason:
+                    detail += f" -- {result.reason}"
+            lines.append(f"{status}  {result.spec.name:<{width}}  {detail}")
+        burned = len(self.burned)
+        lines.append(
+            f"\n{len(self.results) - burned}/{len(self.results)} "
+            "objectives within budget"
+        )
+        return "\n".join(lines)
+
+
+def default_slos() -> tuple[SLOSpec, ...]:
+    """The repository's standing objectives.
+
+    Latency objectives are deliberately loose -- they catch a hot path
+    regressing by orders of magnitude (an accidental per-cell fallback,
+    a quadratic plan), not CI-machine jitter.  Availability, recovery,
+    and throughput objectives read the cluster bench report and only
+    bind when it was generated; calibration coverage always binds.
+    """
+    specs: list[SLOSpec] = []
+    for kind in ("point", "range_sum", "f2"):
+        histogram = f"query.execute.{kind}.seconds"
+        specs.append(
+            SLOSpec(
+                name=f"latency.{kind}.p50",
+                kind="latency",
+                indicator=histogram,
+                objective=0.25,
+                quantile=0.5,
+                description=f"median {kind} query latency (seconds)",
+            )
+        )
+        specs.append(
+            SLOSpec(
+                name=f"latency.{kind}.p99",
+                kind="latency",
+                indicator=histogram,
+                objective=2.0,
+                quantile=0.99,
+                description=f"tail {kind} query latency (seconds)",
+            )
+        )
+    specs.append(
+        SLOSpec(
+            name="latency.join_size.p99",
+            kind="latency",
+            indicator="query.execute.join_size.seconds",
+            objective=2.0,
+            quantile=0.99,
+            required=False,
+            description="tail join-size query latency (seconds)",
+        )
+    )
+    specs.append(
+        SLOSpec(
+            name="calibration.coverage",
+            kind="calibration",
+            indicator="query.calibration.coverage",
+            objective=0.90,
+            comparison=">=",
+            description="observed CI coverage across schemes",
+        )
+    )
+    specs.append(
+        SLOSpec(
+            name="cluster.availability",
+            kind="availability",
+            indicator="durability.cluster.availability.availability",
+            objective=0.95,
+            comparison=">=",
+            source="bench",
+            required=False,
+            description="answers served during the fault storm",
+        )
+    )
+    specs.append(
+        SLOSpec(
+            name="cluster.recovery",
+            kind="recovery",
+            indicator="durability.cluster.recovery.seconds",
+            objective=30.0,
+            source="bench",
+            required=False,
+            description="crashed-shard restart-replay-rejoin time",
+        )
+    )
+    specs.append(
+        SLOSpec(
+            name="kernel.interval_speedup",
+            kind="throughput",
+            indicator="bulk.workloads.eh3_interval_batch.speedup",
+            objective=1.0,
+            comparison=">=",
+            source="bench",
+            required=False,
+            description="packed plane vs scalar interval batches",
+        )
+    )
+    return tuple(specs)
+
+
+def _bench_value(bench: Mapping[str, Any], path: str) -> float | None:
+    node: Any = bench
+    for part in path.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def _metric_value(
+    spec: SLOSpec, snapshot: Mapping[str, Any]
+) -> float | None:
+    entry = snapshot.get(spec.indicator)
+    if not isinstance(entry, Mapping):
+        if spec.kind == "calibration":
+            # A merged or counter-only snapshot: recover coverage from
+            # the hit/miss totals instead of the gauge.
+            return coverage_from_snapshot(snapshot)
+        return None
+    if entry.get("type") == "histogram":
+        quantile = 0.5 if spec.quantile is None else spec.quantile
+        value = histogram_quantile(
+            entry.get("edges") or (), entry.get("buckets") or (), quantile
+        )
+        return None if math.isnan(value) else value
+    value = entry.get("value")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _budget_burned(spec: SLOSpec, observed: float) -> float:
+    if spec.comparison == "<=":
+        if spec.objective <= 0.0:
+            return math.inf if observed > 0.0 else 0.0
+        return observed / spec.objective
+    budget = 1.0 - spec.objective
+    if budget <= 0.0:
+        return 0.0 if observed >= spec.objective else math.inf
+    return max(0.0, (1.0 - observed) / budget)
+
+
+def evaluate_slos(
+    specs: Sequence[SLOSpec] | None = None,
+    snapshot: Mapping[str, Any] | None = None,
+    bench: Mapping[str, Any] | None = None,
+) -> SLOReport:
+    """Resolve every spec against a snapshot (and bench docs).
+
+    ``snapshot`` defaults to the live registry's; ``bench`` maps
+    document keys to loaded ``BENCH_*.json`` contents (the default specs
+    use ``"durability"`` and ``"bulk"``).  Each evaluation bumps the
+    ``slo.*`` counters, so the gate's own activity is observable.
+    """
+    if specs is None:
+        specs = default_slos()
+    if snapshot is None:
+        snapshot = obs.snapshot()
+    bench = bench or {}
+    results: list[SLOResult] = []
+    for spec in specs:
+        if spec.source == "bench":
+            observed = _bench_value(bench, spec.indicator)
+        else:
+            observed = _metric_value(spec, snapshot)
+        if observed is None or math.isnan(observed):
+            if spec.required:
+                results.append(
+                    SLOResult(
+                        spec=spec,
+                        observed=None,
+                        ok=False,
+                        budget_burned=math.inf,
+                        reason="required indicator missing",
+                    )
+                )
+            else:
+                results.append(
+                    SLOResult(
+                        spec=spec,
+                        observed=None,
+                        ok=True,
+                        skipped=True,
+                        reason="indicator absent",
+                    )
+                )
+            continue
+        ok = (
+            observed <= spec.objective
+            if spec.comparison == "<="
+            else observed >= spec.objective
+        )
+        results.append(
+            SLOResult(
+                spec=spec,
+                observed=observed,
+                ok=ok,
+                budget_burned=_budget_burned(spec, observed),
+            )
+        )
+    report = SLOReport(results=tuple(results))
+    obs.counter("slo.evaluations_total").inc()
+    obs.counter("slo.results_total").inc(len(report.results))
+    obs.counter("slo.burned_total").inc(len(report.burned))
+    return report
+
+
+def run_slo_workload(
+    seed: int = 20060627, *, directory: str | None = None
+) -> dict[str, dict[str, Any]]:
+    """Drive the live indicators the default objectives read.
+
+    Runs the ground-truth calibration workload (point / range-sum / F2
+    latencies plus coverage) and one traced inline-cluster round trip
+    (command spans, worker spans shipped and stitched), then returns the
+    registry snapshot.  With a trace collector installed the cluster
+    leg's spans land in it -- this is the workload behind the stitched
+    trace the ``slo`` subcommand exports.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.obs.calibration import run_calibration_workload
+
+    run_calibration_workload(seed)
+    base = directory or tempfile.mkdtemp(prefix="repro-slo-")
+    try:
+        from repro.cluster import ClusterConfig, ClusterProcessor
+
+        with ClusterProcessor(
+            os.path.join(base, "cluster"),
+            shards=2,
+            medians=3,
+            averages=4,
+            seed=seed,
+            transport="inline",
+            config=ClusterConfig(heartbeat_interval=0.0),
+        ) as cluster:
+            cluster.register_relation("slo", 8)
+            handle = cluster.register_self_join("slo")
+            cluster.ingest_points("slo", list(range(64)))
+            cluster.ingest_intervals("slo", [(0, 127)])
+            cluster.answer(handle)
+    finally:
+        if directory is None:
+            shutil.rmtree(base, ignore_errors=True)
+    return obs.snapshot()

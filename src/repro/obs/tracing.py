@@ -1,4 +1,4 @@
-"""Nestable trace spans with Chrome-trace export.
+"""Nestable trace spans with Chrome-trace export and trace propagation.
 
 A :class:`Span` wraps one timed region of a hot path::
 
@@ -21,6 +21,23 @@ explicit stack and stamps each event with its depth and parent), and
 ``__exit__`` always runs, so an exception inside the body still closes
 and records the span.
 
+**Distributed traces.**  Every collector owns a *trace id* and assigns
+each span a process-unique *span id*; both travel on every event
+(top-level ``trace_id`` / ``span_id`` / ``parent_span_id`` keys, which
+Chrome-trace viewers ignore).  :meth:`TraceCollector.current_context`
+packages the innermost open span as a wire-ready trace context; a
+collector in another process :meth:`adopts <TraceCollector.adopt>` it so
+its root spans parent-link across the boundary, and the originating
+collector :meth:`stitches <TraceCollector.stitch_remote>` the shipped
+span records back into one cross-process trace (events deduplicated by
+span id, so duplicate delivery and crash-replay cannot double-record a
+span).  :class:`RemoteSpanBuffer` is the worker-side sink: it records
+closed spans as shippable records carrying *absolute* clock readings
+(both sides read the same monotonic epoch, so the coordinator rebases
+exactly), and optionally spools each record to disk the moment the span
+closes -- a worker killed mid-command loses only the span it was inside,
+never one that already finished.
+
 The collector's ``write_jsonl`` emits one JSON event per line -- the
 Chrome ``chrome://tracing`` / Perfetto *JSON Array Format* minus the
 surrounding brackets; ``as_chrome_trace`` returns the complete
@@ -29,26 +46,50 @@ loadable document.
 
 from __future__ import annotations
 
+import itertools
 import json
-from typing import IO, Any
+import os
+from typing import IO, Any, Iterable, Mapping
 
-__all__ = ["TraceCollector"]
+__all__ = ["TraceCollector", "RemoteSpanBuffer"]
+
+#: Per-process collector instance counter: combined with the pid it makes
+#: every collector's span-id prefix unique across processes *and* across
+#: restarts within one process (an inline-transport worker rebuilt after a
+#: simulated crash gets a fresh prefix, so its span ids can never collide
+#: with ones its previous incarnation already shipped).
+_INSTANCES = itertools.count(1)
+
+_TRACE_IDS = itertools.count(1)
 
 
 class TraceCollector:
     """Accumulates Chrome-trace complete events from finished spans."""
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = (
+            trace_id
+            if trace_id is not None
+            else f"trace-{os.getpid():x}-{next(_TRACE_IDS)}"
+        )
         self.events: list[dict[str, Any]] = []
-        self._stack: list[str] = []
+        self._stack: list[tuple[str, str]] = []  # (name, span id)
         self._origin: float | None = None
+        self._prefix = f"{os.getpid():x}.{next(_INSTANCES):x}"
+        self._serial = 0
+        self._remote_parent: str | None = None
+        self._stitched: set[str] = set()
+
+    def _new_span_id(self) -> str:
+        self._serial += 1
+        return f"{self._prefix}.{self._serial:x}"
 
     # -- span bookkeeping (driven by repro.obs.span) ---------------------
 
     def open_span(self, name: str) -> int:
         """Push a span; returns its nesting depth (0 = outermost)."""
         depth = len(self._stack)
-        self._stack.append(name)
+        self._stack.append((name, self._new_span_id()))
         return depth
 
     def close_span(
@@ -60,34 +101,134 @@ class TraceCollector:
         error: str | None,
     ) -> None:
         """Pop a span and record its complete event."""
-        if self._stack and self._stack[-1] == name:
-            self._stack.pop()
-        elif name in self._stack:  # tolerate interleaved teardown
-            self._stack.remove(name)
-        if self._origin is None:
-            self._origin = start
+        span_id: str | None = None
+        if self._stack and self._stack[-1][0] == name:
+            span_id = self._stack.pop()[1]
+        else:  # tolerate interleaved teardown
+            for position in range(len(self._stack) - 1, -1, -1):
+                if self._stack[position][0] == name:
+                    span_id = self._stack.pop(position)[1]
+                    break
+        if span_id is None:
+            # Collector installed mid-span: close without a matching open.
+            span_id = self._new_span_id()
         args = dict(attrs)
+        parent_id: str | None = None
         if self._stack:
-            args["parent"] = self._stack[-1]
+            parent_name, parent_id = self._stack[-1]
+            args["parent"] = parent_name
+        elif self._remote_parent is not None:
+            parent_id = self._remote_parent
         if error is not None:
             args["error"] = error
-        self.events.append(
-            {
-                "name": name,
-                "cat": "repro",
-                "ph": "X",
-                "ts": (start - self._origin) * 1e6,  # microseconds
-                "dur": duration * 1e6,
-                "pid": 0,
-                "tid": 0,
-                "args": args,
-            }
-        )
+        self._emit(name, start, duration, args, span_id, parent_id)
+
+    def _emit(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        args: dict[str, Any],
+        span_id: str,
+        parent_id: str | None,
+    ) -> None:
+        """Record one closed span (collectors override the event shape)."""
+        if self._origin is None:
+            self._origin = start
+        event = {
+            "name": name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (start - self._origin) * 1e6,  # microseconds
+            "dur": duration * 1e6,
+            "pid": 0,
+            "tid": 0,
+            "args": args,
+            "trace_id": self.trace_id,
+            "span_id": span_id,
+        }
+        if parent_id is not None:
+            event["parent_span_id"] = parent_id
+        self.events.append(event)
 
     @property
     def depth(self) -> int:
         """Currently open span count (0 when idle)."""
         return len(self._stack)
+
+    # -- trace propagation -----------------------------------------------
+
+    def current_context(self) -> dict[str, str]:
+        """The wire-ready trace context of the innermost open span.
+
+        ``{"id": trace_id, "parent": span_id}``; ``parent`` is omitted
+        when no span is open (the receiver's spans become trace roots).
+        """
+        context = {"id": self.trace_id}
+        if self._stack:
+            context["parent"] = self._stack[-1][1]
+        elif self._remote_parent is not None:
+            context["parent"] = self._remote_parent
+        return context
+
+    def adopt(self, context: Mapping[str, Any]) -> None:
+        """Adopt a propagated context: join its trace, parent root spans.
+
+        Called on the receiving side of a process boundary with the
+        ``current_context()`` dict the sender attached to its command.
+        Root spans closed afterwards carry the sender's span as their
+        ``parent_span_id``, which is what stitches the two processes'
+        span trees into one.
+        """
+        trace_id = context.get("id")
+        if isinstance(trace_id, str) and trace_id:
+            self.trace_id = trace_id
+        parent = context.get("parent")
+        self._remote_parent = parent if isinstance(parent, str) else None
+
+    def stitch_remote(
+        self, records: Iterable[Any], *, process: int = 1
+    ) -> int:
+        """Merge shipped :class:`RemoteSpanBuffer` records into this trace.
+
+        Each record becomes one complete event under ``pid=process`` (a
+        separate track in the viewer); ``ts`` is rebased onto this
+        collector's origin from the record's absolute ``start`` (both
+        sides read the same monotonic epoch).  Records are deduplicated
+        by span id -- duplicate reply delivery and crash-replay re-ship
+        the same spans, and the trace must stay well-formed regardless.
+        Returns the number of events actually added.
+        """
+        added = 0
+        for record in records:
+            if not isinstance(record, Mapping) or "name" not in record:
+                continue
+            span_id = record.get("span_id")
+            if isinstance(span_id, str):
+                if span_id in self._stitched:
+                    continue
+                self._stitched.add(span_id)
+            start = float(record.get("start", 0.0))
+            if self._origin is None:
+                self._origin = start
+            event = {
+                "name": str(record["name"]),
+                "cat": "repro",
+                "ph": "X",
+                "ts": (start - self._origin) * 1e6,
+                "dur": float(record.get("dur", 0.0)) * 1e6,
+                "pid": process,
+                "tid": 0,
+                "args": dict(record.get("args") or {}),
+                "trace_id": record.get("trace_id", self.trace_id),
+                "span_id": span_id,
+            }
+            parent_id = record.get("parent_span_id")
+            if isinstance(parent_id, str):
+                event["parent_span_id"] = parent_id
+            self.events.append(event)
+            added += 1
+        return added
 
     # -- export ----------------------------------------------------------
 
@@ -109,3 +250,104 @@ class TraceCollector:
         for event in self.events:
             target.write(json.dumps(event, sort_keys=True) + "\n")
         return len(self.events)
+
+
+class RemoteSpanBuffer(TraceCollector):
+    """Worker-side span sink: closed spans become shippable records.
+
+    Install in place of the normal collector while handling one traced
+    command; spans closed meanwhile accumulate as plain-dict *records*
+    (absolute ``start``/``dur`` seconds plus the id/parent/trace keys)
+    that :meth:`drain` hands to the reply and the coordinator's
+    :meth:`TraceCollector.stitch_remote` rebases into its own trace.
+
+    With a ``spool`` path every record is also appended to disk the
+    moment its span closes, *before* any reply ships it -- so a worker
+    killed mid-command (or in the ack window) loses only its open span.
+    Leftover spooled records load on construction and ship with the
+    first reply after restart; the coordinator's span-id dedup absorbs
+    any the crashed incarnation already delivered.  The spool truncates
+    whenever it reaches ``spool_limit`` records, bounding the file (and
+    the replay window) on long-lived workers.
+    """
+
+    def __init__(
+        self,
+        trace_id: str | None = None,
+        spool: str | None = None,
+        spool_limit: int = 1024,
+    ) -> None:
+        super().__init__(trace_id)
+        self.records: list[dict[str, Any]] = []
+        self._spool = spool
+        self._spool_limit = max(1, spool_limit)
+        self._spooled = 0
+        if spool is not None:
+            self._load_spool(spool)
+
+    def _emit(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        args: dict[str, Any],
+        span_id: str,
+        parent_id: str | None,
+    ) -> None:
+        record = {
+            "name": name,
+            "start": start,
+            "dur": duration,
+            "args": args,
+            "trace_id": self.trace_id,
+            "span_id": span_id,
+        }
+        if parent_id is not None:
+            record["parent_span_id"] = parent_id
+        self.records.append(record)
+        self._append_spool(record)
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Hand over every unshipped record (they ship in one reply).
+
+        The spool is deliberately *not* cleared here: the reply may
+        still be lost with the worker.  Already-shipped records that
+        reload after a restart are re-shipped and deduplicated at the
+        stitching side.
+        """
+        records, self.records = self.records, []
+        return records
+
+    # -- crash spool -----------------------------------------------------
+
+    def _load_spool(self, spool: str) -> None:
+        try:
+            with open(spool, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a crash mid-append
+            if isinstance(record, dict) and "name" in record:
+                self.records.append(record)
+        self._spooled = len(self.records)
+
+    def _append_spool(self, record: dict[str, Any]) -> None:
+        if self._spool is None:
+            return
+        try:
+            if self._spooled >= self._spool_limit:
+                # Bound the file: records this old were either shipped
+                # long ago or belong to traces nobody is stitching.
+                with open(self._spool, "w", encoding="utf-8"):
+                    pass
+                self._spooled = 0
+            with open(self._spool, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+            self._spooled += 1
+        except OSError:
+            self._spool = None  # spool unwritable: keep serving in-memory

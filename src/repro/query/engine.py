@@ -54,6 +54,7 @@ __all__ = [
 ]
 
 _KIND_COUNTERS: dict[str, str] = {}
+_KIND_SPANS: dict[str, str] = {}
 
 
 def _kind_counter(kind: str) -> str:
@@ -61,6 +62,19 @@ def _kind_counter(kind: str) -> str:
     name = _KIND_COUNTERS.get(kind)
     if name is None:
         name = _KIND_COUNTERS[kind] = f"query.execute.{kind}_total"
+    return name
+
+
+def _kind_span(kind: str) -> str:
+    """Cached ``query.execute.<kind>`` span name.
+
+    The nested per-kind span gives each query kind its own
+    ``query.execute.<kind>.seconds`` latency histogram -- the series the
+    SLO engine's p50/p99 latency objectives read.
+    """
+    name = _KIND_SPANS.get(kind)
+    if name is None:
+        name = _KIND_SPANS[kind] = f"query.execute.{kind}"
     return name
 
 
@@ -82,7 +96,7 @@ def product_of_values(
         raise ValueError("need at least one counter grid")
     obs.counter("query.execute.total").inc()
     obs.counter(_kind_counter(kind)).inc()
-    with obs.span("query.execute", kind=kind):
+    with obs.span("query.execute", kind=kind), obs.span(_kind_span(kind)):
         products = np.ones_like(np.asarray(arrays[0], dtype=np.float64))
         for values in arrays:
             products = products * values
@@ -115,7 +129,7 @@ def product(
         raise ValueError("sketches must share a scheme to be multiplied")
     obs.counter("query.execute.total").inc()
     obs.counter(_kind_counter(kind)).inc()
-    with obs.span("query.execute", kind=kind):
+    with obs.span("query.execute", kind=kind), obs.span(_kind_span(kind)):
         return estimate_from_products(
             x.values() * y.values(),
             plan=plan,

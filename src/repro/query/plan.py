@@ -145,39 +145,40 @@ def plan_interval(alpha: Any, beta: Any, kind: str | None) -> LevelPlan:
     channels' own ``range_sum`` handles errors and exotic domains).
     """
     obs.counter("query.plan.plans_total").inc()
-    if not isinstance(alpha, (int, np.integer)) or not isinstance(
-        beta, (np.integer, int)
-    ):
-        return _scalar_plan(alpha, beta)
-    alpha = int(alpha)
-    beta = int(beta)
-    if kind is None or alpha < 0 or beta >= _MAX_PLANNED:
-        return _scalar_plan(alpha, beta)
-    if kind == "endpoints":
+    with obs.span("query.plan"):
+        if not isinstance(alpha, (int, np.integer)) or not isinstance(
+            beta, (np.integer, int)
+        ):
+            return _scalar_plan(alpha, beta)
+        alpha = int(alpha)
+        beta = int(beta)
+        if kind is None or alpha < 0 or beta >= _MAX_PLANNED:
+            return _scalar_plan(alpha, beta)
+        if kind == "endpoints":
+            plan = LevelPlan(
+                alpha=alpha,
+                beta=beta,
+                kind="endpoints",
+                lows=(alpha,),
+                levels=(0,),
+            )
+            obs.counter("query.plan.pieces_total").inc()
+            return plan
+        if kind == "quaternary":
+            cover = quaternary_cover_arrays([alpha], [beta])
+        elif kind == "binary":
+            cover = dyadic_cover_arrays([alpha], [beta])
+        else:
+            raise ValueError(f"unknown decomposition kind {kind!r}")
         plan = LevelPlan(
             alpha=alpha,
             beta=beta,
-            kind="endpoints",
-            lows=(alpha,),
-            levels=(0,),
+            kind=kind,
+            lows=tuple(int(low) for low in cover.lows),
+            levels=tuple(int(level) for level in cover.levels),
         )
-        obs.counter("query.plan.pieces_total").inc()
+        obs.counter("query.plan.pieces_total").inc(plan.pieces)
         return plan
-    if kind == "quaternary":
-        cover = quaternary_cover_arrays([alpha], [beta])
-    elif kind == "binary":
-        cover = dyadic_cover_arrays([alpha], [beta])
-    else:
-        raise ValueError(f"unknown decomposition kind {kind!r}")
-    plan = LevelPlan(
-        alpha=alpha,
-        beta=beta,
-        kind=kind,
-        lows=tuple(int(low) for low in cover.lows),
-        levels=tuple(int(level) for level in cover.levels),
-    )
-    obs.counter("query.plan.pieces_total").inc(plan.pieces)
-    return plan
 
 
 def plan_for_scheme(

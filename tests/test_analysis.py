@@ -503,6 +503,122 @@ class TestEstimatePathBypass:
 
 
 # ---------------------------------------------------------------------------
+# R012: span handles must be context-managed or explicitly ended.
+# ---------------------------------------------------------------------------
+
+
+class TestSpanLifecycleGuard:
+    def test_discarded_and_unended_handles_flagged(self) -> None:
+        found = scan(
+            """\
+            from repro import obs
+
+            def f():
+                obs.span("a.b", op="load")
+                handle = obs.start_span("c.d")
+                return 1
+            """,
+            "src/repro/stream/thing.py",
+        )
+        assert rule_ids(found) == ["R012", "R012"]
+        assert "discarded" in found[0].message
+        assert "'handle'" in found[1].message
+        assert found[0].line == 4
+        assert found[1].line == 5
+
+    def test_with_item_and_ended_handles_clean(self) -> None:
+        found = scan(
+            """\
+            from repro import obs
+
+            def f():
+                with obs.span("a.b"):
+                    pass
+                handle = obs.start_span("c.d")
+                try:
+                    pass
+                finally:
+                    handle.end()
+            """,
+            "src/repro/stream/thing.py",
+        )
+        assert found == []
+
+    def test_named_handle_as_with_item_clean(self) -> None:
+        found = scan(
+            """\
+            def f():
+                handle = span("a.b")
+                with handle:
+                    pass
+            """,
+            "src/repro/query/thing.py",
+        )
+        assert found == []
+
+    def test_forwarded_handles_transfer_ownership(self) -> None:
+        # Returning or passing a handle elsewhere is not a leak here.
+        found = scan(
+            """\
+            def opener():
+                return start_span("a.b")
+
+            def registrar(sink):
+                sink.attach(start_span("c.d"))
+            """,
+            "src/repro/cluster/thing.py",
+        )
+        assert found == []
+
+    def test_scopes_are_independent(self) -> None:
+        # A .end() in another function does not close this scope's span.
+        found = scan(
+            """\
+            def opener():
+                handle = start_span("a.b")
+
+            def closer(handle):
+                handle.end()
+            """,
+            "src/repro/stream/thing.py",
+        )
+        assert rule_ids(found) == ["R012"]
+        assert found[0].line == 2
+
+    def test_nested_function_is_its_own_scope(self) -> None:
+        found = scan(
+            """\
+            def outer():
+                with span("a.b"):
+                    def inner():
+                        span("c.d")
+                    return inner
+            """,
+            "src/repro/query/thing.py",
+        )
+        assert rule_ids(found) == ["R012"]
+        assert found[0].line == 4
+
+    def test_obs_package_exempt(self) -> None:
+        source = "def f():\n    span('a.b')\n"
+        assert scan(source, "src/repro/obs/tracing.py") == []
+        assert (
+            rule_ids(scan(source, "src/repro/stream/thing.py")) == ["R012"]
+        )
+
+    def test_suppression_with_reason_covers(self) -> None:
+        found = scan(
+            """\
+            def f():
+                # repro: allow[R012] fire-and-forget marker span
+                obs.span("a.b")
+            """,
+            "src/repro/stream/thing.py",
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions and R000.
 # ---------------------------------------------------------------------------
 
@@ -637,6 +753,7 @@ class TestBaseline:
             "R005",
             "R006",
             "R007",
+            "R012",
             "R008",
             "R009",
             "R010",

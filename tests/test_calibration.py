@@ -1,0 +1,211 @@
+"""Estimate-calibration monitoring: coverage math, incidents, workload.
+
+The monitor's contract: truth inside the z-widened one-sigma band is a
+hit, coverage below the floor (after ``min_samples``) records exactly
+one :class:`Incident` per dip, and the Zipf ground-truth workload
+populates the ``query.calibration.*`` instruments deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.calibration import (
+    ERROR_EDGES,
+    CalibrationMonitor,
+    coverage_from_snapshot,
+    run_calibration_workload,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.query.types import Estimate
+
+SEED = 20060627
+
+
+@pytest.fixture
+def fresh_obs():
+    previous_registry = obs.set_registry(MetricsRegistry())
+    previous_enabled = obs.set_enabled(True)
+    previous_collector = obs.set_trace_collector(None)
+    try:
+        yield obs.registry()
+    finally:
+        obs.set_registry(previous_registry)
+        obs.set_enabled(previous_enabled)
+        obs.set_trace_collector(previous_collector)
+
+
+def _estimate(value: float, half_sigma: float) -> Estimate:
+    """An estimate whose one-sigma band is ``value +- half_sigma``."""
+    return Estimate(
+        value=value, ci_low=value - half_sigma, ci_high=value + half_sigma
+    )
+
+
+class TestMonitorValidation:
+    def test_floor_above_nominal_rejected(self) -> None:
+        with pytest.raises(ValueError, match="floor"):
+            CalibrationMonitor(nominal=0.9, floor=0.95)
+
+    def test_bad_z_and_min_samples_rejected(self) -> None:
+        with pytest.raises(ValueError, match="z must be positive"):
+            CalibrationMonitor(z=0.0)
+        with pytest.raises(ValueError, match="min_samples"):
+            CalibrationMonitor(min_samples=0)
+
+
+class TestCoverageMath:
+    def test_truth_inside_widened_band_is_hit(self, fresh_obs) -> None:
+        monitor = CalibrationMonitor(z=1.96)
+        # One-sigma half-width 10 -> the 1.96-sigma band reaches +-19.6.
+        assert monitor.observe("eh3", 119.0, _estimate(100.0, 10.0))
+        assert not monitor.observe("eh3", 120.0, _estimate(100.0, 10.0))
+        assert monitor.coverage("eh3") == pytest.approx(0.5)
+
+    def test_boundary_is_covered(self, fresh_obs) -> None:
+        monitor = CalibrationMonitor(z=2.0)
+        assert monitor.observe("eh3", 120.0, _estimate(100.0, 10.0))
+
+    def test_bare_float_counts_as_miss(self, fresh_obs) -> None:
+        monitor = CalibrationMonitor()
+        assert not monitor.observe("eh3", 100.0, 99.0)
+        assert monitor.observe("eh3", 100.0, 100.0)  # exactly right
+
+    def test_idle_coverage_is_one(self, fresh_obs) -> None:
+        monitor = CalibrationMonitor()
+        assert monitor.coverage() == 1.0
+        assert monitor.coverage("never-seen") == 1.0
+
+    def test_instruments_populated(self, fresh_obs) -> None:
+        monitor = CalibrationMonitor()
+        monitor.observe("eh3", 100.0, _estimate(101.0, 5.0))
+        monitor.observe("eh3", 100.0, _estimate(500.0, 1.0))
+        snapshot = obs.snapshot()
+        assert snapshot["query.calibration.samples_total"]["value"] == 2.0
+        assert snapshot["query.calibration.eh3.samples_total"]["value"] == 2.0
+        assert snapshot["query.calibration.ci_hits_total"]["value"] == 1.0
+        assert snapshot["query.calibration.ci_misses_total"]["value"] == 1.0
+        assert snapshot["query.calibration.eh3.coverage"]["value"] == 0.5
+        assert snapshot["query.calibration.coverage"]["value"] == 0.5
+        errors = snapshot["query.calibration.realized_relative_error"]
+        assert errors["count"] == 2
+        assert tuple(errors["edges"]) == ERROR_EDGES
+
+
+class TestIncidents:
+    def test_incident_fires_once_below_floor(self, fresh_obs) -> None:
+        monitor = CalibrationMonitor(floor=0.90, min_samples=10)
+        # Tiny CIs far from truth: every observation is a miss.
+        for _ in range(15):
+            monitor.observe("bch3", 1000.0, _estimate(1.0, 0.001))
+        assert len(monitor.incidents) == 1
+        incident = monitor.incidents[0]
+        assert incident.operation == "calibration"
+        assert incident.relation == "bch3"
+        assert "below floor" in incident.error
+        assert not incident.recovered
+        state = obs.snapshot()["query.calibration.incidents_total"]
+        assert state["value"] == 1.0
+
+    def test_no_incident_before_min_samples(self, fresh_obs) -> None:
+        monitor = CalibrationMonitor(floor=0.90, min_samples=50)
+        for _ in range(49):
+            monitor.observe("bch3", 1000.0, _estimate(1.0, 0.001))
+        assert len(monitor.incidents) == 0
+
+    def test_flag_rearms_after_recovery(self, fresh_obs) -> None:
+        monitor = CalibrationMonitor(floor=0.5, min_samples=4)
+        miss = lambda: monitor.observe("eh3", 1000.0, _estimate(1.0, 0.001))
+        hit = lambda: monitor.observe("eh3", 100.0, _estimate(100.0, 50.0))
+        for _ in range(4):
+            miss()  # coverage 0.0 < 0.5 -> first incident
+        assert len(monitor.incidents) == 1
+        for _ in range(8):
+            hit()  # coverage recovers to 8/12 >= 0.5 -> re-armed
+        assert monitor.coverage("eh3") > 0.5
+        for _ in range(8):
+            miss()  # coverage dips to 8/20 < 0.5 -> second incident
+        assert len(monitor.incidents) == 2
+
+    def test_per_scheme_isolation(self, fresh_obs) -> None:
+        monitor = CalibrationMonitor(floor=0.9, min_samples=5)
+        for _ in range(10):
+            monitor.observe("bad", 1000.0, _estimate(1.0, 0.001))
+            monitor.observe("good", 100.0, _estimate(100.0, 50.0))
+        assert len(monitor.incidents) == 1
+        assert monitor.incidents[0].relation == "bad"
+        report = monitor.report()
+        assert report["bad"]["flagged"] is True
+        assert report["good"]["flagged"] is False
+        assert report["good"]["coverage"] == 1.0
+
+
+class TestWorkload:
+    def test_zipf_workload_tracks_per_scheme(self, fresh_obs) -> None:
+        monitor = run_calibration_workload(
+            SEED,
+            schemes=("eh3", "bch3"),
+            medians=3,
+            averages=8,
+            domain_bits=8,
+            points=800,
+            range_queries=3,
+            point_queries=3,
+        )
+        report = monitor.report()
+        assert set(report) == {"eh3", "bch3"}
+        # 3 point + 3 range + 1 self-join comparisons per scheme.
+        assert all(entry["samples"] == 7 for entry in report.values())
+        snapshot = obs.snapshot()
+        assert snapshot["query.calibration.samples_total"]["value"] == 14.0
+        assert snapshot["query.calibration.workload.seconds"]["count"] == 1
+
+    def test_workload_is_deterministic(self, fresh_obs) -> None:
+        kwargs = dict(
+            schemes=("eh3",),
+            medians=3,
+            averages=8,
+            domain_bits=8,
+            points=800,
+            range_queries=2,
+            point_queries=2,
+        )
+        first = run_calibration_workload(SEED, **kwargs).report()
+        second = run_calibration_workload(SEED, **kwargs).report()
+        assert first == second
+
+    def test_supplied_monitor_accumulates(self, fresh_obs) -> None:
+        monitor = CalibrationMonitor()
+        run_calibration_workload(
+            SEED,
+            schemes=("eh3",),
+            medians=3,
+            averages=8,
+            domain_bits=8,
+            points=400,
+            range_queries=1,
+            point_queries=1,
+            monitor=monitor,
+        )
+        assert monitor.report()["eh3"]["samples"] == 3
+
+
+class TestSnapshotCoverage:
+    def test_reads_hit_and_miss_counters(self, fresh_obs) -> None:
+        monitor = CalibrationMonitor()
+        monitor.observe("eh3", 100.0, _estimate(101.0, 5.0))
+        monitor.observe("eh3", 100.0, _estimate(500.0, 1.0))
+        assert coverage_from_snapshot(obs.snapshot()) == pytest.approx(0.5)
+
+    def test_empty_snapshot_is_none(self) -> None:
+        assert coverage_from_snapshot({}) is None
+
+    def test_hits_only_snapshot(self) -> None:
+        snapshot = {
+            "query.calibration.ci_hits_total": {
+                "type": "counter",
+                "value": 4.0,
+            }
+        }
+        assert coverage_from_snapshot(snapshot) == 1.0

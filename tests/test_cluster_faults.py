@@ -11,8 +11,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.cluster import ClusterConfig, ClusterProcessor
 from repro.cluster.faults import run_cluster_fault_suite
+from repro.obs.tracing import TraceCollector
 from repro.stream.processor import StreamProcessor
 
 SEED = 20060627
@@ -26,9 +28,28 @@ class TestClusterScenarioSuite:
     """One pytest case per chaos scenario."""
 
     @pytest.fixture(scope="class")
-    def results(self, tmp_path_factory):
+    def suite_run(self, tmp_path_factory):
+        # The whole chaos suite runs under one trace collector: crashes,
+        # hangs, torn WALs, and duplicated frames must never corrupt the
+        # stitched trace (span-id dedup absorbs crash-replay re-ships).
         base = tmp_path_factory.mktemp("cluster-faults")
-        return {r.name: r for r in run_cluster_fault_suite(SEED, str(base))}
+        collector = TraceCollector()
+        previous = obs.set_trace_collector(collector)
+        try:
+            results = {
+                r.name: r for r in run_cluster_fault_suite(SEED, str(base))
+            }
+        finally:
+            obs.set_trace_collector(previous)
+        return results, collector.as_chrome_trace()
+
+    @pytest.fixture(scope="class")
+    def results(self, suite_run):
+        return suite_run[0]
+
+    @pytest.fixture(scope="class")
+    def trace(self, suite_run):
+        return suite_run[1]
 
     @pytest.mark.parametrize(
         "name",
@@ -47,6 +68,39 @@ class TestClusterScenarioSuite:
 
     def test_suite_is_exhaustive(self, results):
         assert len(results) == 5
+
+    def test_trace_stays_well_formed_under_faults(self, trace):
+        assert trace, "the fault suite must produce trace events"
+        span_ids = [event["span_id"] for event in trace]
+        assert len(span_ids) == len(set(span_ids)), (
+            "duplicate span ids: crash-replay or duplicate delivery "
+            "defeated the stitch dedup"
+        )
+        known = set(span_ids)
+        # A SIGKILLed worker loses the span it was *inside*; a spooled
+        # child re-shipped after restart may therefore point at a parent
+        # that died unclosed.  Coordinator-side (pid 0) linkage must
+        # still be complete -- the coordinator never crashes.
+        dangling = [
+            event["name"]
+            for event in trace
+            if event["pid"] == 0
+            and "parent_span_id" in event
+            and event["parent_span_id"] not in known
+        ]
+        assert dangling == [], f"dangling coordinator links: {dangling}"
+
+    def test_single_trace_id_survives_faults(self, trace):
+        assert len({event["trace_id"] for event in trace}) == 1
+
+    def test_trace_contains_worker_spans(self, trace):
+        # Spans shipped from worker processes (and re-shipped from the
+        # crash spool after restarts) made it into the stitched trace.
+        workers = [event for event in trace if event["pid"] > 0]
+        assert workers
+        assert any(
+            event["name"] == "cluster.worker.command" for event in workers
+        )
 
 
 class TestProcessTransportBasics:

@@ -27,9 +27,10 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullCounter,
     NullHistogram,
+    histogram_quantile,
     snapshot_to_prometheus,
 )
-from repro.obs.tracing import TraceCollector
+from repro.obs.tracing import RemoteSpanBuffer, TraceCollector
 from repro.stream.validation import Incident, IncidentLog
 
 SEED = 20060627
@@ -340,6 +341,217 @@ class TestSpans:
         event = json.loads(lines[0])
         assert event["name"] == "a.b"
         assert collector.as_chrome_trace() == [collector.events[0]]
+
+
+# ---------------------------------------------------------------------------
+# Histogram quantiles (the SLO engine reads these from snapshots).
+# ---------------------------------------------------------------------------
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_has_no_quantiles(self) -> None:
+        assert math.isnan(histogram_quantile((1.0, 10.0), (0, 0, 0), 0.5))
+        hist = Histogram("t.hist", edges=(1.0, 10.0))
+        assert math.isnan(hist.quantile(0.99))
+
+    def test_single_bucket_interpolates_from_zero(self) -> None:
+        # All mass in the first bucket: lower bound is 0, upper is the
+        # edge, so the median sits halfway up the bucket.
+        assert histogram_quantile((4.0,), (10, 0), 0.5) == pytest.approx(2.0)
+        assert histogram_quantile((4.0,), (10, 0), 1.0) == pytest.approx(4.0)
+
+    def test_interpolation_between_edges(self) -> None:
+        # 2 observations <= 1, 2 more <= 10: the median rank (2.0) lands
+        # exactly on the first bucket's upper edge.
+        assert histogram_quantile(
+            (1.0, 10.0), (2, 2, 0), 0.5
+        ) == pytest.approx(1.0)
+        # Rank 3 is halfway through the second bucket: 1 + 9/2.
+        assert histogram_quantile(
+            (1.0, 10.0), (2, 2, 0), 0.75
+        ) == pytest.approx(5.5)
+
+    def test_overflow_bucket_reports_last_finite_edge(self) -> None:
+        # Observations past every edge cannot be resolved beyond the
+        # histogram's range; the quantile saturates at the last edge.
+        assert histogram_quantile((1.0, 10.0), (0, 0, 5), 0.5) == 10.0
+        hist = Histogram("t.hist", edges=(1.0, 10.0))
+        hist.observe(1000.0)
+        assert hist.quantile(0.99) == 10.0
+
+    def test_quantile_out_of_range_rejected(self) -> None:
+        with pytest.raises(ValueError, match="within"):
+            histogram_quantile((1.0,), (1, 0), 1.5)
+        with pytest.raises(ValueError, match="within"):
+            Histogram("t.hist", edges=(1.0,)).quantile(-0.1)
+
+    def test_null_histogram_quantile_is_nan(self) -> None:
+        assert math.isnan(NullHistogram().quantile(0.5))
+
+    def test_live_histogram_matches_snapshot_math(self) -> None:
+        hist = Histogram("t.hist", edges=(1.0, 10.0, 100.0))
+        for value in (0.5, 2.0, 3.0, 20.0):
+            hist.observe(value)
+        state = hist.snapshot()
+        assert hist.quantile(0.5) == pytest.approx(
+            histogram_quantile(state["edges"], state["buckets"], 0.5)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Span identity, context propagation, and remote stitching.
+# ---------------------------------------------------------------------------
+
+
+class TestSpanIdentity:
+    def test_events_carry_top_level_ids(self, fake_clock) -> None:
+        collector = TraceCollector()
+        obs.set_trace_collector(collector)
+        with obs.span("outer.region"):
+            with obs.span("inner.region"):
+                fake_clock.advance(0.1)
+        inner, outer = collector.events
+        assert inner["trace_id"] == outer["trace_id"] == collector.trace_id
+        assert inner["span_id"] != outer["span_id"]
+        assert inner["parent_span_id"] == outer["span_id"]
+        assert "parent_span_id" not in outer
+        # Ids stay out of args (back-compat with attribute assertions).
+        assert "span_id" not in inner["args"]
+
+    def test_current_context_tracks_innermost_span(self, fresh_obs) -> None:
+        collector = TraceCollector()
+        obs.set_trace_collector(collector)
+        assert collector.current_context() == {"id": collector.trace_id}
+        with obs.span("outer.region"):
+            context = collector.current_context()
+            assert context["id"] == collector.trace_id
+            assert context["parent"] == collector._stack[-1][1]
+
+    def test_adopt_joins_trace_and_parents_roots(self, fresh_obs) -> None:
+        sender = TraceCollector()
+        obs.set_trace_collector(sender)
+        with obs.span("sender.region"):
+            context = sender.current_context()
+        receiver = TraceCollector()
+        receiver.adopt(context)
+        obs.set_trace_collector(receiver)
+        with obs.span("receiver.region"):
+            pass
+        event = receiver.events[-1]
+        assert event["trace_id"] == sender.trace_id
+        assert event["parent_span_id"] == context["parent"]
+
+    def test_stitch_remote_rebases_and_dedupes(self, fresh_obs) -> None:
+        collector = TraceCollector()
+        records = [
+            {
+                "name": "cluster.worker.command",
+                "start": 100.0,
+                "dur": 0.5,
+                "args": {"op": "ship"},
+                "trace_id": collector.trace_id,
+                "span_id": "w.1.1",
+                "parent_span_id": "c.1.1",
+            },
+            {"not a record": True},
+        ]
+        assert collector.stitch_remote(records, process=2) == 1
+        event = collector.events[-1]
+        assert event["pid"] == 2
+        assert event["ts"] == pytest.approx(0.0)  # rebased onto origin
+        assert event["dur"] == pytest.approx(0.5e6)
+        assert event["parent_span_id"] == "c.1.1"
+        # Crash-replay / duplicate delivery re-ships the same span id.
+        assert collector.stitch_remote(records, process=2) == 0
+        assert len(collector.events) == 1
+
+    def test_span_ids_unique_across_collectors(self) -> None:
+        # Two collectors in one process (e.g. a worker restarted after a
+        # crash) must never mint colliding span ids.
+        first, second = TraceCollector(), TraceCollector()
+        assert first._new_span_id() != second._new_span_id()
+
+    def test_start_span_end_is_idempotent(self, fake_clock) -> None:
+        collector = TraceCollector()
+        obs.set_trace_collector(collector)
+        handle = obs.start_span("manual.region", op="test")
+        fake_clock.advance(0.2)
+        handle.end()
+        handle.end()  # double close is a no-op
+        assert len(collector.events) == 1
+        assert collector.depth == 0
+        assert obs.snapshot()["manual.region.seconds"]["count"] == 1
+
+    def test_disabled_start_span_end_is_noop(self, fresh_obs) -> None:
+        obs.set_enabled(False)
+        handle = obs.start_span("manual.region")
+        handle.end()
+        assert obs.snapshot() == {}
+
+
+class TestRemoteSpanBuffer:
+    def test_records_carry_absolute_timings(self, fake_clock) -> None:
+        fake_clock.advance(100.0)
+        buffer = RemoteSpanBuffer()
+        obs.set_trace_collector(buffer)
+        with obs.span("cluster.worker.command", op="points"):
+            fake_clock.advance(0.25)
+        (record,) = buffer.records
+        assert record["start"] == pytest.approx(100.0)  # absolute seconds
+        assert record["dur"] == pytest.approx(0.25)
+        assert record["args"] == {"op": "points"}
+        assert record["trace_id"] == buffer.trace_id
+
+    def test_drain_hands_over_and_clears_memory(self, fake_clock) -> None:
+        buffer = RemoteSpanBuffer()
+        obs.set_trace_collector(buffer)
+        with obs.span("a.b"):
+            pass
+        assert len(buffer.drain()) == 1
+        assert buffer.records == []
+        assert buffer.drain() == []
+
+    def test_spool_survives_drain_and_reloads(
+        self, fake_clock, tmp_path
+    ) -> None:
+        # drain() must NOT clear the spool: the reply carrying the
+        # drained records can still be lost with the worker.  A fresh
+        # buffer (the restarted worker) re-ships them from disk.
+        spool = str(tmp_path / "trace-spool.jsonl")
+        buffer = RemoteSpanBuffer(spool=spool)
+        obs.set_trace_collector(buffer)
+        with obs.span("a.b"):
+            pass
+        shipped = buffer.drain()
+        assert len(shipped) == 1
+        reborn = RemoteSpanBuffer(spool=spool)
+        assert [r["span_id"] for r in reborn.records] == [
+            shipped[0]["span_id"]
+        ]
+
+    def test_spool_tolerates_torn_tail(self, tmp_path) -> None:
+        spool = tmp_path / "trace-spool.jsonl"
+        good = json.dumps({"name": "a.b", "start": 1.0, "dur": 0.1})
+        spool.write_text(good + "\n" + '{"name": "torn', encoding="utf-8")
+        buffer = RemoteSpanBuffer(spool=str(spool))
+        assert [r["name"] for r in buffer.records] == ["a.b"]
+
+    def test_spool_truncates_at_limit(self, fake_clock, tmp_path) -> None:
+        spool = tmp_path / "trace-spool.jsonl"
+        buffer = RemoteSpanBuffer(spool=str(spool), spool_limit=2)
+        obs.set_trace_collector(buffer)
+        for _ in range(5):
+            with obs.span("a.b"):
+                pass
+        lines = spool.read_text().splitlines()
+        assert len(lines) <= 2  # bounded replay window
+
+    def test_unwritable_spool_keeps_serving_memory(self, fake_clock) -> None:
+        buffer = RemoteSpanBuffer(spool="/nonexistent-dir/spool.jsonl")
+        obs.set_trace_collector(buffer)
+        with obs.span("a.b"):
+            pass
+        assert len(buffer.records) == 1
 
 
 # ---------------------------------------------------------------------------

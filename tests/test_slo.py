@@ -1,0 +1,422 @@
+"""The declarative SLO engine and its CI gate.
+
+Unit tests pin the spec validation, the error-budget arithmetic for
+both comparison directions, the missing-indicator semantics (required
+fails, optional skips), and indicator resolution from histogram
+quantiles, bench documents, and counter-only snapshots.  CLI tests
+prove both gate directions: the pass path exits zero, an injected
+always-burning objective makes ``slo --strict`` exit non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SLOReport,
+    SLOResult,
+    SLOSpec,
+    default_slos,
+    evaluate_slos,
+)
+
+SEED = 20060627
+
+
+@pytest.fixture
+def fresh_obs():
+    previous_registry = obs.set_registry(MetricsRegistry())
+    previous_enabled = obs.set_enabled(True)
+    previous_collector = obs.set_trace_collector(None)
+    try:
+        yield obs.registry()
+    finally:
+        obs.set_registry(previous_registry)
+        obs.set_enabled(previous_enabled)
+        obs.set_trace_collector(previous_collector)
+
+
+def _spec(**overrides) -> SLOSpec:
+    base = dict(
+        name="t.objective",
+        kind="latency",
+        indicator="t.seconds",
+        objective=1.0,
+    )
+    base.update(overrides)
+    return SLOSpec(**base)
+
+
+def _gauge_snapshot(name: str, value: float) -> dict:
+    return {name: {"type": "gauge", "value": value}}
+
+
+class TestSpecValidation:
+    def test_bad_comparison_rejected(self) -> None:
+        with pytest.raises(ValueError, match="comparison"):
+            _spec(comparison="<")
+
+    def test_bad_source_rejected(self) -> None:
+        with pytest.raises(ValueError, match="source"):
+            _spec(source="file")
+
+    def test_bad_quantile_rejected(self) -> None:
+        with pytest.raises(ValueError, match="quantile"):
+            _spec(quantile=1.5)
+
+    def test_default_catalogue_is_valid(self) -> None:
+        specs = default_slos()
+        names = [spec.name for spec in specs]
+        assert len(names) == len(set(names))
+        assert "latency.point.p50" in names
+        assert "latency.point.p99" in names
+        assert "latency.range_sum.p99" in names
+        assert "latency.f2.p99" in names
+        assert "calibration.coverage" in names
+        assert "cluster.availability" in names
+        assert "cluster.recovery" in names
+
+
+class TestBudgetArithmetic:
+    def test_upper_bound_burn_ratio(self, fresh_obs) -> None:
+        # observed/objective: 0.5s against a 1s ceiling burns half.
+        spec = _spec(objective=1.0)
+        report = evaluate_slos(
+            [spec], snapshot=_gauge_snapshot("t.seconds", 0.5)
+        )
+        (result,) = report.results
+        assert result.ok
+        assert result.budget_burned == pytest.approx(0.5)
+
+    def test_upper_bound_burned_over_one(self, fresh_obs) -> None:
+        spec = _spec(objective=1.0)
+        report = evaluate_slos(
+            [spec], snapshot=_gauge_snapshot("t.seconds", 2.0)
+        )
+        (result,) = report.results
+        assert not result.ok
+        assert result.budget_burned == pytest.approx(2.0)
+        assert report.burned == (result,)
+        assert not report.ok
+
+    def test_lower_bound_shortfall_budget(self, fresh_obs) -> None:
+        # 99% availability against a 95% floor: the allowed shortfall
+        # is 5 points, 1 point is used -> 20% of the budget.
+        spec = _spec(
+            name="t.availability",
+            kind="availability",
+            indicator="t.availability",
+            objective=0.95,
+            comparison=">=",
+        )
+        report = evaluate_slos(
+            [spec], snapshot=_gauge_snapshot("t.availability", 0.99)
+        )
+        (result,) = report.results
+        assert result.ok
+        assert result.budget_burned == pytest.approx(0.2)
+
+    def test_lower_bound_violation_burns(self, fresh_obs) -> None:
+        spec = _spec(
+            objective=0.90, comparison=">=", indicator="t.coverage"
+        )
+        report = evaluate_slos(
+            [spec], snapshot=_gauge_snapshot("t.coverage", 0.80)
+        )
+        (result,) = report.results
+        assert not result.ok
+        assert result.budget_burned == pytest.approx(2.0)
+
+    def test_boundary_is_within_budget(self, fresh_obs) -> None:
+        report = evaluate_slos(
+            [_spec(objective=1.0)],
+            snapshot=_gauge_snapshot("t.seconds", 1.0),
+        )
+        assert report.results[0].ok
+        assert report.results[0].budget_burned == pytest.approx(1.0)
+
+
+class TestMissingIndicators:
+    def test_required_missing_fails(self, fresh_obs) -> None:
+        report = evaluate_slos([_spec(required=True)], snapshot={})
+        (result,) = report.results
+        assert not result.ok
+        assert not result.skipped
+        assert result.budget_burned == math.inf
+        assert "required" in result.reason
+        assert not report.ok
+
+    def test_optional_missing_skips(self, fresh_obs) -> None:
+        report = evaluate_slos([_spec(required=False)], snapshot={})
+        (result,) = report.results
+        assert result.skipped
+        assert result.ok
+        assert report.ok  # skips never burn the gate
+
+    def test_optional_bench_spec_binds_when_present(self, fresh_obs) -> None:
+        spec = _spec(
+            name="kernel.speedup",
+            kind="throughput",
+            indicator="bulk.workloads.eh3_interval_batch.speedup",
+            objective=1.0,
+            comparison=">=",
+            source="bench",
+            required=False,
+        )
+        bench = {
+            "bulk": {
+                "workloads": {"eh3_interval_batch": {"speedup": 10.4}}
+            }
+        }
+        report = evaluate_slos([spec], snapshot={}, bench=bench)
+        (result,) = report.results
+        assert result.ok and not result.skipped
+        assert result.observed == pytest.approx(10.4)
+
+    def test_bench_bool_rejected_as_value(self, fresh_obs) -> None:
+        spec = _spec(
+            indicator="durability.passed", source="bench", required=False
+        )
+        report = evaluate_slos(
+            [spec], snapshot={}, bench={"durability": {"passed": True}}
+        )
+        assert report.results[0].skipped
+
+
+class TestIndicatorResolution:
+    def test_histogram_indicator_reads_quantile(self, fresh_obs) -> None:
+        snapshot = {
+            "t.seconds": {
+                "type": "histogram",
+                "edges": [0.1, 1.0],
+                "buckets": [10, 0, 0],
+                "sum": 0.5,
+                "count": 10,
+            }
+        }
+        spec = _spec(objective=0.2, quantile=0.99)
+        report = evaluate_slos([spec], snapshot=snapshot)
+        (result,) = report.results
+        assert result.ok
+        assert result.observed == pytest.approx(0.099)
+
+    def test_empty_histogram_counts_as_missing(self, fresh_obs) -> None:
+        snapshot = {
+            "t.seconds": {
+                "type": "histogram",
+                "edges": [0.1, 1.0],
+                "buckets": [0, 0, 0],
+                "sum": 0.0,
+                "count": 0,
+            }
+        }
+        report = evaluate_slos(
+            [_spec(required=False)], snapshot=snapshot
+        )
+        assert report.results[0].skipped
+
+    def test_calibration_falls_back_to_counters(self, fresh_obs) -> None:
+        # The coverage gauge is absent but the hit/miss counters survive
+        # (a merged snapshot): the calibration spec still resolves.
+        snapshot = {
+            "query.calibration.ci_hits_total": {
+                "type": "counter",
+                "value": 9.0,
+            },
+            "query.calibration.ci_misses_total": {
+                "type": "counter",
+                "value": 1.0,
+            },
+        }
+        spec = _spec(
+            name="calibration.coverage",
+            kind="calibration",
+            indicator="query.calibration.coverage",
+            objective=0.85,
+            comparison=">=",
+        )
+        report = evaluate_slos([spec], snapshot=snapshot)
+        (result,) = report.results
+        assert result.ok
+        assert result.observed == pytest.approx(0.9)
+
+    def test_evaluation_bumps_own_instruments(self, fresh_obs) -> None:
+        evaluate_slos([_spec(required=False)], snapshot={})
+        snapshot = obs.snapshot()
+        assert snapshot["slo.evaluations_total"]["value"] == 1.0
+        assert snapshot["slo.results_total"]["value"] == 1.0
+        assert snapshot["slo.burned_total"]["value"] == 0.0
+
+
+class TestReportRendering:
+    def _report(self) -> SLOReport:
+        passing = SLOResult(
+            spec=_spec(name="a.pass"), observed=0.5, ok=True,
+            budget_burned=0.5,
+        )
+        burned = SLOResult(
+            spec=_spec(name="b.burn"), observed=3.0, ok=False,
+            budget_burned=3.0,
+        )
+        skipped = SLOResult(
+            spec=_spec(name="c.skip", required=False),
+            observed=None, ok=True, skipped=True, reason="indicator absent",
+        )
+        return SLOReport(results=(passing, burned, skipped))
+
+    def test_to_text_lines(self) -> None:
+        text = self._report().to_text()
+        assert "PASS  a.pass" in text
+        assert "BURN  b.burn" in text
+        assert "SKIP  c.skip" in text
+        assert "2/3 objectives within budget" in text
+
+    def test_to_dict_round_trips_through_json(self) -> None:
+        document = json.loads(json.dumps(self._report().to_dict()))
+        assert document["ok"] is False
+        assert [r["name"] for r in document["results"]] == [
+            "a.pass", "b.burn", "c.skip",
+        ]
+        assert document["results"][1]["budget_burned"] == 3.0
+        assert document["results"][2]["skipped"] is True
+
+
+class TestSLOCLI:
+    def _write_bench(self, directory) -> None:
+        (directory / "BENCH_durability.json").write_text(
+            json.dumps(
+                {
+                    "cluster": {
+                        "availability": {"availability": 1.0},
+                        "recovery": {"seconds": 0.5},
+                    }
+                }
+            )
+        )
+        (directory / "BENCH_bulk.json").write_text(
+            json.dumps(
+                {
+                    "workloads": {
+                        "eh3_interval_batch": {"speedup": 10.0}
+                    }
+                }
+            )
+        )
+
+    def test_strict_pass_path(self, fresh_obs, tmp_path, capsys) -> None:
+        from repro.cli import main
+
+        self._write_bench(tmp_path)
+        code = main(
+            ["slo", "--strict", "--bench-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS  latency.point.p50" in out
+        assert "PASS  calibration.coverage" in out
+        assert "PASS  cluster.availability" in out
+        assert "BURN" not in out
+
+    def test_strict_fail_path_burns_gate(
+        self, fresh_obs, tmp_path, capsys, monkeypatch
+    ) -> None:
+        # Inject a regression: an objective no run can meet.  The gate
+        # must report the burn and exit non-zero under --strict.
+        import repro.obs.slo as slo_module
+
+        impossible = SLOSpec(
+            name="latency.impossible.p50",
+            kind="latency",
+            indicator="query.execute.point.seconds",
+            objective=0.0,
+            quantile=0.5,
+        )
+        monkeypatch.setattr(
+            slo_module, "default_slos", lambda: (impossible,)
+        )
+        from repro.cli import main
+
+        self._write_bench(tmp_path)
+        code = main(["slo", "--strict", "--bench-dir", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "BURN  latency.impossible.p50" in captured.out
+        assert "slo gate FAILED" in captured.err
+
+    def test_non_strict_reports_without_failing(
+        self, fresh_obs, tmp_path, capsys, monkeypatch
+    ) -> None:
+        import repro.obs.slo as slo_module
+
+        impossible = SLOSpec(
+            name="latency.impossible.p50",
+            kind="latency",
+            indicator="query.execute.point.seconds",
+            objective=0.0,
+            quantile=0.5,
+        )
+        monkeypatch.setattr(
+            slo_module, "default_slos", lambda: (impossible,)
+        )
+        from repro.cli import main
+
+        self._write_bench(tmp_path)
+        assert main(["slo", "--bench-dir", str(tmp_path)]) == 0
+        assert "BURN" in capsys.readouterr().out
+
+    def test_output_dir_merges_slo_report(
+        self, fresh_obs, tmp_path, capsys
+    ) -> None:
+        from repro.cli import main
+
+        self._write_bench(tmp_path)
+        out_dir = tmp_path / "out"
+        out_dir.mkdir()
+        code = main(
+            [
+                "slo",
+                "--bench-dir",
+                str(tmp_path),
+                "--output-dir",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        document = json.loads(
+            (out_dir / "BENCH_durability.json").read_text()
+        )
+        assert document["slo"]["ok"] is True
+        names = [r["name"] for r in document["slo"]["results"]]
+        assert "calibration.coverage" in names
+
+    def test_trace_flag_writes_stitched_trace(
+        self, fresh_obs, tmp_path, capsys
+    ) -> None:
+        from repro.cli import main
+
+        self._write_bench(tmp_path)
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "slo",
+                "--bench-dir",
+                str(tmp_path),
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert events
+        names = {event["name"] for event in events}
+        # The stitched trace holds coordinator AND worker spans.
+        assert "cluster.command" in names
+        assert "cluster.worker.command" in names
+        assert len({event["trace_id"] for event in events}) == 1

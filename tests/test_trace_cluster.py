@@ -1,0 +1,258 @@
+"""Distributed tracing across the cluster process boundary.
+
+A traced cluster round trip must produce ONE stitched Chrome trace:
+coordinator spans under ``pid=0``, each shard's worker spans under
+``pid=sid+1``, every event carrying the same trace id, and worker spans
+parent-linked to the coordinator span that issued their command.  The
+crash tests prove the span spool's contract: a worker killed in the ack
+window re-ships its already-closed spans after restart, and the
+coordinator's span-id dedup keeps the trace free of duplicates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cluster import ClusterConfig, ClusterProcessor
+from repro.cluster.faults import _arm_fault
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TraceCollector
+
+SEED = 20060627
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning"
+)
+
+
+@pytest.fixture
+def traced_obs():
+    """Fresh registry + installed collector; restores module state."""
+    previous_registry = obs.set_registry(MetricsRegistry())
+    previous_enabled = obs.set_enabled(True)
+    collector = TraceCollector()
+    previous_collector = obs.set_trace_collector(collector)
+    try:
+        yield collector
+    finally:
+        obs.set_registry(previous_registry)
+        obs.set_enabled(previous_enabled)
+        obs.set_trace_collector(previous_collector)
+
+
+def assert_well_formed(events: list[dict]) -> None:
+    """Single trace id, unique span ids, every parent resolves."""
+    assert events, "trace must contain events"
+    trace_ids = {event["trace_id"] for event in events}
+    assert len(trace_ids) == 1, f"expected one trace id, got {trace_ids}"
+    span_ids = [event["span_id"] for event in events]
+    assert len(span_ids) == len(set(span_ids)), "duplicate span ids"
+    known = set(span_ids)
+    unresolved = [
+        event["name"]
+        for event in events
+        if "parent_span_id" in event
+        and event["parent_span_id"] not in known
+    ]
+    assert unresolved == [], f"dangling parent links: {unresolved}"
+
+
+def _run_round_trip(cluster: ClusterProcessor) -> None:
+    cluster.register_relation("r", 10)
+    handle = cluster.register_self_join("r")
+    cluster.ingest_points("r", list(range(64)))
+    cluster.ingest_intervals("r", [(0, 1023), (100, 700)])
+    cluster.flush()
+    cluster.answer(handle)
+
+
+class TestInlineStitchedTrace:
+    def test_round_trip_stitches_one_trace(
+        self, traced_obs, tmp_path
+    ) -> None:
+        with ClusterProcessor(
+            str(tmp_path / "cluster"),
+            shards=2,
+            medians=3,
+            averages=8,
+            seed=SEED,
+            transport="inline",
+            config=ClusterConfig(heartbeat_interval=0.0),
+        ) as cluster:
+            _run_round_trip(cluster)
+        events = traced_obs.as_chrome_trace()
+        assert_well_formed(events)
+        coordinator = [e for e in events if e["pid"] == 0]
+        workers = [e for e in events if e["pid"] > 0]
+        assert coordinator and workers
+        assert {e["pid"] for e in workers} == {1, 2}
+        worker_names = {e["name"] for e in workers}
+        assert "cluster.worker.command" in worker_names
+
+    def test_worker_spans_parent_to_command_spans(
+        self, traced_obs, tmp_path
+    ) -> None:
+        with ClusterProcessor(
+            str(tmp_path / "cluster"),
+            shards=2,
+            medians=3,
+            averages=8,
+            seed=SEED,
+            transport="inline",
+            config=ClusterConfig(heartbeat_interval=0.0),
+        ) as cluster:
+            _run_round_trip(cluster)
+        events = traced_obs.as_chrome_trace()
+        command_ids = {
+            e["span_id"]
+            for e in events
+            if e["name"] == "cluster.command" and e["pid"] == 0
+        }
+        workers = [
+            e for e in events if e["name"] == "cluster.worker.command"
+        ]
+        # Synchronous requests (ship, health) parent the worker span to
+        # the coordinator's cluster.command span -- the cross-process
+        # parent/child link the stitched trace exists for.
+        linked = [
+            e for e in workers if e.get("parent_span_id") in command_ids
+        ]
+        assert linked, "no worker span parented to a cluster.command span"
+
+    def test_stage_spans_present(self, traced_obs, tmp_path) -> None:
+        with ClusterProcessor(
+            str(tmp_path / "cluster"),
+            shards=2,
+            medians=3,
+            averages=8,
+            seed=SEED,
+            transport="inline",
+            config=ClusterConfig(heartbeat_interval=0.0),
+        ) as cluster:
+            _run_round_trip(cluster)
+        names = {e["name"] for e in traced_obs.as_chrome_trace()}
+        assert "cluster.shard.answer" in names  # per-shard answer stage
+
+    def test_ship_and_stitch_counters_balance(
+        self, traced_obs, tmp_path
+    ) -> None:
+        with ClusterProcessor(
+            str(tmp_path / "cluster"),
+            shards=2,
+            medians=3,
+            averages=8,
+            seed=SEED,
+            transport="inline",
+            config=ClusterConfig(heartbeat_interval=0.0),
+        ) as cluster:
+            _run_round_trip(cluster)
+        snapshot = obs.snapshot()
+        shipped = snapshot["obs.trace.remote.spans_shipped_total"]["value"]
+        stitched = snapshot["obs.trace.remote.spans_stitched_total"]["value"]
+        # Inline transport shares one registry: every shipped span must
+        # stitch exactly once (dedup discards nothing on a clean run).
+        assert shipped > 0
+        assert stitched == shipped
+
+    def test_untraced_cluster_ships_nothing(self, tmp_path) -> None:
+        previous_registry = obs.set_registry(MetricsRegistry())
+        previous_enabled = obs.set_enabled(True)
+        previous_collector = obs.set_trace_collector(None)
+        try:
+            with ClusterProcessor(
+                str(tmp_path / "cluster"),
+                shards=2,
+                medians=3,
+                averages=8,
+                seed=SEED,
+                transport="inline",
+                config=ClusterConfig(heartbeat_interval=0.0),
+            ) as cluster:
+                _run_round_trip(cluster)
+            snapshot = obs.snapshot()
+            assert "obs.trace.remote.spans_shipped_total" not in snapshot
+        finally:
+            obs.set_registry(previous_registry)
+            obs.set_enabled(previous_enabled)
+            obs.set_trace_collector(previous_collector)
+
+
+class TestProcessStitchedTrace:
+    def test_real_processes_stitch_one_trace(
+        self, traced_obs, tmp_path
+    ) -> None:
+        config = ClusterConfig(
+            command_timeout=2.0, retries=2, backoff_base=0.01
+        )
+        with ClusterProcessor(
+            str(tmp_path / "cluster"),
+            shards=2,
+            medians=3,
+            averages=8,
+            seed=SEED,
+            config=config,
+        ) as cluster:
+            _run_round_trip(cluster)
+        events = traced_obs.as_chrome_trace()
+        assert_well_formed(events)
+        pids = {e["pid"] for e in events}
+        # Coordinator plus both shard processes, each on its own track.
+        assert pids >= {0, 1, 2}
+        workers = [
+            e for e in events if e["name"] == "cluster.worker.command"
+        ]
+        assert len(workers) > 0
+        # Worker-side counters live in the worker process's registry;
+        # only the coordinator-side stitch counter is visible here.
+        snapshot = obs.snapshot()
+        stitched = snapshot["obs.trace.remote.spans_stitched_total"]["value"]
+        assert stitched == len([e for e in events if e["pid"] > 0])
+
+
+class TestCrashFlush:
+    def test_closed_spans_survive_ack_window_crash(
+        self, traced_obs, tmp_path
+    ) -> None:
+        """A worker killed before acking re-ships its spooled spans.
+
+        ``exit_before_ack`` kills the worker after it applied the batch
+        (its command span closed and hit the spool) but before the reply
+        shipped -- the drained records died with the process.  After the
+        coordinator restarts the shard, the reborn worker loads the
+        spool and re-ships with its next reply; the stitched trace must
+        contain the pre-crash span exactly once.
+        """
+        config = ClusterConfig(
+            command_timeout=2.0, retries=2, backoff_base=0.05
+        )
+        with ClusterProcessor(
+            str(tmp_path / "cluster"),
+            shards=2,
+            medians=3,
+            averages=8,
+            seed=SEED,
+            config=config,
+        ) as cluster:
+            cluster.register_relation("r", 10)
+            cluster.ingest_points("r", list(range(32)))
+            cluster.flush()
+            victim = 0
+            shard = cluster._shards[victim]
+            _arm_fault(
+                cluster, victim, "exit_before_ack", shard.mut_index + 1
+            )
+            cluster.ingest_points("r", list(range(32, 64)))
+            shard.link.process.join(timeout=10.0)
+            assert not shard.link.process.is_alive()
+            cluster.flush()  # detects death, restarts, resends
+            cluster.ingest_points("r", list(range(64, 96)))
+            cluster.flush()
+        events = traced_obs.as_chrome_trace()
+        assert_well_formed(events)  # includes span-id uniqueness
+        victim_spans = [e for e in events if e["pid"] == victim + 1]
+        # Spans closed by the crashed incarnation (loaded from its spool
+        # by the reborn worker) and by the reborn one both arrived.
+        assert len(victim_spans) >= 2
+        restarts = obs.snapshot()["cluster.shard.restarts_total"]["value"]
+        assert restarts >= 1
